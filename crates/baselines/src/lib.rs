@@ -1,0 +1,64 @@
+//! # qt-baselines
+//!
+//! The prior DRAM-based TRNGs the paper compares against (Section 7.4 and
+//! Table 2), re-implemented as throughput/latency models on the shared DRAM
+//! substrate:
+//!
+//! * **D-RaNGe** (Kim et al., HPCA 2019) — reduced-tRCD read failures;
+//!   *Basic* uses the paper's 4 TRNG cells per cache block, *Enhanced*
+//!   characterises cache-block entropy on the simulated chips and adds
+//!   SHA-256 post-processing.
+//! * **Talukder+** (ICCE 2019) — reduced-tRP (precharge) failures; *Basic*
+//!   uses the authors' 130.6 random cells per row, *Enhanced* characterises
+//!   row entropy on the simulated chips.
+//! * **Low-throughput TRNGs** — D-PUF, Keller+, Pyo+, and DRNG, reproduced as
+//!   the analytic models of Section 10.1 / Table 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drange;
+pub mod low_throughput;
+pub mod talukder;
+
+pub use drange::DRange;
+pub use low_throughput::{LowThroughputTrng, LOW_THROUGHPUT_TRNGS};
+pub use talukder::Talukder;
+
+use serde::{Deserialize, Serialize};
+
+/// A row of Table 2 / a curve of Figure 13: one TRNG mechanism evaluated at
+/// one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrngComparison {
+    /// Mechanism name as it appears in Table 2.
+    pub name: String,
+    /// Entropy source description.
+    pub entropy_source: &'static str,
+    /// Per-channel throughput in Gb/s (multiply by channels for Table 2).
+    pub throughput_gbps_per_channel: f64,
+    /// Latency of producing one 256-bit random number, in nanoseconds.
+    pub latency_256bit_ns: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_dram_core::TransferRate;
+
+    #[test]
+    fn comparison_rows_are_constructible_for_all_mechanisms() {
+        let rate = TransferRate::ddr4_2400();
+        let rows = vec![
+            DRange::basic().comparison_row(rate),
+            DRange::enhanced_default().comparison_row(rate),
+            Talukder::basic().comparison_row(rate),
+            Talukder::enhanced_default().comparison_row(rate),
+        ];
+        for row in &rows {
+            assert!(row.throughput_gbps_per_channel > 0.0, "{}", row.name);
+            assert!(row.latency_256bit_ns > 0.0, "{}", row.name);
+        }
+        assert_eq!(LOW_THROUGHPUT_TRNGS.len(), 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Talukder+ (ICCE 2019): TRNG from reduced-tRP (precharge) failures.
+
+use crate::TrngComparison;
+use qt_crypto::Sha256HardwareCost;
+use qt_dram_analog::failures::FailureModel;
+use qt_dram_core::{DramGeometry, RowAddr, TimingParams, TransferRate, RANDOM_NUMBER_BITS};
+use serde::{Deserialize, Serialize};
+
+/// Throughput/latency model of Talukder+'s precharge-failure TRNG.
+///
+/// The mechanism induces precharge-latency failures on whole rows, reads the
+/// rows out, and hashes them. Reading whole rows makes it data-bus bound, so
+/// (like QUAC-TRNG) it scales with transfer rate (Figure 13) — but each row
+/// carries far less entropy than a QUAC segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Talukder {
+    /// Useful random bits harvested per row read.
+    pub bits_per_row: f64,
+    /// Whether the harvested bits already passed SHA-256 (Enhanced) or are
+    /// raw random cells (Basic).
+    pub post_processed: bool,
+    /// Banks accessed in parallel.
+    pub banks: usize,
+}
+
+impl Talukder {
+    /// Talukder+-Basic: the authors report 130.6 random cells per row, and
+    /// three rows must be read per 256-bit number.
+    pub fn basic() -> Self {
+        Talukder { bits_per_row: 256.0 / 3.0, post_processed: false, banks: 4 }
+    }
+
+    /// Talukder+-Enhanced: the Section 7.4.2 characterisation harvests
+    /// ≈ 1023.64 bits of entropy per high-entropy row (3 SHA input blocks).
+    pub fn enhanced_default() -> Self {
+        Talukder { bits_per_row: 3.0 * RANDOM_NUMBER_BITS as f64, post_processed: true, banks: 4 }
+    }
+
+    /// Talukder+-Enhanced with the row entropy characterised on a simulated
+    /// module: the maximum row entropy under a deeply reduced tRP, rounded
+    /// down to whole SHA input blocks.
+    pub fn enhanced_from_characterisation(failures: &FailureModel, geom: &DramGeometry) -> Self {
+        let mut best = 0.0f64;
+        for row in (0..geom.rows_per_bank().min(4096)).step_by(512) {
+            best = best.max(failures.trp_row_entropy(RowAddr::new(row), 0.2, 64));
+        }
+        let blocks = (best / RANDOM_NUMBER_BITS as f64).floor().max(1.0);
+        Talukder { bits_per_row: blocks * RANDOM_NUMBER_BITS as f64, post_processed: true, banks: 4 }
+    }
+
+    /// Time to process one row: induce the failure (a row cycle), read the
+    /// full row over the bus, and re-initialise it with an in-DRAM copy.
+    /// With bank-group parallelism the data bus is the bottleneck.
+    fn row_interval_ns(&self, timing: &TimingParams, rate: TransferRate, geom: &DramGeometry) -> f64 {
+        let read_bus = geom.cache_blocks_per_row() as f64 * timing.burst_ns(rate);
+        let per_bank_core = 2.0 * timing.t_rc + geom.cache_blocks_per_row() as f64 * timing.t_ccd_l.max(timing.burst_ns(rate));
+        // `banks` rows are processed while the bus serializes their reads.
+        read_bus.max(per_bank_core / self.banks as f64)
+    }
+
+    /// Per-channel throughput in Gb/s.
+    pub fn throughput_gbps_per_channel(&self, rate: TransferRate) -> f64 {
+        let geom = DramGeometry::ddr4_4gb_x8_module();
+        let timing = TimingParams::for_speed_grade(qt_dram_core::SpeedGrade::Projected(rate.mts()));
+        self.bits_per_row / self.row_interval_ns(&timing, rate, &geom)
+    }
+
+    /// Latency of one 256-bit random number, in nanoseconds.
+    pub fn latency_256bit_ns(&self, rate: TransferRate) -> f64 {
+        let geom = DramGeometry::ddr4_4gb_x8_module();
+        let timing = TimingParams::for_speed_grade(qt_dram_core::SpeedGrade::Projected(rate.mts()));
+        let rows_needed = (RANDOM_NUMBER_BITS as f64 / self.bits_per_row).ceil().max(1.0);
+        // Only the cache blocks holding the needed entropy must be read for
+        // the first number.
+        let blocks_needed =
+            (geom.cache_blocks_per_row() as f64 / (self.bits_per_row / RANDOM_NUMBER_BITS as f64).max(1.0)).ceil();
+        let read = blocks_needed * timing.t_ccd_l.max(timing.burst_ns(rate)) + timing.t_cl;
+        let sha = Sha256HardwareCost::paper_reference().latency_ns();
+        rows_needed * (timing.t_rp * 0.3 + timing.t_rcd) + read + sha
+    }
+
+    /// The Table 2 row for this configuration at the given rate (per
+    /// channel).
+    pub fn comparison_row(&self, rate: TransferRate) -> TrngComparison {
+        TrngComparison {
+            name: if self.post_processed { "Talukder+-Enhanced".into() } else { "Talukder+-Basic".into() },
+            entropy_source: "Precharge (tRP) failure",
+            throughput_gbps_per_channel: self.throughput_gbps_per_channel(rate),
+            latency_256bit_ns: self.latency_256bit_ns(rate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_dram_analog::ModuleVariation;
+
+    #[test]
+    fn basic_and_enhanced_magnitudes_match_section_7_4_2() {
+        let rate = TransferRate::ddr4_2400();
+        let basic_4ch = 4.0 * Talukder::basic().throughput_gbps_per_channel(rate);
+        let enhanced_4ch = 4.0 * Talukder::enhanced_default().throughput_gbps_per_channel(rate);
+        // Paper: 0.68 Gb/s and 6.13 Gb/s on the four-channel system.
+        assert!(basic_4ch > 0.4 && basic_4ch < 1.3, "basic {basic_4ch}");
+        assert!(enhanced_4ch > 4.0 && enhanced_4ch < 9.0, "enhanced {enhanced_4ch}");
+    }
+
+    #[test]
+    fn throughput_scales_with_transfer_rate() {
+        let t = Talukder::enhanced_default();
+        let slow = t.throughput_gbps_per_channel(TransferRate::ddr4_2400());
+        let fast = t.throughput_gbps_per_channel(TransferRate::from_mts(12_000).unwrap());
+        // Bandwidth-bound: large gains from a faster bus (Figure 13).
+        assert!(fast > 2.0 * slow, "slow {slow} fast {fast}");
+    }
+
+    #[test]
+    fn latency_is_a_couple_hundred_ns() {
+        let rate = TransferRate::ddr4_2400();
+        let basic = Talukder::basic().latency_256bit_ns(rate);
+        let enhanced = Talukder::enhanced_default().latency_256bit_ns(rate);
+        // Paper: 249 ns (basic) and 201 ns (enhanced).
+        assert!(basic > 120.0 && basic < 900.0, "basic {basic}");
+        assert!(enhanced > 80.0 && enhanced < 400.0, "enhanced {enhanced}");
+        assert!(enhanced < basic);
+    }
+
+    #[test]
+    fn characterised_variant_harvests_whole_sha_blocks() {
+        let geom = DramGeometry::ddr4_4gb_x8_module();
+        let failures = FailureModel::new(ModuleVariation::generate(&geom, 55));
+        let t = Talukder::enhanced_from_characterisation(&failures, &geom);
+        assert!(t.bits_per_row >= 256.0);
+        assert_eq!(t.bits_per_row as usize % 256, 0);
+    }
+}

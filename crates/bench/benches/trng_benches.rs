@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the performance-critical software paths:
+//! SHA-256 and Von Neumann post-processing, one QUAC-TRNG iteration, the
+//! analog entropy model, the NIST test battery, and the cycle-level memory
+//! system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qt_crypto::{Sha256, VonNeumannCorrector};
+use qt_dram_analog::{ModuleVariation, OperatingConditions, QuacAnalogModel};
+use qt_dram_core::{BitVec, DataPattern, DramGeometry, Segment};
+use qt_memctrl::system::{MemorySystem, MemorySystemConfig};
+use qt_nist_sts::run_all_tests;
+use qt_workloads::{TraceGenerator, SPEC2006_WORKLOADS};
+use quac_trng::characterize::CharacterizationConfig;
+use quac_trng::pipeline::QuacTrng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xA5u8; 4096];
+    c.bench_function("sha256_4KiB", |b| b.iter(|| Sha256::digest(std::hint::black_box(&data))));
+}
+
+fn bench_vnc(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let bits = BitVec::from_bits((0..65_536).map(|_| rng.gen::<f64>() < 0.8));
+    c.bench_function("von_neumann_64Kb", |b| {
+        b.iter(|| VonNeumannCorrector::correct(std::hint::black_box(&bits)))
+    });
+}
+
+fn bench_quac_iteration(c: &mut Criterion) {
+    let geom = DramGeometry::tiny_test();
+    let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 3));
+    let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+    let mut trng = QuacTrng::from_model(model, cfg, 9);
+    c.bench_function("quac_trng_iteration_tiny_module", |b| b.iter(|| trng.iteration()));
+}
+
+fn bench_segment_entropy(c: &mut Criterion) {
+    let geom = DramGeometry::ddr4_4gb_x8_module();
+    let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 3));
+    c.bench_function("segment_entropy_64k_bitlines", |b| {
+        b.iter(|| {
+            model.segment_entropy(
+                std::hint::black_box(Segment::new(100)),
+                DataPattern::best_average(),
+                OperatingConditions::nominal(),
+                16,
+            )
+        })
+    });
+}
+
+fn bench_nist_suite(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let bits = BitVec::from_bits((0..50_000).map(|_| rng.gen::<bool>()));
+    c.bench_function("nist_sts_50kb", |b| b.iter(|| run_all_tests(std::hint::black_box(&bits))));
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    let cfg = MemorySystemConfig::paper_system();
+    let trace = TraceGenerator::new(SPEC2006_WORKLOADS[2].clone(), cfg.geom, 4).generate_for_cycles(100_000);
+    c.bench_function("memory_system_mcf_100k_cycles", |b| {
+        b.iter(|| MemorySystem::new(cfg).run_trace(std::hint::black_box(&trace), 100_000))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sha256, bench_vnc, bench_quac_iteration, bench_segment_entropy,
+              bench_nist_suite, bench_memory_system
+}
+criterion_main!(benches);

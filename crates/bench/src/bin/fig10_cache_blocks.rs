@@ -1,0 +1,4 @@
+//! Reproduces Figure 10 (cache-block entropy within the best segment) of the QUAC-TRNG paper. Set QUAC_FULL=1 for denser sweeps.
+fn main() {
+    let _ = qt_bench::figure10();
+}

@@ -1,0 +1,4 @@
+//! Reproduces Figure 12 (TRNG throughput in idle DRAM cycles under SPEC2006) of the QUAC-TRNG paper. Set QUAC_FULL=1 for denser sweeps.
+fn main() {
+    let _ = qt_bench::figure12();
+}

@@ -1,0 +1,4 @@
+//! Reproduces Figure 13 (throughput vs DDR4 transfer rate) of the QUAC-TRNG paper. Set QUAC_FULL=1 for denser sweeps.
+fn main() {
+    let _ = qt_bench::figure13();
+}

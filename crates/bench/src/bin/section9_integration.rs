@@ -1,0 +1,4 @@
+//! Reproduces Section 9 (system integration costs) of the QUAC-TRNG paper. Set QUAC_FULL=1 for denser sweeps.
+fn main() {
+    let _ = qt_bench::section9();
+}

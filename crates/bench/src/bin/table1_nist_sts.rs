@@ -1,0 +1,4 @@
+//! Reproduces Table 1 and the Section 7.1 NIST STS experiment of the QUAC-TRNG paper. Set QUAC_FULL=1 for denser sweeps.
+fn main() {
+    let _ = qt_bench::table1(if qt_bench::full_resolution() { 1_000_000 } else { 200_000 });
+}

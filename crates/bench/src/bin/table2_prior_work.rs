@@ -1,0 +1,4 @@
+//! Reproduces Table 2 (comparison with prior DRAM-based TRNGs) of the QUAC-TRNG paper. Set QUAC_FULL=1 for denser sweeps.
+fn main() {
+    let _ = qt_bench::table2();
+}

@@ -1,0 +1,4 @@
+//! Reproduces Table 3 (module population and 30-day stability) of the QUAC-TRNG paper. Set QUAC_FULL=1 for denser sweeps.
+fn main() {
+    let _ = qt_bench::table3();
+}

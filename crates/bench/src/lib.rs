@@ -1,0 +1,371 @@
+//! # qt-bench
+//!
+//! Reproduction harness: one function (and one binary) per table and figure
+//! of the paper's evaluation, plus Criterion micro-benchmarks of the
+//! performance-critical software paths.
+//!
+//! Each `fig*`/`table*` function prints the same rows or series the paper
+//! reports and returns them as data so integration tests can assert on the
+//! shapes. By default the harnesses run on a *sampled* characterisation
+//! (subset of segments / strided bitlines) so every binary finishes in
+//! seconds; set `QUAC_FULL=1` for denser sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use qt_baselines::{DRange, Talukder, LOW_THROUGHPUT_TRNGS};
+use qt_dram_analog::{OperatingConditions, PAPER_MODULES};
+use qt_dram_core::{DataPattern, DramGeometry, TransferRate};
+use qt_memctrl::system::{idle_injection_throughput_gbps, MemorySystem, MemorySystemConfig};
+use qt_nist_sts::{run_all_tests, Significance};
+use qt_workloads::{TraceGenerator, SPEC2006_WORKLOADS};
+use quac_trng::characterize::{characterize_module, chip_temperature_study, pattern_sweep, CharacterizationConfig};
+use quac_trng::integration::integration_costs;
+use quac_trng::pipeline::QuacTrng;
+use quac_trng::throughput::ThroughputModel;
+
+/// Returns `true` when the user asked for the dense (slow) sweeps.
+pub fn full_resolution() -> bool {
+    std::env::var("QUAC_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+fn sweep_config() -> CharacterizationConfig {
+    if full_resolution() {
+        CharacterizationConfig { segment_stride: 16, bitline_stride: 8, conditions: OperatingConditions::nominal() }
+    } else {
+        CharacterizationConfig { segment_stride: 512, bitline_stride: 64, conditions: OperatingConditions::nominal() }
+    }
+}
+
+fn module_subset() -> &'static [qt_dram_analog::ModuleProfile] {
+    if full_resolution() {
+        PAPER_MODULES
+    } else {
+        &PAPER_MODULES[..4]
+    }
+}
+
+/// Figure 8: average and maximum cache-block entropy per data pattern,
+/// averaged over the module population. Returns `(pattern, avg, max)` rows.
+pub fn figure08() -> Vec<(String, f64, f64)> {
+    let cfg = sweep_config();
+    let patterns = DataPattern::figure8_patterns();
+    let mut rows: Vec<(String, f64, f64)> = patterns.iter().map(|p| (p.to_string(), 0.0, 0.0f64)).collect();
+    let modules = module_subset();
+    for module in modules {
+        let model = module.analog_model();
+        for (i, stats) in pattern_sweep(&model, &patterns, &cfg).iter().enumerate() {
+            rows[i].1 += stats.avg_cache_block_entropy / modules.len() as f64;
+            rows[i].2 = rows[i].2.max(stats.max_cache_block_entropy);
+        }
+    }
+    println!("# Figure 8: cache-block entropy per data pattern (bits)");
+    println!("{:<10}{:>12}{:>12}", "pattern", "avg CB", "max CB");
+    for (p, avg, max) in &rows {
+        println!("{p:<10}{avg:>12.2}{max:>12.2}");
+    }
+    rows
+}
+
+/// Figure 9: segment entropy across the bank for each module in the subset.
+/// Returns `(module, Vec<(segment, entropy)>)`.
+pub fn figure09() -> Vec<(String, Vec<(usize, f64)>)> {
+    let cfg = sweep_config();
+    let mut out = Vec::new();
+    println!("# Figure 9: segment entropy across the bank (pattern 0111)");
+    for module in module_subset() {
+        let model = module.analog_model();
+        let ch = characterize_module(&model, DataPattern::best_average(), &cfg);
+        let avg = ch.average_segment_entropy();
+        println!(
+            "{:<5} segments={:<6} avg={:8.1}  max={:8.1} (best segment {})",
+            module.name,
+            ch.segment_entropy.len(),
+            avg,
+            ch.best_segment_entropy,
+            ch.best_segment.index()
+        );
+        out.push((module.name.to_string(), ch.segment_entropy));
+    }
+    out
+}
+
+/// Figure 10: per-cache-block entropy of the highest-entropy segment,
+/// averaged over the module subset. Returns one value per cache block.
+pub fn figure10() -> Vec<f64> {
+    let cfg = sweep_config();
+    let modules = module_subset();
+    let blocks = DramGeometry::ddr4_4gb_x8_module().cache_blocks_per_row();
+    let mut avg = vec![0.0f64; blocks];
+    for module in modules {
+        let model = module.analog_model();
+        let ch = characterize_module(&model, DataPattern::best_average(), &cfg);
+        for (i, e) in ch.best_segment_cache_blocks.iter().enumerate() {
+            avg[i] += e / modules.len() as f64;
+        }
+    }
+    println!("# Figure 10: cache-block entropy within the best segment (bits)");
+    for (i, e) in avg.iter().enumerate() {
+        if i % 8 == 0 {
+            println!("CB {i:>3}: {e:7.2}");
+        }
+    }
+    avg
+}
+
+/// Table 1: NIST STS p-values for a VNC-corrected raw stream and a SHA-256
+/// post-processed stream. Returns `(test name, vnc p, sha p)` rows.
+pub fn table1(stream_bits: usize) -> Vec<(String, f64, f64)> {
+    let mut trng = QuacTrng::for_module(&PAPER_MODULES[0], 0xA11CE);
+    let sha_bits = trng.generate_bits(stream_bits);
+    let vnc_bits = trng.generate_vnc_bits(stream_bits * 4);
+    let sha_results = run_all_tests(&sha_bits);
+    let vnc_results = run_all_tests(&vnc_bits);
+    println!("# Table 1: NIST STS results (alpha = 0.001)");
+    println!("{:<36}{:>10}{:>10}", "test", "VNC", "SHA-256");
+    let mut rows = Vec::new();
+    for (v, s) in vnc_results.iter().zip(&sha_results) {
+        println!("{:<36}{:>10.3}{:>10.3}", s.name, v.p_value, s.p_value);
+        assert!(s.passes(Significance::PAPER), "SHA-256 stream failed {}", s.name);
+        rows.push((s.name.to_string(), v.p_value, s.p_value));
+    }
+    rows
+}
+
+/// Figure 11: per-channel throughput of the three configurations, averaged
+/// over the module population (using each module's Table 3 maximum segment
+/// entropy). Returns `(config, avg, max, min)` in Gb/s.
+pub fn figure11() -> Vec<(String, f64, f64, f64)> {
+    let names = ["One Bank", "BGP", "RC + BGP"];
+    let mut agg = vec![(0.0f64, f64::MIN, f64::MAX); 3];
+    for module in PAPER_MODULES {
+        let model = ThroughputModel::new(module.geometry(), module.table3_max_segment_entropy);
+        for (i, cfg) in model.figure11().iter().enumerate() {
+            agg[i].0 += cfg.throughput_gbps / PAPER_MODULES.len() as f64;
+            agg[i].1 = agg[i].1.max(cfg.throughput_gbps);
+            agg[i].2 = agg[i].2.min(cfg.throughput_gbps);
+        }
+    }
+    println!("# Figure 11: QUAC-TRNG throughput per configuration (Gb/s per channel)");
+    println!("{:<12}{:>10}{:>10}{:>10}", "config", "avg", "max", "min");
+    let mut rows = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        println!("{:<12}{:>10.2}{:>10.2}{:>10.2}", name, agg[i].0, agg[i].1, agg[i].2);
+        rows.push((name.to_string(), agg[i].0, agg[i].1, agg[i].2));
+    }
+    rows
+}
+
+/// Figure 12: TRNG throughput available in idle DRAM cycles for each
+/// SPEC2006 workload on the 4-channel system. Returns `(workload, Gb/s)`.
+pub fn figure12() -> Vec<(String, f64)> {
+    let cfg = MemorySystemConfig::paper_system();
+    let cycles: u64 = if full_resolution() { 2_000_000 } else { 400_000 };
+    let peak_per_channel = ThroughputModel::new(
+        DramGeometry::ddr4_4gb_x8_module(),
+        qt_dram_analog::profiles::average_of_max_segment_entropy(),
+    )
+    .scaled_throughput_gbps(TransferRate::ddr4_2400());
+    println!("# Figure 12: TRNG throughput in idle DRAM cycles (4 channels, Gb/s)");
+    let mut rows = Vec::new();
+    let mut sum = 0.0;
+    for w in SPEC2006_WORKLOADS {
+        let trace = TraceGenerator::new(w.clone(), cfg.geom, 0xF16).generate_for_cycles(cycles);
+        let report = MemorySystem::new(cfg).run_trace(&trace, cycles);
+        let tp = 4.0 * idle_injection_throughput_gbps(&report, peak_per_channel, 0.95);
+        println!("{:<12}{:>8.2}", w.name, tp);
+        sum += tp;
+        rows.push((w.name.to_string(), tp));
+    }
+    println!("{:<12}{:>8.2}", "Average", sum / SPEC2006_WORKLOADS.len() as f64);
+    rows
+}
+
+/// Table 2: throughput and 256-bit latency of QUAC-TRNG and all prior DRAM
+/// TRNGs on the 4-channel system. Returns `(name, Gb/s, ns)` rows.
+pub fn table2() -> Vec<(String, f64, f64)> {
+    let rate = TransferRate::ddr4_2400();
+    let quac = ThroughputModel::new(
+        DramGeometry::ddr4_4gb_x8_module(),
+        qt_dram_analog::profiles::average_of_max_segment_entropy(),
+    );
+    let mut rows = vec![(
+        "QUAC-TRNG".to_string(),
+        quac.system_throughput_gbps(4, rate),
+        quac.random_number_latency_ns(rate),
+    )];
+    for cmp in [
+        Talukder::basic().comparison_row(rate),
+        Talukder::enhanced_default().comparison_row(rate),
+        DRange::basic().comparison_row(rate),
+        DRange::enhanced_default().comparison_row(rate),
+    ] {
+        rows.push((cmp.name, 4.0 * cmp.throughput_gbps_per_channel, cmp.latency_256bit_ns));
+    }
+    for low in LOW_THROUGHPUT_TRNGS {
+        let r = low.comparison_row();
+        rows.push((r.name, 4.0 * r.throughput_gbps_per_channel, r.latency_256bit_ns));
+    }
+    println!("# Table 2: DRAM-based TRNG comparison (4-channel system)");
+    println!("{:<22}{:>16}{:>18}", "mechanism", "throughput Gb/s", "256-bit latency ns");
+    for (name, tp, lat) in &rows {
+        println!("{name:<22}{tp:>16.3}{lat:>18.1}");
+    }
+    rows
+}
+
+/// Figure 13: throughput vs. DDR4 transfer rate for QUAC-TRNG and the four
+/// baseline configurations (4-channel totals). Returns
+/// `(mechanism, Vec<(MT/s, Gb/s)>)`.
+pub fn figure13() -> Vec<(String, Vec<(u32, f64)>)> {
+    let quac = ThroughputModel::new(
+        DramGeometry::ddr4_4gb_x8_module(),
+        qt_dram_analog::profiles::average_of_max_segment_entropy(),
+    );
+    let rates = TransferRate::figure13_sweep();
+    let mut series: Vec<(String, Vec<(u32, f64)>)> = vec![
+        ("QUAC-TRNG".into(), vec![]),
+        ("Talukder+-Enhanced".into(), vec![]),
+        ("D-RaNGe-Enhanced".into(), vec![]),
+        ("Talukder+-Basic".into(), vec![]),
+        ("D-RaNGe-Basic".into(), vec![]),
+    ];
+    for &rate in &rates {
+        series[0].1.push((rate.mts(), quac.system_throughput_gbps(4, rate)));
+        series[1].1.push((rate.mts(), 4.0 * Talukder::enhanced_default().throughput_gbps_per_channel(rate)));
+        series[2].1.push((rate.mts(), 4.0 * DRange::enhanced_default().throughput_gbps_per_channel(rate)));
+        series[3].1.push((rate.mts(), 4.0 * Talukder::basic().throughput_gbps_per_channel(rate)));
+        series[4].1.push((rate.mts(), 4.0 * DRange::basic().throughput_gbps_per_channel(rate)));
+    }
+    println!("# Figure 13: throughput vs transfer rate (4 channels, Gb/s)");
+    print!("{:<22}", "mechanism");
+    for r in &rates {
+        print!("{:>10}", r.mts());
+    }
+    println!();
+    for (name, points) in &series {
+        print!("{name:<22}");
+        for (_, tp) in points {
+            print!("{tp:>10.2}");
+        }
+        println!();
+    }
+    series
+}
+
+/// Figure 14: maximum and average segment entropy at 50/65/85 °C for trend-1
+/// and trend-2 chips. Returns `(trend, temperature, max, avg)` rows.
+pub fn figure14() -> Vec<(&'static str, f64, f64, f64)> {
+    let cfg = CharacterizationConfig {
+        segment_stride: if full_resolution() { 64 } else { 1024 },
+        bitline_stride: 64,
+        conditions: OperatingConditions::nominal(),
+    };
+    let modules = &PAPER_MODULES[..5];
+    let mut rows = Vec::new();
+    println!("# Figure 14: segment entropy vs temperature (per chip, bits)");
+    for &temp in &OperatingConditions::figure14_temperatures() {
+        let mut trend = [(0.0f64, 0.0f64, 0usize); 2];
+        for module in modules {
+            let model = module.analog_model();
+            for chip in 0..model.variation().chip_count() {
+                let idx = if model.variation().chip_follows_trend1(chip) { 0 } else { 1 };
+                let (max, avg) = chip_temperature_study(&model, chip, DataPattern::best_average(), temp, &cfg);
+                trend[idx].0 = trend[idx].0.max(max);
+                trend[idx].1 += avg;
+                trend[idx].2 += 1;
+            }
+        }
+        for (i, name) in ["Trend 1", "Trend 2"].iter().enumerate() {
+            let avg = trend[i].1 / trend[i].2.max(1) as f64;
+            println!("{name} @ {temp:>4.0} C: max={:8.1} avg={avg:8.1}", trend[i].0);
+            rows.push((*name, temp, trend[i].0, avg));
+        }
+    }
+    rows
+}
+
+/// Table 3: per-module average and maximum segment entropy (simulated) next
+/// to the paper's values, plus the 30-day re-characterisation. Returns
+/// `(module, sim avg, sim max, paper avg, paper max, sim avg after 30 days)`.
+pub fn table3() -> Vec<(String, f64, f64, f64, f64, Option<f64>)> {
+    let cfg = sweep_config();
+    let mut rows = Vec::new();
+    println!("# Table 3: module population (segment entropy, bits)");
+    println!(
+        "{:<5}{:>10}{:>10}{:>12}{:>12}{:>14}",
+        "mod", "sim avg", "sim max", "paper avg", "paper max", "sim avg +30d"
+    );
+    for module in module_subset() {
+        let model = module.analog_model();
+        let ch = characterize_module(&model, DataPattern::best_average(), &cfg);
+        let aged_cfg = cfg.with_conditions(OperatingConditions::nominal().aged(30.0));
+        let aged = characterize_module(&model, DataPattern::best_average(), &aged_cfg);
+        let aged_avg = module.table3_avg_after_30_days.map(|_| aged.average_segment_entropy());
+        println!(
+            "{:<5}{:>10.1}{:>10.1}{:>12.1}{:>12.1}{:>14}",
+            module.name,
+            ch.average_segment_entropy(),
+            ch.best_segment_entropy,
+            module.table3_avg_segment_entropy,
+            module.table3_max_segment_entropy,
+            aged_avg.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into()),
+        );
+        rows.push((
+            module.name.to_string(),
+            ch.average_segment_entropy(),
+            ch.best_segment_entropy,
+            module.table3_avg_segment_entropy,
+            module.table3_max_segment_entropy,
+            aged_avg,
+        ));
+    }
+    rows
+}
+
+/// Section 9: integration cost summary. Returns the cost structure after
+/// printing it.
+pub fn section9() -> quac_trng::integration::IntegrationCosts {
+    let costs = integration_costs(&DramGeometry::ddr4_8gb_x8_module());
+    println!("# Section 9: system integration costs");
+    println!("reserved DRAM:        {} KiB ({:.4} % of module)", costs.reserved_bytes / 1024, costs.reserved_fraction * 100.0);
+    println!("controller storage:   {} bits", costs.controller_storage_bits);
+    println!("controller area:      {:.4} mm^2 ({:.3} % of a 7 nm CPU die)", costs.controller_area_mm2, costs.cpu_area_fraction * 100.0);
+    costs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure11_and_table2_shapes_hold() {
+        let fig11 = figure11();
+        assert!(fig11[2].1 > fig11[1].1 && fig11[1].1 > fig11[0].1);
+        let table2 = table2();
+        let quac = table2.iter().find(|r| r.0 == "QUAC-TRNG").unwrap().1;
+        for (name, tp, _) in &table2 {
+            if name != "QUAC-TRNG" {
+                assert!(quac > *tp, "QUAC ({quac}) should beat {name} ({tp})");
+            }
+        }
+    }
+
+    #[test]
+    fn figure13_quac_scales_and_wins_at_12gts() {
+        let series = figure13();
+        let quac = &series[0].1;
+        assert!(quac.last().unwrap().1 > 2.5 * quac.first().unwrap().1);
+        let talukder_enh = &series[1].1;
+        let drange_enh = &series[2].1;
+        let last = quac.len() - 1;
+        assert!(quac[last].1 > talukder_enh[last].1);
+        assert!(quac[last].1 > drange_enh[last].1);
+    }
+
+    #[test]
+    fn section9_costs_match_paper() {
+        let c = section9();
+        assert_eq!(c.reserved_bytes, 192 * 1024);
+    }
+}

@@ -1,0 +1,87 @@
+//! Hardware cost model for the memory-controller SHA-256 core.
+//!
+//! The paper accounts for the SHA-256 post-processing hardware using numbers
+//! reported by Baldanzi et al. (Section 9): 65 clock cycles of latency at
+//! 5.15 GHz, 19.7 Gb/s of throughput, and 0.001 mm² in a 7 nm node.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost model of a hardware SHA-256 core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sha256HardwareCost {
+    /// Pipeline latency of one digest, in clock cycles.
+    pub latency_cycles: u32,
+    /// Core clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Sustained throughput in Gb/s.
+    pub throughput_gbps: f64,
+    /// Area in mm² at the stated process node.
+    pub area_mm2: f64,
+    /// Process node in nanometres.
+    pub process_nm: u32,
+}
+
+impl Sha256HardwareCost {
+    /// The cost point the paper uses (Baldanzi et al., 7 nm).
+    pub fn paper_reference() -> Self {
+        Sha256HardwareCost {
+            latency_cycles: 65,
+            clock_ghz: 5.15,
+            throughput_gbps: 19.7,
+            area_mm2: 0.001,
+            process_nm: 7,
+        }
+    }
+
+    /// Latency of one digest in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_cycles as f64 / self.clock_ghz
+    }
+
+    /// Time to hash `bits` of input at the sustained throughput, in
+    /// nanoseconds (lower-bounded by one digest latency).
+    pub fn hash_time_ns(&self, bits: u64) -> f64 {
+        let streaming = bits as f64 / self.throughput_gbps;
+        streaming.max(self.latency_ns())
+    }
+
+    /// Returns `true` if this core can keep up with a random-number source of
+    /// the given throughput (Gb/s) without becoming the bottleneck.
+    pub fn sustains_gbps(&self, source_gbps: f64) -> bool {
+        self.throughput_gbps >= source_gbps
+    }
+}
+
+impl Default for Sha256HardwareCost {
+    fn default() -> Self {
+        Self::paper_reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reference_latency_is_about_12_6_ns() {
+        let c = Sha256HardwareCost::paper_reference();
+        assert!((c.latency_ns() - 12.62).abs() < 0.05);
+    }
+
+    #[test]
+    fn hash_time_is_latency_bound_for_small_inputs() {
+        let c = Sha256HardwareCost::paper_reference();
+        assert_eq!(c.hash_time_ns(64), c.latency_ns());
+        // Larger inputs become throughput bound.
+        assert!(c.hash_time_ns(256) >= c.latency_ns());
+        assert!(c.hash_time_ns(1_000_000) > c.latency_ns());
+    }
+
+    #[test]
+    fn core_sustains_single_channel_quac_rate() {
+        let c = Sha256HardwareCost::paper_reference();
+        // 5.41 Gb/s is the maximum per-channel rate in Figure 11.
+        assert!(c.sustains_gbps(5.41));
+        assert!(!c.sustains_gbps(50.0));
+    }
+}

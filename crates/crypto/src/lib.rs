@@ -1,0 +1,33 @@
+//! # qt-crypto
+//!
+//! Post-processing primitives for DRAM-based TRNGs: a from-scratch FIPS 180-4
+//! SHA-256 implementation, the Von Neumann corrector, and a hardware cost
+//! model for the memory-controller SHA-256 core assumed by the paper
+//! (Section 9).
+//!
+//! ## Example
+//!
+//! ```
+//! use qt_crypto::{Sha256, VonNeumannCorrector};
+//! use qt_dram_core::BitVec;
+//!
+//! // SHA-256 of the empty message (FIPS 180-4 test vector).
+//! let digest = Sha256::digest(b"");
+//! assert_eq!(digest[0], 0xe3);
+//!
+//! // The paper's VNC example: "0010" post-processes to "0".
+//! let out = VonNeumannCorrector::correct(&BitVec::from_bit_str("0010").unwrap());
+//! assert_eq!(out.len(), 1);
+//! assert!(!out.get(0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod sha256;
+pub mod vnc;
+
+pub use cost::Sha256HardwareCost;
+pub use sha256::{Sha256, Sha256Digest, DIGEST_BITS};
+pub use vnc::VonNeumannCorrector;

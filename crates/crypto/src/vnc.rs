@@ -1,0 +1,108 @@
+//! The Von Neumann corrector (von Neumann, 1951), used by the paper to
+//! de-bias raw sense-amplifier bitstreams before NIST testing (Section 6.2).
+
+use qt_dram_core::BitVec;
+
+/// Von Neumann corrector: examines non-overlapping bit pairs, discards equal
+/// pairs, and emits one bit per unequal pair.
+///
+/// The paper's convention (Section 6.2): a `01` transition emits `1`, a `10`
+/// transition emits `0`, and equal pairs are dropped — e.g. `"0010"` becomes
+/// `"0"`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VonNeumannCorrector;
+
+impl VonNeumannCorrector {
+    /// Applies the corrector to a bitstream and returns the (shorter)
+    /// de-biased stream.
+    pub fn correct(bits: &BitVec) -> BitVec {
+        let mut out = BitVec::zeros(0);
+        let mut i = 0;
+        while i + 1 < bits.len() {
+            let first = bits.get(i);
+            let second = bits.get(i + 1);
+            if first != second {
+                // 0 then 1 -> emit 1; 1 then 0 -> emit 0.
+                out.push(!first);
+            }
+            i += 2;
+        }
+        out
+    }
+
+    /// Expected output/input length ratio for an i.i.d. Bernoulli(p) input:
+    /// `p(1-p)` (each pair survives with probability `2p(1-p)` and yields one
+    /// bit from two).
+    pub fn expected_yield(p_one: f64) -> f64 {
+        p_one * (1.0 - p_one)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn paper_example() {
+        // "0010": pair "00" dropped, pair "10" -> 0.
+        let out = VonNeumannCorrector::correct(&BitVec::from_bit_str("0010").unwrap());
+        assert_eq!(out.len(), 1);
+        assert!(!out.get(0));
+    }
+
+    #[test]
+    fn transitions_map_correctly() {
+        let out = VonNeumannCorrector::correct(&BitVec::from_bit_str("011000").unwrap());
+        // Pairs: "01" -> 1, "10" -> 0, "00" -> dropped.
+        assert_eq!(out, BitVec::from_bit_str("10").unwrap());
+    }
+
+    #[test]
+    fn constant_input_produces_nothing() {
+        assert!(VonNeumannCorrector::correct(&BitVec::ones(1000)).is_empty());
+        assert!(VonNeumannCorrector::correct(&BitVec::zeros(1000)).is_empty());
+    }
+
+    #[test]
+    fn odd_trailing_bit_is_ignored() {
+        let a = VonNeumannCorrector::correct(&BitVec::from_bit_str("0110").unwrap());
+        let b = VonNeumannCorrector::correct(&BitVec::from_bit_str("01101").unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrector_removes_bias() {
+        // A heavily biased Bernoulli(0.85) stream becomes balanced.
+        let mut rng = StdRng::seed_from_u64(3);
+        let biased = BitVec::from_bits((0..200_000).map(|_| rng.gen::<f64>() < 0.85));
+        let corrected = VonNeumannCorrector::correct(&biased);
+        assert!(!corrected.is_empty());
+        let frac = corrected.ones_fraction();
+        assert!((frac - 0.5).abs() < 0.02, "corrected ones fraction {frac}");
+        // Yield matches the analytic expectation.
+        let expected = VonNeumannCorrector::expected_yield(0.85);
+        let measured = corrected.len() as f64 / biased.len() as f64;
+        assert!((measured - expected).abs() < 0.02, "yield {measured} vs {expected}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_output_no_longer_than_half(bits in proptest::collection::vec(any::<bool>(), 0..500)) {
+            let input = BitVec::from_bits(bits);
+            let out = VonNeumannCorrector::correct(&input);
+            prop_assert!(out.len() <= input.len() / 2);
+        }
+
+        #[test]
+        fn prop_idempotent_on_empty_and_deterministic(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let input = BitVec::from_bits(bits);
+            prop_assert_eq!(
+                VonNeumannCorrector::correct(&input),
+                VonNeumannCorrector::correct(&input)
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Operating conditions under which DRAM is exercised.
+
+use serde::{Deserialize, Serialize};
+
+/// Environmental conditions for a characterisation run or TRNG operation.
+///
+/// The paper controls temperature with a closed-loop PID setup (±0.1 °C,
+/// default 50 °C, Section 6.1.1) and studies aging over a 30-day window
+/// (Section 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingConditions {
+    /// DRAM temperature in degrees Celsius.
+    pub temperature_c: f64,
+    /// Time since the initial characterisation, in days (models aging drift).
+    pub age_days: f64,
+}
+
+impl OperatingConditions {
+    /// The paper's default characterisation temperature (50 °C), zero aging.
+    pub fn nominal() -> Self {
+        OperatingConditions { temperature_c: 50.0, age_days: 0.0 }
+    }
+
+    /// Conditions at a given temperature, zero aging.
+    pub fn at_temperature(temperature_c: f64) -> Self {
+        OperatingConditions { temperature_c, age_days: 0.0 }
+    }
+
+    /// Returns a copy aged by the given number of days.
+    pub fn aged(mut self, days: f64) -> Self {
+        self.age_days = days;
+        self
+    }
+
+    /// The three temperatures studied in Figure 14.
+    pub fn figure14_temperatures() -> [f64; 3] {
+        [50.0, 65.0, 85.0]
+    }
+}
+
+impl Default for OperatingConditions {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_50c_day_zero() {
+        let c = OperatingConditions::nominal();
+        assert_eq!(c.temperature_c, 50.0);
+        assert_eq!(c.age_days, 0.0);
+        assert_eq!(OperatingConditions::default(), c);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = OperatingConditions::at_temperature(85.0).aged(30.0);
+        assert_eq!(c.temperature_c, 85.0);
+        assert_eq!(c.age_days, 30.0);
+    }
+
+    #[test]
+    fn figure14_sweep_matches_paper() {
+        assert_eq!(OperatingConditions::figure14_temperatures(), [50.0, 65.0, 85.0]);
+    }
+}

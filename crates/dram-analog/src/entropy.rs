@@ -1,0 +1,67 @@
+//! Shannon-entropy utilities (Equation 1 of the paper).
+
+use crate::math::binary_entropy_bits;
+use qt_dram_core::BitVec;
+
+/// Binary Shannon entropy of a Bernoulli(p) source, in bits.
+pub fn binary_entropy(p: f64) -> f64 {
+    binary_entropy_bits(p)
+}
+
+/// Entropy of a bitstream estimated from its empirical one-fraction — the
+/// estimator the paper applies to the 1000-trial bitstreams collected per
+/// sense amplifier (Section 6.1.2).
+pub fn bitstream_entropy(bits: &BitVec) -> f64 {
+    if bits.is_empty() {
+        return 0.0;
+    }
+    binary_entropy_bits(bits.ones_fraction())
+}
+
+/// Entropy from explicit zero/one counts.
+pub fn entropy_from_counts(zeros: u64, ones: u64) -> f64 {
+    let total = zeros + ones;
+    if total == 0 {
+        return 0.0;
+    }
+    binary_entropy_bits(ones as f64 / total as f64)
+}
+
+/// Sum of per-bitline entropies for a slice of probabilities (the paper's
+/// definition of cache-block and segment entropy: the sum of all constituent
+/// bitline entropies, Sections 6.1.3–6.1.4).
+pub fn total_entropy(probabilities: &[f64]) -> f64 {
+    probabilities.iter().map(|&p| binary_entropy_bits(p)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitstream_entropy_of_balanced_stream_is_one() {
+        let bits = BitVec::from_bits((0..1000).map(|i| i % 2 == 0));
+        assert!((bitstream_entropy(&bits) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bitstream_entropy_of_constant_stream_is_zero() {
+        assert_eq!(bitstream_entropy(&BitVec::ones(1000)), 0.0);
+        assert_eq!(bitstream_entropy(&BitVec::zeros(1000)), 0.0);
+        assert_eq!(bitstream_entropy(&BitVec::zeros(0)), 0.0);
+    }
+
+    #[test]
+    fn counts_and_fraction_agree() {
+        let bits = BitVec::from_bits((0..1000).map(|i| i % 4 == 0));
+        let from_counts = entropy_from_counts(750, 250);
+        assert!((bitstream_entropy(&bits) - from_counts).abs() < 1e-9);
+        assert_eq!(entropy_from_counts(0, 0), 0.0);
+    }
+
+    #[test]
+    fn total_entropy_sums_bitlines() {
+        let probs = [0.5, 0.5, 1.0, 0.0];
+        assert!((total_entropy(&probs) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,398 @@
+//! The QUAC metastability model: per-bitline probabilities, entropies, and
+//! sampled QUAC outcomes for one DRAM module.
+
+use crate::conditions::OperatingConditions;
+use crate::math::{binary_entropy_bits, std_normal_cdf};
+use crate::variation::ModuleVariation;
+use qt_dram_core::{BitVec, DataPattern, DramGeometry, Segment, CACHE_BLOCK_BITS};
+use rand::Rng;
+
+/// Electrical model of QUAC operations on one DRAM module.
+///
+/// The model answers one question: *given that all four rows of `segment`
+/// were initialised with `pattern` and a QUAC operation was performed under
+/// `conditions`, what is the probability that the sense amplifier on
+/// `bitline` resolves to logic-1?* Everything else (entropies, sampled
+/// bitstreams, characterisation maps) derives from that probability.
+#[derive(Debug, Clone)]
+pub struct QuacAnalogModel {
+    geom: DramGeometry,
+    variation: ModuleVariation,
+}
+
+impl QuacAnalogModel {
+    /// Creates a model for a module with the given geometry and variation
+    /// profile.
+    pub fn new(geom: DramGeometry, variation: ModuleVariation) -> Self {
+        QuacAnalogModel { geom, variation }
+    }
+
+    /// The module geometry.
+    pub fn geometry(&self) -> &DramGeometry {
+        &self.geom
+    }
+
+    /// The module's process-variation profile.
+    pub fn variation(&self) -> &ModuleVariation {
+        &self.variation
+    }
+
+    /// The signed charge-sharing imbalance of a pattern on a segment, in
+    /// units of one "late row" charge contribution: the first-activated row
+    /// contributes `first_row_weight(segment)`, the other three contribute
+    /// 1.0 each, with the sign given by the stored data (Section 5.1).
+    pub fn pattern_imbalance(&self, segment: Segment, pattern: DataPattern) -> f64 {
+        let w0 = self.variation.first_row_weight(segment);
+        let fills = pattern.fills();
+        let mut d = w0 * fills[0].charge_sign();
+        for fill in &fills[1..] {
+            d += fill.charge_sign();
+        }
+        // Design-induced variation: some segments keep the bitline metastable
+        // even under imbalanced patterns (Section 6.1.3).
+        if let Some(attenuation) = self.variation.favored_attenuation(segment, pattern) {
+            d *= attenuation;
+        }
+        d
+    }
+
+    /// The deterministic bias of a bitline (pattern imbalance converted to a
+    /// voltage plus sense-amplifier offset, cell offset and aging drift), in
+    /// noise-sigma units at nominal conditions.
+    pub fn bitline_bias(
+        &self,
+        segment: Segment,
+        bitline: usize,
+        pattern: DataPattern,
+        conditions: OperatingConditions,
+    ) -> f64 {
+        let params = self.variation.params();
+        let subarray = self.variation.subarray_of_segment(segment);
+        let pattern_term = self.pattern_imbalance(segment, pattern) * params.share_voltage;
+        pattern_term
+            + self.variation.sa_offset(subarray, bitline)
+            + self.variation.cell_offset(segment, bitline)
+            + self.variation.aging_drift(segment, bitline, conditions.age_days)
+    }
+
+    /// The effective thermal-noise scale for a bitline of a segment under the
+    /// given conditions (favored segments get an additional boost).
+    pub fn noise_scale(
+        &self,
+        segment: Segment,
+        bitline: usize,
+        pattern: DataPattern,
+        conditions: OperatingConditions,
+    ) -> f64 {
+        let mut scale = self.variation.noise_scale(segment, bitline, conditions.temperature_c);
+        if self.variation.favored_attenuation(segment, pattern).is_some() {
+            scale *= self.variation.params().favored_noise_boost;
+        }
+        scale
+    }
+
+    /// Probability that the sense amplifier on `bitline` resolves to logic-1
+    /// after a QUAC operation on `segment` initialised with `pattern`.
+    pub fn one_probability(
+        &self,
+        segment: Segment,
+        bitline: usize,
+        pattern: DataPattern,
+        conditions: OperatingConditions,
+    ) -> f64 {
+        let bias = self.bitline_bias(segment, bitline, pattern, conditions);
+        let noise = self.noise_scale(segment, bitline, pattern, conditions);
+        std_normal_cdf(bias / noise)
+    }
+
+    /// Shannon entropy of one bitline (Equation 1).
+    pub fn bitline_entropy(
+        &self,
+        segment: Segment,
+        bitline: usize,
+        pattern: DataPattern,
+        conditions: OperatingConditions,
+    ) -> f64 {
+        binary_entropy_bits(self.one_probability(segment, bitline, pattern, conditions))
+    }
+
+    /// Probabilities of logic-1 for every bitline of a segment row, in
+    /// bitline order.
+    pub fn bitline_probabilities(
+        &self,
+        segment: Segment,
+        pattern: DataPattern,
+        conditions: OperatingConditions,
+    ) -> Vec<f64> {
+        (0..self.geom.row_bits)
+            .map(|b| self.one_probability(segment, b, pattern, conditions))
+            .collect()
+    }
+
+    /// Entropy of one cache block: the sum of its 512 bitline entropies
+    /// (Section 6.1.3).
+    pub fn cache_block_entropy(
+        &self,
+        segment: Segment,
+        cache_block: usize,
+        pattern: DataPattern,
+        conditions: OperatingConditions,
+    ) -> f64 {
+        let start = cache_block * CACHE_BLOCK_BITS;
+        (start..start + CACHE_BLOCK_BITS)
+            .map(|b| self.bitline_entropy(segment, b, pattern, conditions))
+            .sum()
+    }
+
+    /// Entropy of every cache block of a segment, in cache-block order.
+    pub fn cache_block_entropies(
+        &self,
+        segment: Segment,
+        pattern: DataPattern,
+        conditions: OperatingConditions,
+    ) -> Vec<f64> {
+        (0..self.geom.cache_blocks_per_row())
+            .map(|cb| self.cache_block_entropy(segment, cb, pattern, conditions))
+            .collect()
+    }
+
+    /// Entropy of a whole segment: the sum of all bitline entropies
+    /// (Section 6.1.4). `bitline_stride` samples every n-th bitline and
+    /// scales the result, trading accuracy for speed during large
+    /// characterisation sweeps; use 1 for the exact value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitline_stride` is zero.
+    pub fn segment_entropy(
+        &self,
+        segment: Segment,
+        pattern: DataPattern,
+        conditions: OperatingConditions,
+        bitline_stride: usize,
+    ) -> f64 {
+        assert!(bitline_stride > 0, "bitline_stride must be non-zero");
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        let mut b = 0;
+        while b < self.geom.row_bits {
+            sum += self.bitline_entropy(segment, b, pattern, conditions);
+            count += 1;
+            b += bitline_stride;
+        }
+        sum * self.geom.row_bits as f64 / count as f64
+    }
+
+    /// Entropy contributed by the bitlines owned by one chip of the module
+    /// (used by the per-chip temperature study of Figure 14).
+    pub fn chip_segment_entropy(
+        &self,
+        segment: Segment,
+        chip: usize,
+        pattern: DataPattern,
+        conditions: OperatingConditions,
+        bitline_stride: usize,
+    ) -> f64 {
+        assert!(bitline_stride > 0, "bitline_stride must be non-zero");
+        let per_chip = self.geom.row_bits / self.variation.chip_count();
+        let start = chip * per_chip;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        let mut b = start;
+        while b < start + per_chip {
+            sum += self.bitline_entropy(segment, b, pattern, conditions);
+            count += 1;
+            b += bitline_stride;
+        }
+        sum * per_chip as f64 / count as f64
+    }
+
+    /// Samples the outcome of one QUAC operation across the whole row: each
+    /// bitline independently resolves to 1 with its modelled probability
+    /// (thermal noise is the only per-trial randomness, footnote 2).
+    pub fn sample_quac<R: Rng + ?Sized>(
+        &self,
+        segment: Segment,
+        pattern: DataPattern,
+        conditions: OperatingConditions,
+        rng: &mut R,
+    ) -> BitVec {
+        let probs = self.bitline_probabilities(segment, pattern, conditions);
+        Self::sample_from_probabilities(&probs, rng)
+    }
+
+    /// Samples a QUAC outcome from precomputed per-bitline probabilities.
+    /// Streaming random-number generation caches the probabilities of its
+    /// chosen segment once and calls this per iteration.
+    pub fn sample_from_probabilities<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> BitVec {
+        BitVec::from_bits(probs.iter().map(|&p| rng.gen::<f64>() < p))
+    }
+
+    /// Estimates a bitline's entropy the way the paper does (Section 6.1.2):
+    /// repeat the QUAC operation `trials` times, record the sense-amplifier
+    /// value each time, and compute the entropy of the resulting bitstream.
+    pub fn estimate_bitline_entropy_sampled<R: Rng + ?Sized>(
+        &self,
+        segment: Segment,
+        bitline: usize,
+        pattern: DataPattern,
+        conditions: OperatingConditions,
+        trials: usize,
+        rng: &mut R,
+    ) -> f64 {
+        let p = self.one_probability(segment, bitline, pattern, conditions);
+        let ones = (0..trials).filter(|_| rng.gen::<f64>() < p).count();
+        crate::entropy::entropy_from_counts((trials - ones) as u64, ones as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> QuacAnalogModel {
+        let geom = DramGeometry::tiny_test();
+        let variation = ModuleVariation::generate(&geom, 2024);
+        QuacAnalogModel::new(geom, variation)
+    }
+
+    fn nominal() -> OperatingConditions {
+        OperatingConditions::nominal()
+    }
+
+    #[test]
+    fn conflicting_pattern_beats_imbalanced_pattern() {
+        let m = model();
+        let best = DataPattern::best_average();
+        let worst: DataPattern = "1011".parse().unwrap();
+        let seg = Segment::new(3);
+        let e_best = m.segment_entropy(seg, best, nominal(), 1);
+        let e_worst = m.segment_entropy(seg, worst, nominal(), 1);
+        assert!(
+            e_best > 4.0 * e_worst,
+            "best {e_best} should dominate worst {e_worst}"
+        );
+    }
+
+    #[test]
+    fn uniform_patterns_have_negligible_entropy() {
+        let m = model();
+        let seg = Segment::new(1);
+        for p in ["0000", "1111"] {
+            let pattern: DataPattern = p.parse().unwrap();
+            let e = m.segment_entropy(seg, pattern, nominal(), 1);
+            assert!(e < 1.0, "pattern {p} entropy {e}");
+        }
+    }
+
+    #[test]
+    fn pattern_imbalance_is_near_zero_for_best_patterns() {
+        let m = model();
+        let seg = Segment::new(0);
+        let d_best = m.pattern_imbalance(seg, DataPattern::best_average()).abs();
+        let d_comp = m.pattern_imbalance(seg, "1000".parse().unwrap()).abs();
+        let d_bad = m.pattern_imbalance(seg, "1011".parse().unwrap()).abs();
+        assert!(d_best < 1.0);
+        assert!(d_comp < 1.0);
+        assert!(d_bad > 3.0);
+    }
+
+    #[test]
+    fn probabilities_are_valid_and_deterministic() {
+        let m = model();
+        let seg = Segment::new(2);
+        let probs = m.bitline_probabilities(seg, DataPattern::best_average(), nominal());
+        assert_eq!(probs.len(), m.geometry().row_bits);
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+        let probs2 = m.bitline_probabilities(seg, DataPattern::best_average(), nominal());
+        assert_eq!(probs, probs2);
+    }
+
+    #[test]
+    fn segment_entropy_equals_sum_of_cache_blocks() {
+        let m = model();
+        let seg = Segment::new(5);
+        let pattern = DataPattern::best_average();
+        let total = m.segment_entropy(seg, pattern, nominal(), 1);
+        let by_blocks: f64 = m.cache_block_entropies(seg, pattern, nominal()).iter().sum();
+        assert!((total - by_blocks).abs() < 1e-6);
+    }
+
+    #[test]
+    fn strided_segment_entropy_approximates_exact() {
+        let m = model();
+        let seg = Segment::new(4);
+        let pattern = DataPattern::best_average();
+        let exact = m.segment_entropy(seg, pattern, nominal(), 1);
+        let approx = m.segment_entropy(seg, pattern, nominal(), 4);
+        // The strided estimate should be within ~40% of the exact value for
+        // the tiny geometry (it converges much tighter for full-size rows).
+        assert!((approx - exact).abs() / exact.max(1e-9) < 0.4, "exact {exact} approx {approx}");
+    }
+
+    #[test]
+    fn sampled_estimate_matches_analytic_entropy_for_metastable_bitline() {
+        let m = model();
+        let seg = Segment::new(3);
+        let pattern = DataPattern::best_average();
+        // Find the most metastable bitline of this segment.
+        let probs = m.bitline_probabilities(seg, pattern, nominal());
+        let (best_bitline, p) = probs
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| (a.1 - 0.5).abs().partial_cmp(&(b.1 - 0.5).abs()).unwrap())
+            .unwrap();
+        let analytic = binary_entropy_bits(p);
+        let mut rng = StdRng::seed_from_u64(9);
+        let sampled =
+            m.estimate_bitline_entropy_sampled(seg, best_bitline, pattern, nominal(), 1000, &mut rng);
+        assert!((analytic - sampled).abs() < 0.15, "analytic {analytic} sampled {sampled}");
+    }
+
+    #[test]
+    fn sampling_respects_probabilities() {
+        let probs = vec![0.0, 1.0, 0.5, 0.5];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ones = [0u32; 4];
+        for _ in 0..2000 {
+            let s = QuacAnalogModel::sample_from_probabilities(&probs, &mut rng);
+            for (i, one) in ones.iter_mut().enumerate() {
+                *one += s.get(i) as u32;
+            }
+        }
+        assert_eq!(ones[0], 0);
+        assert_eq!(ones[1], 2000);
+        assert!((ones[2] as f64 / 2000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn temperature_changes_entropy() {
+        let m = model();
+        let seg = Segment::new(7);
+        let pattern = DataPattern::best_average();
+        let e50 = m.segment_entropy(seg, pattern, OperatingConditions::at_temperature(50.0), 1);
+        let e85 = m.segment_entropy(seg, pattern, OperatingConditions::at_temperature(85.0), 1);
+        assert!((e50 - e85).abs() > 1e-6, "temperature should shift entropy");
+    }
+
+    #[test]
+    fn aging_changes_entropy_slightly() {
+        let m = model();
+        let seg = Segment::new(6);
+        let pattern = DataPattern::best_average();
+        let fresh = m.segment_entropy(seg, pattern, nominal(), 1);
+        let aged = m.segment_entropy(seg, pattern, nominal().aged(30.0), 1);
+        let rel = (fresh - aged).abs() / fresh.max(1e-9);
+        assert!(rel < 0.25, "aging drift should be small, got {rel}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bitline_stride")]
+    fn zero_stride_panics() {
+        let m = model();
+        let _ = m.segment_entropy(Segment::new(0), DataPattern::best_average(), nominal(), 0);
+    }
+}

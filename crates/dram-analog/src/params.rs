@@ -1,0 +1,180 @@
+//! Calibration parameters of the analog model.
+//!
+//! All voltages are expressed in units of the sense amplifier's thermal-noise
+//! standard deviation at the nominal temperature (50 °C), so a bias of 1.0
+//! means "one noise sigma away from perfectly metastable". The defaults are
+//! calibrated so that the model reproduces the paper's headline statistics:
+//! average cache-block entropy ≈ 11 bits for pattern "0111", ≈ 0.2–0.5 bits
+//! for "1011", average segment entropy in the 1100–1900 bit range of
+//! Table 3, and the Figure 9/10 spatial profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the QUAC charge-sharing / sense-amplifier model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalogParams {
+    /// Mean charge-sharing weight of the first-activated row relative to the
+    /// three later-activated rows (whose weight is 1.0). The first row's cell
+    /// has more time to share charge (Section 6.1.3), and a value of ≈ 3
+    /// makes it balance the other three rows when it stores their inverse.
+    pub first_row_weight: f64,
+    /// Relative standard deviation of the per-segment first-row weight
+    /// (cell-capacitance variation across segments).
+    pub first_row_weight_sigma: f64,
+    /// Voltage developed on the bitline per unit of charge-sharing imbalance,
+    /// in noise-sigma units.
+    pub share_voltage: f64,
+    /// Standard deviation of the per-bitline sense-amplifier offset
+    /// (process variation), in noise-sigma units.
+    pub sa_offset_sigma: f64,
+    /// Standard deviation of the per-(segment, bitline) cell-side offset
+    /// component, in noise-sigma units.
+    pub cell_offset_sigma: f64,
+    /// Probability that a given (segment, data pattern) pair is "favored":
+    /// design-induced variation lets that segment keep the bitline voltage
+    /// metastable even for an imbalanced pattern (explains the 53-bit
+    /// maximum cache-block entropy for pattern "0100" in Figure 8).
+    pub favored_segment_prob: f64,
+    /// Maximum attenuation of the pattern imbalance in a favored segment
+    /// (the imbalance is multiplied by a uniform value in `[0, this]`).
+    pub favored_attenuation_max: f64,
+    /// Extra thermal-noise multiplier applied in favored segments.
+    pub favored_noise_boost: f64,
+    /// Amplitude of the long-period spatial entropy wave across segments
+    /// (Figure 9), as a fraction of the nominal noise scale.
+    pub wave_amplitude_long: f64,
+    /// Amplitude of the short-period spatial wave.
+    pub wave_amplitude_short: f64,
+    /// Period of the long spatial wave, in segments.
+    pub wave_period_long: f64,
+    /// Period of the short spatial wave, in segments.
+    pub wave_period_short: f64,
+    /// Relative standard deviation of the per-segment lognormal noise factor.
+    pub segment_noise_sigma: f64,
+    /// Size of the end-of-bank entropy rise (most modules rise towards the
+    /// 8000th segment, Figure 9), as a fraction of nominal noise.
+    pub end_rise_amplitude: f64,
+    /// Fraction of the bank (from the end) over which the end rise develops.
+    pub end_rise_fraction: f64,
+    /// Size of the drop at the very last segments of the bank.
+    pub end_drop_amplitude: f64,
+    /// Fraction of the bank (from the end) affected by the final drop.
+    pub end_drop_fraction: f64,
+    /// Peak-to-trough amplitude of the cache-block position profile within a
+    /// segment (Figure 10: entropy peaks mid-segment).
+    pub cb_profile_amplitude: f64,
+    /// Linear decline towards the highest-numbered cache blocks (Figure 10).
+    pub cb_profile_decline: f64,
+    /// Magnitude of the |temperature coefficient| for trend-1 chips (entropy
+    /// increases with temperature), per °C relative to 50 °C.
+    pub temp_coeff_trend1: f64,
+    /// Magnitude of the |temperature coefficient| for trend-2 chips (entropy
+    /// decreases with temperature), per °C relative to 50 °C.
+    pub temp_coeff_trend2: f64,
+    /// Fraction of chips following trend 1 (24 of 40 in Section 8).
+    pub trend1_fraction: f64,
+    /// Standard deviation of the per-bitline offset drift accumulated over
+    /// 30 days, as a fraction of the SA offset sigma (Section 8 reports an
+    /// average segment-entropy change of 2.4 %).
+    pub aging_drift_30day: f64,
+}
+
+impl AnalogParams {
+    /// Parameters calibrated against the paper's reported statistics.
+    pub fn calibrated() -> Self {
+        AnalogParams {
+            first_row_weight: 3.0,
+            first_row_weight_sigma: 0.03,
+            share_voltage: 42.0,
+            sa_offset_sigma: 58.0,
+            cell_offset_sigma: 18.0,
+            favored_segment_prob: 0.004,
+            favored_attenuation_max: 0.25,
+            favored_noise_boost: 1.6,
+            wave_amplitude_long: 0.22,
+            wave_amplitude_short: 0.12,
+            wave_period_long: 2800.0,
+            wave_period_short: 610.0,
+            segment_noise_sigma: 0.18,
+            end_rise_amplitude: 0.35,
+            end_rise_fraction: 0.12,
+            end_drop_amplitude: 0.45,
+            end_drop_fraction: 0.015,
+            cb_profile_amplitude: 0.25,
+            cb_profile_decline: 0.30,
+            temp_coeff_trend1: 0.0070,
+            temp_coeff_trend2: 0.0130,
+            trend1_fraction: 0.6,
+            aging_drift_30day: 0.035,
+        }
+    }
+
+    /// Effective sense-amplifier bias spread (combined SA and cell offsets).
+    pub fn total_offset_sigma(&self) -> f64 {
+        (self.sa_offset_sigma.powi(2) + self.cell_offset_sigma.powi(2)).sqrt()
+    }
+
+    /// Basic sanity checks on parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.first_row_weight <= 0.0 {
+            return Err("first_row_weight must be positive".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.favored_segment_prob) {
+            return Err("favored_segment_prob must be a probability".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.trend1_fraction) {
+            return Err("trend1_fraction must be a probability".to_string());
+        }
+        if self.sa_offset_sigma <= 0.0 || self.share_voltage <= 0.0 {
+            return Err("voltage scales must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for AnalogParams {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_parameters_are_valid() {
+        AnalogParams::calibrated().validate().unwrap();
+    }
+
+    #[test]
+    fn total_offset_combines_quadratically() {
+        let p = AnalogParams::calibrated();
+        let t = p.total_offset_sigma();
+        assert!(t > p.sa_offset_sigma);
+        assert!(t < p.sa_offset_sigma + p.cell_offset_sigma);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut p = AnalogParams::calibrated();
+        p.first_row_weight = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = AnalogParams::calibrated();
+        p.favored_segment_prob = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = AnalogParams::calibrated();
+        p.trend1_fraction = -0.1;
+        assert!(p.validate().is_err());
+        let mut p = AnalogParams::calibrated();
+        p.share_voltage = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn first_row_weight_balances_three_rows() {
+        // The calibration relies on the first row opposing three others.
+        let p = AnalogParams::calibrated();
+        assert!((p.first_row_weight - 3.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,234 @@
+//! The DDR4 module population characterised by the paper (Appendix A,
+//! Table 3), and device-profile construction.
+//!
+//! Each entry records the module's organisation and the paper's measured
+//! average / maximum segment entropy. A [`ModuleProfile`] can be turned into
+//! a [`ModuleVariation`] whose entropy scale is calibrated so the simulated
+//! module reproduces the reported averages.
+
+use crate::params::AnalogParams;
+use crate::variation::ModuleVariation;
+use qt_dram_core::{DramGeometry, SpeedGrade};
+use serde::{Deserialize, Serialize};
+
+/// The average segment entropy (bits) produced by the analog model at unit
+/// entropy scale with the calibrated parameters, used as the anchor when
+/// deriving per-module scales from Table 3's averages.
+pub const NOMINAL_AVG_SEGMENT_ENTROPY: f64 = 1400.0;
+
+/// Direction of the temperature response of a chip (Section 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemperatureTrend {
+    /// Trend 1: bitline entropy increases with temperature.
+    Increasing,
+    /// Trend 2: bitline entropy decreases with temperature.
+    Decreasing,
+}
+
+/// One DDR4 module of the characterised population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleProfile {
+    /// Short name used throughout the paper ("M1" … "M17").
+    pub name: &'static str,
+    /// Module part number, where known.
+    pub module_identifier: &'static str,
+    /// DRAM chip part number, where known.
+    pub chip_identifier: &'static str,
+    /// Data transfer rate in MT/s.
+    pub freq_mts: u32,
+    /// Module capacity in GB.
+    pub size_gb: u32,
+    /// Number of DRAM chips on the module.
+    pub chips: u32,
+    /// Chip I/O width (pins).
+    pub pins: u32,
+    /// Average segment entropy reported by Table 3, in bits.
+    pub table3_avg_segment_entropy: f64,
+    /// Maximum segment entropy reported by Table 3, in bits.
+    pub table3_max_segment_entropy: f64,
+    /// Average segment entropy measured again after 30 days, where reported.
+    pub table3_avg_after_30_days: Option<f64>,
+}
+
+impl ModuleProfile {
+    /// The deterministic seed assigned to this module (derived from its
+    /// position in the population).
+    pub fn seed(&self) -> u64 {
+        // "QUACTRNG" in ASCII, mixed with the module index.
+        0x5155_4143_5452_4E47 ^ ((self.index() as u64 + 1) * 0x9E37_79B9)
+    }
+
+    /// The module's index in the population (0-based: M1 → 0).
+    pub fn index(&self) -> usize {
+        self.name[1..].parse::<usize>().expect("module names are M<number>") - 1
+    }
+
+    /// The geometry of this module. All characterised modules use x8 chips
+    /// with 8 KiB module-level rows; larger-capacity modules have more rows
+    /// per bank.
+    pub fn geometry(&self) -> DramGeometry {
+        let base = DramGeometry::ddr4_4gb_x8_module();
+        match self.size_gb {
+            0..=4 => base,
+            5..=8 => DramGeometry { subarrays_per_bank: base.subarrays_per_bank * 2, ..base },
+            _ => DramGeometry { subarrays_per_bank: base.subarrays_per_bank * 4, ..base },
+        }
+    }
+
+    /// The speed grade corresponding to the module's transfer rate.
+    pub fn speed_grade(&self) -> SpeedGrade {
+        match self.freq_mts {
+            2133 => SpeedGrade::Ddr4_2133,
+            2400 => SpeedGrade::Ddr4_2400,
+            2666 => SpeedGrade::Ddr4_2666,
+            3200 => SpeedGrade::Ddr4_3200,
+            other => SpeedGrade::Projected(other),
+        }
+    }
+
+    /// The per-module entropy scale that calibrates the analog model to this
+    /// module's Table 3 average segment entropy.
+    pub fn entropy_scale(&self) -> f64 {
+        self.table3_avg_segment_entropy / NOMINAL_AVG_SEGMENT_ENTROPY
+    }
+
+    /// Builds the module's process-variation profile, calibrated to its
+    /// Table 3 statistics.
+    pub fn variation(&self) -> ModuleVariation {
+        ModuleVariation::generate_with(
+            &self.geometry(),
+            self.seed(),
+            AnalogParams::calibrated(),
+            self.entropy_scale(),
+        )
+    }
+
+    /// Builds the full analog model for this module.
+    pub fn analog_model(&self) -> crate::model::QuacAnalogModel {
+        crate::model::QuacAnalogModel::new(self.geometry(), self.variation())
+    }
+}
+
+/// All 17 modules of Appendix A, Table 3.
+pub static PAPER_MODULES: &[ModuleProfile] = &[
+    ModuleProfile { name: "M1", module_identifier: "Unknown", chip_identifier: "H5AN4G8NAFR-TFC", freq_mts: 2133, size_gb: 4, chips: 8, pins: 8, table3_avg_segment_entropy: 1688.1, table3_max_segment_entropy: 2247.4, table3_avg_after_30_days: None },
+    ModuleProfile { name: "M2", module_identifier: "Unknown", chip_identifier: "Unknown", freq_mts: 2133, size_gb: 4, chips: 8, pins: 8, table3_avg_segment_entropy: 1180.4, table3_max_segment_entropy: 1406.1, table3_avg_after_30_days: None },
+    ModuleProfile { name: "M3", module_identifier: "Unknown", chip_identifier: "H5AN4G8NAFR-TFC", freq_mts: 2133, size_gb: 4, chips: 8, pins: 8, table3_avg_segment_entropy: 1205.0, table3_max_segment_entropy: 1858.3, table3_avg_after_30_days: Some(1192.9) },
+    ModuleProfile { name: "M4", module_identifier: "76TT21NUS1R8-4G", chip_identifier: "H5AN4G8NAFR-TFC", freq_mts: 2133, size_gb: 4, chips: 8, pins: 8, table3_avg_segment_entropy: 1608.1, table3_max_segment_entropy: 2406.5, table3_avg_after_30_days: Some(1588.0) },
+    ModuleProfile { name: "M5", module_identifier: "Unknown", chip_identifier: "T4D5128HT-21", freq_mts: 2133, size_gb: 4, chips: 8, pins: 8, table3_avg_segment_entropy: 1618.2, table3_max_segment_entropy: 2121.6, table3_avg_after_30_days: None },
+    ModuleProfile { name: "M6", module_identifier: "TLRD44G2666HC18F-SBK", chip_identifier: "H5AN4G8NMFR-VKC", freq_mts: 2666, size_gb: 4, chips: 8, pins: 8, table3_avg_segment_entropy: 1211.5, table3_max_segment_entropy: 1444.6, table3_avg_after_30_days: None },
+    ModuleProfile { name: "M7", module_identifier: "TLRD44G2666HC18F-SBK", chip_identifier: "H5AN4G8NMFR-VKC", freq_mts: 2666, size_gb: 4, chips: 8, pins: 8, table3_avg_segment_entropy: 1177.7, table3_max_segment_entropy: 1404.4, table3_avg_after_30_days: None },
+    ModuleProfile { name: "M8", module_identifier: "TLRD44G2666HC18F-SBK", chip_identifier: "H5AN4G8NMFR-VKC", freq_mts: 2666, size_gb: 4, chips: 8, pins: 8, table3_avg_segment_entropy: 1332.9, table3_max_segment_entropy: 1600.9, table3_avg_after_30_days: Some(1407.0) },
+    ModuleProfile { name: "M9", module_identifier: "TLRD44G2666HC18F-SBK", chip_identifier: "H5AN4G8NMFR-VKC", freq_mts: 2666, size_gb: 4, chips: 8, pins: 8, table3_avg_segment_entropy: 1137.1, table3_max_segment_entropy: 1370.9, table3_avg_after_30_days: None },
+    ModuleProfile { name: "M10", module_identifier: "TLRD44G2666HC18F-SBK", chip_identifier: "H5AN4G8NMFR-VKC", freq_mts: 2666, size_gb: 4, chips: 8, pins: 8, table3_avg_segment_entropy: 1208.5, table3_max_segment_entropy: 1473.2, table3_avg_after_30_days: Some(1251.8) },
+    ModuleProfile { name: "M11", module_identifier: "TLRD44G2666HC18F-SBK", chip_identifier: "H5AN4G8NMFR-VKC", freq_mts: 2666, size_gb: 4, chips: 8, pins: 8, table3_avg_segment_entropy: 1176.0, table3_max_segment_entropy: 1382.9, table3_avg_after_30_days: Some(1165.1) },
+    ModuleProfile { name: "M12", module_identifier: "TLRD44G2666HC18F-SBK", chip_identifier: "H5AN4G8NMFR-VKC", freq_mts: 2666, size_gb: 4, chips: 8, pins: 8, table3_avg_segment_entropy: 1485.0, table3_max_segment_entropy: 1740.6, table3_avg_after_30_days: None },
+    ModuleProfile { name: "M13", module_identifier: "KSM32RD8/16HDR", chip_identifier: "H5AN4G8NAFA-UHC", freq_mts: 2400, size_gb: 4, chips: 8, pins: 8, table3_avg_segment_entropy: 1853.5, table3_max_segment_entropy: 2849.6, table3_avg_after_30_days: None },
+    ModuleProfile { name: "M14", module_identifier: "F4-2400C17S-8GNT", chip_identifier: "H5AN4G8NMFR-UHC", freq_mts: 2400, size_gb: 8, chips: 8, pins: 8, table3_avg_segment_entropy: 1369.3, table3_max_segment_entropy: 1942.2, table3_avg_after_30_days: None },
+    ModuleProfile { name: "M15", module_identifier: "F4-2400C17S-8GNT", chip_identifier: "H5AN4G8NMFR-UHC", freq_mts: 3200, size_gb: 8, chips: 8, pins: 8, table3_avg_segment_entropy: 1545.8, table3_max_segment_entropy: 2147.2, table3_avg_after_30_days: None },
+    ModuleProfile { name: "M16", module_identifier: "KSM32RD8/16HDR", chip_identifier: "H5AN8G8NDJR-XNC", freq_mts: 3200, size_gb: 16, chips: 8, pins: 8, table3_avg_segment_entropy: 1634.4, table3_max_segment_entropy: 1944.6, table3_avg_after_30_days: None },
+    ModuleProfile { name: "M17", module_identifier: "KSM32RD8/16HDR", chip_identifier: "H5AN8G8NDJR-XNC", freq_mts: 3200, size_gb: 16, chips: 8, pins: 8, table3_avg_segment_entropy: 1664.7, table3_max_segment_entropy: 2016.6, table3_avg_after_30_days: None },
+];
+
+/// The five-module subset used for the temperature and 30-day studies
+/// (Section 8 uses 40 chips from five modules); this reproduction uses the
+/// five modules for which Table 3 reports 30-day data.
+pub fn section8_modules() -> Vec<&'static ModuleProfile> {
+    PAPER_MODULES
+        .iter()
+        .filter(|m| m.table3_avg_after_30_days.is_some())
+        .collect()
+}
+
+/// Population-level statistics used by the throughput models: the average,
+/// across modules, of the maximum segment entropy (determines the average
+/// SHA-input-block count per iteration, Section 7.2).
+pub fn average_of_max_segment_entropy() -> f64 {
+    let sum: f64 = PAPER_MODULES.iter().map(|m| m.table3_max_segment_entropy).sum();
+    sum / PAPER_MODULES.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_has_17_modules_with_unique_names_and_seeds() {
+        assert_eq!(PAPER_MODULES.len(), 17);
+        let names: std::collections::HashSet<_> = PAPER_MODULES.iter().map(|m| m.name).collect();
+        assert_eq!(names.len(), 17);
+        let seeds: std::collections::HashSet<_> = PAPER_MODULES.iter().map(|m| m.seed()).collect();
+        assert_eq!(seeds.len(), 17);
+    }
+
+    #[test]
+    fn indices_match_names() {
+        for (i, m) in PAPER_MODULES.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn geometries_scale_with_capacity() {
+        let m1 = &PAPER_MODULES[0];
+        assert_eq!(m1.geometry().segments_per_bank(), 8192);
+        let m14 = &PAPER_MODULES[13];
+        assert_eq!(m14.size_gb, 8);
+        assert_eq!(m14.geometry().segments_per_bank(), 16384);
+        let m16 = &PAPER_MODULES[15];
+        assert_eq!(m16.size_gb, 16);
+        assert_eq!(m16.geometry().segments_per_bank(), 32768);
+    }
+
+    #[test]
+    fn entropy_scales_track_table3_averages() {
+        for m in PAPER_MODULES {
+            let scale = m.entropy_scale();
+            assert!(scale > 0.5 && scale < 1.6, "{}: scale {scale}", m.name);
+        }
+        // M13 has the largest average, M9 the smallest.
+        let scales: Vec<f64> = PAPER_MODULES.iter().map(|m| m.entropy_scale()).collect();
+        let max_idx = scales.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let min_idx = scales.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(PAPER_MODULES[max_idx].name, "M13");
+        assert_eq!(PAPER_MODULES[min_idx].name, "M9");
+    }
+
+    #[test]
+    fn table3_max_exceeds_avg_for_every_module() {
+        for m in PAPER_MODULES {
+            assert!(m.table3_max_segment_entropy > m.table3_avg_segment_entropy, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn average_of_max_is_in_paper_range() {
+        let avg = average_of_max_segment_entropy();
+        // 256 * floor(avg/256) should be close to the paper's ~7664/4 bits
+        // per bank per iteration.
+        assert!(avg > 1700.0 && avg < 2000.0, "avg of max {avg}");
+    }
+
+    #[test]
+    fn section8_population_is_the_30_day_subset() {
+        let mods = section8_modules();
+        assert!(mods.len() >= 5);
+        assert!(mods.iter().all(|m| m.table3_avg_after_30_days.is_some()));
+    }
+
+    #[test]
+    fn speed_grades_map_correctly() {
+        assert_eq!(PAPER_MODULES[0].speed_grade(), SpeedGrade::Ddr4_2133);
+        assert_eq!(PAPER_MODULES[12].speed_grade(), SpeedGrade::Ddr4_2400);
+        assert_eq!(PAPER_MODULES[16].speed_grade(), SpeedGrade::Ddr4_3200);
+    }
+
+    #[test]
+    fn variation_profiles_build_for_every_module() {
+        for m in PAPER_MODULES.iter().take(3) {
+            let v = m.variation();
+            assert_eq!(v.entropy_scale(), m.entropy_scale());
+            assert_eq!(v.row_bits(), m.geometry().row_bits);
+        }
+    }
+}

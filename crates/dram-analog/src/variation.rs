@@ -1,0 +1,443 @@
+//! Deterministic process-variation model of one DRAM module.
+//!
+//! Every per-component quantity (sense-amplifier offset, cell offset,
+//! per-segment cell-capacitance variation, spatial systematic variation,
+//! per-chip temperature response) is derived by counter-mode hashing of a
+//! module seed, so it is stable across runs and across crates — the same
+//! property real silicon has, and the property QUAC-TRNG's one-time
+//! characterisation step relies on (Section 6.1.2).
+
+use crate::math::{hash_coords, hash_to_unit, normal_at, uniform_at};
+use crate::params::AnalogParams;
+use qt_dram_core::{DataPattern, DramGeometry, Segment, SubarrayAddr};
+use serde::{Deserialize, Serialize};
+
+/// Domain-separation tags for the different variation components.
+mod tag {
+    pub const SA_OFFSET: u64 = 0x01;
+    pub const CELL_OFFSET: u64 = 0x02;
+    pub const FIRST_ROW_WEIGHT: u64 = 0x03;
+    pub const FAVORED: u64 = 0x04;
+    pub const FAVORED_ATTEN: u64 = 0x05;
+    pub const SEGMENT_NOISE: u64 = 0x06;
+    pub const AGING: u64 = 0x07;
+    pub const CHIP_TREND: u64 = 0x08;
+    pub const PHASE: u64 = 0x09;
+}
+
+/// The frozen process-variation state of one DRAM module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleVariation {
+    seed: u64,
+    params: AnalogParams,
+    chip_count: usize,
+    row_bits: usize,
+    segments_per_bank: usize,
+    rows_per_subarray: usize,
+    /// Per-chip temperature coefficient (positive: trend 1, entropy rises
+    /// with temperature; negative: trend 2).
+    chip_temp_coeff: Vec<f64>,
+    phase_long: f64,
+    phase_short: f64,
+    /// Module-level scale on the thermal-noise/entropy budget, used to match
+    /// the per-module averages of Table 3.
+    entropy_scale: f64,
+}
+
+impl ModuleVariation {
+    /// Generates the variation profile of a module from a seed, using the
+    /// calibrated default parameters.
+    pub fn generate(geom: &DramGeometry, seed: u64) -> Self {
+        Self::generate_with(geom, seed, AnalogParams::calibrated(), 1.0)
+    }
+
+    /// Generates the variation profile with explicit parameters and a
+    /// module-level entropy scale.
+    pub fn generate_with(
+        geom: &DramGeometry,
+        seed: u64,
+        params: AnalogParams,
+        entropy_scale: f64,
+    ) -> Self {
+        let chip_count = geom.chips_per_rank.max(1);
+        let chip_temp_coeff = (0..chip_count)
+            .map(|c| {
+                let u = uniform_at(seed, tag::CHIP_TREND, c as u64, 0);
+                if u < params.trend1_fraction {
+                    // Trend 1: entropy increases with temperature.
+                    params.temp_coeff_trend1 * (0.7 + 0.6 * uniform_at(seed, tag::CHIP_TREND, c as u64, 1))
+                } else {
+                    // Trend 2: entropy decreases with temperature.
+                    -params.temp_coeff_trend2
+                        * (0.7 + 0.6 * uniform_at(seed, tag::CHIP_TREND, c as u64, 2))
+                }
+            })
+            .collect();
+        let phase_long = uniform_at(seed, tag::PHASE, 0, 0) * std::f64::consts::TAU;
+        let phase_short = uniform_at(seed, tag::PHASE, 1, 0) * std::f64::consts::TAU;
+        ModuleVariation {
+            seed,
+            params,
+            chip_count,
+            row_bits: geom.row_bits,
+            segments_per_bank: geom.segments_per_bank(),
+            rows_per_subarray: geom.rows_per_subarray,
+            chip_temp_coeff,
+            phase_long,
+            phase_short,
+            entropy_scale,
+        }
+    }
+
+    /// The module seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The analog parameters backing this profile.
+    pub fn params(&self) -> &AnalogParams {
+        &self.params
+    }
+
+    /// The module-level entropy scale.
+    pub fn entropy_scale(&self) -> f64 {
+        self.entropy_scale
+    }
+
+    /// Number of chips in the rank (bitlines are striped across chips).
+    pub fn chip_count(&self) -> usize {
+        self.chip_count
+    }
+
+    /// The chip that owns a given module-level bitline.
+    pub fn chip_of_bitline(&self, bitline: usize) -> usize {
+        let per_chip = (self.row_bits / self.chip_count).max(1);
+        (bitline / per_chip).min(self.chip_count - 1)
+    }
+
+    /// The per-chip temperature coefficient (positive for trend-1 chips).
+    pub fn chip_temp_coeff(&self, chip: usize) -> f64 {
+        self.chip_temp_coeff[chip.min(self.chip_count - 1)]
+    }
+
+    /// Returns `true` if the chip follows trend 1 (entropy rises with
+    /// temperature, Section 8).
+    pub fn chip_follows_trend1(&self, chip: usize) -> bool {
+        self.chip_temp_coeff(chip) >= 0.0
+    }
+
+    /// Sense-amplifier offset for a bitline of a subarray, in noise-sigma
+    /// units. The offset is a property of the physical sense amplifier, so
+    /// all segments of a subarray share it.
+    pub fn sa_offset(&self, subarray: SubarrayAddr, bitline: usize) -> f64 {
+        self.params.sa_offset_sigma
+            * normal_at(self.seed ^ tag::SA_OFFSET, subarray.index() as u64, bitline as u64, 0)
+    }
+
+    /// Cell-side offset component for a bitline in a given segment (cell
+    /// capacitance / access-transistor variation), in noise-sigma units.
+    pub fn cell_offset(&self, segment: Segment, bitline: usize) -> f64 {
+        self.params.cell_offset_sigma
+            * normal_at(self.seed ^ tag::CELL_OFFSET, segment.index() as u64, bitline as u64, 0)
+    }
+
+    /// Slow drift of the per-bitline offset with device age, in noise-sigma
+    /// units. Calibrated so 30 days of aging changes segment entropy by a few
+    /// percent (Section 8).
+    pub fn aging_drift(&self, segment: Segment, bitline: usize, age_days: f64) -> f64 {
+        if age_days <= 0.0 {
+            return 0.0;
+        }
+        let scale = self.params.aging_drift_30day * (age_days / 30.0).sqrt();
+        self.params.sa_offset_sigma
+            * scale
+            * normal_at(self.seed ^ tag::AGING, segment.index() as u64, bitline as u64, 0)
+    }
+
+    /// The charge-sharing weight of the first-activated row for a segment.
+    pub fn first_row_weight(&self, segment: Segment) -> f64 {
+        let n = normal_at(self.seed ^ tag::FIRST_ROW_WEIGHT, segment.index() as u64, 0, 0);
+        self.params.first_row_weight * (1.0 + self.params.first_row_weight_sigma * n)
+    }
+
+    /// Whether design-induced variation makes this segment "favor" the given
+    /// data pattern (Section 6.1.3's explanation for the 53-bit cache-block
+    /// entropy outlier), and if so the attenuation applied to the pattern
+    /// imbalance.
+    pub fn favored_attenuation(&self, segment: Segment, pattern: DataPattern) -> Option<f64> {
+        let h = hash_coords(
+            self.seed ^ tag::FAVORED,
+            segment.index() as u64,
+            pattern.index() as u64,
+            0,
+        );
+        if hash_to_unit(h) < self.params.favored_segment_prob {
+            let a = uniform_at(
+                self.seed ^ tag::FAVORED_ATTEN,
+                segment.index() as u64,
+                pattern.index() as u64,
+                0,
+            );
+            Some(a * self.params.favored_attenuation_max)
+        } else {
+            None
+        }
+    }
+
+    /// Systematic spatial noise-scale factor for a segment: a long- and a
+    /// short-period wave, a per-segment lognormal factor, the rise towards
+    /// the end of the bank, and the drop over the final segments (Figure 9).
+    pub fn segment_noise_factor(&self, segment: Segment) -> f64 {
+        let p = &self.params;
+        let s = segment.index() as f64;
+        let total = self.segments_per_bank.max(1) as f64;
+
+        let wave = 1.0
+            + p.wave_amplitude_long * (std::f64::consts::TAU * s / p.wave_period_long + self.phase_long).sin()
+            + p.wave_amplitude_short
+                * (std::f64::consts::TAU * s / p.wave_period_short + self.phase_short).sin();
+
+        // Per-segment lognormal factor (random but deterministic).
+        let n = normal_at(self.seed ^ tag::SEGMENT_NOISE, segment.index() as u64, 0, 0);
+        let random = (p.segment_noise_sigma * n).exp();
+
+        // Rise towards the end of the bank, then a sharp drop at the very end.
+        let frac = s / total;
+        let mut edge = 1.0;
+        if frac > 1.0 - p.end_rise_fraction {
+            let x = (frac - (1.0 - p.end_rise_fraction)) / p.end_rise_fraction;
+            edge += p.end_rise_amplitude * x;
+        }
+        if frac > 1.0 - p.end_drop_fraction {
+            let x = (frac - (1.0 - p.end_drop_fraction)) / p.end_drop_fraction;
+            edge -= (p.end_rise_amplitude + p.end_drop_amplitude) * x;
+        }
+
+        (wave * random * edge).max(0.05)
+    }
+
+    /// Cache-block position factor within a segment: entropy peaks around the
+    /// middle of the segment and deteriorates towards the highest-numbered
+    /// cache blocks (Figure 10).
+    pub fn cb_position_factor(&self, cache_block: usize, blocks_per_row: usize) -> f64 {
+        let p = &self.params;
+        let n = blocks_per_row.max(1) as f64;
+        let x = (cache_block as f64 + 0.5) / n;
+        let bump = p.cb_profile_amplitude * (std::f64::consts::PI * x).sin();
+        let decline = p.cb_profile_decline * x;
+        (1.0 - p.cb_profile_amplitude / 2.0 + bump - decline).max(0.05)
+    }
+
+    /// Temperature factor for a chip relative to the 50 °C characterisation
+    /// point. Multiplies the thermal-noise scale; > 1 means more metastable
+    /// bitlines (more entropy).
+    pub fn temperature_factor(&self, chip: usize, temperature_c: f64) -> f64 {
+        let coeff = self.chip_temp_coeff(chip);
+        (1.0 + coeff * (temperature_c - 50.0)).max(0.05)
+    }
+
+    /// The combined noise scale for a bitline of a segment under the given
+    /// temperature: module scale × spatial factor × cache-block factor ×
+    /// chip temperature factor.
+    pub fn noise_scale(
+        &self,
+        segment: Segment,
+        bitline: usize,
+        temperature_c: f64,
+    ) -> f64 {
+        let cb = bitline / qt_dram_core::CACHE_BLOCK_BITS;
+        let blocks = self.row_bits / qt_dram_core::CACHE_BLOCK_BITS;
+        let chip = self.chip_of_bitline(bitline);
+        self.entropy_scale
+            * self.segment_noise_factor(segment)
+            * self.cb_position_factor(cb, blocks)
+            * self.temperature_factor(chip, temperature_c)
+    }
+
+    /// The subarray a segment belongs to (needed to look up its shared sense
+    /// amplifiers).
+    pub fn subarray_of_segment(&self, segment: Segment) -> SubarrayAddr {
+        SubarrayAddr::new(segment.index() * qt_dram_core::ROWS_PER_SEGMENT / self.rows_per_subarray)
+    }
+
+    /// Number of segments in one bank of this module.
+    pub fn segments_per_bank(&self) -> usize {
+        self.segments_per_bank
+    }
+
+    /// Module-level row width in bits.
+    pub fn row_bits(&self) -> usize {
+        self.row_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_dram_core::DramGeometry;
+
+    fn variation() -> ModuleVariation {
+        ModuleVariation::generate(&DramGeometry::ddr4_4gb_x8_module(), 0xC0FFEE)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = DramGeometry::ddr4_4gb_x8_module();
+        let a = ModuleVariation::generate(&g, 1);
+        let b = ModuleVariation::generate(&g, 1);
+        let c = ModuleVariation::generate(&g, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.sa_offset(SubarrayAddr::new(3), 100), b.sa_offset(SubarrayAddr::new(3), 100));
+        assert_ne!(a.sa_offset(SubarrayAddr::new(3), 100), c.sa_offset(SubarrayAddr::new(3), 100));
+    }
+
+    #[test]
+    fn sa_offsets_have_calibrated_spread() {
+        let v = variation();
+        let n = 5000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for b in 0..n {
+            let x = v.sa_offset(SubarrayAddr::new(0), b);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let std = (sum_sq / n as f64 - mean * mean).sqrt();
+        let expected = v.params().sa_offset_sigma;
+        assert!(mean.abs() < expected * 0.1, "mean {mean}");
+        assert!((std - expected).abs() < expected * 0.1, "std {std} vs {expected}");
+    }
+
+    #[test]
+    fn chip_mapping_covers_all_chips() {
+        let v = variation();
+        let mut seen = std::collections::HashSet::new();
+        for b in (0..v.row_bits()).step_by(1024) {
+            seen.insert(v.chip_of_bitline(b));
+        }
+        assert_eq!(seen.len(), v.chip_count());
+        assert_eq!(v.chip_of_bitline(0), 0);
+        assert_eq!(v.chip_of_bitline(v.row_bits() - 1), v.chip_count() - 1);
+    }
+
+    #[test]
+    fn both_temperature_trends_exist_across_modules() {
+        let g = DramGeometry::ddr4_4gb_x8_module();
+        let mut trend1 = 0usize;
+        let mut trend2 = 0usize;
+        for seed in 0..40 {
+            let v = ModuleVariation::generate(&g, seed);
+            for chip in 0..v.chip_count() {
+                if v.chip_follows_trend1(chip) {
+                    trend1 += 1;
+                } else {
+                    trend2 += 1;
+                }
+            }
+        }
+        // Roughly 60/40 split per the calibrated parameters.
+        assert!(trend1 > trend2, "trend1={trend1} trend2={trend2}");
+        assert!(trend2 > 0);
+    }
+
+    #[test]
+    fn temperature_factor_moves_in_trend_direction() {
+        let v = variation();
+        for chip in 0..v.chip_count() {
+            let at50 = v.temperature_factor(chip, 50.0);
+            let at85 = v.temperature_factor(chip, 85.0);
+            assert!((at50 - 1.0).abs() < 1e-12);
+            if v.chip_follows_trend1(chip) {
+                assert!(at85 > at50);
+            } else {
+                assert!(at85 < at50);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_noise_factor_is_positive_and_varies() {
+        let v = variation();
+        let mut min: f64 = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for s in 0..v.segments_per_bank() {
+            let f = v.segment_noise_factor(Segment::new(s));
+            assert!(f > 0.0);
+            min = min.min(f);
+            max = max.max(f);
+        }
+        // The spatial profile should create meaningful variation (Figure 9).
+        assert!(max / min > 1.5, "max {max} min {min}");
+    }
+
+    #[test]
+    fn cb_profile_peaks_in_the_middle_and_declines_at_the_end() {
+        let v = variation();
+        let blocks = 128;
+        let first = v.cb_position_factor(0, blocks);
+        let mid = v.cb_position_factor(blocks / 2, blocks);
+        let last = v.cb_position_factor(blocks - 1, blocks);
+        assert!(mid > first, "mid {mid} first {first}");
+        assert!(mid > last, "mid {mid} last {last}");
+        assert!(last < first, "last {last} first {first}");
+    }
+
+    #[test]
+    fn favored_segments_are_rare() {
+        let v = variation();
+        let pattern: DataPattern = "0100".parse().unwrap();
+        let favored = (0..v.segments_per_bank())
+            .filter(|&s| v.favored_attenuation(Segment::new(s), pattern).is_some())
+            .count();
+        let frac = favored as f64 / v.segments_per_bank() as f64;
+        assert!(frac < 0.02, "favored fraction {frac}");
+        // Attenuation, when present, is within the configured bound.
+        for s in 0..v.segments_per_bank() {
+            if let Some(a) = v.favored_attenuation(Segment::new(s), pattern) {
+                assert!(a >= 0.0 && a <= v.params().favored_attenuation_max);
+            }
+        }
+    }
+
+    #[test]
+    fn aging_drift_grows_with_age_and_is_zero_at_day_zero() {
+        let v = variation();
+        assert_eq!(v.aging_drift(Segment::new(1), 5, 0.0), 0.0);
+        let d30 = v.aging_drift(Segment::new(1), 5, 30.0).abs();
+        let d120 = v.aging_drift(Segment::new(1), 5, 120.0).abs();
+        assert!(d120 > d30);
+    }
+
+    #[test]
+    fn first_row_weight_is_near_three() {
+        let v = variation();
+        for s in 0..100 {
+            let w = v.first_row_weight(Segment::new(s));
+            assert!((w - 3.0).abs() < 0.5, "weight {w}");
+        }
+    }
+
+    #[test]
+    fn noise_scale_combines_factors() {
+        let v = variation();
+        let ns = v.noise_scale(Segment::new(100), 1000, 50.0);
+        assert!(ns > 0.0);
+        // Entropy scale multiplies through.
+        let g = DramGeometry::ddr4_4gb_x8_module();
+        let v2 = ModuleVariation::generate_with(&g, 0xC0FFEE, AnalogParams::calibrated(), 2.0);
+        let ns2 = v2.noise_scale(Segment::new(100), 1000, 50.0);
+        assert!((ns2 / ns - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subarray_of_segment_matches_row_mapping() {
+        let g = DramGeometry::tiny_test();
+        let v = ModuleVariation::generate(&g, 9);
+        // tiny geometry: 64 rows per subarray -> 16 segments per subarray.
+        assert_eq!(v.subarray_of_segment(Segment::new(0)).index(), 0);
+        assert_eq!(v.subarray_of_segment(Segment::new(15)).index(), 0);
+        assert_eq!(v.subarray_of_segment(Segment::new(16)).index(), 1);
+    }
+}

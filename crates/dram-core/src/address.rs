@@ -1,0 +1,380 @@
+//! Typed DRAM address components.
+//!
+//! Newtypes give static distinction between channels, ranks, bank groups,
+//! banks, subarrays, rows, columns, and the four-row *segments* that QUAC
+//! operates on. Each component is a thin wrapper over `usize` with the usual
+//! conversions and ordering.
+
+use crate::{DramGeometry, DramCoreError, ROWS_PER_SEGMENT, CACHE_BLOCK_BITS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! addr_newtype {
+    ($(#[$doc:meta])* $name:ident, $label:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates a new address component from a raw index.
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index.
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(v: $name) -> usize {
+                v.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $label, self.0)
+            }
+        }
+    };
+}
+
+addr_newtype!(
+    /// A memory-channel index.
+    ChannelAddr,
+    "CH"
+);
+addr_newtype!(
+    /// A rank index within a channel.
+    RankAddr,
+    "RA"
+);
+addr_newtype!(
+    /// A bank-group index within a rank (DDR4 has four).
+    BankGroupAddr,
+    "BG"
+);
+addr_newtype!(
+    /// A bank index within a bank group.
+    BankAddr,
+    "BA"
+);
+addr_newtype!(
+    /// A subarray index within a bank.
+    SubarrayAddr,
+    "SA"
+);
+addr_newtype!(
+    /// A row index within a bank.
+    RowAddr,
+    "R"
+);
+addr_newtype!(
+    /// A column index within a row, addressing one cache-block burst.
+    ColumnAddr,
+    "C"
+);
+addr_newtype!(
+    /// A cache-block index within a row (identical granularity to
+    /// [`ColumnAddr`] in this model, kept distinct for clarity).
+    CacheBlockAddr,
+    "CB"
+);
+
+impl RowAddr {
+    /// Returns the two least-significant bits of the row address, which
+    /// select one of the four local wordlines within a segment (Section 4.1).
+    pub fn lwl_select(self) -> u8 {
+        (self.0 & 0b11) as u8
+    }
+
+    /// Returns `true` if `self` and `other` lie in the same segment and their
+    /// two least-significant bits are inverted (e.g. rows 0 and 3, or 1 and
+    /// 2), the necessary condition for a QUAC-triggering ACT pair
+    /// (Section 4).
+    pub fn is_quac_pair(self, other: RowAddr) -> bool {
+        Segment::containing(self) == Segment::containing(other)
+            && self.lwl_select() ^ other.lwl_select() == 0b11
+    }
+
+    /// Returns the subarray this row belongs to under the given geometry.
+    pub fn subarray(self, geom: &DramGeometry) -> SubarrayAddr {
+        SubarrayAddr::new(self.0 / geom.rows_per_subarray)
+    }
+}
+
+/// A DRAM segment: four consecutive rows whose addresses differ only in the
+/// two least-significant bits (Section 4). Segment *k* covers rows
+/// `4k .. 4k+3`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Segment(usize);
+
+impl Segment {
+    /// Creates the segment with the given index.
+    pub const fn new(index: usize) -> Self {
+        Segment(index)
+    }
+
+    /// Returns the segment containing the given row.
+    pub const fn containing(row: RowAddr) -> Self {
+        Segment(row.index() / ROWS_PER_SEGMENT)
+    }
+
+    /// Returns the segment index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns the first (lowest-addressed) row of the segment.
+    pub const fn base_row(self) -> RowAddr {
+        RowAddr::new(self.0 * ROWS_PER_SEGMENT)
+    }
+
+    /// Returns all four rows of the segment in ascending address order.
+    pub fn rows(self) -> [RowAddr; ROWS_PER_SEGMENT] {
+        let base = self.0 * ROWS_PER_SEGMENT;
+        [
+            RowAddr::new(base),
+            RowAddr::new(base + 1),
+            RowAddr::new(base + 2),
+            RowAddr::new(base + 3),
+        ]
+    }
+
+    /// Returns the two (first, second) ACT targets that trigger QUAC on this
+    /// segment following Algorithm 1: the first and the fourth rows.
+    pub fn quac_act_pair(self) -> (RowAddr, RowAddr) {
+        let rows = self.rows();
+        (rows[0], rows[3])
+    }
+
+    /// Returns the subarray this segment belongs to.
+    pub fn subarray(self, geom: &DramGeometry) -> SubarrayAddr {
+        self.base_row().subarray(geom)
+    }
+
+    /// Returns `true` if the segment index is valid for the geometry.
+    pub fn is_valid(self, geom: &DramGeometry) -> bool {
+        self.0 < geom.segments_per_bank()
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SEG{}", self.0)
+    }
+}
+
+/// A fully-qualified DRAM location down to bank granularity, with optional
+/// row and column. This is the address carried by DDR4 commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct DramAddress {
+    /// Channel component.
+    pub channel: ChannelAddr,
+    /// Rank component.
+    pub rank: RankAddr,
+    /// Bank-group component.
+    pub bank_group: BankGroupAddr,
+    /// Bank component.
+    pub bank: BankAddr,
+    /// Row component (meaningful for ACT).
+    pub row: RowAddr,
+    /// Column component (meaningful for RD/WR).
+    pub column: ColumnAddr,
+}
+
+impl DramAddress {
+    /// Creates an address pointing at a bank (row and column zero).
+    pub fn bank(
+        channel: ChannelAddr,
+        rank: RankAddr,
+        bank_group: BankGroupAddr,
+        bank: BankAddr,
+    ) -> Self {
+        DramAddress { channel, rank, bank_group, bank, row: RowAddr::new(0), column: ColumnAddr::new(0) }
+    }
+
+    /// Returns a copy of this address with the row replaced.
+    pub fn with_row(mut self, row: RowAddr) -> Self {
+        self.row = row;
+        self
+    }
+
+    /// Returns a copy of this address with the column replaced.
+    pub fn with_column(mut self, column: ColumnAddr) -> Self {
+        self.column = column;
+        self
+    }
+
+    /// Returns a flat bank identifier within a rank:
+    /// `bank_group * banks_per_group + bank`.
+    pub fn flat_bank(&self, geom: &DramGeometry) -> usize {
+        self.bank_group.index() * geom.banks_per_group + self.bank.index()
+    }
+
+    /// Validates that all components are in range for the geometry.
+    pub fn validate(&self, geom: &DramGeometry) -> Result<(), DramCoreError> {
+        let checks: [(&'static str, usize, usize); 6] = [
+            ("channel", self.channel.index(), geom.channels),
+            ("rank", self.rank.index(), geom.ranks),
+            ("bank group", self.bank_group.index(), geom.bank_groups),
+            ("bank", self.bank.index(), geom.banks_per_group),
+            ("row", self.row.index(), geom.rows_per_bank()),
+            ("column", self.column.index(), geom.columns_per_row()),
+        ];
+        for (component, value, bound) in checks {
+            if value >= bound {
+                return Err(DramCoreError::AddressOutOfRange { component, value, bound });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DramAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/{}/{}/{}",
+            self.channel, self.rank, self.bank_group, self.bank, self.row, self.column
+        )
+    }
+}
+
+/// Returns the bit range `[start, end)` within a row covered by the given
+/// cache block.
+pub fn cache_block_bit_range(cb: CacheBlockAddr) -> std::ops::Range<usize> {
+    let start = cb.index() * CACHE_BLOCK_BITS;
+    start..start + CACHE_BLOCK_BITS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_row_mapping_round_trips() {
+        for row in 0..64usize {
+            let seg = Segment::containing(RowAddr::new(row));
+            assert_eq!(seg.index(), row / 4);
+            assert!(seg.rows().contains(&RowAddr::new(row)));
+        }
+    }
+
+    #[test]
+    fn quac_pair_requires_inverted_lsbs_in_same_segment() {
+        // Rows 0 and 3 (00 and 11): valid.
+        assert!(RowAddr::new(0).is_quac_pair(RowAddr::new(3)));
+        // Rows 1 and 2 (01 and 10): valid.
+        assert!(RowAddr::new(1).is_quac_pair(RowAddr::new(2)));
+        // Rows 0 and 1: not inverted.
+        assert!(!RowAddr::new(0).is_quac_pair(RowAddr::new(1)));
+        // Rows 0 and 2: not inverted.
+        assert!(!RowAddr::new(0).is_quac_pair(RowAddr::new(2)));
+        // Rows 3 and 4: inverted bits but different segments.
+        assert!(!RowAddr::new(3).is_quac_pair(RowAddr::new(4)));
+        // Rows 4 and 7: next segment, valid.
+        assert!(RowAddr::new(4).is_quac_pair(RowAddr::new(7)));
+    }
+
+    #[test]
+    fn quac_act_pair_is_first_and_fourth_row() {
+        let seg = Segment::new(10);
+        let (a, b) = seg.quac_act_pair();
+        assert_eq!(a, RowAddr::new(40));
+        assert_eq!(b, RowAddr::new(43));
+        assert!(a.is_quac_pair(b));
+    }
+
+    #[test]
+    fn address_validation_catches_out_of_range_components() {
+        let geom = DramGeometry::tiny_test();
+        let ok = DramAddress::bank(
+            ChannelAddr::new(0),
+            RankAddr::new(0),
+            BankGroupAddr::new(1),
+            BankAddr::new(1),
+        )
+        .with_row(RowAddr::new(255))
+        .with_column(ColumnAddr::new(7));
+        ok.validate(&geom).unwrap();
+
+        let bad_row = ok.with_row(RowAddr::new(256));
+        assert!(matches!(
+            bad_row.validate(&geom),
+            Err(DramCoreError::AddressOutOfRange { component: "row", .. })
+        ));
+        let bad_bg = DramAddress::bank(
+            ChannelAddr::new(0),
+            RankAddr::new(0),
+            BankGroupAddr::new(2),
+            BankAddr::new(0),
+        );
+        assert!(bad_bg.validate(&geom).is_err());
+    }
+
+    #[test]
+    fn flat_bank_enumerates_all_banks_uniquely() {
+        let geom = DramGeometry::ddr4_4gb_x8_module();
+        let mut seen = std::collections::HashSet::new();
+        for bg in 0..geom.bank_groups {
+            for b in 0..geom.banks_per_group {
+                let addr = DramAddress::bank(
+                    ChannelAddr::new(0),
+                    RankAddr::new(0),
+                    BankGroupAddr::new(bg),
+                    BankAddr::new(b),
+                );
+                seen.insert(addr.flat_bank(&geom));
+            }
+        }
+        assert_eq!(seen.len(), geom.banks_per_rank());
+        assert_eq!(*seen.iter().max().unwrap(), geom.banks_per_rank() - 1);
+    }
+
+    #[test]
+    fn subarray_assignment_uses_geometry() {
+        let geom = DramGeometry::tiny_test();
+        assert_eq!(RowAddr::new(0).subarray(&geom), SubarrayAddr::new(0));
+        assert_eq!(RowAddr::new(63).subarray(&geom), SubarrayAddr::new(0));
+        assert_eq!(RowAddr::new(64).subarray(&geom), SubarrayAddr::new(1));
+        let seg = Segment::containing(RowAddr::new(65));
+        assert_eq!(seg.subarray(&geom), SubarrayAddr::new(1));
+    }
+
+    #[test]
+    fn cache_block_bit_range_covers_512_bits() {
+        let r = cache_block_bit_range(CacheBlockAddr::new(3));
+        assert_eq!(r.start, 1536);
+        assert_eq!(r.end, 2048);
+    }
+
+    #[test]
+    fn display_formats_are_readable() {
+        let addr = DramAddress::bank(
+            ChannelAddr::new(1),
+            RankAddr::new(0),
+            BankGroupAddr::new(2),
+            BankAddr::new(3),
+        )
+        .with_row(RowAddr::new(44));
+        let s = format!("{addr}");
+        assert!(s.contains("CH1"));
+        assert!(s.contains("BG2"));
+        assert!(s.contains("R44"));
+        assert_eq!(format!("{}", Segment::new(7)), "SEG7");
+    }
+}

@@ -1,0 +1,409 @@
+//! A compact bit vector used for DRAM row contents and TRNG bitstreams.
+//!
+//! Rows in the evaluated modules are 65 536 bits wide and characterisation
+//! collects megabit-scale bitstreams per sense amplifier, so a dense `u64`
+//! backed representation keeps memory use and copying cheap.
+
+use crate::DramCoreError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fixed-length, dense vector of bits backed by `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates a bit vector of `len` bits, all zero.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { len, words: vec![0u64; len.div_ceil(64)] }
+    }
+
+    /// Creates a bit vector of `len` bits, all one.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec { len, words: vec![u64::MAX; len.div_ceil(64)] };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a bit vector of `len` bits where every bit equals `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        if value {
+            Self::ones(len)
+        } else {
+            Self::zeros(len)
+        }
+    }
+
+    /// Builds a bit vector from an iterator of booleans.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut v = Self::zeros(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            v.set(i, *b);
+        }
+        v
+    }
+
+    /// Builds a bit vector from a string of `'0'`/`'1'` characters
+    /// (other characters are rejected).
+    pub fn from_bit_str(s: &str) -> Result<Self, DramCoreError> {
+        let mut bits = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                _ => {
+                    return Err(DramCoreError::InvalidDataPattern { input: s.to_string() });
+                }
+            }
+        }
+        Ok(Self::from_bits(bits))
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Sets every bit to `value`.
+    pub fn fill(&mut self, value: bool) {
+        let w = if value { u64::MAX } else { 0 };
+        for word in &mut self.words {
+            *word = w;
+        }
+        if value {
+            self.mask_tail();
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of clear bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Fraction of set bits, or 0.0 for an empty vector.
+    pub fn ones_fraction(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Returns the bitwise XOR with `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramCoreError::LengthMismatch`] if the lengths differ.
+    pub fn xor(&self, other: &BitVec) -> Result<BitVec, DramCoreError> {
+        if self.len != other.len {
+            return Err(DramCoreError::LengthMismatch { left: self.len, right: other.len });
+        }
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a ^ b).collect();
+        Ok(BitVec { len: self.len, words })
+    }
+
+    /// Hamming distance to `other` (number of differing bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramCoreError::LengthMismatch`] if the lengths differ.
+    pub fn hamming_distance(&self, other: &BitVec) -> Result<usize, DramCoreError> {
+        Ok(self.xor(other)?.count_ones())
+    }
+
+    /// Copies `src` into this vector starting at bit offset `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + src.len() > self.len()`.
+    pub fn copy_bits_from(&mut self, offset: usize, src: &BitVec) {
+        assert!(
+            offset + src.len <= self.len,
+            "copy of {} bits at offset {offset} exceeds length {}",
+            src.len,
+            self.len
+        );
+        for i in 0..src.len {
+            self.set(offset + i, src.get(i));
+        }
+    }
+
+    /// Returns a new vector holding bits `[start, end)` of this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn slice(&self, start: usize, end: usize) -> BitVec {
+        assert!(start <= end && end <= self.len, "invalid slice {start}..{end} of {}", self.len);
+        let mut out = BitVec::zeros(end - start);
+        for i in start..end {
+            out.set(i - start, self.get(i));
+        }
+        out
+    }
+
+    /// Appends all bits of `other` to this vector.
+    pub fn extend_from(&mut self, other: &BitVec) {
+        let old_len = self.len;
+        self.len += other.len;
+        self.words.resize(self.len.div_ceil(64), 0);
+        for i in 0..other.len {
+            self.set(old_len + i, other.get(i));
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn push(&mut self, bit: bool) {
+        self.len += 1;
+        if self.words.len() * 64 < self.len {
+            self.words.push(0);
+        }
+        self.set(self.len - 1, bit);
+    }
+
+    /// Iterates over the bits as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Packs the bits into bytes (LSB-first within each byte); the final byte
+    /// is zero-padded.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes = vec![0u8; self.len.div_ceil(8)];
+        for i in 0..self.len {
+            if self.get(i) {
+                bytes[i / 8] |= 1 << (i % 8);
+            }
+        }
+        bytes
+    }
+
+    /// Builds a bit vector from packed bytes produced by [`BitVec::to_bytes`].
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
+        assert!(len <= bytes.len() * 8, "len {len} exceeds available bits {}", bytes.len() * 8);
+        let mut v = Self::zeros(len);
+        for i in 0..len {
+            if (bytes[i / 8] >> (i % 8)) & 1 == 1 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Clears bits beyond `len` in the final word so that `count_ones` stays
+    /// correct after bulk fills.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Show up to 64 bits, then an ellipsis, to keep Debug output usable.
+        let shown: String =
+            self.iter().take(64).map(|b| if b { '1' } else { '0' }).collect();
+        if self.len > 64 {
+            write!(f, "BitVec[{}]({shown}…)", self.len)
+        } else {
+            write!(f, "BitVec[{}]({shown})", self.len)
+        }
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        Self::from_bits(iter)
+    }
+}
+
+impl Extend<bool> for BitVec {
+    fn extend<T: IntoIterator<Item = bool>>(&mut self, iter: T) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_ones_have_expected_counts() {
+        let z = BitVec::zeros(130);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.count_zeros(), 130);
+        let o = BitVec::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert_eq!(o.count_zeros(), 0);
+        assert!((o.ones_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut v = BitVec::zeros(200);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(199, true);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(199));
+        assert!(!v.get(1) && !v.get(100));
+        assert_eq!(v.count_ones(), 4);
+        v.set(64, false);
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn fill_true_respects_length() {
+        let mut v = BitVec::zeros(70);
+        v.fill(true);
+        assert_eq!(v.count_ones(), 70);
+        v.fill(false);
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn xor_and_hamming_distance() {
+        let a = BitVec::from_bit_str("10101010").unwrap();
+        let b = BitVec::from_bit_str("11001100").unwrap();
+        let x = a.xor(&b).unwrap();
+        assert_eq!(x, BitVec::from_bit_str("01100110").unwrap());
+        assert_eq!(a.hamming_distance(&b).unwrap(), 4);
+        let c = BitVec::zeros(9);
+        assert!(a.xor(&c).is_err());
+    }
+
+    #[test]
+    fn from_bit_str_rejects_garbage() {
+        assert!(BitVec::from_bit_str("01x1").is_err());
+        assert_eq!(BitVec::from_bit_str("0110").unwrap().count_ones(), 2);
+    }
+
+    #[test]
+    fn slice_and_copy_bits() {
+        let v = BitVec::from_bit_str("0011010111").unwrap();
+        let s = v.slice(2, 7);
+        assert_eq!(s, BitVec::from_bit_str("11010").unwrap());
+        let mut dst = BitVec::zeros(10);
+        dst.copy_bits_from(3, &s);
+        assert_eq!(dst, BitVec::from_bit_str("0001101000").unwrap());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let v = BitVec::from_bit_str("101100111000110").unwrap();
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), 2);
+        let back = BitVec::from_bytes(&bytes, v.len());
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn push_and_extend() {
+        let mut v = BitVec::zeros(0);
+        assert!(v.is_empty());
+        v.push(true);
+        v.push(false);
+        v.push(true);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.count_ones(), 2);
+        let mut w = BitVec::from_bit_str("11").unwrap();
+        w.extend_from(&v);
+        assert_eq!(w, BitVec::from_bit_str("11101").unwrap());
+        w.extend([false, false].into_iter());
+        assert_eq!(w.len(), 7);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let v: BitVec = [true, false, true, true].into_iter().collect();
+        assert_eq!(v, BitVec::from_bit_str("1011").unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(8);
+        let _ = v.get(8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bytes_round_trip(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let v = BitVec::from_bits(bits.clone());
+            let back = BitVec::from_bytes(&v.to_bytes(), v.len());
+            prop_assert_eq!(v.clone(), back);
+            prop_assert_eq!(v.count_ones(), bits.iter().filter(|b| **b).count());
+        }
+
+        #[test]
+        fn prop_xor_is_involutive(bits_a in proptest::collection::vec(any::<bool>(), 1..200),
+                                  seed in any::<u64>()) {
+            let a = BitVec::from_bits(bits_a.clone());
+            // Derive a second vector of the same length deterministically.
+            let b = BitVec::from_bits(
+                bits_a.iter().enumerate().map(|(i, x)| *x ^ ((seed >> (i % 64)) & 1 == 1)),
+            );
+            let x = a.xor(&b).unwrap();
+            prop_assert_eq!(x.xor(&b).unwrap(), a.clone());
+            prop_assert_eq!(a.hamming_distance(&b).unwrap(), x.count_ones());
+        }
+
+        #[test]
+        fn prop_slice_concat_identity(bits in proptest::collection::vec(any::<bool>(), 1..200),
+                                      cut in 0usize..200) {
+            let v = BitVec::from_bits(bits);
+            let cut = cut % (v.len() + 1);
+            let mut left = v.slice(0, cut);
+            let right = v.slice(cut, v.len());
+            left.extend_from(&right);
+            prop_assert_eq!(left, v);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! DDR4 command encoding.
+//!
+//! Commands are modelled at the granularity the memory controller issues them
+//! on the command bus (Section 2.1, Figure 2): activate, precharge, read,
+//! write, refresh. Reduced-timing behaviour (the heart of QUAC) is expressed
+//! by *when* commands are issued, not by the commands themselves, exactly as
+//! on real hardware.
+
+use crate::address::DramAddress;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a DDR4 command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Activate a row (`ACT`).
+    Activate,
+    /// Precharge a single bank (`PRE`).
+    Precharge,
+    /// Precharge all banks of the rank (`PREA`).
+    PrechargeAll,
+    /// Read a cache-block burst from the open row (`RD`).
+    Read,
+    /// Read with auto-precharge (`RDA`).
+    ReadAutoPrecharge,
+    /// Write a cache-block burst into the open row (`WR`).
+    Write,
+    /// Write with auto-precharge (`WRA`).
+    WriteAutoPrecharge,
+    /// Refresh (`REF`).
+    Refresh,
+    /// No operation / deselect.
+    Nop,
+}
+
+impl CommandKind {
+    /// Returns `true` for commands that transfer data over the data bus.
+    pub fn uses_data_bus(self) -> bool {
+        matches!(
+            self,
+            CommandKind::Read
+                | CommandKind::ReadAutoPrecharge
+                | CommandKind::Write
+                | CommandKind::WriteAutoPrecharge
+        )
+    }
+
+    /// Returns `true` for the read-family commands.
+    pub fn is_read(self) -> bool {
+        matches!(self, CommandKind::Read | CommandKind::ReadAutoPrecharge)
+    }
+
+    /// Returns `true` for the write-family commands.
+    pub fn is_write(self) -> bool {
+        matches!(self, CommandKind::Write | CommandKind::WriteAutoPrecharge)
+    }
+
+    /// Returns `true` for commands that implicitly precharge the bank.
+    pub fn auto_precharges(self) -> bool {
+        matches!(self, CommandKind::ReadAutoPrecharge | CommandKind::WriteAutoPrecharge)
+    }
+
+    /// Short mnemonic as printed in command traces.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CommandKind::Activate => "ACT",
+            CommandKind::Precharge => "PRE",
+            CommandKind::PrechargeAll => "PREA",
+            CommandKind::Read => "RD",
+            CommandKind::ReadAutoPrecharge => "RDA",
+            CommandKind::Write => "WR",
+            CommandKind::WriteAutoPrecharge => "WRA",
+            CommandKind::Refresh => "REF",
+            CommandKind::Nop => "NOP",
+        }
+    }
+}
+
+impl fmt::Display for CommandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A DDR4 command together with its target address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Command {
+    /// The command kind.
+    pub kind: CommandKind,
+    /// The target address. For bank-level commands only the bank components
+    /// are meaningful; for `ACT` the row is meaningful; for `RD`/`WR` the
+    /// column is meaningful.
+    pub target: DramAddress,
+}
+
+impl Command {
+    /// Creates an `ACT` command for the given address (row meaningful).
+    pub fn activate(target: DramAddress) -> Self {
+        Command { kind: CommandKind::Activate, target }
+    }
+
+    /// Creates a `PRE` command for the bank addressed by `target`.
+    pub fn precharge(target: DramAddress) -> Self {
+        Command { kind: CommandKind::Precharge, target }
+    }
+
+    /// Creates a `PREA` command for the rank addressed by `target`.
+    pub fn precharge_all(target: DramAddress) -> Self {
+        Command { kind: CommandKind::PrechargeAll, target }
+    }
+
+    /// Creates a `RD` command for the column addressed by `target`.
+    pub fn read(target: DramAddress) -> Self {
+        Command { kind: CommandKind::Read, target }
+    }
+
+    /// Creates a `WR` command for the column addressed by `target`.
+    pub fn write(target: DramAddress) -> Self {
+        Command { kind: CommandKind::Write, target }
+    }
+
+    /// Creates a `REF` command for the rank addressed by `target`.
+    pub fn refresh(target: DramAddress) -> Self {
+        Command { kind: CommandKind::Refresh, target }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind, self.target)
+    }
+}
+
+/// A command stamped with the time at which it appears on the command bus,
+/// in nanoseconds from the start of the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedCommand {
+    /// Issue time in nanoseconds.
+    pub at_ns: f64,
+    /// The command.
+    pub command: Command,
+}
+
+impl TimedCommand {
+    /// Creates a command issued at `at_ns` nanoseconds.
+    pub fn new(at_ns: f64, command: Command) -> Self {
+        TimedCommand { at_ns, command }
+    }
+}
+
+impl fmt::Display for TimedCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10.2} ns] {}", self.at_ns, self.command)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::{BankAddr, BankGroupAddr, ChannelAddr, RankAddr, RowAddr};
+
+    fn addr() -> DramAddress {
+        DramAddress::bank(
+            ChannelAddr::new(0),
+            RankAddr::new(0),
+            BankGroupAddr::new(1),
+            BankAddr::new(2),
+        )
+        .with_row(RowAddr::new(12))
+    }
+
+    #[test]
+    fn data_bus_classification() {
+        assert!(CommandKind::Read.uses_data_bus());
+        assert!(CommandKind::WriteAutoPrecharge.uses_data_bus());
+        assert!(!CommandKind::Activate.uses_data_bus());
+        assert!(!CommandKind::Precharge.uses_data_bus());
+        assert!(CommandKind::Read.is_read());
+        assert!(!CommandKind::Read.is_write());
+        assert!(CommandKind::Write.is_write());
+        assert!(CommandKind::ReadAutoPrecharge.auto_precharges());
+        assert!(!CommandKind::Read.auto_precharges());
+    }
+
+    #[test]
+    fn constructors_set_kind_and_target() {
+        let a = addr();
+        assert_eq!(Command::activate(a).kind, CommandKind::Activate);
+        assert_eq!(Command::precharge(a).kind, CommandKind::Precharge);
+        assert_eq!(Command::precharge_all(a).kind, CommandKind::PrechargeAll);
+        assert_eq!(Command::read(a).kind, CommandKind::Read);
+        assert_eq!(Command::write(a).kind, CommandKind::Write);
+        assert_eq!(Command::refresh(a).kind, CommandKind::Refresh);
+        assert_eq!(Command::activate(a).target, a);
+    }
+
+    #[test]
+    fn display_contains_mnemonic_and_time() {
+        let tc = TimedCommand::new(12.5, Command::activate(addr()));
+        let s = format!("{tc}");
+        assert!(s.contains("ACT"));
+        assert!(s.contains("12.50 ns"));
+    }
+}

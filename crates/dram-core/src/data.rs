@@ -1,0 +1,301 @@
+//! Segment initialization data patterns.
+//!
+//! A QUAC data pattern assigns a fill value (all-zeros or all-ones) to each of
+//! the four rows of a segment before the QUAC operation (Section 6.1.3). The
+//! paper writes patterns as four-character strings, e.g. `"0111"` meaning
+//! row 0 is filled with zeros and rows 1–3 with ones; that pattern (and its
+//! complement `"1000"`) yields the highest average entropy because the
+//! first-activated row opposes the other three.
+
+use crate::{BitVec, DramCoreError, ROWS_PER_SEGMENT};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The fill value of one row under a data pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowFill {
+    /// The row is initialized to all zeros (cells discharged).
+    Zeros,
+    /// The row is initialized to all ones (cells charged).
+    Ones,
+}
+
+impl RowFill {
+    /// The logical bit value of this fill.
+    pub fn bit(self) -> bool {
+        matches!(self, RowFill::Ones)
+    }
+
+    /// The charge polarity of this fill: `+1.0` for charged cells (VDD),
+    /// `-1.0` for discharged cells (0 V), as used by the charge-sharing model.
+    pub fn charge_sign(self) -> f64 {
+        match self {
+            RowFill::Ones => 1.0,
+            RowFill::Zeros => -1.0,
+        }
+    }
+
+    /// Produces a full row of this fill value with the given width in bits.
+    pub fn to_row(self, row_bits: usize) -> BitVec {
+        BitVec::filled(row_bits, self.bit())
+    }
+}
+
+/// A four-row segment initialization pattern, e.g. `"0111"`.
+///
+/// Index 0 corresponds to the segment's lowest-addressed row (the row that the
+/// first ACT of the QUAC sequence targets in Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DataPattern {
+    fills: [RowFill; ROWS_PER_SEGMENT],
+}
+
+impl DataPattern {
+    /// Creates a pattern from explicit per-row fills.
+    pub fn new(fills: [RowFill; ROWS_PER_SEGMENT]) -> Self {
+        DataPattern { fills }
+    }
+
+    /// Parses a pattern from a four-character `0`/`1` string such as
+    /// `"0111"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramCoreError::InvalidDataPattern`] if the string is not
+    /// exactly four `0`/`1` characters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use qt_dram_core::DataPattern;
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let p = DataPattern::from_bits_str("0111")?;
+    /// assert_eq!(p.to_string(), "0111");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_bits_str(s: &str) -> Result<Self, DramCoreError> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() != ROWS_PER_SEGMENT {
+            return Err(DramCoreError::InvalidDataPattern { input: s.to_string() });
+        }
+        let mut fills = [RowFill::Zeros; ROWS_PER_SEGMENT];
+        for (i, c) in chars.iter().enumerate() {
+            fills[i] = match c {
+                '0' => RowFill::Zeros,
+                '1' => RowFill::Ones,
+                _ => return Err(DramCoreError::InvalidDataPattern { input: s.to_string() }),
+            };
+        }
+        Ok(DataPattern { fills })
+    }
+
+    /// Creates a pattern from the low four bits of an index
+    /// (bit 3 = row 0, …, bit 0 = row 3), so `0b0111 == "0111"`.
+    pub fn from_index(index: u8) -> Self {
+        let mut fills = [RowFill::Zeros; ROWS_PER_SEGMENT];
+        for (row, fill) in fills.iter_mut().enumerate() {
+            let bit = (index >> (ROWS_PER_SEGMENT - 1 - row)) & 1;
+            *fill = if bit == 1 { RowFill::Ones } else { RowFill::Zeros };
+        }
+        DataPattern { fills }
+    }
+
+    /// The index of this pattern (inverse of [`DataPattern::from_index`]).
+    pub fn index(&self) -> u8 {
+        self.fills
+            .iter()
+            .enumerate()
+            .map(|(row, f)| (f.bit() as u8) << (ROWS_PER_SEGMENT - 1 - row))
+            .sum()
+    }
+
+    /// The highest-average-entropy pattern found in the paper's
+    /// characterisation (`"0111"`, Section 6.1.3).
+    pub fn best_average() -> Self {
+        Self::from_bits_str("0111").expect("static pattern is valid")
+    }
+
+    /// The fill of the given row (0–3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= 4`.
+    pub fn fill(&self, row: usize) -> RowFill {
+        self.fills[row]
+    }
+
+    /// All four fills in row order.
+    pub fn fills(&self) -> [RowFill; ROWS_PER_SEGMENT] {
+        self.fills
+    }
+
+    /// Number of rows filled with ones.
+    pub fn ones_count(&self) -> usize {
+        self.fills.iter().filter(|f| f.bit()).count()
+    }
+
+    /// Returns `true` if the pattern stores conflicting data (not all rows
+    /// identical), the precondition for QUAC-induced metastability
+    /// (Section 5.1).
+    pub fn is_conflicting(&self) -> bool {
+        let ones = self.ones_count();
+        ones != 0 && ones != ROWS_PER_SEGMENT
+    }
+
+    /// Returns `true` if row 0 (the first-activated row) stores the inverse
+    /// of all three other rows — the configuration that maximises entropy
+    /// according to Section 6.1.3 (`"0111"` and `"1000"`).
+    pub fn first_row_opposes_rest(&self) -> bool {
+        let r0 = self.fills[0].bit();
+        self.fills[1..].iter().all(|f| f.bit() != r0)
+    }
+
+    /// Returns the complement pattern (every fill inverted).
+    pub fn complement(&self) -> Self {
+        let mut fills = self.fills;
+        for f in &mut fills {
+            *f = if f.bit() { RowFill::Zeros } else { RowFill::Ones };
+        }
+        DataPattern { fills }
+    }
+
+    /// Materialises the pattern as four full rows of `row_bits` bits each.
+    pub fn to_rows(&self, row_bits: usize) -> [BitVec; ROWS_PER_SEGMENT] {
+        [
+            self.fills[0].to_row(row_bits),
+            self.fills[1].to_row(row_bits),
+            self.fills[2].to_row(row_bits),
+            self.fills[3].to_row(row_bits),
+        ]
+    }
+
+    /// All 16 possible patterns in index order (`"0000"` … `"1111"`),
+    /// the exhaustive set tested in Section 6.1.2.
+    pub fn all() -> Vec<DataPattern> {
+        (0u8..16).map(DataPattern::from_index).collect()
+    }
+
+    /// The eight patterns shown in Figure 8 (`"0100"` … `"1011"`); the others
+    /// are omitted by the paper for insufficient entropy.
+    pub fn figure8_patterns() -> Vec<DataPattern> {
+        ["0100", "0101", "0110", "0111", "1000", "1001", "1010", "1011"]
+            .iter()
+            .map(|s| DataPattern::from_bits_str(s).expect("static patterns are valid"))
+            .collect()
+    }
+}
+
+impl fmt::Display for DataPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for fill in &self.fills {
+            write!(f, "{}", if fill.bit() { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for DataPattern {
+    type Err = DramCoreError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::from_bits_str(s)
+    }
+}
+
+/// All 16 data-pattern strings in index order, matching
+/// [`DataPattern::all`].
+pub const ALL_DATA_PATTERNS: [&str; 16] = [
+    "0000", "0001", "0010", "0011", "0100", "0101", "0110", "0111", "1000", "1001", "1010",
+    "1011", "1100", "1101", "1110", "1111",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ALL_DATA_PATTERNS {
+            let p = DataPattern::from_bits_str(s).unwrap();
+            assert_eq!(p.to_string(), s);
+            assert_eq!(DataPattern::from_index(p.index()), p);
+        }
+    }
+
+    #[test]
+    fn invalid_patterns_rejected() {
+        assert!(DataPattern::from_bits_str("011").is_err());
+        assert!(DataPattern::from_bits_str("01110").is_err());
+        assert!(DataPattern::from_bits_str("01a1").is_err());
+        assert!("0x11".parse::<DataPattern>().is_err());
+        assert!("0111".parse::<DataPattern>().is_ok());
+    }
+
+    #[test]
+    fn conflicting_classification() {
+        assert!(!DataPattern::from_bits_str("0000").unwrap().is_conflicting());
+        assert!(!DataPattern::from_bits_str("1111").unwrap().is_conflicting());
+        assert!(DataPattern::from_bits_str("0111").unwrap().is_conflicting());
+        assert!(DataPattern::from_bits_str("0101").unwrap().is_conflicting());
+    }
+
+    #[test]
+    fn best_average_pattern_opposes_first_row() {
+        let p = DataPattern::best_average();
+        assert_eq!(p.to_string(), "0111");
+        assert!(p.first_row_opposes_rest());
+        assert!(p.complement().first_row_opposes_rest());
+        assert_eq!(p.complement().to_string(), "1000");
+        assert!(!DataPattern::from_bits_str("0101").unwrap().first_row_opposes_rest());
+    }
+
+    #[test]
+    fn figure8_patterns_are_the_documented_eight() {
+        let pats = DataPattern::figure8_patterns();
+        assert_eq!(pats.len(), 8);
+        assert!(pats.iter().all(|p| p.is_conflicting()));
+        assert!(pats.contains(&DataPattern::best_average()));
+    }
+
+    #[test]
+    fn to_rows_materialises_fills() {
+        let p = DataPattern::from_bits_str("0110").unwrap();
+        let rows = p.to_rows(128);
+        assert_eq!(rows[0].count_ones(), 0);
+        assert_eq!(rows[1].count_ones(), 128);
+        assert_eq!(rows[2].count_ones(), 128);
+        assert_eq!(rows[3].count_ones(), 0);
+    }
+
+    #[test]
+    fn charge_signs() {
+        assert_eq!(RowFill::Ones.charge_sign(), 1.0);
+        assert_eq!(RowFill::Zeros.charge_sign(), -1.0);
+    }
+
+    #[test]
+    fn all_patterns_are_distinct() {
+        let all = DataPattern::all();
+        assert_eq!(all.len(), 16);
+        let set: std::collections::HashSet<u8> = all.iter().map(|p| p.index()).collect();
+        assert_eq!(set.len(), 16);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_index_round_trip(idx in 0u8..16) {
+            let p = DataPattern::from_index(idx);
+            prop_assert_eq!(p.index(), idx);
+            prop_assert_eq!(p.ones_count(), idx.count_ones() as usize);
+        }
+
+        #[test]
+        fn prop_complement_is_involutive(idx in 0u8..16) {
+            let p = DataPattern::from_index(idx);
+            prop_assert_eq!(p.complement().complement(), p);
+            prop_assert_eq!(p.is_conflicting(), p.complement().is_conflicting());
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for the DRAM core crate.
+
+use std::fmt;
+
+/// Errors produced when constructing or validating core DRAM types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramCoreError {
+    /// A data-pattern string was not exactly four characters of `0`/`1`.
+    InvalidDataPattern {
+        /// The offending input string.
+        input: String,
+    },
+    /// An address component exceeded the bounds implied by the geometry.
+    AddressOutOfRange {
+        /// Which component was out of range (e.g. `"row"`).
+        component: &'static str,
+        /// The offending value.
+        value: usize,
+        /// The exclusive upper bound.
+        bound: usize,
+    },
+    /// A transfer rate was outside the supported range.
+    UnsupportedTransferRate {
+        /// The requested rate in MT/s.
+        mts: u32,
+    },
+    /// A bit-vector operation was attempted on vectors of mismatched length.
+    LengthMismatch {
+        /// Length of the left operand in bits.
+        left: usize,
+        /// Length of the right operand in bits.
+        right: usize,
+    },
+}
+
+impl fmt::Display for DramCoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramCoreError::InvalidDataPattern { input } => {
+                write!(f, "invalid data pattern {input:?}: expected four '0'/'1' characters")
+            }
+            DramCoreError::AddressOutOfRange { component, value, bound } => {
+                write!(f, "{component} address {value} out of range (must be < {bound})")
+            }
+            DramCoreError::UnsupportedTransferRate { mts } => {
+                write!(f, "unsupported DDR4 transfer rate {mts} MT/s")
+            }
+            DramCoreError::LengthMismatch { left, right } => {
+                write!(f, "bit-vector length mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DramCoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DramCoreError::InvalidDataPattern { input: "01".into() };
+        assert!(e.to_string().contains("invalid data pattern"));
+        let e = DramCoreError::AddressOutOfRange { component: "row", value: 70000, bound: 65536 };
+        assert!(e.to_string().contains("row address 70000"));
+        let e = DramCoreError::UnsupportedTransferRate { mts: 1 };
+        assert!(e.to_string().contains("1 MT/s"));
+        let e = DramCoreError::LengthMismatch { left: 8, right: 16 };
+        assert!(e.to_string().contains("8 vs 16"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramCoreError>();
+    }
+}

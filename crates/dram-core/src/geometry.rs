@@ -1,0 +1,251 @@
+//! DRAM device and module geometry.
+//!
+//! The geometry describes the hierarchical organisation of a DDR4 module as
+//! seen by the memory controller (Section 2.1 of the paper): channels contain
+//! ranks, ranks contain bank groups, bank groups contain banks, banks are
+//! split into subarrays of rows, and rows span a number of bitlines equal to
+//! the module's row width.
+
+use crate::{ROWS_PER_SEGMENT, CACHE_BLOCK_BITS};
+use serde::{Deserialize, Serialize};
+
+/// Static geometry of a DRAM module (one rank view, per channel).
+///
+/// The defaults mirror the modules characterised in the paper (Appendix A,
+/// Table 3): x8 DDR4 chips, eight chips per rank, 4 bank groups × 4 banks,
+/// 64 K (65 536) rows per bank, and an 8 KiB (65 536-bit) row per module
+/// (64 K bitlines per segment row, i.e. 128 cache blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramGeometry {
+    /// Number of independent memory channels.
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks: usize,
+    /// Bank groups per rank (DDR4: 4).
+    pub bank_groups: usize,
+    /// Banks per bank group (DDR4: 4).
+    pub banks_per_group: usize,
+    /// Subarrays per bank.
+    pub subarrays_per_bank: usize,
+    /// Rows per subarray.
+    pub rows_per_subarray: usize,
+    /// Number of bitlines spanned by one row at module level
+    /// (chips × per-chip row width).
+    pub row_bits: usize,
+    /// Number of DRAM chips that make up one rank.
+    pub chips_per_rank: usize,
+    /// Data-bus width of one chip in bits (x4/x8/x16).
+    pub chip_io_width: usize,
+}
+
+impl DramGeometry {
+    /// Geometry of the 4 GB x8 DDR4 modules that dominate the paper's
+    /// characterised population (Appendix A, Table 3): 4 bank groups × 4
+    /// banks, 32 K rows per bank (8 K segments), 8 KiB module-level rows.
+    pub fn ddr4_4gb_x8_module() -> Self {
+        DramGeometry {
+            channels: 1,
+            ranks: 1,
+            bank_groups: 4,
+            banks_per_group: 4,
+            subarrays_per_bank: 64,
+            rows_per_subarray: 512,
+            row_bits: 65_536,
+            chips_per_rank: 8,
+            chip_io_width: 8,
+        }
+    }
+
+    /// Geometry of an 8 GB x8 DDR4 module (used for the Section 9 memory
+    /// overhead accounting): twice the rows per bank of the 4 GB module.
+    pub fn ddr4_8gb_x8_module() -> Self {
+        DramGeometry { subarrays_per_bank: 128, ..Self::ddr4_4gb_x8_module() }
+    }
+
+    /// A deliberately small geometry for fast unit tests: 2 bank groups of
+    /// 2 banks, 4 subarrays of 64 rows, 4096-bit rows (8 cache blocks).
+    pub fn tiny_test() -> Self {
+        DramGeometry {
+            channels: 1,
+            ranks: 1,
+            bank_groups: 2,
+            banks_per_group: 2,
+            subarrays_per_bank: 4,
+            rows_per_subarray: 64,
+            row_bits: 4096,
+            chips_per_rank: 8,
+            chip_io_width: 8,
+        }
+    }
+
+    /// The four-channel system configuration used in Section 7.3 / Table 2.
+    pub fn four_channel_system() -> Self {
+        DramGeometry { channels: 4, ..Self::ddr4_4gb_x8_module() }
+    }
+
+    /// Total banks per rank.
+    pub fn banks_per_rank(&self) -> usize {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// Total rows in one bank.
+    pub fn rows_per_bank(&self) -> usize {
+        self.subarrays_per_bank * self.rows_per_subarray
+    }
+
+    /// Number of four-row segments in one bank (Section 4).
+    pub fn segments_per_bank(&self) -> usize {
+        self.rows_per_bank() / ROWS_PER_SEGMENT
+    }
+
+    /// Number of four-row segments in one subarray.
+    pub fn segments_per_subarray(&self) -> usize {
+        self.rows_per_subarray / ROWS_PER_SEGMENT
+    }
+
+    /// Number of 512-bit cache blocks in one row.
+    pub fn cache_blocks_per_row(&self) -> usize {
+        self.row_bits / CACHE_BLOCK_BITS
+    }
+
+    /// Number of column addresses per row, where one column selects one
+    /// cache-block-sized burst (BL8 over the 64-bit module bus).
+    pub fn columns_per_row(&self) -> usize {
+        self.cache_blocks_per_row()
+    }
+
+    /// Total capacity of one rank in bits.
+    pub fn rank_capacity_bits(&self) -> u64 {
+        self.banks_per_rank() as u64 * self.rows_per_bank() as u64 * self.row_bits as u64
+    }
+
+    /// Total capacity of one rank in bytes.
+    pub fn rank_capacity_bytes(&self) -> u64 {
+        self.rank_capacity_bits() / 8
+    }
+
+    /// Total module capacity in bytes across all ranks of one channel.
+    pub fn module_capacity_bytes(&self) -> u64 {
+        self.rank_capacity_bytes() * self.ranks as u64
+    }
+
+    /// The module-level data bus width in bits (chips × chip IO width).
+    pub fn bus_width_bits(&self) -> usize {
+        self.chips_per_rank * self.chip_io_width
+    }
+
+    /// Theoretical maximum Shannon entropy of one segment in bits: one bit
+    /// per bitline (footnote 7 of the paper: 64 K bits for the evaluated
+    /// modules).
+    pub fn max_segment_entropy_bits(&self) -> f64 {
+        self.row_bits as f64
+    }
+
+    /// Theoretical maximum Shannon entropy of a cache block in bits
+    /// (footnote 6: 512 bits).
+    pub fn max_cache_block_entropy_bits(&self) -> f64 {
+        CACHE_BLOCK_BITS as f64
+    }
+
+    /// Validates internal consistency (row width divisible by cache block
+    /// size, rows divisible by segment size, non-zero dimensions).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0
+            || self.ranks == 0
+            || self.bank_groups == 0
+            || self.banks_per_group == 0
+            || self.subarrays_per_bank == 0
+            || self.rows_per_subarray == 0
+            || self.row_bits == 0
+            || self.chips_per_rank == 0
+            || self.chip_io_width == 0
+        {
+            return Err("all geometry dimensions must be non-zero".to_string());
+        }
+        if self.row_bits % CACHE_BLOCK_BITS != 0 {
+            return Err(format!(
+                "row_bits ({}) must be a multiple of the cache-block size ({CACHE_BLOCK_BITS})",
+                self.row_bits
+            ));
+        }
+        if self.rows_per_subarray % ROWS_PER_SEGMENT != 0 {
+            return Err(format!(
+                "rows_per_subarray ({}) must be a multiple of the segment size ({ROWS_PER_SEGMENT})",
+                self.rows_per_subarray
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        Self::ddr4_4gb_x8_module()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_has_8k_segments_per_bank() {
+        let g = DramGeometry::ddr4_4gb_x8_module();
+        assert_eq!(g.rows_per_bank(), 32_768);
+        assert_eq!(g.segments_per_bank(), 8_192);
+        assert_eq!(g.cache_blocks_per_row(), 128);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn module_capacities_match_their_names() {
+        let g = DramGeometry::ddr4_4gb_x8_module();
+        // 16 banks * 32K rows * 8 KiB rows = 4 GiB.
+        assert_eq!(g.rank_capacity_bytes(), 4 * 1024 * 1024 * 1024);
+        let g8 = DramGeometry::ddr4_8gb_x8_module();
+        assert_eq!(g8.rank_capacity_bytes(), 8 * 1024 * 1024 * 1024);
+        assert_eq!(g8.segments_per_bank(), 16_384);
+    }
+
+    #[test]
+    fn bus_width_is_64_bits_for_x8_by_8_chips() {
+        let g = DramGeometry::ddr4_4gb_x8_module();
+        assert_eq!(g.bus_width_bits(), 64);
+    }
+
+    #[test]
+    fn tiny_geometry_is_consistent() {
+        let g = DramGeometry::tiny_test();
+        g.validate().unwrap();
+        assert_eq!(g.segments_per_subarray(), 16);
+        assert_eq!(g.segments_per_bank(), 64);
+        assert_eq!(g.cache_blocks_per_row(), 8);
+    }
+
+    #[test]
+    fn four_channel_system_has_four_channels() {
+        let g = DramGeometry::four_channel_system();
+        assert_eq!(g.channels, 4);
+        assert_eq!(g.banks_per_rank(), 16);
+    }
+
+    #[test]
+    fn invalid_geometries_are_rejected() {
+        let mut g = DramGeometry::ddr4_4gb_x8_module();
+        g.row_bits = 500; // not a multiple of 512
+        assert!(g.validate().is_err());
+        let mut g = DramGeometry::ddr4_4gb_x8_module();
+        g.rows_per_subarray = 6; // not a multiple of 4
+        assert!(g.validate().is_err());
+        let mut g = DramGeometry::ddr4_4gb_x8_module();
+        g.channels = 0;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn max_entropies_match_paper_footnotes() {
+        let g = DramGeometry::ddr4_4gb_x8_module();
+        assert_eq!(g.max_segment_entropy_bits(), 65_536.0);
+        assert_eq!(g.max_cache_block_entropy_bits(), 512.0);
+    }
+}

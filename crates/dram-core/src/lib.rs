@@ -1,0 +1,68 @@
+//! # qt-dram-core
+//!
+//! Foundational DRAM types shared by every other crate in the QUAC-TRNG
+//! reproduction: device geometry, typed addresses, DDR4 commands, JEDEC timing
+//! parameters, transfer-rate math, bit vectors for row data, and the segment
+//! initialization data patterns studied by the paper.
+//!
+//! The organisation follows Section 2.1 of the paper: a channel contains
+//! ranks, a rank contains bank groups, a bank group contains banks, a bank is
+//! divided into subarrays, a subarray contains rows, and four consecutive rows
+//! whose addresses differ only in their two least-significant bits form a
+//! *DRAM segment* (Section 4).
+//!
+//! ## Example
+//!
+//! ```
+//! use qt_dram_core::{DramGeometry, RowAddr, Segment, DataPattern};
+//!
+//! let geom = DramGeometry::ddr4_4gb_x8_module();
+//! assert_eq!(geom.segments_per_bank(), 8192);
+//!
+//! // Rows {4,5,6,7} form segment 1.
+//! let seg = Segment::containing(RowAddr::new(6));
+//! assert_eq!(seg.index(), 1);
+//! assert_eq!(seg.rows()[0], RowAddr::new(4));
+//!
+//! // The highest-average-entropy pattern from Figure 8.
+//! let p = DataPattern::from_bits_str("0111").unwrap();
+//! assert!(p.is_conflicting());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod bits;
+pub mod command;
+pub mod data;
+pub mod error;
+pub mod geometry;
+pub mod rate;
+pub mod timing;
+
+pub use address::{
+    BankAddr, BankGroupAddr, CacheBlockAddr, ChannelAddr, ColumnAddr, DramAddress, RankAddr,
+    RowAddr, Segment, SubarrayAddr,
+};
+pub use bits::BitVec;
+pub use command::{Command, CommandKind, TimedCommand};
+pub use data::{DataPattern, RowFill, ALL_DATA_PATTERNS};
+pub use error::DramCoreError;
+pub use geometry::DramGeometry;
+pub use rate::TransferRate;
+pub use timing::{SpeedGrade, TimingParams};
+
+/// Number of rows in a DRAM segment (fixed by the hierarchical wordline
+/// design described in Section 4.1: one master wordline drives four local
+/// wordlines).
+pub const ROWS_PER_SEGMENT: usize = 4;
+
+/// Width of a cache block in bits (64 bytes), the granularity of data
+/// transfers between the module and the memory controller (Section 2.1).
+pub const CACHE_BLOCK_BITS: usize = 512;
+
+/// Size of the random number produced by one post-processing step (SHA-256
+/// output width), and the amount of Shannon entropy required per hash input
+/// block (Section 5.2).
+pub const RANDOM_NUMBER_BITS: usize = 256;

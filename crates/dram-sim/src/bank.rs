@@ -1,0 +1,639 @@
+//! Behavioural model of one DRAM bank.
+//!
+//! The bank tracks open rows, sense-amplifier contents, the hierarchical
+//! wordline decoder latches, and the timestamps of the most recent commands.
+//! The *gap* between commands decides whether an operation behaves nominally
+//! or triggers one of the reduced-timing phenomena (QUAC, RowClone copy,
+//! tRP-disturbed activation, tRCD-corrupted read).
+
+use crate::decoder::RowDecoder;
+use crate::error::DramSimError;
+use qt_dram_analog::failures::FailureModel;
+use qt_dram_analog::{OperatingConditions, QuacAnalogModel};
+use qt_dram_core::{
+    BitVec, ColumnAddr, DataPattern, DramGeometry, RowAddr, Segment, TimingParams,
+    CACHE_BLOCK_BITS, ROWS_PER_SEGMENT,
+};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Contents of the bank's sense amplifiers (one full row buffer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenseAmpState {
+    /// The latched data, one bit per bitline.
+    pub data: BitVec,
+    /// The row whose activation produced this data, if it was a single-row
+    /// activation.
+    pub source_row: Option<RowAddr>,
+}
+
+/// What a command did when it was applied to the bank.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommandEffect {
+    /// A nominal activation latched one row into the sense amplifiers.
+    NormalActivate {
+        /// The activated row.
+        row: RowAddr,
+    },
+    /// A QUAC sequence opened all four rows of a segment and the sense
+    /// amplifiers resolved (partly) non-deterministically.
+    QuacActivate {
+        /// The affected segment.
+        segment: Segment,
+        /// The rows that ended up open.
+        opened: Vec<RowAddr>,
+    },
+    /// An interrupted-precharge activation copied the previously open row
+    /// into the newly activated row (in-DRAM copy, ComputeDRAM/RowClone).
+    RowCloneCopy {
+        /// The source row (previously open).
+        source: RowAddr,
+        /// The destination row (newly activated).
+        destination: RowAddr,
+    },
+    /// An activation on not-fully-precharged bitlines flipped some cells
+    /// (the Talukder+ entropy source).
+    TrpDisturbedActivate {
+        /// The activated row.
+        row: RowAddr,
+        /// How many cells flipped.
+        flipped_bits: usize,
+    },
+    /// A precharge that respected tRAS closed the bank.
+    PrechargeComplete,
+    /// A precharge issued before tRAS elapsed: the row stays open and the
+    /// decoder latches are not reset.
+    PrechargeInterrupted,
+    /// A read that respected tRCD returned sense-amplifier data unchanged.
+    ReadNominal {
+        /// The column that was read.
+        column: ColumnAddr,
+    },
+    /// A read issued before tRCD elapsed returned partially random data
+    /// (the D-RaNGe entropy source).
+    ReadTrcdViolated {
+        /// The column that was read.
+        column: ColumnAddr,
+        /// How many bits of the returned cache block were corrupted.
+        corrupted_bits: usize,
+    },
+    /// A write updated the sense amplifiers and every open row.
+    Write {
+        /// The column that was written.
+        column: ColumnAddr,
+    },
+}
+
+/// Behavioural state of one DRAM bank.
+#[derive(Debug, Clone)]
+pub struct BankSim {
+    geom: DramGeometry,
+    timing: TimingParams,
+    rows: HashMap<usize, BitVec>,
+    decoder: RowDecoder,
+    open_rows: Vec<RowAddr>,
+    sense_amps: Option<SenseAmpState>,
+    last_act: Option<(RowAddr, f64)>,
+    last_pre: Option<(f64, bool)>,
+    now: f64,
+}
+
+impl BankSim {
+    /// Creates an idle, precharged bank whose cells all store zero.
+    pub fn new(geom: DramGeometry, timing: TimingParams) -> Self {
+        BankSim {
+            geom,
+            timing,
+            rows: HashMap::new(),
+            decoder: RowDecoder::new(),
+            open_rows: Vec::new(),
+            sense_amps: None,
+            last_act: None,
+            last_pre: None,
+            now: 0.0,
+        }
+    }
+
+    /// The rows currently open (0, 1, or 4 under QUAC).
+    pub fn open_rows(&self) -> &[RowAddr] {
+        &self.open_rows
+    }
+
+    /// The current sense-amplifier contents, if a row is open.
+    pub fn sense_amps(&self) -> Option<&SenseAmpState> {
+        self.sense_amps.as_ref()
+    }
+
+    /// The bank-local simulated time of the last command, in nanoseconds.
+    pub fn now_ns(&self) -> f64 {
+        self.now
+    }
+
+    /// The timing parameters this bank obeys (or has violated against it).
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Returns a copy of the stored data of a row (all zeros if never
+    /// written).
+    pub fn row_data(&self, row: RowAddr) -> BitVec {
+        self.rows
+            .get(&row.index())
+            .cloned()
+            .unwrap_or_else(|| BitVec::zeros(self.geom.row_bits))
+    }
+
+    /// Directly sets a row's stored data (used for test setup and for
+    /// initialisation paths that bypass the command interface).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length does not match the row width.
+    pub fn set_row_data(&mut self, row: RowAddr, data: BitVec) {
+        assert_eq!(data.len(), self.geom.row_bits, "row data must match row width");
+        self.rows.insert(row.index(), data);
+    }
+
+    fn check_row(&self, row: RowAddr) -> Result<(), DramSimError> {
+        if row.index() >= self.geom.rows_per_bank() {
+            return Err(DramSimError::RowOutOfRange { row, rows_per_bank: self.geom.rows_per_bank() });
+        }
+        Ok(())
+    }
+
+    fn advance(&mut self, at_ns: f64) -> Result<(), DramSimError> {
+        if at_ns < self.now {
+            return Err(DramSimError::TimeWentBackwards { previous_ns: self.now, attempted_ns: at_ns });
+        }
+        self.now = at_ns;
+        Ok(())
+    }
+
+    /// Applies an `ACT` command at the given time.
+    ///
+    /// The outcome depends on the history: a normal activation latches the
+    /// row; an activation that follows an interrupted precharge within the
+    /// tRP window triggers QUAC (if the two activations form a QUAC pair) or
+    /// an in-DRAM copy; an activation that merely violates tRP disturbs the
+    /// newly activated row.
+    pub fn activate<R: Rng + ?Sized>(
+        &mut self,
+        row: RowAddr,
+        at_ns: f64,
+        analog: &QuacAnalogModel,
+        failures: &FailureModel,
+        conditions: OperatingConditions,
+        rng: &mut R,
+    ) -> Result<CommandEffect, DramSimError> {
+        self.check_row(row)?;
+        self.advance(at_ns)?;
+
+        let trp_violated = match self.last_pre {
+            // A small tolerance absorbs floating-point error in nominal
+            // schedules that re-activate exactly at tRP.
+            Some((pre_time, _)) => self.timing.violates_t_rp(at_ns - pre_time + 1e-6),
+            None => false,
+        };
+        let pre_interrupted = matches!(self.last_pre, Some((_, false)));
+        let prev_row = self.last_act.map(|(r, _)| r);
+
+        // If the precharge had time to complete (tRP respected), the decoder
+        // latches were eventually reset regardless of the tRAS interruption.
+        if !trp_violated {
+            self.decoder.precharge(true);
+            self.open_rows.clear();
+        }
+
+        self.decoder.activate(row);
+        let effect = if trp_violated && pre_interrupted {
+            let lwl = self.decoder.lwl_select();
+            let prev = prev_row.expect("interrupted precharge implies a prior activation");
+            if lwl.count() == ROWS_PER_SEGMENT && Segment::containing(prev) == Segment::containing(row)
+            {
+                self.apply_quac(Segment::containing(row), analog, conditions, rng)
+            } else {
+                self.apply_rowclone(prev, row)
+            }
+        } else if trp_violated {
+            let pre_time = self.last_pre.map(|(t, _)| t).unwrap_or(at_ns);
+            let fraction = ((at_ns - pre_time) / self.timing.t_rp).clamp(0.0, 1.0);
+            self.apply_trp_disturbed(row, fraction, failures, rng)
+        } else {
+            self.apply_normal_activate(row)
+        };
+
+        self.last_act = Some((row, at_ns));
+        self.last_pre = None;
+        Ok(effect)
+    }
+
+    fn apply_normal_activate(&mut self, row: RowAddr) -> CommandEffect {
+        let data = self.row_data(row);
+        self.sense_amps = Some(SenseAmpState { data, source_row: Some(row) });
+        self.open_rows = vec![row];
+        CommandEffect::NormalActivate { row }
+    }
+
+    fn apply_quac<R: Rng + ?Sized>(
+        &mut self,
+        segment: Segment,
+        analog: &QuacAnalogModel,
+        conditions: OperatingConditions,
+        rng: &mut R,
+    ) -> CommandEffect {
+        let rows = segment.rows();
+        let stored: Vec<BitVec> = rows.iter().map(|&r| self.row_data(r)).collect();
+        let mut result = BitVec::zeros(self.geom.row_bits);
+        for b in 0..self.geom.row_bits {
+            // The per-bitline "pattern" is the actual data stored in the four
+            // cells on this bitline.
+            let fills = [
+                fill_of(stored[0].get(b)),
+                fill_of(stored[1].get(b)),
+                fill_of(stored[2].get(b)),
+                fill_of(stored[3].get(b)),
+            ];
+            let pattern = DataPattern::new(fills);
+            let p = analog.one_probability(segment, b, pattern, conditions);
+            result.set(b, rng.gen::<f64>() < p);
+        }
+        // The sense amplifiers drive the bitlines, restoring the (random)
+        // resolved value into all four open rows.
+        for &r in &rows {
+            self.rows.insert(r.index(), result.clone());
+        }
+        self.sense_amps = Some(SenseAmpState { data: result, source_row: None });
+        self.open_rows = rows.to_vec();
+        CommandEffect::QuacActivate { segment, opened: rows.to_vec() }
+    }
+
+    fn apply_rowclone(&mut self, source: RowAddr, destination: RowAddr) -> CommandEffect {
+        // The sense amplifiers still hold the source row's data; activating
+        // the destination row before the precharge completes makes the
+        // amplifiers restore that data into the destination row.
+        let data = match &self.sense_amps {
+            Some(sa) => sa.data.clone(),
+            None => self.row_data(source),
+        };
+        self.rows.insert(destination.index(), data.clone());
+        self.sense_amps = Some(SenseAmpState { data, source_row: Some(destination) });
+        self.open_rows = vec![destination];
+        CommandEffect::RowCloneCopy { source, destination }
+    }
+
+    fn apply_trp_disturbed<R: Rng + ?Sized>(
+        &mut self,
+        row: RowAddr,
+        trp_fraction: f64,
+        failures: &FailureModel,
+        rng: &mut R,
+    ) -> CommandEffect {
+        let mut data = self.row_data(row);
+        let mut flipped = 0usize;
+        for b in 0..self.geom.row_bits {
+            let p = failures.trp_flip_probability(row, b, trp_fraction);
+            if p > 0.0 && rng.gen::<f64>() < p {
+                data.set(b, !data.get(b));
+                flipped += 1;
+            }
+        }
+        self.rows.insert(row.index(), data.clone());
+        self.sense_amps = Some(SenseAmpState { data, source_row: Some(row) });
+        self.open_rows = vec![row];
+        CommandEffect::TrpDisturbedActivate { row, flipped_bits: flipped }
+    }
+
+    /// Applies a `PRE` command at the given time. A precharge issued before
+    /// tRAS has elapsed since the last activation interrupts charge
+    /// restoration and fails to reset the decoder latches.
+    pub fn precharge(&mut self, at_ns: f64) -> Result<CommandEffect, DramSimError> {
+        self.advance(at_ns)?;
+        let t_ras_respected = match self.last_act {
+            Some((_, act_time)) => !self.timing.violates_t_ras(at_ns - act_time + 1e-6),
+            None => true,
+        };
+        self.decoder.precharge(t_ras_respected);
+        self.last_pre = Some((at_ns, t_ras_respected));
+        if t_ras_respected {
+            self.open_rows.clear();
+            self.sense_amps = None;
+            Ok(CommandEffect::PrechargeComplete)
+        } else {
+            Ok(CommandEffect::PrechargeInterrupted)
+        }
+    }
+
+    /// Applies a `RD` command for one cache block at the given time.
+    /// Reads issued before tRCD has elapsed since the activation return
+    /// partially random data (without modifying the stored row).
+    pub fn read<R: Rng + ?Sized>(
+        &mut self,
+        column: ColumnAddr,
+        at_ns: f64,
+        failures: &FailureModel,
+        rng: &mut R,
+    ) -> Result<(BitVec, CommandEffect), DramSimError> {
+        self.advance(at_ns)?;
+        let sa = self.sense_amps.as_ref().ok_or(DramSimError::NoOpenRow)?;
+        let (row, act_time) = self.last_act.ok_or(DramSimError::NoOpenRow)?;
+        let start = column.index() * CACHE_BLOCK_BITS;
+        let block = sa.data.slice(start, (start + CACHE_BLOCK_BITS).min(sa.data.len()));
+
+        let gap = at_ns - act_time;
+        // A small tolerance absorbs floating-point error in schedules that
+        // issue the read exactly at tRCD.
+        if !self.timing.violates_t_rcd(gap + 1e-6) {
+            return Ok((block, CommandEffect::ReadNominal { column }));
+        }
+        // tRCD violated: some cells in the block resolve randomly.
+        let fraction = (gap / self.timing.t_rcd).clamp(0.0, 1.0);
+        let mut corrupted = 0usize;
+        let mut out = block.clone();
+        for i in 0..out.len() {
+            let bitline = start + i;
+            let p_random = failures.trcd_read_one_probability(row, bitline, fraction);
+            // Symmetric treatment: the failure probability describes how far
+            // the cell is from a reliable read; a metastable cell returns a
+            // coin flip.
+            let entropy_like = 4.0 * p_random * (1.0 - p_random);
+            if rng.gen::<f64>() < entropy_like {
+                let new_bit = rng.gen::<bool>();
+                if new_bit != out.get(i) {
+                    corrupted += 1;
+                }
+                out.set(i, new_bit);
+            }
+        }
+        Ok((out, CommandEffect::ReadTrcdViolated { column, corrupted_bits: corrupted }))
+    }
+
+    /// Applies a `WR` command for one cache block: the data is latched into
+    /// the sense amplifiers and therefore written into *every* open row —
+    /// the effect the paper uses to verify that QUAC really opens four rows
+    /// (Section 4.2).
+    pub fn write(
+        &mut self,
+        column: ColumnAddr,
+        data: &BitVec,
+        at_ns: f64,
+    ) -> Result<CommandEffect, DramSimError> {
+        self.advance(at_ns)?;
+        let start = column.index() * CACHE_BLOCK_BITS;
+        let sa = self.sense_amps.as_mut().ok_or(DramSimError::NoOpenRow)?;
+        sa.data.copy_bits_from(start, data);
+        let sa_data = sa.data.clone();
+        for &row in &self.open_rows {
+            let mut row_data = self
+                .rows
+                .get(&row.index())
+                .cloned()
+                .unwrap_or_else(|| BitVec::zeros(self.geom.row_bits));
+            row_data.copy_bits_from(start, data);
+            self.rows.insert(row.index(), row_data);
+        }
+        // Keep the sense amps authoritative.
+        self.sense_amps = Some(SenseAmpState { data: sa_data, source_row: None });
+        Ok(CommandEffect::Write { column })
+    }
+}
+
+fn fill_of(bit: bool) -> qt_dram_core::RowFill {
+    if bit {
+        qt_dram_core::RowFill::Ones
+    } else {
+        qt_dram_core::RowFill::Zeros
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_dram_analog::ModuleVariation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        bank: BankSim,
+        analog: QuacAnalogModel,
+        failures: FailureModel,
+        rng: StdRng,
+    }
+
+    fn fixture() -> Fixture {
+        let geom = DramGeometry::tiny_test();
+        let variation = ModuleVariation::generate(&geom, 42);
+        Fixture {
+            bank: BankSim::new(geom, TimingParams::ddr4_2400()),
+            analog: QuacAnalogModel::new(geom, variation.clone()),
+            failures: FailureModel::new(variation),
+            rng: StdRng::seed_from_u64(7),
+        }
+    }
+
+    fn cond() -> OperatingConditions {
+        OperatingConditions::nominal()
+    }
+
+    #[test]
+    fn normal_activate_read_write_cycle() {
+        let mut f = fixture();
+        let row = RowAddr::new(8);
+        let mut data = BitVec::zeros(f.bank.geom.row_bits);
+        data.set(5, true);
+        f.bank.set_row_data(row, data);
+
+        let effect = f
+            .bank
+            .activate(row, 0.0, &f.analog, &f.failures, cond(), &mut f.rng)
+            .unwrap();
+        assert_eq!(effect, CommandEffect::NormalActivate { row });
+        assert_eq!(f.bank.open_rows(), &[row]);
+
+        // Read after tRCD: nominal, bit 5 of column 0 is set.
+        let (block, effect) = f
+            .bank
+            .read(ColumnAddr::new(0), 20.0, &f.failures, &mut f.rng)
+            .unwrap();
+        assert_eq!(effect, CommandEffect::ReadNominal { column: ColumnAddr::new(0) });
+        assert!(block.get(5));
+
+        // Write a block and see it land in the open row.
+        let new_block = BitVec::ones(CACHE_BLOCK_BITS);
+        f.bank.write(ColumnAddr::new(1), &new_block, 30.0).unwrap();
+        let stored = f.bank.row_data(row);
+        assert_eq!(stored.slice(512, 1024).count_ones(), CACHE_BLOCK_BITS);
+
+        // Proper precharge closes the bank.
+        let effect = f.bank.precharge(80.0).unwrap();
+        assert_eq!(effect, CommandEffect::PrechargeComplete);
+        assert!(f.bank.open_rows().is_empty());
+    }
+
+    #[test]
+    fn quac_sequence_opens_all_four_rows_and_randomises_sense_amps() {
+        let mut f = fixture();
+        let segment = Segment::new(3);
+        // Conflicting data: row 0 zeros, rows 1-3 ones ("0111").
+        for (i, row) in segment.rows().iter().enumerate() {
+            let fill = i != 0;
+            f.bank.set_row_data(*row, BitVec::filled(f.bank.geom.row_bits, fill));
+        }
+        let (r_first, r_last) = segment.quac_act_pair();
+        let gap = TimingParams::quac_violated_gap_ns();
+
+        f.bank.activate(r_first, 0.0, &f.analog, &f.failures, cond(), &mut f.rng).unwrap();
+        let e = f.bank.precharge(gap).unwrap();
+        assert_eq!(e, CommandEffect::PrechargeInterrupted);
+        let e = f
+            .bank
+            .activate(r_last, 2.0 * gap, &f.analog, &f.failures, cond(), &mut f.rng)
+            .unwrap();
+        match e {
+            CommandEffect::QuacActivate { segment: s, opened } => {
+                assert_eq!(s, segment);
+                assert_eq!(opened.len(), 4);
+            }
+            other => panic!("expected QUAC, got {other:?}"),
+        }
+        assert_eq!(f.bank.open_rows().len(), 4);
+
+        // The sense amplifiers hold neither all-zeros nor all-ones: the
+        // conflicting pattern produced a mixed (partly random) outcome.
+        let sa = f.bank.sense_amps().unwrap();
+        let ones = sa.data.count_ones();
+        assert!(ones > 0 && ones < sa.data.len(), "ones = {ones}");
+
+        // All four rows were overwritten with the sense-amp value.
+        for row in segment.rows() {
+            assert_eq!(f.bank.row_data(row), sa.data);
+        }
+    }
+
+    #[test]
+    fn quac_repeats_give_different_outcomes() {
+        let mut f = fixture();
+        let segment = Segment::new(5);
+        let gap = TimingParams::quac_violated_gap_ns();
+        let mut outcomes = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..2 {
+            for (i, row) in segment.rows().iter().enumerate() {
+                let fill = i != 0;
+                f.bank.set_row_data(*row, BitVec::filled(f.bank.geom.row_bits, fill));
+            }
+            let (r_first, r_last) = segment.quac_act_pair();
+            f.bank.activate(r_first, t, &f.analog, &f.failures, cond(), &mut f.rng).unwrap();
+            f.bank.precharge(t + gap).unwrap();
+            f.bank.activate(r_last, t + 2.0 * gap, &f.analog, &f.failures, cond(), &mut f.rng).unwrap();
+            outcomes.push(f.bank.sense_amps().unwrap().data.clone());
+            f.bank.precharge(t + 100.0).unwrap();
+            t += 200.0;
+        }
+        assert_ne!(outcomes[0], outcomes[1], "two QUAC operations should differ");
+    }
+
+    #[test]
+    fn write_while_quac_open_updates_all_four_rows() {
+        // The verification experiment of Section 4.2.
+        let mut f = fixture();
+        let segment = Segment::new(1);
+        for (i, row) in segment.rows().iter().enumerate() {
+            f.bank.set_row_data(*row, BitVec::filled(f.bank.geom.row_bits, i == 0));
+        }
+        let (r_first, r_last) = segment.quac_act_pair();
+        let gap = TimingParams::quac_violated_gap_ns();
+        f.bank.activate(r_first, 0.0, &f.analog, &f.failures, cond(), &mut f.rng).unwrap();
+        f.bank.precharge(gap).unwrap();
+        f.bank.activate(r_last, 2.0 * gap, &f.analog, &f.failures, cond(), &mut f.rng).unwrap();
+
+        let marker = BitVec::from_bits((0..CACHE_BLOCK_BITS).map(|i| i % 3 == 0));
+        f.bank.write(ColumnAddr::new(2), &marker, 30.0).unwrap();
+        for row in segment.rows() {
+            let stored = f.bank.row_data(row);
+            assert_eq!(stored.slice(1024, 1536), marker, "row {row} not updated");
+        }
+    }
+
+    #[test]
+    fn interrupted_precharge_then_non_pair_row_copies_data() {
+        let mut f = fixture();
+        let src = RowAddr::new(16); // segment 4, low bits 00
+        let dst = RowAddr::new(21); // segment 5, low bits 01 — same subarray
+        let mut data = BitVec::zeros(f.bank.geom.row_bits);
+        for i in (0..data.len()).step_by(7) {
+            data.set(i, true);
+        }
+        f.bank.set_row_data(src, data.clone());
+
+        let gap = TimingParams::quac_violated_gap_ns();
+        f.bank.activate(src, 0.0, &f.analog, &f.failures, cond(), &mut f.rng).unwrap();
+        f.bank.precharge(gap).unwrap();
+        let e = f.bank.activate(dst, 2.0 * gap, &f.analog, &f.failures, cond(), &mut f.rng).unwrap();
+        assert_eq!(e, CommandEffect::RowCloneCopy { source: src, destination: dst });
+        assert_eq!(f.bank.row_data(dst), data);
+    }
+
+    #[test]
+    fn trp_violation_after_proper_precharge_disturbs_cells() {
+        let mut f = fixture();
+        let row = RowAddr::new(40);
+        f.bank.set_row_data(row, BitVec::ones(f.bank.geom.row_bits));
+        // Nominal activate, wait out tRAS, precharge properly, then reactivate
+        // far too early (tRP violated).
+        f.bank.activate(row, 0.0, &f.analog, &f.failures, cond(), &mut f.rng).unwrap();
+        f.bank.precharge(40.0).unwrap();
+        let e = f.bank.activate(row, 41.0, &f.analog, &f.failures, cond(), &mut f.rng).unwrap();
+        match e {
+            CommandEffect::TrpDisturbedActivate { row: r, .. } => assert_eq!(r, row),
+            other => panic!("expected tRP disturbance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trcd_violated_read_corrupts_some_bits_without_touching_the_array() {
+        let mut f = fixture();
+        let row = RowAddr::new(12);
+        f.bank.set_row_data(row, BitVec::zeros(f.bank.geom.row_bits));
+        f.bank.activate(row, 0.0, &f.analog, &f.failures, cond(), &mut f.rng).unwrap();
+        // Read immediately (tRCD violated).
+        let (_block, effect) = f.bank.read(ColumnAddr::new(0), 3.0, &f.failures, &mut f.rng).unwrap();
+        assert!(matches!(effect, CommandEffect::ReadTrcdViolated { .. }));
+        // The stored row is unchanged.
+        assert_eq!(f.bank.row_data(row).count_ones(), 0);
+    }
+
+    #[test]
+    fn errors_for_bad_usage() {
+        let mut f = fixture();
+        assert!(matches!(
+            f.bank.read(ColumnAddr::new(0), 0.0, &f.failures, &mut f.rng),
+            Err(DramSimError::NoOpenRow)
+        ));
+        assert!(matches!(
+            f.bank.activate(RowAddr::new(1 << 20), 0.0, &f.analog, &f.failures, cond(), &mut f.rng),
+            Err(DramSimError::RowOutOfRange { .. })
+        ));
+        f.bank.activate(RowAddr::new(0), 10.0, &f.analog, &f.failures, cond(), &mut f.rng).unwrap();
+        assert!(matches!(
+            f.bank.precharge(5.0),
+            Err(DramSimError::TimeWentBackwards { .. })
+        ));
+    }
+
+    #[test]
+    fn waiting_out_trp_after_interrupted_precharge_avoids_quac() {
+        let mut f = fixture();
+        let segment = Segment::new(2);
+        let (r_first, r_last) = segment.quac_act_pair();
+        let gap = TimingParams::quac_violated_gap_ns();
+        f.bank.activate(r_first, 0.0, &f.analog, &f.failures, cond(), &mut f.rng).unwrap();
+        f.bank.precharge(gap).unwrap();
+        // Wait long enough for the precharge to complete before reactivating.
+        let e = f
+            .bank
+            .activate(r_last, gap + 50.0, &f.analog, &f.failures, cond(), &mut f.rng)
+            .unwrap();
+        assert_eq!(e, CommandEffect::NormalActivate { row: r_last });
+        assert_eq!(f.bank.open_rows().len(), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! The hypothetical hierarchical-wordline row decoder of Section 4.2.
+//!
+//! The decoder latches the one-hot encodings of the two least-significant row
+//! address bits (`A0/A0b`, `A1/A1b`). A precharge that respects tRAS resets
+//! the latches; a precharge issued too early (violated tRAS) leaves them set,
+//! so a subsequent activation with the *inverted* low bits ends up asserting
+//! all four local-wordline select lines S0–S3 — the mechanism behind QUAC.
+
+use qt_dram_core::RowAddr;
+use serde::{Deserialize, Serialize};
+
+/// Which of the four local wordlines of a segment are asserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LwlSelect {
+    asserted: [bool; 4],
+}
+
+impl LwlSelect {
+    /// Returns the asserted local wordline indices (0–3).
+    pub fn asserted(&self) -> Vec<usize> {
+        (0..4).filter(|&i| self.asserted[i]).collect()
+    }
+
+    /// Number of asserted local wordlines.
+    pub fn count(&self) -> usize {
+        self.asserted.iter().filter(|&&b| b).count()
+    }
+
+    /// Returns `true` if local wordline `i` is asserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    pub fn is_asserted(&self, i: usize) -> bool {
+        self.asserted[i]
+    }
+}
+
+/// Latch state of the low-order row-address decoder (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RowDecoder {
+    /// Latch for `Addr[0] == 1`.
+    a0: bool,
+    /// Latch for `Addr[0] == 0`.
+    a0b: bool,
+    /// Latch for `Addr[1] == 1`.
+    a1: bool,
+    /// Latch for `Addr[1] == 0`.
+    a1b: bool,
+}
+
+impl RowDecoder {
+    /// A decoder with all latches reset (the state after a proper precharge).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latches the low two bits of an activated row address. Latches are
+    /// *set-only*: they accumulate until a proper precharge resets them.
+    pub fn activate(&mut self, row: RowAddr) {
+        let low = row.lwl_select();
+        if low & 0b01 == 0 {
+            self.a0b = true;
+        } else {
+            self.a0 = true;
+        }
+        if low & 0b10 == 0 {
+            self.a1b = true;
+        } else {
+            self.a1 = true;
+        }
+    }
+
+    /// A precharge that respects tRAS resets all latches; a violated
+    /// precharge leaves them untouched (Section 4.2).
+    pub fn precharge(&mut self, t_ras_respected: bool) {
+        if t_ras_respected {
+            *self = Self::default();
+        }
+    }
+
+    /// The local-wordline select lines implied by the current latch state:
+    /// `S_i` is asserted when both of its address-bit product terms are set
+    /// (S0 = A0b·A1b, S1 = A0·A1b, S2 = A0b·A1, S3 = A0·A1).
+    pub fn lwl_select(&self) -> LwlSelect {
+        LwlSelect {
+            asserted: [
+                self.a0b && self.a1b,
+                self.a0 && self.a1b,
+                self.a0b && self.a1,
+                self.a0 && self.a1,
+            ],
+        }
+    }
+
+    /// Returns `true` if any latch is set (at least one wordline driver is
+    /// enabled).
+    pub fn any_latched(&self) -> bool {
+        self.a0 || self.a0b || self.a1 || self.a1b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_activation_asserts_one_lwl() {
+        for low in 0..4usize {
+            let mut d = RowDecoder::new();
+            d.activate(RowAddr::new(low));
+            let s = d.lwl_select();
+            assert_eq!(s.count(), 1, "low bits {low}");
+            assert!(s.is_asserted(low));
+        }
+    }
+
+    #[test]
+    fn proper_precharge_resets_latches() {
+        let mut d = RowDecoder::new();
+        d.activate(RowAddr::new(0));
+        assert!(d.any_latched());
+        d.precharge(true);
+        assert!(!d.any_latched());
+        assert_eq!(d.lwl_select().count(), 0);
+    }
+
+    #[test]
+    fn violated_precharge_keeps_latches() {
+        let mut d = RowDecoder::new();
+        d.activate(RowAddr::new(0));
+        d.precharge(false);
+        assert!(d.any_latched());
+        assert_eq!(d.lwl_select().count(), 1);
+    }
+
+    #[test]
+    fn act0_violatedpre_act3_asserts_all_four_lwls() {
+        // The QUAC sequence from Figure 4: ACT R0, (violated) PRE, ACT R3.
+        let mut d = RowDecoder::new();
+        d.activate(RowAddr::new(0));
+        d.precharge(false);
+        d.activate(RowAddr::new(3));
+        let s = d.lwl_select();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.asserted(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn act1_violatedpre_act2_also_asserts_all_four() {
+        let mut d = RowDecoder::new();
+        d.activate(RowAddr::new(1));
+        d.precharge(false);
+        d.activate(RowAddr::new(2));
+        assert_eq!(d.lwl_select().count(), 4);
+    }
+
+    #[test]
+    fn non_inverted_pair_asserts_only_two_lwls() {
+        // Rows 0 (00) and 1 (01) share Addr[1]=0, so only S0 and S1 assert.
+        let mut d = RowDecoder::new();
+        d.activate(RowAddr::new(0));
+        d.precharge(false);
+        d.activate(RowAddr::new(1));
+        let s = d.lwl_select();
+        assert_eq!(s.count(), 2);
+        assert!(s.is_asserted(0) && s.is_asserted(1));
+        assert!(!s.is_asserted(2) && !s.is_asserted(3));
+    }
+
+    #[test]
+    fn row_addresses_above_three_use_low_bits() {
+        let mut d = RowDecoder::new();
+        d.activate(RowAddr::new(44)); // low bits 00
+        d.precharge(false);
+        d.activate(RowAddr::new(47)); // low bits 11
+        assert_eq!(d.lwl_select().count(), 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for the DRAM simulator.
+
+use qt_dram_core::{RowAddr, Segment};
+use std::fmt;
+
+/// Errors produced by the behavioural DRAM simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DramSimError {
+    /// A command targeted a row outside the bank.
+    RowOutOfRange {
+        /// The offending row.
+        row: RowAddr,
+        /// Number of rows in the bank.
+        rows_per_bank: usize,
+    },
+    /// A command targeted a segment outside the bank.
+    SegmentOutOfRange {
+        /// The offending segment.
+        segment: Segment,
+        /// Number of segments in the bank.
+        segments_per_bank: usize,
+    },
+    /// A column command was issued while no row (or sense-amplifier content)
+    /// was available.
+    NoOpenRow,
+    /// A command was issued with a timestamp earlier than the previous one.
+    TimeWentBackwards {
+        /// The previous command time in nanoseconds.
+        previous_ns: f64,
+        /// The offending command time in nanoseconds.
+        attempted_ns: f64,
+    },
+    /// A bank reference did not exist in the module.
+    NoSuchBank {
+        /// Bank-group index.
+        bank_group: usize,
+        /// Bank index within the group.
+        bank: usize,
+    },
+}
+
+impl fmt::Display for DramSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramSimError::RowOutOfRange { row, rows_per_bank } => {
+                write!(f, "row {row} out of range (bank has {rows_per_bank} rows)")
+            }
+            DramSimError::SegmentOutOfRange { segment, segments_per_bank } => {
+                write!(f, "segment {segment} out of range (bank has {segments_per_bank} segments)")
+            }
+            DramSimError::NoOpenRow => write!(f, "column command issued with no open row"),
+            DramSimError::TimeWentBackwards { previous_ns, attempted_ns } => write!(
+                f,
+                "command time {attempted_ns} ns is earlier than previous command at {previous_ns} ns"
+            ),
+            DramSimError::NoSuchBank { bank_group, bank } => {
+                write!(f, "bank group {bank_group} bank {bank} does not exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DramSimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DramSimError::RowOutOfRange { row: RowAddr::new(99), rows_per_bank: 64 };
+        assert!(e.to_string().contains("R99"));
+        let e = DramSimError::NoOpenRow;
+        assert!(e.to_string().contains("no open row"));
+        let e = DramSimError::TimeWentBackwards { previous_ns: 10.0, attempted_ns: 5.0 };
+        assert!(e.to_string().contains("earlier"));
+        let e = DramSimError::NoSuchBank { bank_group: 9, bank: 0 };
+        assert!(e.to_string().contains("bank group 9"));
+        let e = DramSimError::SegmentOutOfRange {
+            segment: Segment::new(10_000),
+            segments_per_bank: 8192,
+        };
+        assert!(e.to_string().contains("SEG10000"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramSimError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! # qt-dram-sim
+//!
+//! A behavioural DDR4 chip/module simulator with *timing-violation
+//! semantics*: issuing standard DDR4 commands with reduced timings triggers
+//! the same phenomena the paper observes on real SK Hynix chips —
+//! quadruple row activation (QUAC, Section 4), RowClone-style in-DRAM copy
+//! (ComputeDRAM), reduced-tRCD read failures (D-RaNGe), reduced-tRP
+//! activation failures (Talukder+), and retention failures.
+//!
+//! The simulator is *functional*, not cycle-accurate: commands carry explicit
+//! nanosecond timestamps (as they would on the DDR4 command bus), and each
+//! bank reacts according to the gap between commands. Cycle-level scheduling
+//! and bandwidth accounting live in `qt-memctrl`.
+//!
+//! ## Example: a QUAC operation opens four rows
+//!
+//! ```
+//! use qt_dram_sim::DramModuleSim;
+//! use qt_dram_core::{DramGeometry, Segment, DataPattern, TimingParams};
+//!
+//! let mut sim = DramModuleSim::with_seed(DramGeometry::tiny_test(), 11);
+//! let bank = sim.bank_ref(0, 0);
+//! let segment = Segment::new(2);
+//!
+//! // Initialise the segment with the paper's best pattern and QUAC it.
+//! sim.fill_segment(bank, segment, DataPattern::best_average()).unwrap();
+//! let outcome = sim.quac(bank, segment).unwrap();
+//! assert_eq!(outcome.opened_rows.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod decoder;
+pub mod error;
+pub mod module;
+
+pub use bank::{BankSim, CommandEffect, SenseAmpState};
+pub use decoder::{LwlSelect, RowDecoder};
+pub use error::DramSimError;
+pub use module::{BankRef, DramModuleSim, QuacOutcome};

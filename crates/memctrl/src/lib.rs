@@ -1,0 +1,21 @@
+//! # qt-memctrl
+//!
+//! Memory-controller-level modelling for QUAC-TRNG:
+//!
+//! * [`schedule`] — tight DDR4 command scheduling of one QUAC-TRNG iteration
+//!   under the paper's three configurations (One Bank, BGP, RC + BGP,
+//!   Section 7.2), yielding per-iteration latency and data-bus occupancy.
+//! * [`system`] — a cycle-level (event-driven) single-channel DDR4 memory
+//!   system in the spirit of Ramulator: FR-FCFS-like scheduling of a request
+//!   trace, bank timing state machines, and data-bus utilisation accounting,
+//!   used to find the idle intervals QUAC-TRNG can steal (Section 7.3,
+//!   Figure 12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod schedule;
+pub mod system;
+
+pub use schedule::{InitMethod, IterationSchedule, QuacScheduleConfig};
+pub use system::{MemorySystem, MemorySystemConfig, UtilizationReport};

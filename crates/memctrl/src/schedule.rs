@@ -1,0 +1,263 @@
+//! Tight DDR4 command scheduling of QUAC-TRNG iterations.
+//!
+//! One QUAC-TRNG iteration consists of (i) initialising four segment rows,
+//! (ii) the QUAC command sequence, and (iii) reading the sense amplifiers
+//! back to the controller (Section 7.2). The three evaluated configurations
+//! differ in how the initialisation is done (DRAM writes vs. in-DRAM
+//! RowClone copies) and how many banks run iterations concurrently
+//! (1 vs. 4 banks in different bank groups).
+
+use qt_dram_core::{DramGeometry, TimingParams, TransferRate, ROWS_PER_SEGMENT};
+use serde::{Deserialize, Serialize};
+
+/// How the four segment rows are initialised before QUAC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InitMethod {
+    /// The memory controller writes the data pattern over the data bus
+    /// (baseline; bandwidth-hungry).
+    WriteBased,
+    /// In-DRAM RowClone-style copies from two reserved all-0/all-1 rows
+    /// (ComputeDRAM), which never touch the data bus.
+    RowClone,
+}
+
+/// Configuration of the QUAC-TRNG command schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuacScheduleConfig {
+    /// Segment initialisation method.
+    pub init: InitMethod,
+    /// Number of banks (in distinct bank groups) running iterations
+    /// concurrently.
+    pub banks: usize,
+    /// Number of cache blocks read back per segment (the controller only
+    /// needs the high-entropy blocks; reading all 128 is the conservative
+    /// default).
+    pub read_blocks: usize,
+}
+
+impl QuacScheduleConfig {
+    /// The paper's "One Bank" configuration.
+    pub fn one_bank(geom: &DramGeometry) -> Self {
+        QuacScheduleConfig { init: InitMethod::WriteBased, banks: 1, read_blocks: geom.cache_blocks_per_row() }
+    }
+
+    /// The paper's "BGP" configuration (bank-group parallelism, write-based
+    /// initialisation).
+    pub fn bgp(geom: &DramGeometry) -> Self {
+        QuacScheduleConfig {
+            init: InitMethod::WriteBased,
+            banks: geom.bank_groups,
+            read_blocks: geom.cache_blocks_per_row(),
+        }
+    }
+
+    /// The paper's "RC + BGP" configuration (RowClone initialisation plus
+    /// bank-group parallelism) — the headline 3.44 Gb/s configuration.
+    pub fn rc_bgp(geom: &DramGeometry) -> Self {
+        QuacScheduleConfig {
+            init: InitMethod::RowClone,
+            banks: geom.bank_groups,
+            read_blocks: geom.cache_blocks_per_row(),
+        }
+    }
+}
+
+/// The outcome of tightly scheduling one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationSchedule {
+    /// End-to-end latency of one iteration across all participating banks,
+    /// in nanoseconds.
+    pub latency_ns: f64,
+    /// Time the shared data bus is busy during the iteration, in nanoseconds.
+    pub data_bus_busy_ns: f64,
+    /// Number of DDR4 commands issued.
+    pub commands: usize,
+    /// Number of banks participating.
+    pub banks: usize,
+}
+
+impl IterationSchedule {
+    /// Fraction of the iteration during which the data bus is occupied.
+    pub fn data_bus_utilisation(&self) -> f64 {
+        (self.data_bus_busy_ns / self.latency_ns).clamp(0.0, 1.0)
+    }
+
+    /// Random-number throughput in Gb/s for a given number of random bits
+    /// produced per iteration.
+    pub fn throughput_gbps(&self, bits_per_iteration: f64) -> f64 {
+        bits_per_iteration / self.latency_ns
+    }
+}
+
+/// Latency of initialising one row by writing every column over the bus.
+fn write_init_row_ns(timing: &TimingParams, rate: TransferRate, geom: &DramGeometry) -> (f64, f64, usize) {
+    let burst = timing.burst_ns(rate);
+    let per_column = timing.t_ccd_l.max(burst);
+    let columns = geom.columns_per_row();
+    let latency = timing.t_rcd + columns as f64 * per_column + timing.t_wr + timing.t_rp;
+    let bus = columns as f64 * burst;
+    (latency, bus, 2 + columns)
+}
+
+/// Latency of initialising one row with an in-DRAM copy (ACT–PRE–ACT with
+/// violated timings, then restore and precharge); no data-bus traffic.
+fn rowclone_row_ns(timing: &TimingParams) -> (f64, f64, usize) {
+    let gap = TimingParams::quac_violated_gap_ns();
+    (2.0 * gap + timing.t_ras + timing.t_rp, 0.0, 4)
+}
+
+/// Latency of the QUAC command sequence itself (ACT–PRE–ACT with violated
+/// timings, then tRCD before the sense amplifiers can be read).
+fn quac_ns(timing: &TimingParams) -> (f64, usize) {
+    let gap = TimingParams::quac_violated_gap_ns();
+    (2.0 * gap + timing.t_rcd, 3)
+}
+
+/// Latency and bus time of reading `blocks` cache blocks from the row buffer.
+fn read_ns(timing: &TimingParams, rate: TransferRate, blocks: usize) -> (f64, f64, usize) {
+    let burst = timing.burst_ns(rate);
+    let per_column = timing.t_ccd_l.max(burst);
+    let latency = timing.t_cl + blocks as f64 * per_column;
+    let bus = blocks as f64 * burst;
+    (latency, bus, blocks)
+}
+
+/// Tightly schedules one QUAC-TRNG iteration and returns its latency and
+/// data-bus occupancy.
+///
+/// For multi-bank configurations, per-bank command sequences overlap (banks
+/// sit in different bank groups, so consecutive ACTs are only tRRD_S apart),
+/// but every data burst shares the single channel data bus; the iteration
+/// latency is therefore the maximum of the per-bank critical path and the
+/// serialized data-bus time.
+pub fn quac_iteration(
+    cfg: QuacScheduleConfig,
+    timing: &TimingParams,
+    rate: TransferRate,
+    geom: &DramGeometry,
+) -> IterationSchedule {
+    assert!(cfg.banks >= 1, "at least one bank must participate");
+    let (init_row_lat, init_row_bus, init_row_cmds) = match cfg.init {
+        InitMethod::WriteBased => write_init_row_ns(timing, rate, geom),
+        InitMethod::RowClone => rowclone_row_ns(timing),
+    };
+    let (quac_lat, quac_cmds) = quac_ns(timing);
+    let (read_lat, read_bus, read_cmds) = read_ns(timing, rate, cfg.read_blocks);
+
+    // Per-bank critical path: initialise four rows, QUAC, read, close.
+    let per_bank_latency =
+        ROWS_PER_SEGMENT as f64 * init_row_lat + quac_lat + read_lat + timing.t_rp;
+    let per_bank_bus = ROWS_PER_SEGMENT as f64 * init_row_bus + read_bus;
+    let per_bank_commands = ROWS_PER_SEGMENT * init_row_cmds + quac_cmds + read_cmds + 1;
+
+    // Bank-group interleaving staggers per-bank schedules by tRRD_S; the data
+    // bus serializes all bursts.
+    let stagger = (cfg.banks as f64 - 1.0) * timing.t_rrd_s;
+    let total_bus = cfg.banks as f64 * per_bank_bus;
+    let latency = (per_bank_latency + stagger).max(total_bus + quac_lat + timing.t_rp);
+
+    IterationSchedule {
+        latency_ns: latency,
+        data_bus_busy_ns: total_bus,
+        commands: cfg.banks * per_bank_commands,
+        banks: cfg.banks,
+    }
+}
+
+/// Latency from "a 256-bit random number is requested" to "it is delivered",
+/// assuming the segment is already initialised and only one SHA-256 input
+/// block must be read (the Table 2 latency metric). `sha_latency_ns` is the
+/// post-processing hash latency.
+pub fn random_number_latency_ns(
+    timing: &TimingParams,
+    rate: TransferRate,
+    blocks_for_256_bits: usize,
+    sha_latency_ns: f64,
+) -> f64 {
+    let gap = TimingParams::quac_violated_gap_ns();
+    let (read_lat, _, _) = read_ns(timing, rate, blocks_for_256_bits);
+    2.0 * gap + timing.t_rcd + read_lat + sha_latency_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TimingParams, TransferRate, DramGeometry) {
+        (TimingParams::ddr4_2400(), TransferRate::ddr4_2400(), DramGeometry::ddr4_4gb_x8_module())
+    }
+
+    #[test]
+    fn one_bank_iteration_is_a_few_microseconds() {
+        let (t, r, g) = setup();
+        let s = quac_iteration(QuacScheduleConfig::one_bank(&g), &t, r, &g);
+        // Dominated by write-based initialisation of 4 × 8 KiB rows.
+        assert!(s.latency_ns > 2500.0 && s.latency_ns < 5000.0, "latency {}", s.latency_ns);
+        assert_eq!(s.banks, 1);
+    }
+
+    #[test]
+    fn rc_bgp_iteration_is_about_two_microseconds() {
+        let (t, r, g) = setup();
+        let s = quac_iteration(QuacScheduleConfig::rc_bgp(&g), &t, r, &g);
+        // The paper reports 1940 ns per RC+BGP iteration.
+        assert!(s.latency_ns > 1400.0 && s.latency_ns < 2600.0, "latency {}", s.latency_ns);
+        assert_eq!(s.banks, 4);
+    }
+
+    #[test]
+    fn configuration_ordering_matches_figure_11() {
+        let (t, r, g) = setup();
+        let bits_per_bank = 7.0 * 256.0;
+        let one = quac_iteration(QuacScheduleConfig::one_bank(&g), &t, r, &g);
+        let bgp = quac_iteration(QuacScheduleConfig::bgp(&g), &t, r, &g);
+        let rc = quac_iteration(QuacScheduleConfig::rc_bgp(&g), &t, r, &g);
+        let tp_one = one.throughput_gbps(bits_per_bank);
+        let tp_bgp = bgp.throughput_gbps(4.0 * bits_per_bank);
+        let tp_rc = rc.throughput_gbps(4.0 * bits_per_bank);
+        assert!(tp_bgp > tp_one, "BGP {tp_bgp} should beat One Bank {tp_one}");
+        assert!(tp_rc > 3.0 * tp_bgp, "RC+BGP {tp_rc} should far exceed BGP {tp_bgp}");
+        // Rough magnitudes from Figure 11 (Gb/s).
+        assert!(tp_one > 0.3 && tp_one < 0.8, "One Bank {tp_one}");
+        assert!(tp_rc > 2.5 && tp_rc < 5.5, "RC+BGP {tp_rc}");
+    }
+
+    #[test]
+    fn rowclone_initialisation_removes_data_bus_traffic() {
+        let (t, r, g) = setup();
+        let bgp = quac_iteration(QuacScheduleConfig::bgp(&g), &t, r, &g);
+        let rc = quac_iteration(QuacScheduleConfig::rc_bgp(&g), &t, r, &g);
+        assert!(rc.data_bus_busy_ns < bgp.data_bus_busy_ns / 3.0);
+        assert!(rc.data_bus_utilisation() < 1.0);
+    }
+
+    #[test]
+    fn faster_bus_shrinks_rc_bgp_latency() {
+        let (t, _, g) = setup();
+        let slow = quac_iteration(QuacScheduleConfig::rc_bgp(&g), &t, TransferRate::ddr4_2400(), &g);
+        let fast = quac_iteration(
+            QuacScheduleConfig::rc_bgp(&g),
+            &TimingParams::for_speed_grade(qt_dram_core::SpeedGrade::Projected(9600)),
+            TransferRate::from_mts(9600).unwrap(),
+            &g,
+        );
+        assert!(fast.latency_ns < slow.latency_ns * 0.55, "slow {} fast {}", slow.latency_ns, fast.latency_ns);
+    }
+
+    #[test]
+    fn random_number_latency_is_a_few_hundred_ns() {
+        let (t, r, _) = setup();
+        let l = random_number_latency_ns(&t, r, 1, 12.6);
+        // Table 2 reports 274 ns for QUAC-TRNG (which reads several blocks);
+        // a single-block read plus hash should be well under that.
+        assert!(l > 20.0 && l < 300.0, "latency {l}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        let (t, r, g) = setup();
+        let cfg = QuacScheduleConfig { init: InitMethod::RowClone, banks: 0, read_blocks: 1 };
+        let _ = quac_iteration(cfg, &t, r, &g);
+    }
+}

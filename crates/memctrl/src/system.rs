@@ -1,0 +1,266 @@
+//! Event-driven single-channel DDR4 memory system ("ramulator-lite").
+//!
+//! Serves a trace of last-level-cache misses with an FR-FCFS-like policy
+//! (row hits proceed with a column command; misses pay precharge +
+//! activation), enforces the bank/bus timing constraints that matter for
+//! bandwidth accounting, and reports how much of the data bus was left idle —
+//! the budget QUAC-TRNG iterations can be injected into (Section 7.3).
+
+use qt_dram_core::{DramGeometry, RowAddr, TimingParams, TransferRate};
+use qt_workloads::{MemoryRequest, RequestKind};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemorySystemConfig {
+    /// DRAM transfer rate.
+    pub rate: TransferRate,
+    /// DDR4 timing parameters.
+    pub timing: TimingParams,
+    /// Module geometry (banks per channel).
+    pub geom: DramGeometry,
+    /// Core clock frequency in GHz (3.2 GHz in Section 7.3).
+    pub core_freq_ghz: f64,
+}
+
+impl MemorySystemConfig {
+    /// The Section 7.3 configuration: DDR4-2400, 3.2 GHz core.
+    pub fn paper_system() -> Self {
+        MemorySystemConfig {
+            rate: TransferRate::ddr4_2400(),
+            timing: TimingParams::ddr4_2400(),
+            geom: DramGeometry::ddr4_4gb_x8_module(),
+            core_freq_ghz: 3.2,
+        }
+    }
+}
+
+/// Utilisation statistics of one simulated channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationReport {
+    /// Total simulated wall-clock time in nanoseconds.
+    pub total_ns: f64,
+    /// Time the data bus carried application bursts, in nanoseconds.
+    pub data_bus_busy_ns: f64,
+    /// Number of requests served.
+    pub served_requests: usize,
+    /// Number of requests that hit in an open row.
+    pub row_hits: usize,
+    /// Average request latency (arrival to data burst completion), in
+    /// nanoseconds.
+    pub avg_latency_ns: f64,
+}
+
+impl UtilizationReport {
+    /// Fraction of time the data bus was busy with application traffic.
+    pub fn bus_utilisation(&self) -> f64 {
+        if self.total_ns <= 0.0 {
+            0.0
+        } else {
+            (self.data_bus_busy_ns / self.total_ns).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Fraction of time the data bus was idle and available to QUAC-TRNG.
+    pub fn idle_fraction(&self) -> f64 {
+        1.0 - self.bus_utilisation()
+    }
+
+    /// Row-buffer hit rate observed by the controller.
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.served_requests == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.served_requests as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BankState {
+    open_row: Option<RowAddr>,
+    ready_at_ns: f64,
+}
+
+/// The event-driven memory system.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    cfg: MemorySystemConfig,
+    banks: Vec<BankState>,
+    data_bus_free_at: f64,
+    data_bus_busy_ns: f64,
+    served: usize,
+    row_hits: usize,
+    latency_sum: f64,
+    last_completion_ns: f64,
+}
+
+impl MemorySystem {
+    /// Creates an idle memory system.
+    pub fn new(cfg: MemorySystemConfig) -> Self {
+        let banks = vec![
+            BankState { open_row: None, ready_at_ns: 0.0 };
+            cfg.geom.banks_per_rank()
+        ];
+        MemorySystem {
+            cfg,
+            banks,
+            data_bus_free_at: 0.0,
+            data_bus_busy_ns: 0.0,
+            served: 0,
+            row_hits: 0,
+            latency_sum: 0.0,
+            last_completion_ns: 0.0,
+        }
+    }
+
+    /// The configuration of this system.
+    pub fn config(&self) -> &MemorySystemConfig {
+        &self.cfg
+    }
+
+    /// Serves one request and returns its completion time in nanoseconds.
+    pub fn serve(&mut self, req: &MemoryRequest) -> f64 {
+        let t = &self.cfg.timing;
+        let arrival_ns = req.arrival_cycle as f64 / self.cfg.core_freq_ghz;
+        let flat = req.bank_group.index() * self.cfg.geom.banks_per_group + req.bank.index();
+        let bank = &mut self.banks[flat];
+
+        let mut ready = arrival_ns.max(bank.ready_at_ns);
+        let hit = bank.open_row == Some(req.row);
+        if hit {
+            self.row_hits += 1;
+        } else {
+            // Precharge (if a row is open) then activate the new row.
+            if bank.open_row.is_some() {
+                ready += t.t_rp;
+            }
+            ready += t.t_rcd;
+            bank.open_row = Some(req.row);
+        }
+
+        // Column command, then the burst occupies the shared data bus.
+        let column_latency = match req.kind {
+            RequestKind::Read => t.t_cl,
+            RequestKind::Write => t.t_cwl,
+        };
+        let burst = t.burst_ns(self.cfg.rate);
+        let bus_start = (ready + column_latency).max(self.data_bus_free_at);
+        let completion = bus_start + burst;
+
+        self.data_bus_free_at = completion;
+        self.data_bus_busy_ns += burst;
+        bank.ready_at_ns = ready + t.t_ras.max(column_latency + burst)
+            + if req.kind == RequestKind::Write { t.t_wr } else { 0.0 };
+
+        self.served += 1;
+        self.latency_sum += completion - arrival_ns;
+        self.last_completion_ns = self.last_completion_ns.max(completion);
+        completion
+    }
+
+    /// Serves a whole trace that spans `core_cycles` core cycles and returns
+    /// the utilisation report for that window.
+    pub fn run_trace(&mut self, requests: &[MemoryRequest], core_cycles: u64) -> UtilizationReport {
+        for req in requests {
+            self.serve(req);
+        }
+        let window_ns = core_cycles as f64 / self.cfg.core_freq_ghz;
+        let total_ns = window_ns.max(self.last_completion_ns);
+        UtilizationReport {
+            total_ns,
+            data_bus_busy_ns: self.data_bus_busy_ns,
+            served_requests: self.served,
+            row_hits: self.row_hits,
+            avg_latency_ns: if self.served == 0 { 0.0 } else { self.latency_sum / self.served as f64 },
+        }
+    }
+}
+
+/// Random-number throughput available from the idle intervals of one channel,
+/// given the channel's peak QUAC-TRNG rate when it has the bus to itself
+/// (Figure 12's injection model). A small switching overhead discounts very
+/// fragmented idle time.
+pub fn idle_injection_throughput_gbps(
+    report: &UtilizationReport,
+    peak_trng_gbps: f64,
+    injection_efficiency: f64,
+) -> f64 {
+    report.idle_fraction() * peak_trng_gbps * injection_efficiency.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_workloads::{TraceGenerator, SPEC2006_WORKLOADS};
+
+    fn report_for(name: &str, cycles: u64) -> UtilizationReport {
+        let cfg = MemorySystemConfig::paper_system();
+        let profile = SPEC2006_WORKLOADS.iter().find(|w| w.name == name).unwrap().clone();
+        let trace = TraceGenerator::new(profile, cfg.geom, 11).generate_for_cycles(cycles);
+        MemorySystem::new(cfg).run_trace(&trace, cycles)
+    }
+
+    #[test]
+    fn empty_trace_leaves_the_bus_idle() {
+        let cfg = MemorySystemConfig::paper_system();
+        let report = MemorySystem::new(cfg).run_trace(&[], 1_000_000);
+        assert_eq!(report.served_requests, 0);
+        assert_eq!(report.bus_utilisation(), 0.0);
+        assert_eq!(report.idle_fraction(), 1.0);
+    }
+
+    #[test]
+    fn memory_bound_workloads_use_more_bus_than_compute_bound() {
+        let cycles = 500_000;
+        let mcf = report_for("mcf", cycles);
+        let namd = report_for("namd", cycles);
+        assert!(mcf.bus_utilisation() > 4.0 * namd.bus_utilisation(),
+            "mcf {} vs namd {}", mcf.bus_utilisation(), namd.bus_utilisation());
+        assert!(namd.idle_fraction() > 0.9);
+        assert!(mcf.bus_utilisation() > 0.1 && mcf.bus_utilisation() < 0.9);
+    }
+
+    #[test]
+    fn row_hit_rate_reflects_workload_locality() {
+        let cycles = 500_000;
+        let libquantum = report_for("libquantum", cycles);
+        let omnetpp = report_for("omnetpp", cycles);
+        assert!(libquantum.row_hit_rate() > omnetpp.row_hit_rate());
+    }
+
+    #[test]
+    fn latency_is_positive_and_bounded() {
+        let r = report_for("gcc", 300_000);
+        assert!(r.avg_latency_ns > 10.0);
+        assert!(r.avg_latency_ns < 10_000.0, "avg latency {}", r.avg_latency_ns);
+        assert!(r.served_requests > 0);
+    }
+
+    #[test]
+    fn idle_injection_scales_with_idle_fraction() {
+        let r = UtilizationReport {
+            total_ns: 1000.0,
+            data_bus_busy_ns: 400.0,
+            served_requests: 10,
+            row_hits: 5,
+            avg_latency_ns: 50.0,
+        };
+        let tp = idle_injection_throughput_gbps(&r, 3.44, 1.0);
+        assert!((tp - 0.6 * 3.44).abs() < 1e-9);
+        let tp_eff = idle_injection_throughput_gbps(&r, 3.44, 0.9);
+        assert!(tp_eff < tp);
+    }
+
+    #[test]
+    fn every_workload_leaves_some_idle_bandwidth() {
+        // Figure 12: even the most memory-intensive workloads leave idle
+        // intervals worth > 3 Gb/s of TRNG throughput on a 4-channel system.
+        for w in SPEC2006_WORKLOADS.iter().take(6) {
+            let cfg = MemorySystemConfig::paper_system();
+            let trace = TraceGenerator::new(w.clone(), cfg.geom, 5).generate_for_cycles(300_000);
+            let report = MemorySystem::new(cfg).run_trace(&trace, 300_000);
+            assert!(report.idle_fraction() > 0.05, "{} idle {}", w.name, report.idle_fraction());
+        }
+    }
+}

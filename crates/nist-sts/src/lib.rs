@@ -1,0 +1,171 @@
+//! # qt-nist-sts
+//!
+//! The NIST SP 800-22 statistical test suite for randomness, implemented from
+//! the specification (Bassham et al., 2010). The paper validates QUAC-TRNG's
+//! output by showing that 1 Mb sequences pass all 15 tests with significance
+//! level α = 0.001 (Section 6.2, Table 1) and that ≥ 98.84 % of 1024
+//! sequences pass every test (Section 7.1).
+//!
+//! ## Example
+//!
+//! ```
+//! use qt_nist_sts::{run_all_tests, Significance};
+//! use qt_dram_core::BitVec;
+//! use rand::{Rng, SeedableRng};
+//!
+//! // A decent PRNG stream passes the suite at the paper's α = 0.001.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let bits = BitVec::from_bits((0..100_000).map(|_| rng.gen::<bool>()));
+//! let results = run_all_tests(&bits);
+//! assert!(results.iter().all(|r| r.passes(Significance::PAPER)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod special;
+pub mod tests15;
+
+use qt_dram_core::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// A significance level α for the null hypothesis "the sequence is random".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Significance(pub f64);
+
+impl Significance {
+    /// The paper's chosen level, α = 0.001 (Section 6.2).
+    pub const PAPER: Significance = Significance(0.001);
+    /// NIST's common default, α = 0.01.
+    pub const NIST_DEFAULT: Significance = Significance(0.01);
+}
+
+/// The outcome of one statistical test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestResult {
+    /// Test name (matching Table 1's row labels).
+    pub name: &'static str,
+    /// The p-value (the minimum p-value for tests that produce several).
+    pub p_value: f64,
+    /// `true` if the test could be applied (long-enough sequence, enough
+    /// cycles for the excursion tests, …).
+    pub applicable: bool,
+}
+
+impl TestResult {
+    /// Returns `true` if the sequence is considered random by this test at
+    /// the given significance level (inapplicable tests pass vacuously, as in
+    /// the NIST reference implementation's reporting).
+    pub fn passes(&self, alpha: Significance) -> bool {
+        !self.applicable || self.p_value >= alpha.0
+    }
+}
+
+/// The 15 test names in Table 1 order.
+pub const TEST_NAMES: [&str; 15] = [
+    "monobit",
+    "frequency_within_block",
+    "runs",
+    "longest_run_ones_in_a_block",
+    "binary_matrix_rank",
+    "dft",
+    "non_overlapping_template_matching",
+    "overlapping_template_matching",
+    "maurers_universal",
+    "linear_complexity",
+    "serial",
+    "approximate_entropy",
+    "cumulative_sums",
+    "random_excursion",
+    "random_excursion_variant",
+];
+
+/// Runs all 15 NIST STS tests on a bitstream and returns one result per test.
+pub fn run_all_tests(bits: &BitVec) -> Vec<TestResult> {
+    use tests15::*;
+    vec![
+        monobit(bits),
+        frequency_within_block(bits, 128),
+        runs(bits),
+        longest_run_of_ones(bits),
+        binary_matrix_rank(bits),
+        dft(bits),
+        non_overlapping_template_matching(bits, 9),
+        overlapping_template_matching(bits, 9),
+        maurers_universal(bits),
+        linear_complexity(bits, 500),
+        serial(bits, 16),
+        approximate_entropy(bits, 10),
+        cumulative_sums(bits),
+        random_excursion(bits),
+        random_excursion_variant(bits),
+    ]
+}
+
+/// Fraction of sequences that pass every test at the given α — the
+/// Section 7.1 pass-rate metric. Returns `(pass_fraction, minimum acceptable
+/// fraction)` where the minimum follows NIST's `(1-α) - 3·sqrt(α(1-α)/k)`
+/// rule for `k` sequences.
+pub fn pass_rate(sequences: &[BitVec], alpha: Significance) -> (f64, f64) {
+    let k = sequences.len().max(1) as f64;
+    let passed = sequences
+        .iter()
+        .filter(|s| run_all_tests(s).iter().all(|r| r.passes(alpha)))
+        .count() as f64;
+    let a = 0.005; // NIST's proportion-test alpha for the acceptable-rate bound (footnote 9).
+    let min_rate = (1.0 - a) - 3.0 * (a * (1.0 - a) / k).sqrt();
+    (passed / k, min_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(n: usize, seed: u64) -> BitVec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        BitVec::from_bits((0..n).map(|_| rng.gen::<bool>()))
+    }
+
+    #[test]
+    fn all_fifteen_tests_run_and_are_named() {
+        let bits = random_bits(60_000, 1);
+        let results = run_all_tests(&bits);
+        assert_eq!(results.len(), 15);
+        for (r, name) in results.iter().zip(TEST_NAMES) {
+            assert_eq!(r.name, name);
+            assert!((0.0..=1.0).contains(&r.p_value), "{}: p={}", r.name, r.p_value);
+        }
+    }
+
+    #[test]
+    fn good_prng_passes_and_constant_stream_fails() {
+        let good = random_bits(100_000, 2);
+        assert!(run_all_tests(&good).iter().all(|r| r.passes(Significance::PAPER)));
+
+        let bad = BitVec::ones(100_000);
+        let failed = run_all_tests(&bad)
+            .iter()
+            .filter(|r| !r.passes(Significance::PAPER))
+            .count();
+        assert!(failed >= 5, "a constant stream should fail many tests, failed {failed}");
+    }
+
+    #[test]
+    fn heavily_biased_stream_fails_monobit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let biased = BitVec::from_bits((0..50_000).map(|_| rng.gen::<f64>() < 0.6));
+        let results = run_all_tests(&biased);
+        let monobit = results.iter().find(|r| r.name == "monobit").unwrap();
+        assert!(!monobit.passes(Significance::PAPER));
+    }
+
+    #[test]
+    fn pass_rate_of_good_sequences_exceeds_the_nist_bound() {
+        let sequences: Vec<BitVec> = (0..20).map(|i| random_bits(30_000, 100 + i)).collect();
+        let (rate, min_rate) = pass_rate(&sequences, Significance::PAPER);
+        assert!(rate >= min_rate, "rate {rate} min {min_rate}");
+        assert!(rate > 0.9);
+    }
+}

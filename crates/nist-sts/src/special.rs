@@ -1,0 +1,218 @@
+//! Special functions required by SP 800-22: the complementary error function
+//! and the regularized incomplete gamma functions, plus a radix-2 FFT for the
+//! spectral test.
+
+/// Complementary error function (via the Abramowitz–Stegun erf
+/// approximation).
+pub fn erfc(x: f64) -> f64 {
+    1.0 - qt_erf(x)
+}
+
+fn qt_erf(x: f64) -> f64 {
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Natural log of the gamma function (Lanczos approximation).
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = G[0];
+        let t = x + 7.5;
+        for (i, &g) in G.iter().enumerate().skip(1) {
+            a += g / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Regularized lower incomplete gamma function P(a, x).
+pub fn igam(a: f64, x: f64) -> f64 {
+    if x <= 0.0 || a <= 0.0 {
+        return 0.0;
+    }
+    if x > a + 1.0 {
+        return 1.0 - igamc(a, x);
+    }
+    // Series expansion.
+    let mut sum = 1.0 / a;
+    let mut term = sum;
+    let mut n = a;
+    for _ in 0..500 {
+        n += 1.0;
+        term *= x / n;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    (sum.ln() + a * x.ln() - x - ln_gamma(a)).exp()
+}
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 − P(a, x), the
+/// `igamc` used throughout SP 800-22.
+pub fn igamc(a: f64, x: f64) -> f64 {
+    if x <= 0.0 || a <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        return 1.0 - igam(a, x);
+    }
+    // Continued fraction (Lentz's algorithm).
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / 1e-300;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < 1e-300 {
+            d = 1e-300;
+        }
+        c = b + an / c;
+        if c.abs() < 1e-300 {
+            c = 1e-300;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (a * x.ln() - x - ln_gamma(a)).exp() * h
+}
+
+/// Standard normal CDF Φ(x).
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// In-place iterative radix-2 FFT of a complex sequence given as separate
+/// real/imaginary arrays.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are not a power of two.
+pub fn fft(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "real and imaginary parts must match");
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cur_r, mut cur_i) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr, vi) = (
+                    re[i + k + len / 2] * cur_r - im[i + k + len / 2] * cur_i,
+                    re[i + k + len / 2] * cur_i + im[i + k + len / 2] * cur_r,
+                );
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let next_r = cur_r * wr - cur_i * wi;
+                cur_i = cur_r * wi + cur_i * wr;
+                cur_r = next_r;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_known_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-4);
+        assert!(erfc(5.0) < 1e-10);
+        assert!((erfc(-1.0) - 1.842700).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gamma_functions_match_known_values() {
+        // Γ(5) = 24.
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        // P(a, x) + Q(a, x) = 1.
+        for &(a, x) in &[(0.5, 0.2), (2.0, 3.0), (10.0, 8.0), (30.0, 35.0)] {
+            assert!((igam(a, x) + igamc(a, x) - 1.0).abs() < 1e-8, "a={a} x={x}");
+        }
+        // Q(1, x) = exp(-x).
+        assert!((igamc(1.0, 2.0) - (-2.0f64).exp()).abs() < 1e-8);
+        // Chi-square survival: Q(k/2, x/2) for k=2, x=5.99 ≈ 0.05.
+        assert!((igamc(1.0, 5.99 / 2.0) - 0.05).abs() < 0.002);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat_and_of_constant_is_a_spike() {
+        let n = 16;
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        re[0] = 1.0;
+        fft(&mut re, &mut im);
+        for k in 0..n {
+            assert!((re[k] - 1.0).abs() < 1e-12 && im[k].abs() < 1e-12);
+        }
+        let mut re = vec![1.0; n];
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im);
+        assert!((re[0] - n as f64).abs() < 1e-9);
+        for k in 1..n {
+            assert!(re[k].abs() < 1e-9 && im[k].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        fft(&mut re, &mut im);
+    }
+}

@@ -1,0 +1,643 @@
+//! The fifteen SP 800-22 statistical tests.
+//!
+//! Each function returns a [`TestResult`] whose `p_value` is the (minimum)
+//! p-value of the test and whose `applicable` flag is false when the sequence
+//! is too short for the test's preconditions (mirroring the reference
+//! implementation's behaviour of skipping such tests).
+
+use crate::special::{erfc, fft, igamc, std_normal_cdf};
+use crate::TestResult;
+use qt_dram_core::BitVec;
+
+fn result(name: &'static str, p_value: f64, applicable: bool) -> TestResult {
+    TestResult { name, p_value: p_value.clamp(0.0, 1.0), applicable }
+}
+
+/// 2.1 Frequency (monobit) test.
+pub fn monobit(bits: &BitVec) -> TestResult {
+    let n = bits.len();
+    if n == 0 {
+        return result("monobit", 0.0, false);
+    }
+    let sum: i64 = bits.iter().map(|b| if b { 1i64 } else { -1 }).sum();
+    let s_obs = (sum.abs() as f64) / (n as f64).sqrt();
+    result("monobit", erfc(s_obs / std::f64::consts::SQRT_2), true)
+}
+
+/// 2.2 Frequency test within a block.
+pub fn frequency_within_block(bits: &BitVec, block_len: usize) -> TestResult {
+    let n = bits.len();
+    let m = block_len.max(2);
+    let blocks = n / m;
+    if blocks == 0 {
+        return result("frequency_within_block", 0.0, false);
+    }
+    let mut chi2 = 0.0;
+    for b in 0..blocks {
+        let ones = (0..m).filter(|i| bits.get(b * m + i)).count();
+        let pi = ones as f64 / m as f64;
+        chi2 += (pi - 0.5).powi(2);
+    }
+    chi2 *= 4.0 * m as f64;
+    result("frequency_within_block", igamc(blocks as f64 / 2.0, chi2 / 2.0), true)
+}
+
+/// 2.3 Runs test.
+pub fn runs(bits: &BitVec) -> TestResult {
+    let n = bits.len();
+    if n < 100 {
+        return result("runs", 0.0, false);
+    }
+    let pi = bits.ones_fraction();
+    if (pi - 0.5).abs() >= 2.0 / (n as f64).sqrt() {
+        // Prerequisite frequency test fails decisively.
+        return result("runs", 0.0, true);
+    }
+    let mut v = 1usize;
+    for i in 1..n {
+        if bits.get(i) != bits.get(i - 1) {
+            v += 1;
+        }
+    }
+    let num = (v as f64 - 2.0 * n as f64 * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n as f64).sqrt() * pi * (1.0 - pi);
+    result("runs", erfc(num / den), true)
+}
+
+/// 2.4 Test for the longest run of ones in a block.
+pub fn longest_run_of_ones(bits: &BitVec) -> TestResult {
+    let n = bits.len();
+    let (m, v_bounds, pi): (usize, Vec<usize>, Vec<f64>) = if n >= 750_000 {
+        (
+            10_000,
+            vec![10, 11, 12, 13, 14, 15, 16],
+            vec![0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727],
+        )
+    } else if n >= 6272 {
+        (128, vec![4, 5, 6, 7, 8, 9], vec![0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124])
+    } else if n >= 128 {
+        (8, vec![1, 2, 3, 4], vec![0.2148, 0.3672, 0.2305, 0.1875])
+    } else {
+        return result("longest_run_ones_in_a_block", 0.0, false);
+    };
+    let blocks = n / m;
+    let k = pi.len() - 1;
+    let mut counts = vec![0usize; pi.len()];
+    for b in 0..blocks {
+        let mut longest = 0usize;
+        let mut current = 0usize;
+        for i in 0..m {
+            if bits.get(b * m + i) {
+                current += 1;
+                longest = longest.max(current);
+            } else {
+                current = 0;
+            }
+        }
+        let bucket = if longest <= v_bounds[0] {
+            0
+        } else if longest >= v_bounds[k] {
+            k
+        } else {
+            longest - v_bounds[0]
+        };
+        counts[bucket] += 1;
+    }
+    let mut chi2 = 0.0;
+    for i in 0..pi.len() {
+        let expected = blocks as f64 * pi[i];
+        chi2 += (counts[i] as f64 - expected).powi(2) / expected;
+    }
+    result("longest_run_ones_in_a_block", igamc(k as f64 / 2.0, chi2 / 2.0), true)
+}
+
+fn gf2_rank(rows: &mut [u32], size: usize) -> usize {
+    let mut rank = 0;
+    for col in (0..size).rev() {
+        let mask = 1u32 << col;
+        if let Some(pivot) = (rank..size).find(|&r| rows[r] & mask != 0) {
+            rows.swap(rank, pivot);
+            for r in 0..size {
+                if r != rank && rows[r] & mask != 0 {
+                    rows[r] ^= rows[rank];
+                }
+            }
+            rank += 1;
+        }
+    }
+    rank
+}
+
+/// 2.5 Binary matrix rank test (32×32 matrices).
+pub fn binary_matrix_rank(bits: &BitVec) -> TestResult {
+    const M: usize = 32;
+    let n = bits.len();
+    let matrices = n / (M * M);
+    if matrices == 0 {
+        return result("binary_matrix_rank", 0.0, false);
+    }
+    let (p_full, p_minus1) = (0.2888, 0.5776);
+    let p_rest = 1.0 - p_full - p_minus1;
+    let (mut f_full, mut f_minus1, mut f_rest) = (0usize, 0usize, 0usize);
+    for mi in 0..matrices {
+        let mut rows = [0u32; M];
+        for (r, row) in rows.iter_mut().enumerate() {
+            for c in 0..M {
+                if bits.get(mi * M * M + r * M + c) {
+                    *row |= 1 << (M - 1 - c);
+                }
+            }
+        }
+        match gf2_rank(&mut rows, M) {
+            r if r == M => f_full += 1,
+            r if r == M - 1 => f_minus1 += 1,
+            _ => f_rest += 1,
+        }
+    }
+    let nm = matrices as f64;
+    let chi2 = (f_full as f64 - p_full * nm).powi(2) / (p_full * nm)
+        + (f_minus1 as f64 - p_minus1 * nm).powi(2) / (p_minus1 * nm)
+        + (f_rest as f64 - p_rest * nm).powi(2) / (p_rest * nm);
+    result("binary_matrix_rank", (-chi2 / 2.0).exp(), true)
+}
+
+/// 2.6 Discrete Fourier transform (spectral) test.
+pub fn dft(bits: &BitVec) -> TestResult {
+    let n_full = bits.len();
+    if n_full < 1000 {
+        return result("dft", 0.0, false);
+    }
+    // Use the largest power-of-two prefix for the radix-2 FFT.
+    let n = 1usize << (usize::BITS - 1 - n_full.leading_zeros());
+    let mut re: Vec<f64> = (0..n).map(|i| if bits.get(i) { 1.0 } else { -1.0 }).collect();
+    let mut im = vec![0.0; n];
+    fft(&mut re, &mut im);
+    let threshold = ((1.0f64 / 0.05).ln() * n as f64).sqrt();
+    let half = n / 2;
+    let below = (0..half).filter(|&k| (re[k] * re[k] + im[k] * im[k]).sqrt() < threshold).count();
+    let n0 = 0.95 * half as f64;
+    let d = (below as f64 - n0) / (n as f64 * 0.95 * 0.05 / 4.0).sqrt();
+    result("dft", erfc(d.abs() / std::f64::consts::SQRT_2), true)
+}
+
+/// 2.7 Non-overlapping template matching test (template `0…01` of length m).
+pub fn non_overlapping_template_matching(bits: &BitVec, m: usize) -> TestResult {
+    let n = bits.len();
+    let blocks = 8usize;
+    let block_len = n / blocks;
+    if block_len < 2 * m {
+        return result("non_overlapping_template_matching", 0.0, false);
+    }
+    // Template: m-1 zeros followed by a one.
+    let template: Vec<bool> = (0..m).map(|i| i == m - 1).collect();
+    let mu = (block_len - m + 1) as f64 / 2f64.powi(m as i32);
+    let sigma2 = block_len as f64
+        * (1.0 / 2f64.powi(m as i32) - (2.0 * m as f64 - 1.0) / 2f64.powi(2 * m as i32));
+    let mut chi2 = 0.0;
+    for b in 0..blocks {
+        let start = b * block_len;
+        let mut count = 0usize;
+        let mut i = 0usize;
+        while i + m <= block_len {
+            let matched = (0..m).all(|j| bits.get(start + i + j) == template[j]);
+            if matched {
+                count += 1;
+                i += m;
+            } else {
+                i += 1;
+            }
+        }
+        chi2 += (count as f64 - mu).powi(2) / sigma2;
+    }
+    result(
+        "non_overlapping_template_matching",
+        igamc(blocks as f64 / 2.0, chi2 / 2.0),
+        true,
+    )
+}
+
+/// 2.8 Overlapping template matching test (all-ones template of length m).
+pub fn overlapping_template_matching(bits: &BitVec, m: usize) -> TestResult {
+    let n = bits.len();
+    let block_len = 1032usize;
+    let blocks = n / block_len;
+    if blocks < 5 {
+        return result("overlapping_template_matching", 0.0, false);
+    }
+    const PI: [f64; 6] = [0.364091, 0.185659, 0.139381, 0.100571, 0.0704323, 0.139865];
+    let mut counts = [0usize; 6];
+    for b in 0..blocks {
+        let start = b * block_len;
+        let mut hits = 0usize;
+        for i in 0..=(block_len - m) {
+            if (0..m).all(|j| bits.get(start + i + j)) {
+                hits += 1;
+            }
+        }
+        counts[hits.min(5)] += 1;
+    }
+    let mut chi2 = 0.0;
+    for i in 0..6 {
+        let expected = blocks as f64 * PI[i];
+        chi2 += (counts[i] as f64 - expected).powi(2) / expected;
+    }
+    result("overlapping_template_matching", igamc(2.5, chi2 / 2.0), true)
+}
+
+/// 2.9 Maurer's "universal statistical" test.
+pub fn maurers_universal(bits: &BitVec) -> TestResult {
+    let n = bits.len();
+    // (L, expected value, variance) per SP 800-22 Table 2-4; Q = 10·2^L.
+    let table: [(usize, usize, f64, f64); 6] = [
+        (6, 387_840, 5.2177052, 2.954),
+        (7, 904_960, 6.1962507, 3.125),
+        (8, 2_068_480, 7.1836656, 3.238),
+        (9, 4_654_080, 8.1764248, 3.311),
+        (10, 10_342_400, 9.1723243, 3.356),
+        (11, 22_753_280, 10.170032, 3.384),
+    ];
+    let Some(&(l, _, expected, variance)) =
+        table.iter().rev().find(|&&(_, min_n, _, _)| n >= min_n)
+    else {
+        return result("maurers_universal", 0.0, false);
+    };
+    let q = 10 * (1usize << l);
+    let k = n / l - q;
+    let mut last_seen = vec![0usize; 1 << l];
+    let word = |i: usize| -> usize {
+        (0..l).fold(0usize, |acc, j| (acc << 1) | bits.get(i * l + j) as usize)
+    };
+    for i in 0..q {
+        last_seen[word(i)] = i + 1;
+    }
+    let mut sum = 0.0;
+    for i in q..q + k {
+        let w = word(i);
+        sum += ((i + 1 - last_seen[w]) as f64).log2();
+        last_seen[w] = i + 1;
+    }
+    let fn_stat = sum / k as f64;
+    let c = 0.7 - 0.8 / l as f64 + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
+    let sigma = c * (variance / k as f64).sqrt();
+    result("maurers_universal", erfc(((fn_stat - expected) / (std::f64::consts::SQRT_2 * sigma)).abs()), true)
+}
+
+fn berlekamp_massey(bits: &[bool]) -> usize {
+    let n = bits.len();
+    let mut c = vec![false; n];
+    let mut b = vec![false; n];
+    c[0] = true;
+    b[0] = true;
+    let (mut l, mut m) = (0usize, -1isize);
+    for i in 0..n {
+        let mut d = bits[i];
+        for j in 1..=l {
+            d ^= c[j] && bits[i - j];
+        }
+        if d {
+            let t = c.clone();
+            let shift = (i as isize - m) as usize;
+            for j in 0..n - shift {
+                if b[j] {
+                    c[j + shift] ^= true;
+                }
+            }
+            if l <= i / 2 {
+                l = i + 1 - l;
+                m = i as isize;
+                b = t;
+            }
+        }
+    }
+    l
+}
+
+/// 2.10 Linear complexity test (block length M, typically 500).
+pub fn linear_complexity(bits: &BitVec, block_len: usize) -> TestResult {
+    let n = bits.len();
+    let m = block_len;
+    let blocks = n / m;
+    if blocks < 10 {
+        return result("linear_complexity", 0.0, false);
+    }
+    const PI: [f64; 7] = [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833];
+    // sign_m = (-1)^M; the specification's mean uses (-1)^(M+1) = -sign_m.
+    let sign_m = if m % 2 == 0 { 1.0 } else { -1.0 };
+    let mu = m as f64 / 2.0 + (9.0 - sign_m) / 36.0 - (m as f64 / 3.0 + 2.0 / 9.0) / 2f64.powi(m as i32);
+    let mut counts = [0usize; 7];
+    for b in 0..blocks {
+        let block: Vec<bool> = (0..m).map(|i| bits.get(b * m + i)).collect();
+        let l = berlekamp_massey(&block) as f64;
+        let t = sign_m * (l - mu) + 2.0 / 9.0;
+        let bucket = if t <= -2.5 {
+            0
+        } else if t <= -1.5 {
+            1
+        } else if t <= -0.5 {
+            2
+        } else if t <= 0.5 {
+            3
+        } else if t <= 1.5 {
+            4
+        } else if t <= 2.5 {
+            5
+        } else {
+            6
+        };
+        counts[bucket] += 1;
+    }
+    let mut chi2 = 0.0;
+    for i in 0..7 {
+        let expected = blocks as f64 * PI[i];
+        chi2 += (counts[i] as f64 - expected).powi(2) / expected;
+    }
+    result("linear_complexity", igamc(3.0, chi2 / 2.0), true)
+}
+
+fn psi_squared(bits: &BitVec, m: usize) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let n = bits.len();
+    let mut counts = vec![0u64; 1 << m];
+    for i in 0..n {
+        let mut idx = 0usize;
+        for j in 0..m {
+            idx = (idx << 1) | bits.get((i + j) % n) as usize;
+        }
+        counts[idx] += 1;
+    }
+    let sum_sq: f64 = counts.iter().map(|&c| (c as f64).powi(2)).sum();
+    2f64.powi(m as i32) / n as f64 * sum_sq - n as f64
+}
+
+/// 2.11 Serial test (pattern length m; returns the smaller of the two
+/// p-values).
+pub fn serial(bits: &BitVec, m: usize) -> TestResult {
+    let n = bits.len();
+    // Keep m well below log2(n) as the specification requires.
+    let max_m = ((n as f64).log2() as usize).saturating_sub(3).max(3);
+    let m = m.min(max_m);
+    if n < 1 << (m + 2) {
+        return result("serial", 0.0, false);
+    }
+    let psi_m = psi_squared(bits, m);
+    let psi_m1 = psi_squared(bits, m - 1);
+    let psi_m2 = psi_squared(bits, m.saturating_sub(2));
+    let d1 = psi_m - psi_m1;
+    let d2 = psi_m - 2.0 * psi_m1 + psi_m2;
+    let p1 = igamc(2f64.powi(m as i32 - 2), d1 / 2.0);
+    let p2 = igamc(2f64.powi(m as i32 - 3), d2 / 2.0);
+    result("serial", p1.min(p2), true)
+}
+
+/// 2.12 Approximate entropy test (pattern length m).
+pub fn approximate_entropy(bits: &BitVec, m: usize) -> TestResult {
+    let n = bits.len();
+    let max_m = ((n as f64).log2() as usize).saturating_sub(6).max(2);
+    let m = m.min(max_m);
+    if n < 1 << (m + 5) {
+        return result("approximate_entropy", 0.0, false);
+    }
+    let phi = |mm: usize| -> f64 {
+        if mm == 0 {
+            return 0.0;
+        }
+        let mut counts = vec![0u64; 1 << mm];
+        for i in 0..n {
+            let mut idx = 0usize;
+            for j in 0..mm {
+                idx = (idx << 1) | bits.get((i + j) % n) as usize;
+            }
+            counts[idx] += 1;
+        }
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n as f64;
+                p * p.ln()
+            })
+            .sum()
+    };
+    let ap_en = phi(m) - phi(m + 1);
+    let chi2 = 2.0 * n as f64 * (std::f64::consts::LN_2 - ap_en);
+    result("approximate_entropy", igamc(2f64.powi(m as i32 - 1), chi2 / 2.0), true)
+}
+
+/// 2.13 Cumulative sums (forward) test.
+pub fn cumulative_sums(bits: &BitVec) -> TestResult {
+    let n = bits.len();
+    if n < 100 {
+        return result("cumulative_sums", 0.0, false);
+    }
+    let mut s = 0i64;
+    let mut z = 0i64;
+    for b in bits.iter() {
+        s += if b { 1 } else { -1 };
+        z = z.max(s.abs());
+    }
+    let z = z as f64;
+    let n_f = n as f64;
+    let sqrt_n = n_f.sqrt();
+    let mut p = 1.0;
+    let k_lo = ((-n_f / z + 1.0) / 4.0).floor() as i64;
+    let k_hi = ((n_f / z - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        p -= std_normal_cdf((4.0 * k as f64 + 1.0) * z / sqrt_n)
+            - std_normal_cdf((4.0 * k as f64 - 1.0) * z / sqrt_n);
+    }
+    let k_lo = ((-n_f / z - 3.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        p += std_normal_cdf((4.0 * k as f64 + 3.0) * z / sqrt_n)
+            - std_normal_cdf((4.0 * k as f64 + 1.0) * z / sqrt_n);
+    }
+    result("cumulative_sums", p, true)
+}
+
+fn excursion_cycles(bits: &BitVec) -> (Vec<Vec<i64>>, usize) {
+    // Partition the random walk into zero-crossing cycles; each cycle records
+    // the walk states visited.
+    let mut cycles: Vec<Vec<i64>> = Vec::new();
+    let mut current: Vec<i64> = Vec::new();
+    let mut s = 0i64;
+    for b in bits.iter() {
+        s += if b { 1 } else { -1 };
+        current.push(s);
+        if s == 0 {
+            cycles.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        cycles.push(current);
+    }
+    let j = cycles.len();
+    (cycles, j)
+}
+
+/// 2.14 Random excursions test (minimum p-value over the eight states).
+pub fn random_excursion(bits: &BitVec) -> TestResult {
+    let (cycles, j) = excursion_cycles(bits);
+    if j < 500 {
+        return result("random_excursion", 0.0, false);
+    }
+    let pi = |x: i64, k: usize| -> f64 {
+        let ax = x.abs() as f64;
+        match k {
+            0 => 1.0 - 1.0 / (2.0 * ax),
+            1..=4 => (1.0 / (4.0 * ax * ax)) * (1.0 - 1.0 / (2.0 * ax)).powi(k as i32 - 1),
+            _ => (1.0 / (2.0 * ax)) * (1.0 - 1.0 / (2.0 * ax)).powi(4),
+        }
+    };
+    let mut min_p = 1.0f64;
+    for &x in &[-4i64, -3, -2, -1, 1, 2, 3, 4] {
+        let mut counts = [0usize; 6];
+        for cycle in &cycles {
+            let visits = cycle.iter().filter(|&&s| s == x).count();
+            counts[visits.min(5)] += 1;
+        }
+        let mut chi2 = 0.0;
+        for (k, &c) in counts.iter().enumerate() {
+            let expected = j as f64 * pi(x, k);
+            if expected > 0.0 {
+                chi2 += (c as f64 - expected).powi(2) / expected;
+            }
+        }
+        min_p = min_p.min(igamc(2.5, chi2 / 2.0));
+    }
+    result("random_excursion", min_p, true)
+}
+
+/// 2.15 Random excursions variant test (minimum p-value over the 18 states).
+pub fn random_excursion_variant(bits: &BitVec) -> TestResult {
+    let (cycles, j) = excursion_cycles(bits);
+    if j < 500 {
+        return result("random_excursion_variant", 0.0, false);
+    }
+    let mut min_p = 1.0f64;
+    for x in (-9i64..=9).filter(|&x| x != 0) {
+        let visits: usize = cycles.iter().map(|c| c.iter().filter(|&&s| s == x).count()).sum();
+        let denom = (2.0 * j as f64 * (4.0 * x.abs() as f64 - 2.0)).sqrt();
+        let p = erfc((visits as f64 - j as f64).abs() / denom / std::f64::consts::SQRT_2);
+        min_p = min_p.min(p);
+    }
+    result("random_excursion_variant", min_p, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(n: usize, seed: u64) -> BitVec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        BitVec::from_bits((0..n).map(|_| rng.gen::<bool>()))
+    }
+
+    #[test]
+    fn sp80022_monobit_example() {
+        // SP 800-22 §2.1.8: the 100-bit first-100-digits-of-e example has
+        // p-value 0.109599.
+        let eps = "1100100100001111110110101010001000100001011010001100001000110100\
+                   110001001100011001100010100010111000";
+        let bits = BitVec::from_bit_str(eps).unwrap();
+        let r = monobit(&bits);
+        assert!((r.p_value - 0.109599).abs() < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn sp80022_runs_example() {
+        // SP 800-22 §2.3.8 uses the same ε with p-value 0.500798.
+        let eps = "1100100100001111110110101010001000100001011010001100001000110100\
+                   110001001100011001100010100010111000";
+        let bits = BitVec::from_bit_str(eps).unwrap();
+        let r = runs(&bits);
+        assert!((r.p_value - 0.500798).abs() < 0.02, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn sp80022_cumulative_sums_example() {
+        // SP 800-22 §2.13.8: forward cusum p-value 0.219194 for the same ε.
+        let eps = "1100100100001111110110101010001000100001011010001100001000110100\
+                   110001001100011001100010100010111000";
+        let bits = BitVec::from_bit_str(eps).unwrap();
+        let r = cumulative_sums(&bits);
+        assert!((r.p_value - 0.219194).abs() < 0.03, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn alternating_sequence_fails_runs_and_serial() {
+        let bits = BitVec::from_bits((0..20_000).map(|i| i % 2 == 0));
+        assert!(runs(&bits).p_value < 0.001);
+        assert!(serial(&bits, 8).p_value < 0.001);
+        assert!(approximate_entropy(&bits, 6).p_value < 0.001);
+        // But it is perfectly balanced, so monobit passes.
+        assert!(monobit(&bits).p_value > 0.9);
+    }
+
+    #[test]
+    fn periodic_pattern_fails_spectral_and_template_tests() {
+        let bits = BitVec::from_bits((0..30_000).map(|i| (i / 3) % 2 == 0));
+        assert!(dft(&bits).p_value < 0.01);
+        assert!(frequency_within_block(&bits, 128).p_value > 0.01);
+    }
+
+    #[test]
+    fn random_stream_passes_each_individual_test() {
+        let bits = random_bits(120_000, 9);
+        for r in [
+            monobit(&bits),
+            frequency_within_block(&bits, 128),
+            runs(&bits),
+            longest_run_of_ones(&bits),
+            binary_matrix_rank(&bits),
+            dft(&bits),
+            non_overlapping_template_matching(&bits, 9),
+            overlapping_template_matching(&bits, 9),
+            linear_complexity(&bits, 500),
+            serial(&bits, 14),
+            approximate_entropy(&bits, 8),
+            cumulative_sums(&bits),
+        ] {
+            assert!(r.p_value >= 0.001, "{} failed with p = {}", r.name, r.p_value);
+        }
+    }
+
+    #[test]
+    fn excursion_tests_apply_only_to_long_sequences() {
+        let short = random_bits(20_000, 4);
+        assert!(!random_excursion(&short).applicable || random_excursion(&short).p_value >= 0.0);
+        let long = random_bits(600_000, 4);
+        let re = random_excursion(&long);
+        let rev = random_excursion_variant(&long);
+        if re.applicable {
+            assert!(re.p_value >= 0.0005, "excursion p {}", re.p_value);
+        }
+        if rev.applicable {
+            assert!(rev.p_value >= 0.0005, "variant p {}", rev.p_value);
+        }
+    }
+
+    #[test]
+    fn berlekamp_massey_known_values() {
+        // A maximal-length LFSR sequence of degree 4 has linear complexity 4.
+        let seq = [
+            true, false, false, false, true, false, false, true, true, false, true, false, true,
+            true, true,
+        ];
+        assert_eq!(berlekamp_massey(&seq), 4);
+        // An alternating sequence has linear complexity 2.
+        let alt: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+        assert!(berlekamp_massey(&alt) <= 2);
+    }
+
+    #[test]
+    fn maurers_universal_needs_long_sequences() {
+        assert!(!maurers_universal(&random_bits(50_000, 1)).applicable);
+        let long = random_bits(400_000, 1);
+        let r = maurers_universal(&long);
+        assert!(r.applicable);
+        assert!(r.p_value > 0.001, "universal p {}", r.p_value);
+    }
+}

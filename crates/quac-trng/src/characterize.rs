@@ -1,0 +1,324 @@
+//! One-time characterisation of a DRAM module for QUAC-TRNG (Section 6).
+//!
+//! Characterisation answers three questions: which data pattern maximises
+//! entropy (Figure 8), which segments are high-entropy (Figure 9, Table 3),
+//! and how that entropy is distributed over the cache blocks of the chosen
+//! segment (Figure 10) so the controller can carve the row buffer into
+//! SHA-256 input blocks that each carry 256 bits of Shannon entropy.
+
+use qt_dram_analog::{OperatingConditions, QuacAnalogModel};
+use qt_dram_core::{DataPattern, Segment, CACHE_BLOCK_BITS, RANDOM_NUMBER_BITS};
+use serde::{Deserialize, Serialize};
+
+/// Sampling configuration for characterisation sweeps. Full-resolution
+/// characterisation of a real-size module is expensive (8192 segments ×
+/// 65 536 bitlines), so sweeps can sample segments and stride bitlines; the
+/// defaults keep the reproduction harness fast while remaining statistically
+/// faithful.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizationConfig {
+    /// Evaluate every n-th segment (1 = all segments).
+    pub segment_stride: usize,
+    /// Evaluate every n-th bitline within a segment (1 = all bitlines).
+    pub bitline_stride: usize,
+    /// Operating conditions of the characterisation run.
+    pub conditions: OperatingConditions,
+}
+
+impl CharacterizationConfig {
+    /// Full-resolution characterisation at nominal conditions.
+    pub fn exact() -> Self {
+        CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() }
+    }
+
+    /// A fast configuration for tests and example programs.
+    pub fn fast() -> Self {
+        CharacterizationConfig { segment_stride: 64, bitline_stride: 16, conditions: OperatingConditions::nominal() }
+    }
+
+    /// Returns a copy with different operating conditions.
+    pub fn with_conditions(mut self, conditions: OperatingConditions) -> Self {
+        self.conditions = conditions;
+        self
+    }
+}
+
+impl Default for CharacterizationConfig {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+/// Per-pattern entropy statistics over a module (Figure 8's metrics).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternStats {
+    /// The data pattern.
+    pub pattern: DataPattern,
+    /// Average cache-block entropy across all evaluated cache blocks, bits.
+    pub avg_cache_block_entropy: f64,
+    /// Maximum cache-block entropy observed, bits.
+    pub max_cache_block_entropy: f64,
+}
+
+/// The result of characterising one module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleCharacterization {
+    /// The pattern used for the segment map (normally `"0111"`).
+    pub pattern: DataPattern,
+    /// Entropy of each evaluated segment, as `(segment index, bits)`.
+    pub segment_entropy: Vec<(usize, f64)>,
+    /// The highest-entropy segment found.
+    pub best_segment: Segment,
+    /// Entropy of the best segment, in bits.
+    pub best_segment_entropy: f64,
+    /// Per-cache-block entropy of the best segment, in bits.
+    pub best_segment_cache_blocks: Vec<f64>,
+    /// The conditions under which the characterisation ran.
+    pub conditions: OperatingConditions,
+}
+
+impl ModuleCharacterization {
+    /// Average segment entropy across the evaluated segments (the Table 3
+    /// "Avg." column).
+    pub fn average_segment_entropy(&self) -> f64 {
+        if self.segment_entropy.is_empty() {
+            return 0.0;
+        }
+        self.segment_entropy.iter().map(|(_, e)| e).sum::<f64>() / self.segment_entropy.len() as f64
+    }
+
+    /// Number of SHA-256 input blocks with 256 bits of entropy available in
+    /// the best segment (`SIB = floor(segment_entropy / 256)`, Section 7.2).
+    pub fn sha_input_blocks(&self) -> usize {
+        (self.best_segment_entropy / RANDOM_NUMBER_BITS as f64).floor() as usize
+    }
+
+    /// Groups the best segment's cache blocks into contiguous ranges that
+    /// each accumulate at least 256 bits of entropy — the column-address sets
+    /// the memory controller stores (Section 8). Returns `(start_block,
+    /// end_block_exclusive)` ranges.
+    pub fn entropy_block_ranges(&self) -> Vec<(usize, usize)> {
+        let mut ranges = Vec::new();
+        let mut acc = 0.0;
+        let mut start = 0;
+        for (i, e) in self.best_segment_cache_blocks.iter().enumerate() {
+            acc += e;
+            if acc >= RANDOM_NUMBER_BITS as f64 {
+                ranges.push((start, i + 1));
+                start = i + 1;
+                acc = 0.0;
+            }
+        }
+        ranges
+    }
+}
+
+/// Sweeps the data patterns of Figure 8 over a sample of segments and
+/// returns per-pattern average/maximum cache-block entropy.
+pub fn pattern_sweep(
+    model: &QuacAnalogModel,
+    patterns: &[DataPattern],
+    cfg: &CharacterizationConfig,
+) -> Vec<PatternStats> {
+    let segments = model.geometry().segments_per_bank();
+    let blocks = model.geometry().cache_blocks_per_row();
+    patterns
+        .iter()
+        .map(|&pattern| {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            let mut max = 0.0f64;
+            let mut s = 0;
+            while s < segments {
+                for cb in 0..blocks {
+                    let e = cache_block_entropy_strided(model, Segment::new(s), cb, pattern, cfg);
+                    sum += e;
+                    count += 1;
+                    max = max.max(e);
+                }
+                s += cfg.segment_stride;
+            }
+            PatternStats {
+                pattern,
+                avg_cache_block_entropy: sum / count.max(1) as f64,
+                max_cache_block_entropy: max,
+            }
+        })
+        .collect()
+}
+
+fn cache_block_entropy_strided(
+    model: &QuacAnalogModel,
+    segment: Segment,
+    cache_block: usize,
+    pattern: DataPattern,
+    cfg: &CharacterizationConfig,
+) -> f64 {
+    let start = cache_block * CACHE_BLOCK_BITS;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    let mut b = start;
+    while b < start + CACHE_BLOCK_BITS {
+        sum += model.bitline_entropy(segment, b, pattern, cfg.conditions);
+        count += 1;
+        b += cfg.bitline_stride;
+    }
+    sum * CACHE_BLOCK_BITS as f64 / count.max(1) as f64
+}
+
+/// Builds the per-segment entropy map (Figure 9) and selects the
+/// highest-entropy segment, then profiles its cache blocks (Figure 10).
+pub fn characterize_module(
+    model: &QuacAnalogModel,
+    pattern: DataPattern,
+    cfg: &CharacterizationConfig,
+) -> ModuleCharacterization {
+    let segments = model.geometry().segments_per_bank();
+    let mut segment_entropy = Vec::new();
+    let mut best = (Segment::new(0), f64::MIN);
+    let mut s = 0;
+    while s < segments {
+        let seg = Segment::new(s);
+        let e = model.segment_entropy(seg, pattern, cfg.conditions, cfg.bitline_stride);
+        segment_entropy.push((s, e));
+        if e > best.1 {
+            best = (seg, e);
+        }
+        s += cfg.segment_stride;
+    }
+    // Profile the best segment's cache blocks exactly (it is only 128 blocks).
+    let blocks = model.geometry().cache_blocks_per_row();
+    let best_segment_cache_blocks: Vec<f64> = (0..blocks)
+        .map(|cb| model.cache_block_entropy(best.0, cb, pattern, cfg.conditions))
+        .collect();
+    let best_entropy: f64 = best_segment_cache_blocks.iter().sum();
+    ModuleCharacterization {
+        pattern,
+        segment_entropy,
+        best_segment: best.0,
+        best_segment_entropy: best_entropy,
+        best_segment_cache_blocks,
+        conditions: cfg.conditions,
+    }
+}
+
+/// Per-chip segment entropy at a given temperature (the Figure 14 study).
+/// Returns the per-chip maximum and average segment entropy over the sampled
+/// segments.
+pub fn chip_temperature_study(
+    model: &QuacAnalogModel,
+    chip: usize,
+    pattern: DataPattern,
+    temperature_c: f64,
+    cfg: &CharacterizationConfig,
+) -> (f64, f64) {
+    let segments = model.geometry().segments_per_bank();
+    let conditions = OperatingConditions::at_temperature(temperature_c);
+    let mut max = 0.0f64;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    let mut s = 0;
+    while s < segments {
+        let e = model.chip_segment_entropy(Segment::new(s), chip, pattern, conditions, cfg.bitline_stride);
+        max = max.max(e);
+        sum += e;
+        count += 1;
+        s += cfg.segment_stride;
+    }
+    (max, sum / count.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_dram_analog::{ModuleVariation, PAPER_MODULES};
+    use qt_dram_core::DramGeometry;
+
+    fn tiny_model() -> QuacAnalogModel {
+        let geom = DramGeometry::tiny_test();
+        QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 31))
+    }
+
+    fn tiny_cfg() -> CharacterizationConfig {
+        CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() }
+    }
+
+    #[test]
+    fn best_pattern_dominates_the_sweep() {
+        let model = tiny_model();
+        let stats = pattern_sweep(&model, &DataPattern::figure8_patterns(), &tiny_cfg());
+        assert_eq!(stats.len(), 8);
+        let best = stats.iter().max_by(|a, b| a.avg_cache_block_entropy.partial_cmp(&b.avg_cache_block_entropy).unwrap()).unwrap();
+        assert!(best.pattern.first_row_opposes_rest(), "best pattern was {}", best.pattern);
+        let worst = stats.iter().min_by(|a, b| a.avg_cache_block_entropy.partial_cmp(&b.avg_cache_block_entropy).unwrap()).unwrap();
+        assert!(best.avg_cache_block_entropy > 4.0 * worst.avg_cache_block_entropy.max(0.01));
+        for s in &stats {
+            assert!(s.max_cache_block_entropy >= s.avg_cache_block_entropy);
+            assert!(s.max_cache_block_entropy <= CACHE_BLOCK_BITS as f64);
+        }
+    }
+
+    #[test]
+    fn characterisation_selects_the_highest_entropy_segment() {
+        let model = tiny_model();
+        let ch = characterize_module(&model, DataPattern::best_average(), &tiny_cfg());
+        assert_eq!(ch.segment_entropy.len(), model.geometry().segments_per_bank());
+        let best_listed = ch
+            .segment_entropy
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(best_listed.0, ch.best_segment.index());
+        assert!(ch.best_segment_entropy > ch.average_segment_entropy());
+        assert_eq!(ch.best_segment_cache_blocks.len(), model.geometry().cache_blocks_per_row());
+    }
+
+    #[test]
+    fn sha_input_blocks_and_ranges_are_consistent() {
+        let model = tiny_model();
+        let ch = characterize_module(&model, DataPattern::best_average(), &tiny_cfg());
+        let ranges = ch.entropy_block_ranges();
+        // Each range accumulates at least 256 bits of entropy.
+        for (start, end) in &ranges {
+            let e: f64 = ch.best_segment_cache_blocks[*start..*end].iter().sum();
+            assert!(e >= RANDOM_NUMBER_BITS as f64);
+        }
+        // There cannot be more ranges than SIB.
+        assert!(ranges.len() <= ch.sha_input_blocks().max(1));
+    }
+
+    #[test]
+    fn paper_module_average_entropy_is_in_table3_ballpark() {
+        // Characterise a sample of M1 and check the average segment entropy
+        // lands within ±35% of the Table 3 value (sampling + calibration
+        // tolerance).
+        let m = &PAPER_MODULES[0];
+        let model = m.analog_model();
+        let cfg = CharacterizationConfig { segment_stride: 256, bitline_stride: 64, conditions: OperatingConditions::nominal() };
+        let ch = characterize_module(&model, DataPattern::best_average(), &cfg);
+        let avg = ch.average_segment_entropy();
+        let target = m.table3_avg_segment_entropy;
+        assert!(
+            (avg - target).abs() / target < 0.35,
+            "M1 avg segment entropy {avg:.1} vs Table 3 {target}"
+        );
+        assert!(ch.sha_input_blocks() >= 4, "SIB {}", ch.sha_input_blocks());
+    }
+
+    #[test]
+    fn temperature_study_moves_entropy_in_the_chip_trend_direction() {
+        let model = tiny_model();
+        let cfg = tiny_cfg();
+        for chip in 0..model.variation().chip_count() {
+            let (max50, avg50) = chip_temperature_study(&model, chip, DataPattern::best_average(), 50.0, &cfg);
+            let (max85, avg85) = chip_temperature_study(&model, chip, DataPattern::best_average(), 85.0, &cfg);
+            assert!(max50 >= avg50 && max85 >= avg85);
+            if model.variation().chip_follows_trend1(chip) {
+                assert!(avg85 > avg50, "trend-1 chip {chip} should gain entropy with temperature");
+            } else {
+                assert!(avg85 < avg50, "trend-2 chip {chip} should lose entropy with temperature");
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! System-integration cost accounting (Section 9).
+
+use qt_crypto::Sha256HardwareCost;
+use qt_dram_core::{DramGeometry, ROWS_PER_SEGMENT};
+use serde::{Deserialize, Serialize};
+
+/// Number of banks (in distinct bank groups) QUAC-TRNG reserves rows in.
+pub const RESERVED_BANKS: usize = 4;
+/// Rows reserved per bank: one segment (4 rows) plus two source rows for
+/// in-DRAM copy initialisation.
+pub const RESERVED_ROWS_PER_BANK: usize = ROWS_PER_SEGMENT + 2;
+/// Row-address registers stored by the controller: 4 segment base addresses
+/// plus 8 copy-source addresses.
+pub const ROW_ADDRESS_REGISTERS: usize = 12;
+/// Column-address registers per temperature range (the non-overlapping
+/// 256-bit-entropy cache-block ranges, Section 8).
+pub const COLUMN_ADDRESS_REGISTERS: usize = 11;
+/// Number of distinct temperature ranges provisioned for.
+pub const TEMPERATURE_RANGES: usize = 10;
+/// Width of a DRAM row address register, in bits.
+pub const ROW_ADDRESS_BITS: usize = 17;
+/// Width of a DRAM column address register, in bits.
+pub const COLUMN_ADDRESS_BITS: usize = 10;
+/// Area of the controller-side address storage reported by CACTI (mm², 7 nm).
+pub const ADDRESS_STORAGE_AREA_MM2: f64 = 0.0003;
+/// Reference die area of a contemporary 7 nm CPU chiplet (mm²), used for the
+/// relative-overhead figure.
+pub const REFERENCE_CPU_AREA_MM2: f64 = 74.0;
+
+/// The Section 9 cost summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntegrationCosts {
+    /// DRAM capacity reserved for QUAC-TRNG, in bytes.
+    pub reserved_bytes: u64,
+    /// Reserved capacity as a fraction of the module capacity.
+    pub reserved_fraction: f64,
+    /// Controller storage for row/column addresses, in bits.
+    pub controller_storage_bits: usize,
+    /// Total controller area (address storage + SHA-256 core), in mm².
+    pub controller_area_mm2: f64,
+    /// Controller area as a fraction of a contemporary CPU die.
+    pub cpu_area_fraction: f64,
+}
+
+/// Computes the integration costs for a module geometry (the paper quotes an
+/// 8 GB module: 192 KB reserved, 0.002 % of capacity, 1316 bits of storage,
+/// 0.0014 mm², 0.04 % of the CPU die).
+pub fn integration_costs(geom: &DramGeometry) -> IntegrationCosts {
+    let row_bytes = geom.row_bits as u64 / 8;
+    let reserved_bytes = (RESERVED_BANKS * RESERVED_ROWS_PER_BANK) as u64 * row_bytes;
+    let reserved_fraction = reserved_bytes as f64 / geom.module_capacity_bytes() as f64;
+    let controller_storage_bits = ROW_ADDRESS_REGISTERS * ROW_ADDRESS_BITS
+        + COLUMN_ADDRESS_REGISTERS * COLUMN_ADDRESS_BITS * TEMPERATURE_RANGES;
+    let sha = Sha256HardwareCost::paper_reference();
+    let controller_area_mm2 = ADDRESS_STORAGE_AREA_MM2 + sha.area_mm2;
+    IntegrationCosts {
+        reserved_bytes,
+        reserved_fraction,
+        controller_storage_bits,
+        controller_area_mm2,
+        cpu_area_fraction: controller_area_mm2 / REFERENCE_CPU_AREA_MM2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_capacity_matches_paper() {
+        let costs = integration_costs(&DramGeometry::ddr4_8gb_x8_module());
+        // 4 banks × 6 rows × 8 KiB = 192 KiB.
+        assert_eq!(costs.reserved_bytes, 192 * 1024);
+        // ≈ 0.002 % of an 8 GB module.
+        assert!((costs.reserved_fraction - 0.0000224).abs() < 0.00001, "{}", costs.reserved_fraction);
+    }
+
+    #[test]
+    fn controller_storage_is_about_1300_bits() {
+        let costs = integration_costs(&DramGeometry::ddr4_8gb_x8_module());
+        // Paper: 1316 bits. Our register accounting gives the same order.
+        assert!(costs.controller_storage_bits > 1100 && costs.controller_storage_bits < 1500,
+            "storage {}", costs.controller_storage_bits);
+    }
+
+    #[test]
+    fn area_overhead_is_tiny() {
+        let costs = integration_costs(&DramGeometry::ddr4_8gb_x8_module());
+        assert!((costs.controller_area_mm2 - 0.0013).abs() < 0.0005);
+        assert!(costs.cpu_area_fraction < 0.001);
+    }
+}

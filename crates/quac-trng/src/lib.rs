@@ -1,0 +1,42 @@
+//! # quac-trng
+//!
+//! The paper's primary contribution: a high-throughput true random number
+//! generator built on QUadruple row ACtivation (QUAC) in commodity DDR4
+//! DRAM (Olgun et al., ISCA 2021).
+//!
+//! The crate ties the substrates together:
+//!
+//! * [`characterize`] — the one-time characterisation step (Section 6):
+//!   data-pattern sweeps, per-segment and per-cache-block entropy maps, and
+//!   selection of the highest-entropy segment and its SHA-256 input blocks.
+//! * [`pipeline`] — the runtime generator (Section 5.2): initialise the
+//!   reserved segment with in-DRAM copies, QUAC it, read the sense
+//!   amplifiers, split them into 256-bit-entropy blocks, and post-process
+//!   with SHA-256 (or the Von Neumann corrector for raw streams).
+//! * [`throughput`] — the analytic throughput/latency models behind
+//!   Figures 11 and 13 and Table 2.
+//! * [`integration`] — the system-integration cost accounting of Section 9.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use quac_trng::pipeline::QuacTrng;
+//! use qt_dram_analog::PAPER_MODULES;
+//!
+//! // Build a generator on (a simulation of) module M1 and draw random bytes.
+//! let mut trng = QuacTrng::for_module(&PAPER_MODULES[0], 1234);
+//! let bytes = trng.generate_bytes(64);
+//! assert_eq!(bytes.len(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod integration;
+pub mod pipeline;
+pub mod throughput;
+
+pub use characterize::{CharacterizationConfig, ModuleCharacterization, PatternStats};
+pub use pipeline::QuacTrng;
+pub use throughput::{ConfigurationThroughput, ThroughputModel};

@@ -1,0 +1,254 @@
+//! The runtime QUAC-TRNG pipeline (Section 5.2, Figure 6).
+//!
+//! After the one-time characterisation has picked a high-entropy segment and
+//! its 256-bit-entropy cache-block ranges, the steady-state loop is:
+//! initialise the segment from the reserved all-0/all-1 rows (in-DRAM copy),
+//! QUAC it, read the high-entropy blocks from the sense amplifiers, and hash
+//! each block with SHA-256 to emit 256 random bits.
+
+use crate::characterize::{characterize_module, CharacterizationConfig, ModuleCharacterization};
+use qt_crypto::{Sha256, VonNeumannCorrector};
+use qt_dram_analog::{ModuleProfile, OperatingConditions, QuacAnalogModel};
+use qt_dram_core::{BitVec, DataPattern, CACHE_BLOCK_BITS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A ready-to-run QUAC-TRNG instance bound to one module.
+///
+/// The generator models the *memory-controller view* of the mechanism: it
+/// holds the chosen segment's per-bitline one-probabilities (the physics),
+/// draws fresh thermal noise per QUAC iteration, and post-processes exactly
+/// as the hardware would.
+#[derive(Debug, Clone)]
+pub struct QuacTrng {
+    model: QuacAnalogModel,
+    characterization: ModuleCharacterization,
+    probabilities: Vec<f64>,
+    block_ranges: Vec<(usize, usize)>,
+    rng: StdRng,
+    /// Buffered random bits awaiting delivery (Section 9's output buffer).
+    buffer: Vec<u8>,
+    iterations: u64,
+}
+
+impl QuacTrng {
+    /// Builds a generator for one of the paper's modules, running the fast
+    /// characterisation configuration.
+    pub fn for_module(profile: &ModuleProfile, noise_seed: u64) -> Self {
+        let model = profile.analog_model();
+        Self::from_model(model, CharacterizationConfig::fast(), noise_seed)
+    }
+
+    /// Builds a generator from an explicit analog model and characterisation
+    /// configuration.
+    pub fn from_model(
+        model: QuacAnalogModel,
+        cfg: CharacterizationConfig,
+        noise_seed: u64,
+    ) -> Self {
+        let characterization = characterize_module(&model, DataPattern::best_average(), &cfg);
+        Self::with_characterization(model, characterization, noise_seed)
+    }
+
+    /// Builds a generator from an existing characterisation (e.g. one loaded
+    /// from the monthly re-characterisation, Section 8).
+    pub fn with_characterization(
+        model: QuacAnalogModel,
+        characterization: ModuleCharacterization,
+        noise_seed: u64,
+    ) -> Self {
+        let probabilities = model.bitline_probabilities(
+            characterization.best_segment,
+            characterization.pattern,
+            characterization.conditions,
+        );
+        let block_ranges = characterization.entropy_block_ranges();
+        QuacTrng {
+            model,
+            characterization,
+            probabilities,
+            block_ranges,
+            rng: StdRng::seed_from_u64(noise_seed),
+            buffer: Vec::new(),
+            iterations: 0,
+        }
+    }
+
+    /// The characterisation backing this generator.
+    pub fn characterization(&self) -> &ModuleCharacterization {
+        &self.characterization
+    }
+
+    /// Number of QUAC iterations performed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Number of 256-bit random numbers produced per QUAC iteration.
+    pub fn numbers_per_iteration(&self) -> usize {
+        self.block_ranges.len().max(1)
+    }
+
+    /// Performs one QUAC iteration and returns the raw sense-amplifier
+    /// contents (before post-processing).
+    pub fn raw_iteration(&mut self) -> BitVec {
+        self.iterations += 1;
+        QuacAnalogModel::sample_from_probabilities(&self.probabilities, &mut self.rng)
+    }
+
+    /// Performs one QUAC iteration and post-processes each 256-bit-entropy
+    /// block with SHA-256, returning `numbers_per_iteration()` random
+    /// 256-bit numbers (Figure 6, steps 1–4).
+    pub fn iteration(&mut self) -> Vec<[u8; 32]> {
+        let raw = self.raw_iteration();
+        let mut out = Vec::with_capacity(self.block_ranges.len());
+        if self.block_ranges.is_empty() {
+            // Degenerate (low-entropy) module: hash the whole row buffer.
+            out.push(Sha256::digest(&raw.to_bytes()));
+            return out;
+        }
+        for &(start_block, end_block) in &self.block_ranges {
+            let bits = raw.slice(start_block * CACHE_BLOCK_BITS, end_block * CACHE_BLOCK_BITS);
+            out.push(Sha256::digest(&bits.to_bytes()));
+        }
+        out
+    }
+
+    /// Generates `count` bytes of random output, buffering any excess.
+    pub fn generate_bytes(&mut self, count: usize) -> Vec<u8> {
+        while self.buffer.len() < count {
+            for digest in self.iteration() {
+                self.buffer.extend_from_slice(&digest);
+            }
+        }
+        let out = self.buffer[..count].to_vec();
+        self.buffer.drain(..count);
+        out
+    }
+
+    /// Generates a bitstream of `bits` random bits (SHA-256 post-processed),
+    /// as used for the NIST STS experiments of Section 7.1.
+    pub fn generate_bits(&mut self, bits: usize) -> BitVec {
+        let bytes = self.generate_bytes(bits.div_ceil(8));
+        BitVec::from_bytes(&bytes, bits)
+    }
+
+    /// Generates a Von-Neumann-corrected raw bitstream from the most
+    /// metastable sense amplifier of the chosen segment (the "VNC" column of
+    /// Table 1): collects `iterations` raw samples of that bitline and
+    /// de-biases them.
+    pub fn generate_vnc_bits(&mut self, iterations: usize) -> BitVec {
+        // Pick the bitline whose one-probability is closest to 0.5.
+        let best = self
+            .probabilities
+            .iter()
+            .enumerate()
+            .min_by(|a, b| (a.1 - 0.5).abs().partial_cmp(&(b.1 - 0.5).abs()).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let p = self.probabilities[best];
+        let raw = BitVec::from_bits((0..iterations).map(|_| {
+            use rand::Rng;
+            self.rng.gen::<f64>() < p
+        }));
+        self.iterations += iterations as u64;
+        VonNeumannCorrector::correct(&raw)
+    }
+
+    /// Updates the operating conditions (e.g. a temperature change reported
+    /// by the DIMM sensor) by re-deriving the per-bitline probabilities and
+    /// block ranges from the stored characterisation for those conditions
+    /// (Section 8's temperature-range handling).
+    pub fn set_conditions(&mut self, conditions: OperatingConditions) {
+        let cfg = CharacterizationConfig {
+            segment_stride: 1,
+            bitline_stride: 1,
+            conditions,
+        };
+        // Re-profile only the reserved segment (cheap), keeping its identity.
+        let blocks = self.model.geometry().cache_blocks_per_row();
+        let best = self.characterization.best_segment;
+        let cache_blocks: Vec<f64> = (0..blocks)
+            .map(|cb| self.model.cache_block_entropy(best, cb, self.characterization.pattern, conditions))
+            .collect();
+        self.characterization.best_segment_cache_blocks = cache_blocks;
+        self.characterization.best_segment_entropy =
+            self.characterization.best_segment_cache_blocks.iter().sum();
+        self.characterization.conditions = cfg.conditions;
+        self.block_ranges = self.characterization.entropy_block_ranges();
+        self.probabilities = self.model.bitline_probabilities(best, self.characterization.pattern, conditions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_dram_analog::{ModuleVariation, PAPER_MODULES};
+    use qt_dram_core::DramGeometry;
+
+    fn tiny_trng() -> QuacTrng {
+        let geom = DramGeometry::tiny_test();
+        let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
+        QuacTrng::from_model(model, CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() }, 77)
+    }
+
+    #[test]
+    fn generates_requested_byte_counts() {
+        let mut t = tiny_trng();
+        let a = t.generate_bytes(10);
+        let b = t.generate_bytes(100);
+        assert_eq!(a.len(), 10);
+        assert_eq!(b.len(), 100);
+        assert!(t.iterations() > 0);
+    }
+
+    #[test]
+    fn output_is_balanced_and_non_repeating() {
+        let mut t = tiny_trng();
+        let bits = t.generate_bits(40_000);
+        let frac = bits.ones_fraction();
+        assert!((frac - 0.5).abs() < 0.02, "ones fraction {frac}");
+        // Two consecutive draws differ.
+        let a = t.generate_bytes(32);
+        let b = t.generate_bytes(32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_stream() {
+        let geom = DramGeometry::tiny_test();
+        let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
+        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let mut a = QuacTrng::from_model(model.clone(), cfg, 5);
+        let mut b = QuacTrng::from_model(model, cfg, 5);
+        assert_eq!(a.generate_bytes(64), b.generate_bytes(64));
+    }
+
+    #[test]
+    fn vnc_stream_is_unbiased() {
+        let mut t = tiny_trng();
+        let bits = t.generate_vnc_bits(50_000);
+        assert!(!bits.is_empty());
+        assert!((bits.ones_fraction() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn paper_module_produces_multiple_numbers_per_iteration() {
+        let mut t = QuacTrng::for_module(&PAPER_MODULES[0], 3);
+        // The best segment of M1 holds several SHA input blocks.
+        assert!(t.numbers_per_iteration() >= 4, "blocks {}", t.numbers_per_iteration());
+        let numbers = t.iteration();
+        assert_eq!(numbers.len(), t.numbers_per_iteration());
+    }
+
+    #[test]
+    fn temperature_update_reprofiles_the_segment() {
+        let mut t = tiny_trng();
+        let before = t.characterization().best_segment_entropy;
+        t.set_conditions(OperatingConditions::at_temperature(85.0));
+        let after = t.characterization().best_segment_entropy;
+        assert!((before - after).abs() > 1e-9, "temperature change should shift entropy");
+        // The generator still works.
+        assert_eq!(t.generate_bytes(16).len(), 16);
+    }
+}

@@ -1,0 +1,163 @@
+//! Analytic throughput and latency models (Sections 7.2–7.4).
+
+use qt_crypto::Sha256HardwareCost;
+use qt_dram_core::{DramGeometry, SpeedGrade, TimingParams, TransferRate, RANDOM_NUMBER_BITS};
+use qt_memctrl::schedule::{quac_iteration, random_number_latency_ns, QuacScheduleConfig};
+use serde::{Deserialize, Serialize};
+
+/// Throughput of one named configuration (a bar of Figure 11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigurationThroughput {
+    /// Configuration name ("One Bank", "BGP", "RC + BGP").
+    pub name: &'static str,
+    /// Per-channel random-number throughput in Gb/s.
+    pub throughput_gbps: f64,
+    /// Per-iteration latency in nanoseconds.
+    pub iteration_latency_ns: f64,
+    /// Random bits produced per iteration.
+    pub bits_per_iteration: f64,
+}
+
+/// The QUAC-TRNG throughput model for one module.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputModel {
+    /// Module geometry.
+    pub geom: DramGeometry,
+    /// Entropy of the module's highest-entropy segment, in bits (from
+    /// characterisation or Table 3).
+    pub max_segment_entropy: f64,
+    /// SHA-256 hardware cost model used for post-processing accounting.
+    pub sha: Sha256HardwareCost,
+}
+
+impl ThroughputModel {
+    /// Builds the model from a maximum segment entropy.
+    pub fn new(geom: DramGeometry, max_segment_entropy: f64) -> Self {
+        ThroughputModel { geom, max_segment_entropy, sha: Sha256HardwareCost::paper_reference() }
+    }
+
+    /// SHA input blocks per segment: `floor(entropy / 256)` (Section 7.2).
+    pub fn sha_input_blocks(&self) -> usize {
+        (self.max_segment_entropy / RANDOM_NUMBER_BITS as f64).floor() as usize
+    }
+
+    /// Random bits produced per iteration for a configuration spanning
+    /// `banks` banks.
+    pub fn bits_per_iteration(&self, banks: usize) -> f64 {
+        (banks * self.sha_input_blocks() * RANDOM_NUMBER_BITS) as f64
+    }
+
+    /// Per-channel throughput of one configuration at the given speed grade.
+    pub fn configuration_throughput(
+        &self,
+        cfg: QuacScheduleConfig,
+        grade: SpeedGrade,
+        name: &'static str,
+    ) -> ConfigurationThroughput {
+        let timing = TimingParams::for_speed_grade(grade);
+        let rate = grade.transfer_rate();
+        let schedule = quac_iteration(cfg, &timing, rate, &self.geom);
+        let bits = self.bits_per_iteration(cfg.banks);
+        ConfigurationThroughput {
+            name,
+            throughput_gbps: schedule.throughput_gbps(bits),
+            iteration_latency_ns: schedule.latency_ns,
+            bits_per_iteration: bits,
+        }
+    }
+
+    /// The three Figure 11 configurations at DDR4-2400.
+    pub fn figure11(&self) -> [ConfigurationThroughput; 3] {
+        let grade = SpeedGrade::Ddr4_2400;
+        [
+            self.configuration_throughput(QuacScheduleConfig::one_bank(&self.geom), grade, "One Bank"),
+            self.configuration_throughput(QuacScheduleConfig::bgp(&self.geom), grade, "BGP"),
+            self.configuration_throughput(QuacScheduleConfig::rc_bgp(&self.geom), grade, "RC + BGP"),
+        ]
+    }
+
+    /// Per-channel RC+BGP throughput at an arbitrary transfer rate (a point
+    /// on the QUAC-TRNG curve of Figure 13).
+    pub fn scaled_throughput_gbps(&self, rate: TransferRate) -> f64 {
+        let grade = SpeedGrade::Projected(rate.mts());
+        self.configuration_throughput(QuacScheduleConfig::rc_bgp(&self.geom), grade, "RC + BGP")
+            .throughput_gbps
+    }
+
+    /// Aggregate throughput of a multi-channel system (Table 2 reports the
+    /// four-channel value, 13.76 Gb/s).
+    pub fn system_throughput_gbps(&self, channels: usize, rate: TransferRate) -> f64 {
+        channels as f64 * self.scaled_throughput_gbps(rate)
+    }
+
+    /// Latency of producing one 256-bit random number (Table 2: 274 ns),
+    /// counting the QUAC sequence, reading enough cache blocks to gather
+    /// 256 bits of entropy, and the SHA-256 hash.
+    pub fn random_number_latency_ns(&self, rate: TransferRate) -> f64 {
+        let timing = TimingParams::for_speed_grade(SpeedGrade::Projected(rate.mts()));
+        // Blocks needed so that their combined entropy reaches 256 bits,
+        // assuming entropy is spread evenly over the segment's blocks.
+        let blocks = self.geom.cache_blocks_per_row();
+        let per_block = self.max_segment_entropy / blocks as f64;
+        let needed = (RANDOM_NUMBER_BITS as f64 / per_block.max(1e-9)).ceil() as usize;
+        random_number_latency_ns(&timing, rate, needed.min(blocks), self.sha.latency_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_dram_analog::profiles::average_of_max_segment_entropy;
+
+    fn population_model() -> ThroughputModel {
+        ThroughputModel::new(DramGeometry::ddr4_4gb_x8_module(), average_of_max_segment_entropy())
+    }
+
+    #[test]
+    fn figure11_ordering_and_magnitudes() {
+        let m = population_model();
+        let [one, bgp, rc] = m.figure11();
+        assert!(one.throughput_gbps < bgp.throughput_gbps);
+        assert!(bgp.throughput_gbps < rc.throughput_gbps);
+        // Paper averages: 0.49 / 0.75 / 3.44 Gb/s. Allow generous envelopes.
+        assert!(one.throughput_gbps > 0.25 && one.throughput_gbps < 0.9, "one bank {}", one.throughput_gbps);
+        assert!(bgp.throughput_gbps > 0.45 && bgp.throughput_gbps < 1.5, "bgp {}", bgp.throughput_gbps);
+        assert!(rc.throughput_gbps > 2.2 && rc.throughput_gbps < 5.5, "rc+bgp {}", rc.throughput_gbps);
+        // RC+BGP iteration latency is about 2 µs (paper: 1940 ns).
+        assert!(rc.iteration_latency_ns > 1200.0 && rc.iteration_latency_ns < 2800.0);
+    }
+
+    #[test]
+    fn sha_input_blocks_match_paper_average() {
+        let m = population_model();
+        // The paper reports ~7664 bits per 4-bank iteration = ~7.5 SIB/bank.
+        assert!(m.sha_input_blocks() >= 6 && m.sha_input_blocks() <= 9, "SIB {}", m.sha_input_blocks());
+        let bits = m.bits_per_iteration(4);
+        assert!(bits > 6000.0 && bits < 9500.0, "bits/iteration {bits}");
+    }
+
+    #[test]
+    fn four_channel_system_reaches_double_digit_gbps() {
+        let m = population_model();
+        let tp = m.system_throughput_gbps(4, TransferRate::ddr4_2400());
+        // Paper: 13.76 Gb/s for four channels.
+        assert!(tp > 9.0 && tp < 20.0, "4-channel throughput {tp}");
+    }
+
+    #[test]
+    fn throughput_scales_with_transfer_rate() {
+        let m = population_model();
+        let base = m.scaled_throughput_gbps(TransferRate::ddr4_2400());
+        let fast = m.scaled_throughput_gbps(TransferRate::from_mts(12_000).unwrap());
+        // Figure 13: quasi-linear scaling (2400 → 12000 is 5×; expect ≥ 2.5×).
+        assert!(fast > 2.5 * base, "base {base} fast {fast}");
+    }
+
+    #[test]
+    fn random_number_latency_is_order_hundreds_of_ns() {
+        let m = population_model();
+        let l = m.random_number_latency_ns(TransferRate::ddr4_2400());
+        // Table 2: 274 ns.
+        assert!(l > 80.0 && l < 600.0, "latency {l}");
+    }
+}

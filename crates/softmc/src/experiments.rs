@@ -1,0 +1,180 @@
+//! Ready-made SoftMC experiments mirroring the paper's methodology.
+
+use crate::{HostController, Program};
+use qt_dram_core::{BitVec, ColumnAddr, DataPattern, RowAddr, Segment};
+use qt_dram_sim::{BankRef, DramSimError};
+
+/// Algorithm 1 of the paper: initialise a segment with a data pattern,
+/// perform a QUAC operation with violated tRAS/tRP, then read back every
+/// sense amplifier with nominal timing. Returns one bit per bitline.
+pub fn quac_randomness_test(
+    host: &mut HostController,
+    bank: BankRef,
+    segment: Segment,
+    pattern: DataPattern,
+) -> Result<BitVec, DramSimError> {
+    // Step (i): write the data pattern into all rows of the segment.
+    host.module_mut().fill_segment(bank, segment, pattern)?;
+
+    // Steps (ii)-(iii): QUAC with violated timings, then read each sense
+    // amplifier while obeying nominal column timings.
+    let timing = *host.module().timing();
+    let columns = host.module().geometry().columns_per_row();
+    let quac = Program::quac_sequence(segment, &timing);
+    host.run(bank, &quac)?;
+    let read = crate::ProgramBuilder::new()
+        .read_all_columns(columns, timing.t_ccd_l)
+        .wait_ns(timing.t_ras)
+        .precharge()
+        .wait_ns(timing.t_rp)
+        .build();
+    let result = host.run(bank, &read)?;
+    Ok(result.concatenated_reads())
+}
+
+/// The Section 4.2 verification experiment: QUAC a segment, write a new
+/// pattern into the row buffer while all four rows are open, precharge, and
+/// read each row individually with nominal timing. Returns the data read from
+/// each of the four rows; the experiment succeeds when all four match the
+/// written pattern.
+pub fn quac_four_row_write_verification(
+    host: &mut HostController,
+    bank: BankRef,
+    segment: Segment,
+    marker_block: &BitVec,
+) -> Result<[BitVec; 4], DramSimError> {
+    let timing = *host.module().timing();
+    // Initialise with a known pattern, then QUAC.
+    host.module_mut().fill_segment(bank, segment, DataPattern::best_average())?;
+    host.run(bank, &Program::quac_sequence(segment, &timing))?;
+
+    // Write the marker into column 0 while the four rows are open.
+    let write = crate::ProgramBuilder::new()
+        .write(ColumnAddr::new(0), marker_block.clone())
+        .wait_ns(timing.t_ras)
+        .precharge()
+        .wait_ns(timing.t_rp)
+        .build();
+    host.run(bank, &write)?;
+
+    // Read each row back individually with nominal timing.
+    let rows = segment.rows();
+    let mut out: Vec<BitVec> = Vec::with_capacity(4);
+    for row in rows {
+        let data = host.module_mut().read_row(bank, row)?;
+        out.push(data.slice(0, marker_block.len()));
+    }
+    Ok([out[0].clone(), out[1].clone(), out[2].clone(), out[3].clone()])
+}
+
+/// Collects `iterations` bits from every sense amplifier of a segment by
+/// repeating Algorithm 1 (Section 6.2): the result is one bitstream per
+/// bitline, stored as `iterations` row-buffer snapshots.
+pub fn collect_quac_bitstreams(
+    host: &mut HostController,
+    bank: BankRef,
+    segment: Segment,
+    pattern: DataPattern,
+    iterations: usize,
+) -> Result<Vec<BitVec>, DramSimError> {
+    let mut snapshots = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        snapshots.push(quac_randomness_test(host, bank, segment, pattern)?);
+    }
+    Ok(snapshots)
+}
+
+/// Extracts the per-bitline bitstream from a set of row-buffer snapshots.
+pub fn bitline_stream(snapshots: &[BitVec], bitline: usize) -> BitVec {
+    BitVec::from_bits(snapshots.iter().map(|s| s.get(bitline)))
+}
+
+/// Reduced-tRCD characterisation for one cache block (the D-RaNGe-Enhanced
+/// methodology of Section 7.4.1): initialise the row with all zeros, read the
+/// block with reduced tRCD `iterations` times, and return the per-iteration
+/// blocks.
+pub fn reduced_trcd_characterisation(
+    host: &mut HostController,
+    bank: BankRef,
+    row: RowAddr,
+    column: ColumnAddr,
+    trcd_ns: f64,
+    iterations: usize,
+) -> Result<Vec<BitVec>, DramSimError> {
+    let row_bits = host.module().geometry().row_bits;
+    host.module_mut().fill_row(bank, row, &BitVec::zeros(row_bits))?;
+    let timing = *host.module().timing();
+    let program = Program::reduced_trcd_read(row, column, trcd_ns, &timing);
+    let mut out = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let result = host.run(bank, &program)?;
+        out.push(result.read_data[0].clone());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_dram_analog::entropy::bitstream_entropy;
+    use qt_dram_core::{DramGeometry, CACHE_BLOCK_BITS};
+    use qt_dram_sim::DramModuleSim;
+
+    fn host() -> HostController {
+        HostController::new(DramModuleSim::with_seed(DramGeometry::tiny_test(), 21))
+    }
+
+    #[test]
+    fn algorithm_1_produces_mixed_output_for_conflicting_pattern() {
+        let mut h = host();
+        let bank = h.module().bank_ref(0, 0);
+        let bits =
+            quac_randomness_test(&mut h, bank, Segment::new(3), DataPattern::best_average()).unwrap();
+        let ones = bits.count_ones();
+        assert!(ones > 0 && ones < bits.len(), "ones {ones} of {}", bits.len());
+    }
+
+    #[test]
+    fn four_row_write_verification_updates_every_row() {
+        let mut h = host();
+        let bank = h.module().bank_ref(1, 1);
+        let marker = BitVec::from_bits((0..CACHE_BLOCK_BITS).map(|i| i % 7 == 0));
+        let rows = quac_four_row_write_verification(&mut h, bank, Segment::new(2), &marker).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row, &marker, "row {i} does not hold the marker");
+        }
+    }
+
+    #[test]
+    fn repeated_quac_produces_entropy_on_some_bitlines() {
+        let mut h = host();
+        let bank = h.module().bank_ref(0, 1);
+        let snapshots =
+            collect_quac_bitstreams(&mut h, bank, Segment::new(5), DataPattern::best_average(), 40)
+                .unwrap();
+        assert_eq!(snapshots.len(), 40);
+        // At least one bitline should show non-trivial entropy across trials.
+        let row_bits = h.module().geometry().row_bits;
+        let max_entropy = (0..row_bits)
+            .map(|b| bitstream_entropy(&bitline_stream(&snapshots, b)))
+            .fold(0.0f64, f64::max);
+        assert!(max_entropy > 0.5, "max bitline entropy {max_entropy}");
+    }
+
+    #[test]
+    fn reduced_trcd_characterisation_returns_blocks() {
+        let mut h = host();
+        let bank = h.module().bank_ref(1, 0);
+        let blocks = reduced_trcd_characterisation(
+            &mut h,
+            bank,
+            RowAddr::new(8),
+            ColumnAddr::new(0),
+            4.0,
+            10,
+        )
+        .unwrap();
+        assert_eq!(blocks.len(), 10);
+        assert!(blocks.iter().all(|b| b.len() == CACHE_BLOCK_BITS));
+    }
+}

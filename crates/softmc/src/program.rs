@@ -1,0 +1,322 @@
+//! SoftMC-style command programs: timed DDR4 command sequences with
+//! fine-grained (violable) inter-command delays.
+
+use qt_dram_core::{BitVec, ColumnAddr, RowAddr, Segment, TimingParams};
+
+/// One step of a command program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramStep {
+    /// Activate a row.
+    Activate {
+        /// The row to activate.
+        row: RowAddr,
+    },
+    /// Precharge the bank.
+    Precharge,
+    /// Read one cache block from the open row buffer.
+    Read {
+        /// The column to read.
+        column: ColumnAddr,
+    },
+    /// Write one cache block into the row buffer (and all open rows).
+    Write {
+        /// The column to write.
+        column: ColumnAddr,
+        /// The 512-bit block to write.
+        data: BitVec,
+    },
+    /// Explicit delay marker (no command on the bus).
+    Wait,
+}
+
+/// A program step stamped with its offset from the program start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedStep {
+    /// Offset from the start of the program, in nanoseconds.
+    pub offset_ns: f64,
+    /// The step.
+    pub step: ProgramStep,
+}
+
+/// A DDR4 timing violation committed by a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimingViolation {
+    /// A precharge was issued before tRAS elapsed after an activation.
+    TRas {
+        /// Observed ACT→PRE gap in nanoseconds.
+        gap_ns: f64,
+        /// Required minimum in nanoseconds.
+        required_ns: f64,
+    },
+    /// An activation was issued before tRP elapsed after a precharge.
+    TRp {
+        /// Observed PRE→ACT gap in nanoseconds.
+        gap_ns: f64,
+        /// Required minimum in nanoseconds.
+        required_ns: f64,
+    },
+    /// A column command was issued before tRCD elapsed after an activation.
+    TRcd {
+        /// Observed ACT→RD/WR gap in nanoseconds.
+        gap_ns: f64,
+        /// Required minimum in nanoseconds.
+        required_ns: f64,
+    },
+}
+
+/// An ordered, timed DDR4 command sequence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    steps: Vec<TimedStep>,
+}
+
+impl Program {
+    /// The timed steps in issue order.
+    pub fn steps(&self) -> &[TimedStep] {
+        &self.steps
+    }
+
+    /// Total programmed duration (offset of the last step).
+    pub fn duration_ns(&self) -> f64 {
+        self.steps.last().map(|s| s.offset_ns).unwrap_or(0.0)
+    }
+
+    /// Number of command-bus commands (waits excluded).
+    pub fn command_count(&self) -> usize {
+        self.steps.iter().filter(|s| !matches!(s.step, ProgramStep::Wait)).count()
+    }
+
+    /// Scans the schedule for DDR4 timing violations against the given
+    /// parameters (the defining feature of SoftMC: the host lets you commit
+    /// them, but an experimenter wants them reported).
+    pub fn violations(&self, timing: &TimingParams) -> Vec<TimingViolation> {
+        let mut out = Vec::new();
+        let mut last_act: Option<f64> = None;
+        let mut last_pre: Option<f64> = None;
+        for s in &self.steps {
+            match s.step {
+                ProgramStep::Activate { .. } => {
+                    if let Some(pre) = last_pre {
+                        let gap = s.offset_ns - pre;
+                        if timing.violates_t_rp(gap + 1e-6) {
+                            out.push(TimingViolation::TRp { gap_ns: gap, required_ns: timing.t_rp });
+                        }
+                    }
+                    last_act = Some(s.offset_ns);
+                    last_pre = None;
+                }
+                ProgramStep::Precharge => {
+                    if let Some(act) = last_act {
+                        let gap = s.offset_ns - act;
+                        if timing.violates_t_ras(gap + 1e-6) {
+                            out.push(TimingViolation::TRas { gap_ns: gap, required_ns: timing.t_ras });
+                        }
+                    }
+                    last_pre = Some(s.offset_ns);
+                }
+                ProgramStep::Read { .. } | ProgramStep::Write { .. } => {
+                    if let Some(act) = last_act {
+                        let gap = s.offset_ns - act;
+                        if timing.violates_t_rcd(gap + 1e-6) {
+                            out.push(TimingViolation::TRcd { gap_ns: gap, required_ns: timing.t_rcd });
+                        }
+                    }
+                }
+                ProgramStep::Wait => {}
+            }
+        }
+        out
+    }
+
+    /// The QUAC command sequence of Algorithm 1: `ACT Row0 → (2.5 ns) →
+    /// PRE → (2.5 ns) → ACT Row3`, followed by a tRCD wait so the sense
+    /// amplifiers are readable.
+    pub fn quac_sequence(segment: Segment, timing: &TimingParams) -> Program {
+        let gap = TimingParams::quac_violated_gap_ns();
+        let (first, last) = segment.quac_act_pair();
+        ProgramBuilder::new()
+            .activate(first)
+            .wait_ns(gap)
+            .precharge()
+            .wait_ns(gap)
+            .activate(last)
+            .wait_ns(timing.t_rcd)
+            .build()
+    }
+
+    /// The in-DRAM copy sequence (ComputeDRAM-style RowClone): `ACT src →
+    /// PRE → ACT dst` with the same violated gaps.
+    pub fn rowclone_sequence(source: RowAddr, destination: RowAddr, timing: &TimingParams) -> Program {
+        let gap = TimingParams::quac_violated_gap_ns();
+        ProgramBuilder::new()
+            .activate(source)
+            .wait_ns(gap)
+            .precharge()
+            .wait_ns(gap)
+            .activate(destination)
+            .wait_ns(timing.t_ras)
+            .precharge()
+            .wait_ns(timing.t_rp)
+            .build()
+    }
+
+    /// A reduced-tRCD read (the D-RaNGe entropy harvest): activate, read one
+    /// column after `trcd_ns` (below nominal), then clean up.
+    pub fn reduced_trcd_read(row: RowAddr, column: ColumnAddr, trcd_ns: f64, timing: &TimingParams) -> Program {
+        ProgramBuilder::new()
+            .activate(row)
+            .wait_ns(trcd_ns)
+            .read(column)
+            .wait_ns(timing.t_ras)
+            .precharge()
+            .wait_ns(timing.t_rp)
+            .build()
+    }
+
+    /// A reduced-tRP activation (the Talukder+ entropy harvest): a nominal
+    /// activate/precharge of the row followed by a premature re-activation.
+    pub fn reduced_trp_activate(row: RowAddr, trp_ns: f64, timing: &TimingParams) -> Program {
+        ProgramBuilder::new()
+            .activate(row)
+            .wait_ns(timing.t_ras)
+            .precharge()
+            .wait_ns(trp_ns)
+            .activate(row)
+            .wait_ns(timing.t_rcd)
+            .build()
+    }
+}
+
+/// Builder for [`Program`]: each call appends a step after the current
+/// cursor; `wait_ns` moves the cursor without issuing a command.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    cursor_ns: f64,
+    steps: Vec<TimedStep>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with the cursor at 0 ns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an `ACT` at the current cursor.
+    pub fn activate(mut self, row: RowAddr) -> Self {
+        self.steps.push(TimedStep { offset_ns: self.cursor_ns, step: ProgramStep::Activate { row } });
+        self
+    }
+
+    /// Appends a `PRE` at the current cursor.
+    pub fn precharge(mut self) -> Self {
+        self.steps.push(TimedStep { offset_ns: self.cursor_ns, step: ProgramStep::Precharge });
+        self
+    }
+
+    /// Appends a `RD` at the current cursor.
+    pub fn read(mut self, column: ColumnAddr) -> Self {
+        self.steps.push(TimedStep { offset_ns: self.cursor_ns, step: ProgramStep::Read { column } });
+        self
+    }
+
+    /// Appends a `RD` for every column of a row, spaced by `t_ccd_l`.
+    pub fn read_all_columns(mut self, columns: usize, t_ccd_l: f64) -> Self {
+        for c in 0..columns {
+            self.steps.push(TimedStep {
+                offset_ns: self.cursor_ns,
+                step: ProgramStep::Read { column: ColumnAddr::new(c) },
+            });
+            self.cursor_ns += t_ccd_l;
+        }
+        self
+    }
+
+    /// Appends a `WR` at the current cursor.
+    pub fn write(mut self, column: ColumnAddr, data: BitVec) -> Self {
+        self.steps.push(TimedStep { offset_ns: self.cursor_ns, step: ProgramStep::Write { column, data } });
+        self
+    }
+
+    /// Advances the cursor without issuing a command.
+    pub fn wait_ns(mut self, ns: f64) -> Self {
+        self.cursor_ns += ns;
+        self.steps.push(TimedStep { offset_ns: self.cursor_ns, step: ProgramStep::Wait });
+        self
+    }
+
+    /// Finishes the program.
+    pub fn build(self) -> Program {
+        Program { steps: self.steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_places_steps_at_cursor_offsets() {
+        let p = ProgramBuilder::new()
+            .activate(RowAddr::new(0))
+            .wait_ns(2.5)
+            .precharge()
+            .wait_ns(2.5)
+            .activate(RowAddr::new(3))
+            .build();
+        assert_eq!(p.command_count(), 3);
+        assert!((p.duration_ns() - 5.0).abs() < 1e-9);
+        assert_eq!(p.steps()[0].offset_ns, 0.0);
+        assert!((p.steps()[2].offset_ns - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quac_sequence_violates_t_ras_and_t_rp_but_not_a_nominal_one() {
+        let t = TimingParams::ddr4_2400();
+        let quac = Program::quac_sequence(Segment::new(0), &t);
+        let v = quac.violations(&t);
+        assert_eq!(v.len(), 2);
+
+        let nominal = ProgramBuilder::new()
+            .activate(RowAddr::new(0))
+            .wait_ns(t.t_ras)
+            .precharge()
+            .wait_ns(t.t_rp)
+            .activate(RowAddr::new(3))
+            .build();
+        assert!(nominal.violations(&t).is_empty());
+    }
+
+    #[test]
+    fn reduced_trcd_program_reports_trcd_violation() {
+        let t = TimingParams::ddr4_2400();
+        let p = Program::reduced_trcd_read(RowAddr::new(7), ColumnAddr::new(0), 5.0, &t);
+        let v = p.violations(&t);
+        assert!(v.iter().any(|x| matches!(x, TimingViolation::TRcd { .. })));
+    }
+
+    #[test]
+    fn reduced_trp_program_reports_trp_violation_only() {
+        let t = TimingParams::ddr4_2400();
+        let p = Program::reduced_trp_activate(RowAddr::new(7), 3.0, &t);
+        let v = p.violations(&t);
+        assert!(v.iter().all(|x| matches!(x, TimingViolation::TRp { .. })));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn read_all_columns_spaces_reads() {
+        let p = ProgramBuilder::new().read_all_columns(4, 5.0).build();
+        assert_eq!(p.command_count(), 4);
+        assert!((p.steps()[3].offset_ns - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rowclone_sequence_has_two_activates_and_two_precharges() {
+        let t = TimingParams::ddr4_2400();
+        let p = Program::rowclone_sequence(RowAddr::new(8), RowAddr::new(12), &t);
+        let acts = p.steps().iter().filter(|s| matches!(s.step, ProgramStep::Activate { .. })).count();
+        let pres = p.steps().iter().filter(|s| matches!(s.step, ProgramStep::Precharge)).count();
+        assert_eq!(acts, 2);
+        assert_eq!(pres, 2);
+    }
+}

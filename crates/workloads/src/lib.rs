@@ -1,0 +1,20 @@
+//! # qt-workloads
+//!
+//! Synthetic SPEC CPU2006-like memory trace generation.
+//!
+//! The paper's system study (Section 7.3, Figure 12) replays SPEC2006 memory
+//! traces through Ramulator to find idle DRAM-bus intervals. Those traces are
+//! not redistributable, so this crate generates synthetic request streams
+//! whose *memory intensity* (last-level-cache misses per kilo-instruction)
+//! and row-buffer locality follow the published characterisation of each
+//! workload. The memory system in `qt-memctrl` only cares about the arrival
+//! process and address locality, which is exactly what these profiles encode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod profiles;
+pub mod trace;
+
+pub use profiles::{WorkloadClass, WorkloadProfile, SPEC2006_WORKLOADS};
+pub use trace::{MemoryRequest, RequestKind, TraceGenerator};

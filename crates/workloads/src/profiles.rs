@@ -1,0 +1,121 @@
+//! Per-workload memory-behaviour profiles for the 23 SPEC CPU2006 workloads
+//! evaluated in Figure 12.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse memory-intensity class of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Heavily memory-bound (high MPKI): little idle DRAM bandwidth remains.
+    MemoryBound,
+    /// Moderate memory traffic.
+    Balanced,
+    /// Compute-bound (low MPKI): the DRAM bus is mostly idle.
+    ComputeBound,
+}
+
+/// Memory behaviour of one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// SPEC CPU2006 benchmark name.
+    pub name: &'static str,
+    /// Last-level-cache misses per kilo-instruction (memory intensity).
+    pub mpki: f64,
+    /// Fraction of requests that hit in an already-open row.
+    pub row_buffer_hit_rate: f64,
+    /// Fraction of requests that are writes.
+    pub write_fraction: f64,
+    /// Instructions per cycle achieved by the 3.2 GHz core when memory is not
+    /// the bottleneck (used to convert MPKI to requests per cycle).
+    pub base_ipc: f64,
+}
+
+impl WorkloadProfile {
+    /// Expected memory requests per core cycle.
+    pub fn requests_per_cycle(&self) -> f64 {
+        (self.mpki / 1000.0) * self.base_ipc
+    }
+
+    /// Coarse class of this workload.
+    pub fn class(&self) -> WorkloadClass {
+        if self.mpki >= 15.0 {
+            WorkloadClass::MemoryBound
+        } else if self.mpki >= 2.0 {
+            WorkloadClass::Balanced
+        } else {
+            WorkloadClass::ComputeBound
+        }
+    }
+}
+
+/// The 23 SPEC CPU2006 workloads of Figure 12 with approximate memory
+/// intensities from the public characterisation literature (values rounded;
+/// only the relative ordering matters for the idle-bandwidth study).
+pub static SPEC2006_WORKLOADS: &[WorkloadProfile] = &[
+    WorkloadProfile { name: "bzip2", mpki: 3.4, row_buffer_hit_rate: 0.55, write_fraction: 0.30, base_ipc: 1.5 },
+    WorkloadProfile { name: "gcc", mpki: 4.2, row_buffer_hit_rate: 0.50, write_fraction: 0.30, base_ipc: 1.3 },
+    WorkloadProfile { name: "mcf", mpki: 32.0, row_buffer_hit_rate: 0.25, write_fraction: 0.25, base_ipc: 0.7 },
+    WorkloadProfile { name: "milc", mpki: 22.0, row_buffer_hit_rate: 0.60, write_fraction: 0.35, base_ipc: 0.9 },
+    WorkloadProfile { name: "zeusmp", mpki: 6.5, row_buffer_hit_rate: 0.55, write_fraction: 0.35, base_ipc: 1.4 },
+    WorkloadProfile { name: "gromacs", mpki: 1.2, row_buffer_hit_rate: 0.65, write_fraction: 0.25, base_ipc: 1.8 },
+    WorkloadProfile { name: "cactusADM", mpki: 9.5, row_buffer_hit_rate: 0.50, write_fraction: 0.40, base_ipc: 1.1 },
+    WorkloadProfile { name: "leslie3d", mpki: 14.0, row_buffer_hit_rate: 0.60, write_fraction: 0.35, base_ipc: 1.0 },
+    WorkloadProfile { name: "namd", mpki: 0.3, row_buffer_hit_rate: 0.70, write_fraction: 0.20, base_ipc: 2.0 },
+    WorkloadProfile { name: "gobmk", mpki: 0.9, row_buffer_hit_rate: 0.55, write_fraction: 0.25, base_ipc: 1.6 },
+    WorkloadProfile { name: "dealII", mpki: 1.5, row_buffer_hit_rate: 0.60, write_fraction: 0.25, base_ipc: 1.7 },
+    WorkloadProfile { name: "soplex", mpki: 25.0, row_buffer_hit_rate: 0.40, write_fraction: 0.25, base_ipc: 0.8 },
+    WorkloadProfile { name: "hmmer", mpki: 0.6, row_buffer_hit_rate: 0.65, write_fraction: 0.20, base_ipc: 1.9 },
+    WorkloadProfile { name: "sjeng", mpki: 0.4, row_buffer_hit_rate: 0.55, write_fraction: 0.20, base_ipc: 1.7 },
+    WorkloadProfile { name: "GemsFDTD", mpki: 16.0, row_buffer_hit_rate: 0.65, write_fraction: 0.40, base_ipc: 1.0 },
+    WorkloadProfile { name: "libquantum", mpki: 28.0, row_buffer_hit_rate: 0.85, write_fraction: 0.25, base_ipc: 0.9 },
+    WorkloadProfile { name: "h264ref", mpki: 1.8, row_buffer_hit_rate: 0.60, write_fraction: 0.25, base_ipc: 1.8 },
+    WorkloadProfile { name: "lbm", mpki: 30.0, row_buffer_hit_rate: 0.70, write_fraction: 0.45, base_ipc: 0.8 },
+    WorkloadProfile { name: "omnetpp", mpki: 21.0, row_buffer_hit_rate: 0.30, write_fraction: 0.30, base_ipc: 0.8 },
+    WorkloadProfile { name: "astar", mpki: 5.0, row_buffer_hit_rate: 0.45, write_fraction: 0.30, base_ipc: 1.3 },
+    WorkloadProfile { name: "wrf", mpki: 7.5, row_buffer_hit_rate: 0.60, write_fraction: 0.35, base_ipc: 1.3 },
+    WorkloadProfile { name: "sphinx3", mpki: 12.0, row_buffer_hit_rate: 0.60, write_fraction: 0.20, base_ipc: 1.1 },
+    WorkloadProfile { name: "xalancbmk", mpki: 18.0, row_buffer_hit_rate: 0.35, write_fraction: 0.30, base_ipc: 0.9 },
+];
+
+/// Looks up a workload profile by name.
+pub fn by_name(name: &str) -> Option<&'static WorkloadProfile> {
+    SPEC2006_WORKLOADS.iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_three_workloads_with_unique_names() {
+        assert_eq!(SPEC2006_WORKLOADS.len(), 23);
+        let names: std::collections::HashSet<_> = SPEC2006_WORKLOADS.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 23);
+    }
+
+    #[test]
+    fn memory_bound_workloads_are_classified() {
+        assert_eq!(by_name("mcf").unwrap().class(), WorkloadClass::MemoryBound);
+        assert_eq!(by_name("lbm").unwrap().class(), WorkloadClass::MemoryBound);
+        assert_eq!(by_name("namd").unwrap().class(), WorkloadClass::ComputeBound);
+        assert_eq!(by_name("gcc").unwrap().class(), WorkloadClass::Balanced);
+    }
+
+    #[test]
+    fn requests_per_cycle_orders_by_intensity() {
+        let mcf = by_name("mcf").unwrap().requests_per_cycle();
+        let namd = by_name("namd").unwrap().requests_per_cycle();
+        assert!(mcf > 10.0 * namd);
+        for w in SPEC2006_WORKLOADS {
+            assert!(w.requests_per_cycle() > 0.0 && w.requests_per_cycle() < 0.2, "{}", w.name);
+            assert!(w.row_buffer_hit_rate > 0.0 && w.row_buffer_hit_rate < 1.0);
+            assert!(w.write_fraction > 0.0 && w.write_fraction < 1.0);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("sphinx3").is_some());
+        assert!(by_name("not-a-benchmark").is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! Trace generation: converts a workload profile into a stream of timed DRAM
+//! requests.
+
+use crate::profiles::WorkloadProfile;
+use qt_dram_core::{BankAddr, BankGroupAddr, ColumnAddr, DramGeometry, RowAddr};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Whether a memory request reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// A cache-block read (LLC miss fill).
+    Read,
+    /// A cache-block write (dirty eviction).
+    Write,
+}
+
+/// One last-level-cache miss arriving at the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryRequest {
+    /// Core cycle at which the request arrives at the controller.
+    pub arrival_cycle: u64,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Target bank group.
+    pub bank_group: BankGroupAddr,
+    /// Target bank within the group.
+    pub bank: BankAddr,
+    /// Target row.
+    pub row: RowAddr,
+    /// Target column.
+    pub column: ColumnAddr,
+}
+
+/// Generates a synthetic request stream for one workload.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: WorkloadProfile,
+    geom: DramGeometry,
+    rng: ChaCha8Rng,
+    /// Most recently accessed row per bank (for row-buffer locality).
+    open_row: Vec<RowAddr>,
+    next_cycle: f64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for a workload on a given module geometry.
+    pub fn new(profile: WorkloadProfile, geom: DramGeometry, seed: u64) -> Self {
+        let banks = geom.banks_per_rank();
+        TraceGenerator {
+            profile,
+            geom,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            open_row: vec![RowAddr::new(0); banks],
+            next_cycle: 0.0,
+        }
+    }
+
+    /// The workload profile behind this generator.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Generates the next request. Inter-arrival times follow an exponential
+    /// distribution with the workload's mean request rate; addresses follow
+    /// the workload's row-buffer locality.
+    pub fn next_request(&mut self) -> MemoryRequest {
+        // Exponential inter-arrival time in core cycles.
+        let rate = self.profile.requests_per_cycle().max(1e-9);
+        let u: f64 = self.rng.gen_range(1e-12..1.0);
+        self.next_cycle += -u.ln() / rate;
+        let arrival_cycle = self.next_cycle as u64;
+
+        let bank_group = self.rng.gen_range(0..self.geom.bank_groups);
+        let bank = self.rng.gen_range(0..self.geom.banks_per_group);
+        let flat = bank_group * self.geom.banks_per_group + bank;
+
+        let row = if self.rng.gen::<f64>() < self.profile.row_buffer_hit_rate {
+            self.open_row[flat]
+        } else {
+            let r = RowAddr::new(self.rng.gen_range(0..self.geom.rows_per_bank()));
+            self.open_row[flat] = r;
+            r
+        };
+        let column = ColumnAddr::new(self.rng.gen_range(0..self.geom.columns_per_row()));
+        let kind = if self.rng.gen::<f64>() < self.profile.write_fraction {
+            RequestKind::Write
+        } else {
+            RequestKind::Read
+        };
+        MemoryRequest {
+            arrival_cycle,
+            kind,
+            bank_group: BankGroupAddr::new(bank_group),
+            bank: BankAddr::new(bank),
+            row,
+            column,
+        }
+    }
+
+    /// Generates all requests arriving within the first `cycles` core cycles.
+    pub fn generate_for_cycles(&mut self, cycles: u64) -> Vec<MemoryRequest> {
+        let mut out = Vec::new();
+        loop {
+            let req = self.next_request();
+            if req.arrival_cycle >= cycles {
+                break;
+            }
+            out.push(req);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::by_name;
+
+    #[test]
+    fn request_rate_tracks_mpki() {
+        let geom = DramGeometry::ddr4_4gb_x8_module();
+        let cycles = 400_000;
+        let mcf = TraceGenerator::new(by_name("mcf").unwrap().clone(), geom, 1)
+            .generate_for_cycles(cycles)
+            .len();
+        let namd = TraceGenerator::new(by_name("namd").unwrap().clone(), geom, 1)
+            .generate_for_cycles(cycles)
+            .len();
+        assert!(mcf > 10 * namd.max(1), "mcf {mcf} namd {namd}");
+        // Rate roughly matches the profile expectation.
+        let expected = by_name("mcf").unwrap().requests_per_cycle() * cycles as f64;
+        assert!((mcf as f64 - expected).abs() / expected < 0.15, "mcf {mcf} expected {expected}");
+    }
+
+    #[test]
+    fn arrival_cycles_are_monotonic_and_addresses_valid() {
+        let geom = DramGeometry::ddr4_4gb_x8_module();
+        let reqs = TraceGenerator::new(by_name("gcc").unwrap().clone(), geom, 7)
+            .generate_for_cycles(200_000);
+        assert!(!reqs.is_empty());
+        let mut prev = 0;
+        for r in &reqs {
+            assert!(r.arrival_cycle >= prev);
+            prev = r.arrival_cycle;
+            assert!(r.bank_group.index() < geom.bank_groups);
+            assert!(r.bank.index() < geom.banks_per_group);
+            assert!(r.row.index() < geom.rows_per_bank());
+            assert!(r.column.index() < geom.columns_per_row());
+        }
+    }
+
+    #[test]
+    fn row_buffer_locality_is_respected() {
+        let geom = DramGeometry::ddr4_4gb_x8_module();
+        let mut libquantum = TraceGenerator::new(by_name("libquantum").unwrap().clone(), geom, 3);
+        let reqs = libquantum.generate_for_cycles(300_000);
+        // Count consecutive same-bank accesses that reuse the row.
+        let mut same = 0usize;
+        let mut total = 0usize;
+        let mut last: std::collections::HashMap<usize, RowAddr> = Default::default();
+        for r in &reqs {
+            let flat = r.bank_group.index() * geom.banks_per_group + r.bank.index();
+            if let Some(prev) = last.get(&flat) {
+                total += 1;
+                if *prev == r.row {
+                    same += 1;
+                }
+            }
+            last.insert(flat, r.row);
+        }
+        let hit_rate = same as f64 / total.max(1) as f64;
+        assert!(hit_rate > 0.6, "libquantum should be row-buffer friendly, got {hit_rate}");
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let geom = DramGeometry::ddr4_4gb_x8_module();
+        let reqs = TraceGenerator::new(by_name("lbm").unwrap().clone(), geom, 9)
+            .generate_for_cycles(200_000);
+        let writes = reqs.iter().filter(|r| r.kind == RequestKind::Write).count();
+        let frac = writes as f64 / reqs.len() as f64;
+        assert!((frac - 0.45).abs() < 0.05, "write fraction {frac}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let geom = DramGeometry::tiny_test();
+        let a = TraceGenerator::new(by_name("gcc").unwrap().clone(), geom, 42).generate_for_cycles(50_000);
+        let b = TraceGenerator::new(by_name("gcc").unwrap().clone(), geom, 42).generate_for_cycles(50_000);
+        let c = TraceGenerator::new(by_name("gcc").unwrap().clone(), geom, 43).generate_for_cycles(50_000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

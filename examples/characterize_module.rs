@@ -1,0 +1,49 @@
+//! Characterise a simulated DDR4 module the way Section 6 of the paper does:
+//! sweep the Figure 8 data patterns, map segment entropy across the bank, and
+//! profile the best segment's cache blocks.
+//!
+//! Run with: `cargo run --release --example characterize_module`
+
+use quac_trng_repro::dram_analog::{OperatingConditions, PAPER_MODULES};
+use quac_trng_repro::dram_core::DataPattern;
+use quac_trng_repro::trng::characterize::{characterize_module, pattern_sweep, CharacterizationConfig};
+
+fn main() {
+    let module = &PAPER_MODULES[0];
+    let model = module.analog_model();
+    let cfg = CharacterizationConfig {
+        segment_stride: 256,
+        bitline_stride: 32,
+        conditions: OperatingConditions::nominal(),
+    };
+
+    println!("== data-pattern sweep (module {}) ==", module.name);
+    for stats in pattern_sweep(&model, &DataPattern::figure8_patterns(), &cfg) {
+        println!(
+            "pattern {}: avg cache-block entropy {:6.2} bits, max {:6.2} bits",
+            stats.pattern, stats.avg_cache_block_entropy, stats.max_cache_block_entropy
+        );
+    }
+
+    println!("\n== segment map (pattern 0111) ==");
+    let ch = characterize_module(&model, DataPattern::best_average(), &cfg);
+    println!(
+        "sampled {} segments: average {:.1} bits, best segment {} with {:.1} bits",
+        ch.segment_entropy.len(),
+        ch.average_segment_entropy(),
+        ch.best_segment.index(),
+        ch.best_segment_entropy
+    );
+    println!("paper (Table 3) reports avg {:.1} / max {:.1} bits for this module",
+        module.table3_avg_segment_entropy, module.table3_max_segment_entropy);
+
+    println!("\n== cache blocks of the best segment ==");
+    for (i, e) in ch.best_segment_cache_blocks.iter().enumerate().step_by(16) {
+        println!("cache block {i:>3}: {e:6.2} bits");
+    }
+    println!(
+        "\n{} SHA-256 input blocks available per QUAC iteration; column ranges: {:?}",
+        ch.sha_input_blocks(),
+        ch.entropy_block_ranges()
+    );
+}

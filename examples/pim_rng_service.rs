@@ -1,0 +1,44 @@
+//! A processing-in-memory flavoured scenario from the paper's motivation:
+//! a memory controller services random-number requests from applications
+//! while regular memory traffic runs, stealing only idle DRAM cycles
+//! (Sections 3, 7.3 and 9).
+//!
+//! Run with: `cargo run --release --example pim_rng_service`
+
+use quac_trng_repro::dram_analog::profiles::average_of_max_segment_entropy;
+use quac_trng_repro::dram_core::{DramGeometry, TransferRate};
+use quac_trng_repro::memctrl::system::{idle_injection_throughput_gbps, MemorySystem, MemorySystemConfig};
+use quac_trng_repro::trng::throughput::ThroughputModel;
+use quac_trng_repro::workloads::{TraceGenerator, SPEC2006_WORKLOADS};
+
+fn main() {
+    let cfg = MemorySystemConfig::paper_system();
+    let model = ThroughputModel::new(DramGeometry::ddr4_4gb_x8_module(), average_of_max_segment_entropy());
+    let peak = model.scaled_throughput_gbps(TransferRate::ddr4_2400());
+    println!("peak per-channel QUAC-TRNG rate (RC+BGP): {peak:.2} Gb/s");
+
+    // A security service needs 2 Gb/s of true random numbers; check which
+    // co-running workloads leave enough idle DRAM bandwidth on one channel.
+    let demand_gbps = 2.0;
+    println!("\nworkload     idle%   TRNG Gb/s   meets {demand_gbps} Gb/s demand?");
+    for w in SPEC2006_WORKLOADS.iter().take(10) {
+        let trace = TraceGenerator::new(w.clone(), cfg.geom, 7).generate_for_cycles(300_000);
+        let report = MemorySystem::new(cfg).run_trace(&trace, 300_000);
+        let tp = idle_injection_throughput_gbps(&report, peak, 0.95);
+        println!(
+            "{:<12}{:>6.1}{:>11.2}   {}",
+            w.name,
+            report.idle_fraction() * 100.0,
+            tp,
+            if tp >= demand_gbps { "yes" } else { "NO — queue requests in the output buffer" }
+        );
+    }
+
+    let costs = quac_trng_repro::trng::integration::integration_costs(&DramGeometry::ddr4_8gb_x8_module());
+    println!(
+        "\nintegration cost: {} KiB of reserved DRAM, {} bits of controller state, {:.4} mm^2",
+        costs.reserved_bytes / 1024,
+        costs.controller_storage_bits,
+        costs.controller_area_mm2
+    );
+}

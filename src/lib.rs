@@ -1,0 +1,15 @@
+//! Umbrella crate for the QUAC-TRNG reproduction.
+//!
+//! Re-exports every crate in the workspace under a single dependency so
+//! integration tests and examples can use one import path.
+
+pub use qt_baselines as baselines;
+pub use qt_crypto as crypto;
+pub use qt_dram_analog as dram_analog;
+pub use qt_dram_core as dram_core;
+pub use qt_dram_sim as dram_sim;
+pub use qt_memctrl as memctrl;
+pub use qt_nist_sts as nist_sts;
+pub use qt_softmc as softmc;
+pub use qt_workloads as workloads;
+pub use quac_trng as trng;
