@@ -137,7 +137,7 @@ pub fn table1(stream_bits: usize) -> Vec<(String, f64, f64)> {
 /// entropy). Returns `(config, avg, max, min)` in Gb/s.
 pub fn figure11() -> Vec<(String, f64, f64, f64)> {
     let names = ["One Bank", "BGP", "RC + BGP"];
-    let mut agg = vec![(0.0f64, f64::MIN, f64::MAX); 3];
+    let mut agg = [(0.0f64, f64::MIN, f64::MAX); 3];
     for module in PAPER_MODULES {
         let model = ThroughputModel::new(module.geometry(), module.table3_max_segment_entropy);
         for (i, cfg) in model.figure11().iter().enumerate() {

@@ -356,7 +356,7 @@ mod tests {
         let mut w = BitVec::from_bit_str("11").unwrap();
         w.extend_from(&v);
         assert_eq!(w, BitVec::from_bit_str("11101").unwrap());
-        w.extend([false, false].into_iter());
+        w.extend([false, false]);
         assert_eq!(w.len(), 7);
     }
 

@@ -1,0 +1,36 @@
+# Developer entry points; CI runs `just ci` equivalents. `just --list` to see all.
+
+# Build everything in release mode.
+build:
+    cargo build --release
+
+# Run the full test suite: unit, integration, doc tests, and bench smoke tests.
+test:
+    cargo test -q
+
+# Generate API documentation for the workspace (must be warning-free).
+doc:
+    cargo doc --no-deps
+
+# Lint everything; warnings are errors, matching CI.
+clippy:
+    cargo clippy --all-targets -- -D warnings
+
+# Check formatting without rewriting.
+fmt-check:
+    cargo fmt --all --check
+
+# Run the criterion micro-benchmarks in measuring mode.
+bench:
+    cargo bench
+
+# Reproduce every paper figure/table (sampled resolution).
+figures:
+    for bin in fig08_data_patterns fig09_segment_entropy fig10_cache_blocks \
+               fig11_throughput fig12_spec_idle fig13_scaling fig14_temperature \
+               table1_nist_sts table2_prior_work table3_modules section9_integration; do \
+        cargo run --release --bin $bin || exit 1; echo; \
+    done
+
+# Everything CI checks, in CI's order.
+ci: build test doc clippy

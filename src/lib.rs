@@ -4,6 +4,7 @@
 //! integration tests and examples can use one import path.
 
 pub use qt_baselines as baselines;
+pub use qt_bench as bench;
 pub use qt_crypto as crypto;
 pub use qt_dram_analog as dram_analog;
 pub use qt_dram_core as dram_core;

@@ -1,0 +1,149 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Supports the subset of the criterion API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], `sample_size`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros (both the struct-like and
+//! positional forms). Like the real criterion, when the harness is invoked
+//! by `cargo test` (no `--bench` flag on the command line) every benchmark
+//! body runs exactly once as a smoke test; under `cargo bench` it measures
+//! wall-clock time over `sample_size` samples and prints a short report.
+//!
+//! No statistics, plots, or baselines — swap the `[workspace.dependencies]`
+//! entry for crates.io criterion to get those without changing bench code.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness: collects named benchmark functions and runs them.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirrors real criterion: `cargo bench` passes `--bench` to the
+        // harness binary; `cargo test` does not, and benches become smoke
+        // tests that run each body once.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { sample_size: 100, measure }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples taken per benchmark in measuring mode.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs (or smoke-tests) one benchmark and prints its timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.measure { self.sample_size } else { 1 };
+        let mut bencher = Bencher { samples, best: Duration::MAX, iters_done: 0 };
+        f(&mut bencher);
+        if self.measure {
+            println!(
+                "{id:<40} best {:>12.1} ns/iter ({} samples)",
+                bencher.best.as_nanos() as f64,
+                samples
+            );
+        } else {
+            println!("{id:<40} ok (smoke test, 1 iteration)");
+        }
+        self
+    }
+}
+
+/// Timer handed to each benchmark body; call [`Bencher::iter`] with the
+/// routine to measure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    best: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` once per sample, keeping the best (minimum) time.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            self.best = self.best.min(elapsed);
+            self.iters_done += 1;
+        }
+    }
+}
+
+/// Declares a named group of benchmark functions.
+///
+/// Both upstream forms are accepted:
+///
+/// ```ignore
+/// criterion_group!(benches, bench_a, bench_b);
+/// criterion_group! {
+///     name = benches;
+///     config = Criterion::default().sample_size(10);
+///     targets = bench_a, bench_b
+/// }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs every benchmark in this `criterion_group!`.
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates the `main` function that runs every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once_per_sample_request() {
+        let mut criterion = Criterion { sample_size: 5, measure: false };
+        let mut runs = 0;
+        criterion.bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measuring_mode_honours_sample_size() {
+        let mut criterion = Criterion { sample_size: 4, measure: true };
+        let mut runs = 0;
+        criterion.bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 4);
+    }
+}

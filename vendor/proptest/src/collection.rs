@@ -1,0 +1,78 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::Gen;
+use core::ops::{Range, RangeInclusive};
+
+/// A length constraint for collection strategies: `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { lo: exact, hi: exact + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange { lo: range.start, hi: range.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty size range");
+        SizeRange { lo: *range.start(), hi: range.end() + 1 }
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`; construct with [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Returns a strategy for `Vec`s of `element` values with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample_value(&self, gen: &mut Gen) -> Vec<S::Value> {
+        let len = gen.below(self.size.lo, self.size.hi);
+        (0..len).map(|_| self.element.sample_value(gen)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn lengths_cover_the_range() {
+        let mut gen = Gen::new(9);
+        let strategy = vec(any::<u8>(), 0..4);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strategy.sample_value(&mut gen).len()] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn exact_size_is_supported() {
+        let mut gen = Gen::new(10);
+        let strategy = vec(any::<bool>(), 3);
+        assert_eq!(strategy.sample_value(&mut gen).len(), 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! Reimplements the subset of the proptest API the workspace's tests use:
+//! the [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`]/
+//! [`prop_assert_ne!`]/[`prop_assume!`], `any::<T>()`, range strategies, and
+//! [`collection::vec()`]. Each property runs a fixed number of random cases
+//! (256) drawn from a deterministic per-test generator, so failures are
+//! reproducible run-to-run. There is **no shrinking**: a failing case is
+//! reported as-is with its sampled inputs' debug output where available.
+//!
+//! Swap the `[workspace.dependencies]` entry for crates.io proptest to get
+//! shrinking and persistence without changing any test code.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Arbitrary, Strategy};
+pub use test_runner::{Gen, TestCaseError};
+
+/// Number of accepted random cases each property runs.
+pub const CASES: usize = 256;
+
+/// Glob-import target mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pattern in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over [`CASES`] random inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut gen = $crate::test_runner::Gen::from_name(stringify!($name));
+                let mut accepted = 0usize;
+                let mut attempts = 0usize;
+                while accepted < $crate::CASES {
+                    attempts += 1;
+                    assert!(
+                        attempts <= $crate::CASES * 32,
+                        "property {} rejected too many cases via prop_assume!",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::Strategy::sample_value(&($strategy), &mut gen);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("property {} failed: {}", stringify!($name), msg)
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left
+        );
+    }};
+}
+
+/// Discards the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in any::<u32>(), b in any::<u32>()) {
+            prop_assert_eq!(u64::from(a) + u64::from(b), u64::from(b) + u64::from(a));
+        }
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -1.5f64..=1.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.5..=1.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn assume_discards_without_failing(a in any::<u8>()) {
+            prop_assume!(a != 0);
+            prop_assert!(a > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics() {
+        proptest! {
+            fn always_fails(_x in any::<u8>()) {
+                prop_assert!(false);
+            }
+        }
+        always_fails();
+    }
+}

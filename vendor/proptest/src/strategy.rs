@@ -1,0 +1,160 @@
+//! Input strategies: how each property argument is drawn from a [`Gen`].
+
+use crate::test_runner::Gen;
+use core::marker::PhantomData;
+use core::ops::{Range, RangeInclusive};
+
+/// A recipe for producing random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, gen: &mut Gen) -> Self::Value;
+}
+
+/// Types with a canonical "whole domain" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one value uniformly from the type's domain.
+    fn arbitrary(gen: &mut Gen) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(gen: &mut Gen) -> Self {
+        gen.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(gen: &mut Gen) -> Self {
+                gen.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy over a type's whole domain; construct with [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// Returns the whole-domain strategy for `T` (mirrors `proptest::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample_value(&self, gen: &mut Gen) -> T {
+        T::arbitrary(gen)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample_value(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Widen through i128 so signed spans don't sign-extend
+                // through the narrow type; any exclusive span fits in u64.
+                let span = ((self.end as i128) - (self.start as i128)) as u64;
+                self.start.wrapping_add((gen.next_u64() % span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample_value(&self, gen: &mut Gen) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = ((end as i128) - (start as i128)) as u64;
+                if span == u64::MAX {
+                    return gen.next_u64() as $t;
+                }
+                start.wrapping_add((gen.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample_value(&self, gen: &mut Gen) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * gen.unit_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample_value(&self, gen: &mut Gen) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        // Sample the closed interval by stretching just past `end` and
+        // clamping, so `end` itself is reachable.
+        let raw = start + (end - start) * gen.unit_f64() * (1.0 + 1e-9);
+        raw.min(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::Gen;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut gen = Gen::new(1);
+        let strategy = any::<bool>();
+        let mut seen = [false, false];
+        for _ in 0..100 {
+            seen[usize::from(strategy.sample_value(&mut gen))] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn inclusive_f64_range_stays_inside() {
+        let mut gen = Gen::new(2);
+        let strategy = 0.0f64..=1.0;
+        for _ in 0..10_000 {
+            let v = strategy.sample_value(&mut gen);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn signed_range_wraps_correctly() {
+        let mut gen = Gen::new(3);
+        let strategy = -5i32..5;
+        for _ in 0..1000 {
+            let v = strategy.sample_value(&mut gen);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn narrow_signed_range_spanning_most_of_the_domain_stays_inside() {
+        // Regression: the span must be widened before the u64 cast, or
+        // -100i8..100 sign-extends into a bogus 2^64-ish span.
+        let mut gen = Gen::new(4);
+        let strategy = -100i8..100;
+        let inclusive = i8::MIN..=i8::MAX;
+        for _ in 0..10_000 {
+            let v = strategy.sample_value(&mut gen);
+            assert!((-100..100).contains(&v), "{v} escaped -100..100");
+            let _ = inclusive.sample_value(&mut gen);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Case generation and failure plumbing for the [`proptest!`](crate::proptest) runner.
+
+/// Deterministic generator backing each property's random cases
+/// (SplitMix64; seeded from the property's name so runs are reproducible).
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Gen { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Creates a generator seeded from a test name (FNV-1a of the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Gen::new(hash)
+    }
+
+    /// Returns the next random 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn below(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// Why a single property case did not succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was discarded by [`prop_assume!`](crate::prop_assume);
+    /// the runner draws a replacement.
+    Reject,
+    /// An assertion failed; the whole property fails with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Convenience constructor for a failed assertion.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Gen;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = Gen::from_name("x");
+        let mut b = Gen::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut gen = Gen::new(3);
+        for _ in 0..1000 {
+            let v = gen.below(5, 9);
+            assert!((5..9).contains(&v));
+        }
+    }
+}

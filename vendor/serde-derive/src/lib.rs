@@ -1,0 +1,27 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The QUAC-TRNG reproduction is built in a hermetic environment with no
+//! access to crates.io, so the real `serde` stack cannot be vendored. The
+//! workspace only uses `#[derive(Serialize, Deserialize)]` as forward-looking
+//! annotations — nothing serializes yet — so these derives are accepted and
+//! expand to nothing. Swap the `serde`/`serde_derive` entries in the root
+//! `[workspace.dependencies]` for the crates.io versions to get real
+//! serialization without touching any crate code.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+///
+/// Accepts the annotated item and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+///
+/// Accepts the annotated item and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

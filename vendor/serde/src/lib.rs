@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Provides the `Serialize`/`Deserialize` names the workspace imports —
+//! both the (empty) traits and the no-op derive macros re-exported from
+//! [`serde_derive`]. See that crate's documentation for the rationale and
+//! for how to swap in the real serde stack.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// The no-op derive does not implement this trait; it exists so code written
+/// against the real serde API keeps compiling if it names the trait.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// The no-op derive does not implement this trait; it exists so code written
+/// against the real serde API keeps compiling if it names the trait.
+pub trait Deserialize<'de>: Sized {}
