@@ -1,39 +1,94 @@
 //! Criterion micro-benchmarks of the performance-critical software paths:
-//! SHA-256 and Von Neumann post-processing, one QUAC-TRNG iteration, the
-//! analog entropy model, the NIST test battery, and the cycle-level memory
-//! system.
+//! SHA-256 and Von Neumann post-processing, word-packed QUAC sampling, one
+//! full QUAC-TRNG iteration, sustained byte generation, the analog entropy
+//! model (serial and thread-sharded characterisation), the NIST test
+//! battery, and the cycle-level memory system.
+//!
+//! Run `BENCH_JSON=BENCH_RESULTS.json cargo bench` (or `just bench-json`)
+//! to refresh the machine-readable perf trajectory at the repo root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qt_crypto::{Sha256, VonNeumannCorrector};
-use qt_dram_analog::{ModuleVariation, OperatingConditions, QuacAnalogModel};
+use qt_dram_analog::{ModuleVariation, OperatingConditions, PackedSampler, QuacAnalogModel};
 use qt_dram_core::{BitVec, DataPattern, DramGeometry, Segment};
 use qt_memctrl::system::{MemorySystem, MemorySystemConfig};
 use qt_nist_sts::run_all_tests;
 use qt_workloads::{TraceGenerator, SPEC2006_WORKLOADS};
-use quac_trng::characterize::CharacterizationConfig;
+use quac_trng::characterize::{
+    characterize_module_serial, characterize_module_with_threads, CharacterizationConfig,
+};
 use quac_trng::pipeline::QuacTrng;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+fn tiny_cfg() -> CharacterizationConfig {
+    CharacterizationConfig {
+        segment_stride: 1,
+        bitline_stride: 1,
+        conditions: OperatingConditions::nominal(),
+    }
+}
+
 fn bench_sha256(c: &mut Criterion) {
     let data = vec![0xA5u8; 4096];
-    c.bench_function("sha256_4KiB", |b| b.iter(|| Sha256::digest(std::hint::black_box(&data))));
+    c.throughput_bits(4096 * 8)
+        .bench_function("sha256_4KiB", |b| b.iter(|| Sha256::digest(std::hint::black_box(&data))));
 }
 
 fn bench_vnc(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let bits = BitVec::from_bits((0..65_536).map(|_| rng.gen::<f64>() < 0.8));
-    c.bench_function("von_neumann_64Kb", |b| {
+    c.throughput_bits(65_536).bench_function("von_neumann_64Kb", |b| {
         b.iter(|| VonNeumannCorrector::correct(std::hint::black_box(&bits)))
+    });
+}
+
+fn bench_packed_sampling(c: &mut Criterion) {
+    // A full-size 64 Ki-bitline row of a paper module's best pattern: the
+    // per-QUAC sampling work of the steady-state loop in isolation.
+    let geom = DramGeometry::ddr4_4gb_x8_module();
+    let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 3));
+    let probs = model.bitline_probabilities(
+        Segment::new(100),
+        DataPattern::best_average(),
+        OperatingConditions::nominal(),
+    );
+    let sampler = PackedSampler::new(&probs);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut out = BitVec::zeros(probs.len());
+    c.throughput_bits(probs.len() as u64).bench_function("packed_sampling_64k_row", |b| {
+        b.iter(|| sampler.sample_into(std::hint::black_box(&mut out), &mut rng))
+    });
+}
+
+fn bench_bitvec_extract(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let bits = BitVec::from_bits((0..65_536).map(|_| rng.gen::<bool>()));
+    let mut buf = Vec::new();
+    c.throughput_bits(32_768).bench_function("bitvec_extract_bytes_32Kb", |b| {
+        b.iter(|| {
+            bits.extract_bytes_into(512, 512 + 32_768, std::hint::black_box(&mut buf));
+            buf.len()
+        })
     });
 }
 
 fn bench_quac_iteration(c: &mut Criterion) {
     let geom = DramGeometry::tiny_test();
     let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 3));
-    let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
-    let mut trng = QuacTrng::from_model(model, cfg, 9);
-    c.bench_function("quac_trng_iteration_tiny_module", |b| b.iter(|| trng.iteration()));
+    let mut trng = QuacTrng::from_model(model, tiny_cfg(), 9);
+    let bits_out = (trng.numbers_per_iteration() * 256) as u64;
+    c.throughput_bits(bits_out)
+        .bench_function("quac_trng_iteration", |b| b.iter(|| trng.iteration()));
+}
+
+fn bench_generate_bytes(c: &mut Criterion) {
+    let geom = DramGeometry::tiny_test();
+    let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 11));
+    let mut trng = QuacTrng::from_model(model, tiny_cfg(), 13);
+    c.throughput_bits(65_536 * 8).bench_function("generate_bytes_64KiB", |b| {
+        b.iter(|| trng.generate_bytes(std::hint::black_box(65_536)))
+    });
 }
 
 fn bench_segment_entropy(c: &mut Criterion) {
@@ -47,6 +102,21 @@ fn bench_segment_entropy(c: &mut Criterion) {
                 OperatingConditions::nominal(),
                 16,
             )
+        })
+    });
+}
+
+fn bench_characterisation(c: &mut Criterion) {
+    let geom = DramGeometry::tiny_test();
+    let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 17));
+    let cfg = tiny_cfg();
+    c.bench_function("characterize_module_tiny_serial", |b| {
+        b.iter(|| characterize_module_serial(&model, DataPattern::best_average(), &cfg))
+    });
+    let threads = quac_trng::characterize::worker_threads();
+    c.bench_function("characterize_module_tiny_parallel", |b| {
+        b.iter(|| {
+            characterize_module_with_threads(&model, DataPattern::best_average(), &cfg, threads)
         })
     });
 }
@@ -68,7 +138,8 @@ fn bench_memory_system(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_sha256, bench_vnc, bench_quac_iteration, bench_segment_entropy,
-              bench_nist_suite, bench_memory_system
+    targets = bench_sha256, bench_vnc, bench_packed_sampling, bench_bitvec_extract,
+              bench_quac_iteration, bench_generate_bytes, bench_segment_entropy,
+              bench_characterisation, bench_nist_suite, bench_memory_system
 }
 criterion_main!(benches);

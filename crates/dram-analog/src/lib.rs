@@ -52,12 +52,14 @@ pub mod math;
 pub mod model;
 pub mod params;
 pub mod profiles;
+pub mod sampler;
 pub mod variation;
 
 pub use conditions::OperatingConditions;
 pub use entropy::{binary_entropy, bitstream_entropy, entropy_from_counts};
 pub use failures::{FailureModel, RetentionModel};
-pub use model::QuacAnalogModel;
+pub use model::{QuacAnalogModel, SegmentProber};
 pub use params::AnalogParams;
 pub use profiles::{ModuleProfile, TemperatureTrend, PAPER_MODULES};
+pub use sampler::{BitThreshold, PackedSampler};
 pub use variation::ModuleVariation;

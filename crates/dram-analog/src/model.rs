@@ -2,10 +2,43 @@
 //! sampled QUAC outcomes for one DRAM module.
 
 use crate::conditions::OperatingConditions;
-use crate::math::{binary_entropy_bits, std_normal_cdf};
+use crate::math::{entropy_of_normal_bias, std_normal_cdf};
+use crate::sampler::{BitThreshold, PackedSampler};
 use crate::variation::ModuleVariation;
-use qt_dram_core::{BitVec, DataPattern, DramGeometry, Segment, CACHE_BLOCK_BITS};
+use qt_dram_core::{BitVec, DataPattern, DramGeometry, Segment, SubarrayAddr, CACHE_BLOCK_BITS};
 use rand::Rng;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Bumped whenever the physics changes — the bias/noise formulas, the
+/// entropy evaluation path, or the meaning of any [`crate::AnalogParams`]
+/// field — so persistent characterisation stores keyed on
+/// [`QuacAnalogModel::physics_fingerprint`] invalidate stale entries.
+pub const ANALOG_MODEL_VERSION: u32 = 2;
+
+/// Cache key for per-bitline static offsets: `(segment, stride, age bits)`.
+/// Temperature and data pattern do not enter — they shift the noise scale and
+/// the bias respectively, not the per-device offsets.
+type OffsetKey = (usize, usize, u64);
+
+/// Bounded store of per-bitline static-offset grids. Characterisation sweeps
+/// revisit the same `(segment, stride)` grid once per data pattern (Figure 8
+/// evaluates 8 patterns) and once per temperature point (Figure 14 evaluates
+/// 3), so caching the offsets — the only per-bitline random quantities —
+/// removes the dominant hashing + inverse-CDF cost from every revisit.
+#[derive(Debug, Default)]
+struct OffsetCacheInner {
+    map: HashMap<OffsetKey, Arc<Vec<f64>>>,
+    order: VecDeque<OffsetKey>,
+}
+
+/// Number of offset grids kept alive. Scales with the machine's parallelism
+/// so thread-sharded sweeps (one segment in flight per worker) don't evict
+/// each other's grids mid-walk; a full-row stride-1 grid of the paper's
+/// 65 536-bit rows is 512 KiB, so even 2× a large core count stays modest.
+fn offset_cache_cap() -> usize {
+    std::thread::available_parallelism().map(|n| n.get() * 2).unwrap_or(8).max(8)
+}
 
 /// Electrical model of QUAC operations on one DRAM module.
 ///
@@ -14,17 +47,22 @@ use rand::Rng;
 /// `conditions`, what is the probability that the sense amplifier on
 /// `bitline` resolves to logic-1?* Everything else (entropies, sampled
 /// bitstreams, characterisation maps) derives from that probability.
+///
+/// All probability and entropy queries funnel through [`SegmentProber`], the
+/// single canonical computation, so word-packed sampling, strided entropy
+/// sweeps, and one-off queries can never disagree on the physics.
 #[derive(Debug, Clone)]
 pub struct QuacAnalogModel {
     geom: DramGeometry,
     variation: ModuleVariation,
+    offsets: Arc<Mutex<OffsetCacheInner>>,
 }
 
 impl QuacAnalogModel {
     /// Creates a model for a module with the given geometry and variation
     /// profile.
     pub fn new(geom: DramGeometry, variation: ModuleVariation) -> Self {
-        QuacAnalogModel { geom, variation }
+        QuacAnalogModel { geom, variation, offsets: Arc::default() }
     }
 
     /// The module geometry.
@@ -35,6 +73,28 @@ impl QuacAnalogModel {
     /// The module's process-variation profile.
     pub fn variation(&self) -> &ModuleVariation {
         &self.variation
+    }
+
+    /// A fingerprint of everything that determines this model's *physics*
+    /// beyond the module identity: the calibration parameters, the module
+    /// entropy scale, and [`ANALOG_MODEL_VERSION`]. Two models with equal
+    /// fingerprints (and equal variation seed + geometry) produce identical
+    /// probabilities and entropies, so persistent characterisation stores
+    /// fold this into their keys to never serve results computed under a
+    /// different calibration or model revision.
+    pub fn physics_fingerprint(&self) -> u64 {
+        let repr = format!(
+            "v{ANALOG_MODEL_VERSION}|{:?}|scale={:?}",
+            self.variation.params(),
+            self.variation.entropy_scale(),
+        );
+        // FNV-1a over the debug representation: stable, dependency-free.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for byte in repr.bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
     }
 
     /// The signed charge-sharing imbalance of a pattern on a segment, in
@@ -91,6 +151,86 @@ impl QuacAnalogModel {
         scale
     }
 
+    /// Builds the hoisted per-segment probe for `(segment, pattern,
+    /// conditions)`: every segment-level quantity (pattern imbalance, spatial
+    /// noise factor, favored-pattern attenuation) is computed once, and
+    /// per-bitline queries touch only the per-device offsets and the
+    /// entropy/CDF evaluation. All probability and entropy APIs of this model
+    /// delegate here.
+    pub fn prober(
+        &self,
+        segment: Segment,
+        pattern: DataPattern,
+        conditions: OperatingConditions,
+    ) -> SegmentProber<'_> {
+        let params = self.variation.params();
+        let pattern_term = self.pattern_imbalance(segment, pattern) * params.share_voltage;
+        let boost = if self.variation.favored_attenuation(segment, pattern).is_some() {
+            params.favored_noise_boost
+        } else {
+            1.0
+        };
+        SegmentProber {
+            model: self,
+            segment,
+            conditions,
+            subarray: self.variation.subarray_of_segment(segment),
+            pattern_term,
+            noise_seg: self.variation.entropy_scale()
+                * self.variation.segment_noise_factor(segment),
+            boost,
+            blocks: self.geom.cache_blocks_per_row(),
+        }
+    }
+
+    /// The per-device static offset of one bitline (sense-amplifier offset +
+    /// cell offset + aging drift) — everything in the bias that does not
+    /// depend on the stored data pattern or the temperature.
+    fn static_offset(
+        &self,
+        segment: Segment,
+        subarray: SubarrayAddr,
+        bitline: usize,
+        age_days: f64,
+    ) -> f64 {
+        self.variation.sa_offset(subarray, bitline)
+            + self.variation.cell_offset(segment, bitline)
+            + self.variation.aging_drift(segment, bitline, age_days)
+    }
+
+    /// Cached static offsets of a segment on the grid `0, stride, 2·stride…`
+    /// (up to `row_bits`). The grid is the only per-bitline randomness, so
+    /// pattern and temperature sweeps over the same segment reuse it.
+    fn static_offsets(&self, segment: Segment, stride: usize, age_days: f64) -> Arc<Vec<f64>> {
+        let key: OffsetKey = (segment.index(), stride, age_days.to_bits());
+        if let Some(grid) = self.offsets.lock().expect("offset cache poisoned").map.get(&key) {
+            return Arc::clone(grid);
+        }
+        // Compute outside the lock so concurrent workers filling *different*
+        // segments never serialise; a rare double-compute of the same grid
+        // yields bit-identical values, and the first insertion wins.
+        let subarray = self.variation.subarray_of_segment(segment);
+        let grid: Arc<Vec<f64>> = Arc::new(
+            (0..self.geom.row_bits)
+                .step_by(stride)
+                .map(|b| self.static_offset(segment, subarray, b, age_days))
+                .collect(),
+        );
+        let mut cache = self.offsets.lock().expect("offset cache poisoned");
+        if let Some(existing) = cache.map.get(&key) {
+            return Arc::clone(existing);
+        }
+        cache.map.insert(key, Arc::clone(&grid));
+        cache.order.push_back(key);
+        let cap = offset_cache_cap();
+        while cache.order.len() > cap {
+            if let Some(old) = cache.order.pop_front() {
+                cache.map.remove(&old);
+            }
+        }
+        grid
+    }
+
     /// Probability that the sense amplifier on `bitline` resolves to logic-1
     /// after a QUAC operation on `segment` initialised with `pattern`.
     pub fn one_probability(
@@ -100,9 +240,7 @@ impl QuacAnalogModel {
         pattern: DataPattern,
         conditions: OperatingConditions,
     ) -> f64 {
-        let bias = self.bitline_bias(segment, bitline, pattern, conditions);
-        let noise = self.noise_scale(segment, bitline, pattern, conditions);
-        std_normal_cdf(bias / noise)
+        self.prober(segment, pattern, conditions).one_probability(bitline)
     }
 
     /// Shannon entropy of one bitline (Equation 1).
@@ -113,7 +251,7 @@ impl QuacAnalogModel {
         pattern: DataPattern,
         conditions: OperatingConditions,
     ) -> f64 {
-        binary_entropy_bits(self.one_probability(segment, bitline, pattern, conditions))
+        self.prober(segment, pattern, conditions).bitline_entropy(bitline)
     }
 
     /// Probabilities of logic-1 for every bitline of a segment row, in
@@ -124,9 +262,7 @@ impl QuacAnalogModel {
         pattern: DataPattern,
         conditions: OperatingConditions,
     ) -> Vec<f64> {
-        (0..self.geom.row_bits)
-            .map(|b| self.one_probability(segment, b, pattern, conditions))
-            .collect()
+        self.prober(segment, pattern, conditions).probabilities()
     }
 
     /// Entropy of one cache block: the sum of its 512 bitline entropies
@@ -139,9 +275,9 @@ impl QuacAnalogModel {
         conditions: OperatingConditions,
     ) -> f64 {
         let start = cache_block * CACHE_BLOCK_BITS;
-        (start..start + CACHE_BLOCK_BITS)
-            .map(|b| self.bitline_entropy(segment, b, pattern, conditions))
-            .sum()
+        self.prober(segment, pattern, conditions)
+            .entropy_sum_strided(start, start + CACHE_BLOCK_BITS, 1)
+            .0
     }
 
     /// Entropy of every cache block of a segment, in cache-block order.
@@ -151,8 +287,10 @@ impl QuacAnalogModel {
         pattern: DataPattern,
         conditions: OperatingConditions,
     ) -> Vec<f64> {
-        (0..self.geom.cache_blocks_per_row())
-            .map(|cb| self.cache_block_entropy(segment, cb, pattern, conditions))
+        self.prober(segment, pattern, conditions)
+            .cache_block_entropy_sums(1)
+            .into_iter()
+            .map(|(sum, _)| sum)
             .collect()
     }
 
@@ -172,14 +310,9 @@ impl QuacAnalogModel {
         bitline_stride: usize,
     ) -> f64 {
         assert!(bitline_stride > 0, "bitline_stride must be non-zero");
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        let mut b = 0;
-        while b < self.geom.row_bits {
-            sum += self.bitline_entropy(segment, b, pattern, conditions);
-            count += 1;
-            b += bitline_stride;
-        }
+        let (sum, count) = self
+            .prober(segment, pattern, conditions)
+            .entropy_sum_strided(0, self.geom.row_bits, bitline_stride);
         sum * self.geom.row_bits as f64 / count as f64
     }
 
@@ -196,15 +329,22 @@ impl QuacAnalogModel {
         assert!(bitline_stride > 0, "bitline_stride must be non-zero");
         let per_chip = self.geom.row_bits / self.variation.chip_count();
         let start = chip * per_chip;
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        let mut b = start;
-        while b < start + per_chip {
-            sum += self.bitline_entropy(segment, b, pattern, conditions);
-            count += 1;
-            b += bitline_stride;
-        }
+        let (sum, count) = self
+            .prober(segment, pattern, conditions)
+            .entropy_sum_strided(start, start + per_chip, bitline_stride);
         sum * per_chip as f64 / count as f64
+    }
+
+    /// Builds a word-packed sampler for the whole row of a segment: the
+    /// steady-state generation path of [`PackedSampler`] with this model's
+    /// probabilities baked in.
+    pub fn packed_sampler(
+        &self,
+        segment: Segment,
+        pattern: DataPattern,
+        conditions: OperatingConditions,
+    ) -> PackedSampler {
+        PackedSampler::new(&self.bitline_probabilities(segment, pattern, conditions))
     }
 
     /// Samples the outcome of one QUAC operation across the whole row: each
@@ -217,15 +357,15 @@ impl QuacAnalogModel {
         conditions: OperatingConditions,
         rng: &mut R,
     ) -> BitVec {
-        let probs = self.bitline_probabilities(segment, pattern, conditions);
-        Self::sample_from_probabilities(&probs, rng)
+        self.packed_sampler(segment, pattern, conditions).sample(rng)
     }
 
-    /// Samples a QUAC outcome from precomputed per-bitline probabilities.
-    /// Streaming random-number generation caches the probabilities of its
-    /// chosen segment once and calls this per iteration.
+    /// Samples a QUAC outcome from precomputed per-bitline probabilities —
+    /// the scalar reference path, bit-identical to [`PackedSampler`] for the
+    /// same seed (each metastable bitline consumes one `u64` noise word in
+    /// bitline order; near-deterministic bitlines draw nothing).
     pub fn sample_from_probabilities<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> BitVec {
-        BitVec::from_bits(probs.iter().map(|&p| rng.gen::<f64>() < p))
+        crate::sampler::sample_reference(probs, rng)
     }
 
     /// Estimates a bitline's entropy the way the paper does (Section 6.1.2):
@@ -240,15 +380,180 @@ impl QuacAnalogModel {
         trials: usize,
         rng: &mut R,
     ) -> f64 {
-        let p = self.one_probability(segment, bitline, pattern, conditions);
-        let ones = (0..trials).filter(|_| rng.gen::<f64>() < p).count();
+        let threshold =
+            BitThreshold::quantize(self.one_probability(segment, bitline, pattern, conditions));
+        let ones = (0..trials).filter(|_| threshold.sample(rng)).count();
         crate::entropy::entropy_from_counts((trials - ones) as u64, ones as u64)
+    }
+}
+
+/// A per-segment probe with every segment-level quantity hoisted out of the
+/// per-bitline loop — the canonical (and only) evaluation path for QUAC
+/// probabilities and entropies. Create one per `(segment, pattern,
+/// conditions)` and query it for as many bitlines as needed.
+#[derive(Debug, Clone)]
+pub struct SegmentProber<'a> {
+    model: &'a QuacAnalogModel,
+    segment: Segment,
+    conditions: OperatingConditions,
+    subarray: SubarrayAddr,
+    /// Pattern imbalance converted to a voltage (shared by all bitlines).
+    pattern_term: f64,
+    /// Module entropy scale × spatial segment noise factor.
+    noise_seg: f64,
+    /// Favored-pattern noise boost (1.0 when the segment is not favored).
+    boost: f64,
+    /// Cache blocks per row, for the per-block position factor.
+    blocks: usize,
+}
+
+impl SegmentProber<'_> {
+    /// The segment this probe is bound to.
+    pub fn segment(&self) -> Segment {
+        self.segment
+    }
+
+    /// Normalised bias `z = bias / noise` of one bitline given its
+    /// precomputed static offset.
+    #[inline]
+    fn z(&self, bitline: usize, static_offset: f64) -> f64 {
+        (self.pattern_term + static_offset) / self.noise_at(bitline)
+    }
+
+    /// The effective noise scale of one bitline.
+    #[inline]
+    fn noise_at(&self, bitline: usize) -> f64 {
+        let v = self.model.variation();
+        let cb_factor = v.cb_position_factor(bitline / CACHE_BLOCK_BITS, self.blocks);
+        let temp_factor =
+            v.temperature_factor(v.chip_of_bitline(bitline), self.conditions.temperature_c);
+        ((self.noise_seg * cb_factor) * temp_factor) * self.boost
+    }
+
+    /// Probability that `bitline` resolves to logic-1.
+    pub fn one_probability(&self, bitline: usize) -> f64 {
+        let offset = self.model.static_offset(
+            self.segment,
+            self.subarray,
+            bitline,
+            self.conditions.age_days,
+        );
+        std_normal_cdf(self.z(bitline, offset))
+    }
+
+    /// Shannon entropy of `bitline` in bits (Equation 1), through the fast
+    /// interpolated entropy-of-bias path.
+    pub fn bitline_entropy(&self, bitline: usize) -> f64 {
+        let offset = self.model.static_offset(
+            self.segment,
+            self.subarray,
+            bitline,
+            self.conditions.age_days,
+        );
+        entropy_of_normal_bias(self.z(bitline, offset))
+    }
+
+    /// Sums the entropy of bitlines `start, start+stride, …` below `end`,
+    /// returning `(sum, evaluated count)`. This is the characterisation hot
+    /// loop: per-block and per-chip noise factors are recomputed only at
+    /// block/chip boundaries, and static offsets come from the shared grid
+    /// cache whenever the walk is aligned to it.
+    pub fn entropy_sum_strided(&self, start: usize, end: usize, stride: usize) -> (f64, usize) {
+        assert!(stride > 0, "bitline stride must be non-zero");
+        let grid = (start % stride == 0).then(|| {
+            self.model.static_offsets(self.segment, stride, self.conditions.age_days)
+        });
+        self.entropy_sum_with(grid.as_ref().map(|g| g.as_slice()), start, end, stride)
+    }
+
+    /// The entropy of every cache block of the segment at the given bitline
+    /// stride, as `(sum over sampled bitlines, sampled count)` per block —
+    /// one grid fetch for the whole row, so sweeping all blocks (the
+    /// pattern-sweep hot path) touches the shared offset cache once instead
+    /// of once per block.
+    pub fn cache_block_entropy_sums(&self, stride: usize) -> Vec<(f64, usize)> {
+        assert!(stride > 0, "bitline stride must be non-zero");
+        let grid = self.model.static_offsets(self.segment, stride, self.conditions.age_days);
+        (0..self.blocks)
+            .map(|cb| {
+                let start = cb * CACHE_BLOCK_BITS;
+                // The grid holds offsets at multiples of `stride`; a block
+                // whose start is off-grid walks its own phase directly.
+                let aligned = (start % stride == 0).then_some(grid.as_slice());
+                self.entropy_sum_with(aligned, start, start + CACHE_BLOCK_BITS, stride)
+            })
+            .collect()
+    }
+
+    /// The strided entropy walk with an optional pre-fetched offset grid.
+    fn entropy_sum_with(
+        &self,
+        grid: Option<&[f64]>,
+        start: usize,
+        end: usize,
+        stride: usize,
+    ) -> (f64, usize) {
+        let v = self.model.variation();
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        let mut current_block = usize::MAX;
+        let mut current_chip = usize::MAX;
+        let mut noise = 1.0;
+        let mut cb_factor = 0.0;
+        let mut temp_factor = 0.0;
+        let mut b = start;
+        while b < end {
+            let block = b / CACHE_BLOCK_BITS;
+            let chip = v.chip_of_bitline(b);
+            if block != current_block || chip != current_chip {
+                if block != current_block {
+                    current_block = block;
+                    cb_factor = v.cb_position_factor(block, self.blocks);
+                }
+                if chip != current_chip {
+                    current_chip = chip;
+                    temp_factor = v.temperature_factor(chip, self.conditions.temperature_c);
+                }
+                noise = ((self.noise_seg * cb_factor) * temp_factor) * self.boost;
+            }
+            let offset = match grid {
+                Some(g) => g[b / stride],
+                None => self.model.static_offset(
+                    self.segment,
+                    self.subarray,
+                    b,
+                    self.conditions.age_days,
+                ),
+            };
+            sum += entropy_of_normal_bias((self.pattern_term + offset) / noise);
+            count += 1;
+            b += stride;
+        }
+        (sum, count)
+    }
+
+    /// Writes the one-probability of every bitline of the row into `out`
+    /// (cleared first), reusing its allocation.
+    pub fn probabilities_into(&self, out: &mut Vec<f64>) {
+        let row_bits = self.model.geometry().row_bits;
+        let grid = self.model.static_offsets(self.segment, 1, self.conditions.age_days);
+        out.clear();
+        out.reserve(row_bits);
+        out.extend((0..row_bits).map(|b| std_normal_cdf(self.z(b, grid[b]))));
+    }
+
+    /// The one-probability of every bitline of the row, in bitline order.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.probabilities_into(&mut out);
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::math::binary_entropy_bits;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -366,6 +671,51 @@ mod tests {
         assert_eq!(ones[0], 0);
         assert_eq!(ones[1], 2000);
         assert!((ones[2] as f64 / 2000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn prober_agrees_with_single_bitline_queries() {
+        // The prober is the canonical path; the convenience APIs and the
+        // cached-grid sweep must agree with it exactly, bit for bit.
+        let m = model();
+        let seg = Segment::new(3);
+        let pattern = DataPattern::best_average();
+        let cond = OperatingConditions::at_temperature(63.0).aged(12.0);
+        let prober = m.prober(seg, pattern, cond);
+        let probs = m.bitline_probabilities(seg, pattern, cond);
+        for b in (0..m.geometry().row_bits).step_by(17) {
+            assert_eq!(prober.one_probability(b), probs[b], "bitline {b}");
+            assert_eq!(
+                prober.one_probability(b),
+                m.one_probability(seg, b, pattern, cond),
+                "bitline {b}"
+            );
+            assert_eq!(
+                prober.bitline_entropy(b),
+                m.bitline_entropy(seg, b, pattern, cond),
+                "bitline {b}"
+            );
+        }
+        // A strided walk equals the per-bitline sum exactly (same fold order,
+        // cached offsets and fresh offsets agree bit for bit).
+        let (sum, count) = prober.entropy_sum_strided(0, m.geometry().row_bits, 5);
+        let by_hand: f64 =
+            (0..m.geometry().row_bits).step_by(5).map(|b| prober.bitline_entropy(b)).sum();
+        assert_eq!(sum, by_hand);
+        assert_eq!(count, m.geometry().row_bits.div_ceil(5));
+    }
+
+    #[test]
+    fn offset_cache_is_transparent_across_clones() {
+        let m = model();
+        let seg = Segment::new(2);
+        let pattern = DataPattern::best_average();
+        // Clones share the cache; a fresh model recomputes — all identical.
+        let warm = m.segment_entropy(seg, pattern, nominal(), 4);
+        let via_clone = m.clone().segment_entropy(seg, pattern, nominal(), 4);
+        let cold = model().segment_entropy(seg, pattern, nominal(), 4);
+        assert_eq!(warm, via_clone);
+        assert_eq!(warm, cold);
     }
 
     #[test]

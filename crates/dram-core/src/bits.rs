@@ -39,11 +39,38 @@ impl BitVec {
 
     /// Builds a bit vector from an iterator of booleans.
     pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
-        let bits: Vec<bool> = bits.into_iter().collect();
-        let mut v = Self::zeros(bits.len());
-        for (i, b) in bits.iter().enumerate() {
-            v.set(i, *b);
+        let mut v = Self::zeros(0);
+        let mut word = 0u64;
+        let mut filled = 0u32;
+        for b in bits {
+            word |= (b as u64) << filled;
+            filled += 1;
+            if filled == 64 {
+                v.words.push(word);
+                v.len += 64;
+                word = 0;
+                filled = 0;
+            }
         }
+        if filled > 0 {
+            v.words.push(word);
+            v.len += filled as usize;
+        }
+        v
+    }
+
+    /// Builds a bit vector of `len` bits directly from packed `u64` storage
+    /// words (bit `i` lives at `words[i / 64]`, bit position `i % 64`).
+    /// Bits beyond `len` in the final word are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` holds fewer than `len` bits.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        assert!(words.len() * 64 >= len, "{} words cannot hold {len} bits", words.len());
+        words.truncate(len.div_ceil(64));
+        let mut v = BitVec { len, words };
+        v.mask_tail();
         v
     }
 
@@ -110,6 +137,27 @@ impl BitVec {
         }
     }
 
+    /// The packed `u64` storage words (bit `i` lives at `words()[i / 64]`,
+    /// bit position `i % 64`). Bits beyond `len()` in the final word are
+    /// always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the packed storage words for word-at-a-time
+    /// writers (e.g. the packed QUAC sampler). Callers that may set bits
+    /// beyond `len()` in the final word must call [`BitVec::clear_tail`]
+    /// afterwards so that `count_ones` and equality stay correct.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Clears any bits beyond `len()` in the final storage word. Needed only
+    /// after bulk writes through [`BitVec::words_mut`].
+    pub fn clear_tail(&mut self) {
+        self.mask_tail();
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -151,6 +199,34 @@ impl BitVec {
         Ok(self.xor(other)?.count_ones())
     }
 
+    /// Reads up to 64 bits starting at `bit` as one word (bit `bit` in the
+    /// result's LSB); positions beyond the backing storage read as zero.
+    fn read_word(&self, bit: usize) -> u64 {
+        let w = bit / 64;
+        let s = bit % 64;
+        let lo = self.words.get(w).copied().unwrap_or(0);
+        if s == 0 {
+            lo
+        } else {
+            let hi = self.words.get(w + 1).copied().unwrap_or(0);
+            (lo >> s) | (hi << (64 - s))
+        }
+    }
+
+    /// Writes the low `count` bits of `bits` at bit offset `offset`
+    /// (1 ≤ `count` ≤ 64; the caller guarantees the range is in bounds).
+    fn write_word(&mut self, offset: usize, bits: u64, count: usize) {
+        let w = offset / 64;
+        let s = offset % 64;
+        let mask = if count == 64 { u64::MAX } else { (1u64 << count) - 1 };
+        let bits = bits & mask;
+        self.words[w] = (self.words[w] & !(mask << s)) | (bits << s);
+        if s + count > 64 {
+            let hi_mask = (1u64 << (s + count - 64)) - 1;
+            self.words[w + 1] = (self.words[w + 1] & !hi_mask) | ((bits >> (64 - s)) & hi_mask);
+        }
+    }
+
     /// Copies `src` into this vector starting at bit offset `offset`.
     ///
     /// # Panics
@@ -163,8 +239,11 @@ impl BitVec {
             src.len,
             self.len
         );
-        for i in 0..src.len {
-            self.set(offset + i, src.get(i));
+        let mut remaining = src.len;
+        for (k, &word) in src.words.iter().enumerate() {
+            let count = remaining.min(64);
+            self.write_word(offset + 64 * k, word, count);
+            remaining -= count;
         }
     }
 
@@ -175,11 +254,9 @@ impl BitVec {
     /// Panics if `start > end` or `end > self.len()`.
     pub fn slice(&self, start: usize, end: usize) -> BitVec {
         assert!(start <= end && end <= self.len, "invalid slice {start}..{end} of {}", self.len);
-        let mut out = BitVec::zeros(end - start);
-        for i in start..end {
-            out.set(i - start, self.get(i));
-        }
-        out
+        let n = end - start;
+        let words = (0..n.div_ceil(64)).map(|k| self.read_word(start + 64 * k)).collect();
+        Self::from_words(words, n)
     }
 
     /// Appends all bits of `other` to this vector.
@@ -187,8 +264,11 @@ impl BitVec {
         let old_len = self.len;
         self.len += other.len;
         self.words.resize(self.len.div_ceil(64), 0);
-        for i in 0..other.len {
-            self.set(old_len + i, other.get(i));
+        let mut remaining = other.len;
+        for (k, &word) in other.words.iter().enumerate() {
+            let count = remaining.min(64);
+            self.write_word(old_len + 64 * k, word, count);
+            remaining -= count;
         }
     }
 
@@ -209,25 +289,58 @@ impl BitVec {
     /// Packs the bits into bytes (LSB-first within each byte); the final byte
     /// is zero-padded.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut bytes = vec![0u8; self.len.div_ceil(8)];
-        for i in 0..self.len {
-            if self.get(i) {
-                bytes[i / 8] |= 1 << (i % 8);
-            }
-        }
+        let mut bytes = Vec::new();
+        self.extract_bytes_into(0, self.len, &mut bytes);
         bytes
+    }
+
+    /// Packs bits `[start, end)` into bytes (LSB-first within each byte, the
+    /// final byte zero-padded) — exactly `slice(start, end).to_bytes()`, but
+    /// copying whole storage words instead of re-packing bit by bit, so the
+    /// steady-state TRNG loop can feed sense-amplifier blocks to SHA-256
+    /// without an intermediate `BitVec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn extract_bytes(&self, start: usize, end: usize) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        self.extract_bytes_into(start, end, &mut bytes);
+        bytes
+    }
+
+    /// Like [`BitVec::extract_bytes`], but appends into a caller-provided
+    /// buffer (cleared first) so hot loops can reuse one allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn extract_bytes_into(&self, start: usize, end: usize, out: &mut Vec<u8>) {
+        assert!(start <= end && end <= self.len, "invalid range {start}..{end} of {}", self.len);
+        let n = end - start;
+        out.clear();
+        out.reserve(n.div_ceil(8));
+        let full_words = n / 64;
+        for k in 0..full_words {
+            out.extend_from_slice(&self.read_word(start + 64 * k).to_le_bytes());
+        }
+        let rem_bits = n % 64;
+        if rem_bits > 0 {
+            let tail = self.read_word(start + 64 * full_words) & ((1u64 << rem_bits) - 1);
+            out.extend_from_slice(&tail.to_le_bytes()[..rem_bits.div_ceil(8)]);
+        }
     }
 
     /// Builds a bit vector from packed bytes produced by [`BitVec::to_bytes`].
     pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
         assert!(len <= bytes.len() * 8, "len {len} exceeds available bits {}", bytes.len() * 8);
-        let mut v = Self::zeros(len);
-        for i in 0..len {
-            if (bytes[i / 8] >> (i % 8)) & 1 == 1 {
-                v.set(i, true);
-            }
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        for chunk in bytes[..len.div_ceil(8)].chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            words.push(u64::from_le_bytes(w));
         }
-        v
+        Self::from_words(words, len)
     }
 
     /// Clears bits beyond `len` in the final word so that `count_ones` stays
@@ -373,6 +486,41 @@ mod tests {
         let _ = v.get(8);
     }
 
+    #[test]
+    fn from_words_masks_the_tail() {
+        let v = BitVec::from_words(vec![u64::MAX, u64::MAX], 70);
+        assert_eq!(v.len(), 70);
+        assert_eq!(v.count_ones(), 70);
+        assert_eq!(v.words(), &[u64::MAX, 0x3F]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn from_words_rejects_short_storage() {
+        let _ = BitVec::from_words(vec![0], 65);
+    }
+
+    #[test]
+    fn words_mut_and_clear_tail() {
+        let mut v = BitVec::zeros(68);
+        v.words_mut()[0] = u64::MAX;
+        v.words_mut()[1] = u64::MAX;
+        v.clear_tail();
+        assert_eq!(v.count_ones(), 68);
+    }
+
+    #[test]
+    fn extract_bytes_matches_slice_to_bytes() {
+        let v = BitVec::from_bits((0..300).map(|i| i % 7 < 3));
+        for (start, end) in [(0, 300), (0, 64), (3, 131), (65, 300), (128, 192), (7, 8), (5, 5)] {
+            assert_eq!(
+                v.extract_bytes(start, end),
+                v.slice(start, end).to_bytes(),
+                "range {start}..{end}"
+            );
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_bytes_round_trip(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
@@ -404,6 +552,37 @@ mod tests {
             let right = v.slice(cut, v.len());
             left.extend_from(&right);
             prop_assert_eq!(left, v);
+        }
+
+        #[test]
+        fn prop_extract_bytes_equals_slice_to_bytes(
+            bits in proptest::collection::vec(any::<bool>(), 0..400),
+            a in 0usize..400,
+            b in 0usize..400,
+        ) {
+            let v = BitVec::from_bits(bits);
+            let (a, b) = (a % (v.len() + 1), b % (v.len() + 1));
+            let (start, end) = (a.min(b), a.max(b));
+            prop_assert_eq!(v.extract_bytes(start, end), v.slice(start, end).to_bytes());
+        }
+
+        #[test]
+        fn prop_copy_bits_from_matches_per_bit_copy(
+            dst_bits in proptest::collection::vec(any::<bool>(), 1..300),
+            src_bits in proptest::collection::vec(any::<bool>(), 0..300),
+            offset in 0usize..300,
+        ) {
+            let src = BitVec::from_bits(src_bits.clone());
+            let dst = BitVec::from_bits(dst_bits.clone());
+            prop_assume!(src.len() <= dst.len());
+            let offset = offset % (dst.len() - src.len() + 1);
+            let mut fast = dst.clone();
+            fast.copy_bits_from(offset, &src);
+            let mut reference = dst_bits;
+            for (i, b) in src_bits.iter().enumerate() {
+                reference[offset + i] = *b;
+            }
+            prop_assert_eq!(fast, BitVec::from_bits(reference));
         }
     }
 }

@@ -40,24 +40,69 @@ impl Significance {
     pub const NIST_DEFAULT: Significance = Significance(0.01);
 }
 
+/// Whether a test's preconditions were met — and if not, which requirement
+/// failed and by how much, so a report can say *why* the test was skipped
+/// instead of printing a misleading `p = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Applicability {
+    /// The sequence met the test's preconditions; the p-value is meaningful.
+    Applicable,
+    /// The sequence failed a precondition of SP 800-22 (input-size
+    /// recommendation, minimum cycle count, …); no p-value exists.
+    NotApplicable {
+        /// What the requirement counts ("bits", "cycles", "blocks", …).
+        requirement: &'static str,
+        /// The spec's minimum for this test.
+        required: usize,
+        /// What the sequence actually provided.
+        actual: usize,
+    },
+}
+
+impl Applicability {
+    /// `true` for [`Applicability::Applicable`].
+    pub fn is_applicable(&self) -> bool {
+        matches!(self, Applicability::Applicable)
+    }
+}
+
 /// The outcome of one statistical test.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TestResult {
     /// Test name (matching Table 1's row labels).
     pub name: &'static str,
     /// The p-value (the minimum p-value for tests that produce several).
+    /// `NaN` when the test was not applicable — no p-value exists, and
+    /// anything pretending to be one (the reference implementation prints
+    /// `0.000000`) reads as a catastrophic failure instead of a skip.
     pub p_value: f64,
-    /// `true` if the test could be applied (long-enough sequence, enough
-    /// cycles for the excursion tests, …).
-    pub applicable: bool,
+    /// Whether the test could be applied (long-enough sequence, enough
+    /// cycles for the excursion tests, …), with the failed requirement.
+    pub applicability: Applicability,
 }
 
 impl TestResult {
+    /// `true` if the test's preconditions were met.
+    pub fn is_applicable(&self) -> bool {
+        self.applicability.is_applicable()
+    }
+
     /// Returns `true` if the sequence is considered random by this test at
     /// the given significance level (inapplicable tests pass vacuously, as in
     /// the NIST reference implementation's reporting).
     pub fn passes(&self, alpha: Significance) -> bool {
-        !self.applicable || self.p_value >= alpha.0
+        !self.is_applicable() || self.p_value >= alpha.0
+    }
+
+    /// The p-value formatted for a report: the number when the test ran,
+    /// `"n/a (needs ≥ N <requirement>, got M)"` when it did not.
+    pub fn display_p_value(&self) -> String {
+        match self.applicability {
+            Applicability::Applicable => format!("{:.3}", self.p_value),
+            Applicability::NotApplicable { requirement, required, actual } => {
+                format!("n/a (needs \u{2265} {required} {requirement}, got {actual})")
+            }
+        }
     }
 }
 
@@ -135,8 +180,17 @@ mod tests {
         assert_eq!(results.len(), 15);
         for (r, name) in results.iter().zip(TEST_NAMES) {
             assert_eq!(r.name, name);
-            assert!((0.0..=1.0).contains(&r.p_value), "{}: p={}", r.name, r.p_value);
+            if r.is_applicable() {
+                assert!((0.0..=1.0).contains(&r.p_value), "{}: p={}", r.name, r.p_value);
+            } else {
+                // Inapplicable tests report no p-value at all.
+                assert!(r.p_value.is_nan(), "{}: p={}", r.name, r.p_value);
+            }
         }
+        // A 60 kb stream is too short for Maurer's test and (in expectation)
+        // for the excursion tests; those must be explicit skips.
+        let maurer = results.iter().find(|r| r.name == "maurers_universal").unwrap();
+        assert!(!maurer.is_applicable());
     }
 
     #[test]

@@ -1,27 +1,48 @@
 //! The fifteen SP 800-22 statistical tests.
 //!
 //! Each function returns a [`TestResult`] whose `p_value` is the (minimum)
-//! p-value of the test and whose `applicable` flag is false when the sequence
-//! is too short for the test's preconditions (mirroring the reference
-//! implementation's behaviour of skipping such tests).
+//! p-value of the test. When a sequence fails a test's preconditions (too
+//! few bits, too few zero-crossing cycles for the excursion tests) the
+//! result is explicitly [`Applicability::NotApplicable`] — carrying the
+//! failed requirement and the observed value, with `p_value = NaN` — rather
+//! than a misleading `p = 0`.
 
 use crate::special::{erfc, fft, igamc, std_normal_cdf};
-use crate::TestResult;
+use crate::{Applicability, TestResult};
 use qt_dram_core::BitVec;
 
-fn result(name: &'static str, p_value: f64, applicable: bool) -> TestResult {
-    TestResult { name, p_value: p_value.clamp(0.0, 1.0), applicable }
+fn result(name: &'static str, p_value: f64) -> TestResult {
+    TestResult {
+        name,
+        p_value: p_value.clamp(0.0, 1.0),
+        applicability: Applicability::Applicable,
+    }
+}
+
+/// An explicit "not applicable" result: the sequence failed the named
+/// precondition, so no p-value exists (`NaN`, not a fake 0).
+fn not_applicable(
+    name: &'static str,
+    requirement: &'static str,
+    required: usize,
+    actual: usize,
+) -> TestResult {
+    TestResult {
+        name,
+        p_value: f64::NAN,
+        applicability: Applicability::NotApplicable { requirement, required, actual },
+    }
 }
 
 /// 2.1 Frequency (monobit) test.
 pub fn monobit(bits: &BitVec) -> TestResult {
     let n = bits.len();
     if n == 0 {
-        return result("monobit", 0.0, false);
+        return not_applicable("monobit", "bits", 1, n);
     }
     let sum: i64 = bits.iter().map(|b| if b { 1i64 } else { -1 }).sum();
     let s_obs = (sum.abs() as f64) / (n as f64).sqrt();
-    result("monobit", erfc(s_obs / std::f64::consts::SQRT_2), true)
+    result("monobit", erfc(s_obs / std::f64::consts::SQRT_2))
 }
 
 /// 2.2 Frequency test within a block.
@@ -30,7 +51,7 @@ pub fn frequency_within_block(bits: &BitVec, block_len: usize) -> TestResult {
     let m = block_len.max(2);
     let blocks = n / m;
     if blocks == 0 {
-        return result("frequency_within_block", 0.0, false);
+        return not_applicable("frequency_within_block", "bits", m, n);
     }
     let mut chi2 = 0.0;
     for b in 0..blocks {
@@ -39,19 +60,19 @@ pub fn frequency_within_block(bits: &BitVec, block_len: usize) -> TestResult {
         chi2 += (pi - 0.5).powi(2);
     }
     chi2 *= 4.0 * m as f64;
-    result("frequency_within_block", igamc(blocks as f64 / 2.0, chi2 / 2.0), true)
+    result("frequency_within_block", igamc(blocks as f64 / 2.0, chi2 / 2.0))
 }
 
 /// 2.3 Runs test.
 pub fn runs(bits: &BitVec) -> TestResult {
     let n = bits.len();
     if n < 100 {
-        return result("runs", 0.0, false);
+        return not_applicable("runs", "bits", 100, n);
     }
     let pi = bits.ones_fraction();
     if (pi - 0.5).abs() >= 2.0 / (n as f64).sqrt() {
         // Prerequisite frequency test fails decisively.
-        return result("runs", 0.0, true);
+        return result("runs", 0.0);
     }
     let mut v = 1usize;
     for i in 1..n {
@@ -61,7 +82,7 @@ pub fn runs(bits: &BitVec) -> TestResult {
     }
     let num = (v as f64 - 2.0 * n as f64 * pi * (1.0 - pi)).abs();
     let den = 2.0 * (2.0 * n as f64).sqrt() * pi * (1.0 - pi);
-    result("runs", erfc(num / den), true)
+    result("runs", erfc(num / den))
 }
 
 /// 2.4 Test for the longest run of ones in a block.
@@ -78,7 +99,7 @@ pub fn longest_run_of_ones(bits: &BitVec) -> TestResult {
     } else if n >= 128 {
         (8, vec![1, 2, 3, 4], vec![0.2148, 0.3672, 0.2305, 0.1875])
     } else {
-        return result("longest_run_ones_in_a_block", 0.0, false);
+        return not_applicable("longest_run_ones_in_a_block", "bits", 128, n);
     };
     let blocks = n / m;
     let k = pi.len() - 1;
@@ -108,7 +129,7 @@ pub fn longest_run_of_ones(bits: &BitVec) -> TestResult {
         let expected = blocks as f64 * pi[i];
         chi2 += (counts[i] as f64 - expected).powi(2) / expected;
     }
-    result("longest_run_ones_in_a_block", igamc(k as f64 / 2.0, chi2 / 2.0), true)
+    result("longest_run_ones_in_a_block", igamc(k as f64 / 2.0, chi2 / 2.0))
 }
 
 fn gf2_rank(rows: &mut [u32], size: usize) -> usize {
@@ -134,7 +155,7 @@ pub fn binary_matrix_rank(bits: &BitVec) -> TestResult {
     let n = bits.len();
     let matrices = n / (M * M);
     if matrices == 0 {
-        return result("binary_matrix_rank", 0.0, false);
+        return not_applicable("binary_matrix_rank", "bits", M * M, n);
     }
     let (p_full, p_minus1) = (0.2888, 0.5776);
     let p_rest = 1.0 - p_full - p_minus1;
@@ -158,14 +179,14 @@ pub fn binary_matrix_rank(bits: &BitVec) -> TestResult {
     let chi2 = (f_full as f64 - p_full * nm).powi(2) / (p_full * nm)
         + (f_minus1 as f64 - p_minus1 * nm).powi(2) / (p_minus1 * nm)
         + (f_rest as f64 - p_rest * nm).powi(2) / (p_rest * nm);
-    result("binary_matrix_rank", (-chi2 / 2.0).exp(), true)
+    result("binary_matrix_rank", (-chi2 / 2.0).exp())
 }
 
 /// 2.6 Discrete Fourier transform (spectral) test.
 pub fn dft(bits: &BitVec) -> TestResult {
     let n_full = bits.len();
     if n_full < 1000 {
-        return result("dft", 0.0, false);
+        return not_applicable("dft", "bits", 1000, n_full);
     }
     // Use the largest power-of-two prefix for the radix-2 FFT.
     let n = 1usize << (usize::BITS - 1 - n_full.leading_zeros());
@@ -177,7 +198,7 @@ pub fn dft(bits: &BitVec) -> TestResult {
     let below = (0..half).filter(|&k| (re[k] * re[k] + im[k] * im[k]).sqrt() < threshold).count();
     let n0 = 0.95 * half as f64;
     let d = (below as f64 - n0) / (n as f64 * 0.95 * 0.05 / 4.0).sqrt();
-    result("dft", erfc(d.abs() / std::f64::consts::SQRT_2), true)
+    result("dft", erfc(d.abs() / std::f64::consts::SQRT_2))
 }
 
 /// 2.7 Non-overlapping template matching test (template `0…01` of length m).
@@ -186,7 +207,7 @@ pub fn non_overlapping_template_matching(bits: &BitVec, m: usize) -> TestResult 
     let blocks = 8usize;
     let block_len = n / blocks;
     if block_len < 2 * m {
-        return result("non_overlapping_template_matching", 0.0, false);
+        return not_applicable("non_overlapping_template_matching", "bits", 2 * m * blocks, n);
     }
     // Template: m-1 zeros followed by a one.
     let template: Vec<bool> = (0..m).map(|i| i == m - 1).collect();
@@ -212,7 +233,6 @@ pub fn non_overlapping_template_matching(bits: &BitVec, m: usize) -> TestResult 
     result(
         "non_overlapping_template_matching",
         igamc(blocks as f64 / 2.0, chi2 / 2.0),
-        true,
     )
 }
 
@@ -222,7 +242,7 @@ pub fn overlapping_template_matching(bits: &BitVec, m: usize) -> TestResult {
     let block_len = 1032usize;
     let blocks = n / block_len;
     if blocks < 5 {
-        return result("overlapping_template_matching", 0.0, false);
+        return not_applicable("overlapping_template_matching", "blocks", 5, blocks);
     }
     const PI: [f64; 6] = [0.364091, 0.185659, 0.139381, 0.100571, 0.0704323, 0.139865];
     let mut counts = [0usize; 6];
@@ -241,7 +261,7 @@ pub fn overlapping_template_matching(bits: &BitVec, m: usize) -> TestResult {
         let expected = blocks as f64 * PI[i];
         chi2 += (counts[i] as f64 - expected).powi(2) / expected;
     }
-    result("overlapping_template_matching", igamc(2.5, chi2 / 2.0), true)
+    result("overlapping_template_matching", igamc(2.5, chi2 / 2.0))
 }
 
 /// 2.9 Maurer's "universal statistical" test.
@@ -259,10 +279,22 @@ pub fn maurers_universal(bits: &BitVec) -> TestResult {
     let Some(&(l, _, expected, variance)) =
         table.iter().rev().find(|&&(_, min_n, _, _)| n >= min_n)
     else {
-        return result("maurers_universal", 0.0, false);
+        // Below the smallest tabulated length the statistic's reference
+        // distribution is unknown — the spec marks the test inapplicable.
+        return not_applicable("maurers_universal", "bits", table[0].1, n);
     };
     let q = 10 * (1usize << l);
     let k = n / l - q;
+    let fn_stat = maurers_fn_statistic(bits, l, q, k);
+    let c = 0.7 - 0.8 / l as f64 + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
+    let sigma = c * (variance / k as f64).sqrt();
+    result("maurers_universal", erfc(((fn_stat - expected) / (std::f64::consts::SQRT_2 * sigma)).abs()))
+}
+
+/// Maurer's fₙ statistic over `q` initialisation and `k` test blocks of `l`
+/// bits — split out so the SP 800-22 §2.9.8 worked example (which uses toy
+/// parameters far below the tabulated lengths) can be checked exactly.
+fn maurers_fn_statistic(bits: &BitVec, l: usize, q: usize, k: usize) -> f64 {
     let mut last_seen = vec![0usize; 1 << l];
     let word = |i: usize| -> usize {
         (0..l).fold(0usize, |acc, j| (acc << 1) | bits.get(i * l + j) as usize)
@@ -276,10 +308,7 @@ pub fn maurers_universal(bits: &BitVec) -> TestResult {
         sum += ((i + 1 - last_seen[w]) as f64).log2();
         last_seen[w] = i + 1;
     }
-    let fn_stat = sum / k as f64;
-    let c = 0.7 - 0.8 / l as f64 + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
-    let sigma = c * (variance / k as f64).sqrt();
-    result("maurers_universal", erfc(((fn_stat - expected) / (std::f64::consts::SQRT_2 * sigma)).abs()), true)
+    sum / k as f64
 }
 
 fn berlekamp_massey(bits: &[bool]) -> usize {
@@ -318,7 +347,7 @@ pub fn linear_complexity(bits: &BitVec, block_len: usize) -> TestResult {
     let m = block_len;
     let blocks = n / m;
     if blocks < 10 {
-        return result("linear_complexity", 0.0, false);
+        return not_applicable("linear_complexity", "blocks", 10, blocks);
     }
     const PI: [f64; 7] = [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833];
     // sign_m = (-1)^M; the specification's mean uses (-1)^(M+1) = -sign_m.
@@ -351,7 +380,7 @@ pub fn linear_complexity(bits: &BitVec, block_len: usize) -> TestResult {
         let expected = blocks as f64 * PI[i];
         chi2 += (counts[i] as f64 - expected).powi(2) / expected;
     }
-    result("linear_complexity", igamc(3.0, chi2 / 2.0), true)
+    result("linear_complexity", igamc(3.0, chi2 / 2.0))
 }
 
 fn psi_squared(bits: &BitVec, m: usize) -> f64 {
@@ -379,7 +408,7 @@ pub fn serial(bits: &BitVec, m: usize) -> TestResult {
     let max_m = ((n as f64).log2() as usize).saturating_sub(3).max(3);
     let m = m.min(max_m);
     if n < 1 << (m + 2) {
-        return result("serial", 0.0, false);
+        return not_applicable("serial", "bits", 1 << (m + 2), n);
     }
     let psi_m = psi_squared(bits, m);
     let psi_m1 = psi_squared(bits, m - 1);
@@ -388,7 +417,7 @@ pub fn serial(bits: &BitVec, m: usize) -> TestResult {
     let d2 = psi_m - 2.0 * psi_m1 + psi_m2;
     let p1 = igamc(2f64.powi(m as i32 - 2), d1 / 2.0);
     let p2 = igamc(2f64.powi(m as i32 - 3), d2 / 2.0);
-    result("serial", p1.min(p2), true)
+    result("serial", p1.min(p2))
 }
 
 /// 2.12 Approximate entropy test (pattern length m).
@@ -397,7 +426,7 @@ pub fn approximate_entropy(bits: &BitVec, m: usize) -> TestResult {
     let max_m = ((n as f64).log2() as usize).saturating_sub(6).max(2);
     let m = m.min(max_m);
     if n < 1 << (m + 5) {
-        return result("approximate_entropy", 0.0, false);
+        return not_applicable("approximate_entropy", "bits", 1 << (m + 5), n);
     }
     let phi = |mm: usize| -> f64 {
         if mm == 0 {
@@ -422,14 +451,14 @@ pub fn approximate_entropy(bits: &BitVec, m: usize) -> TestResult {
     };
     let ap_en = phi(m) - phi(m + 1);
     let chi2 = 2.0 * n as f64 * (std::f64::consts::LN_2 - ap_en);
-    result("approximate_entropy", igamc(2f64.powi(m as i32 - 1), chi2 / 2.0), true)
+    result("approximate_entropy", igamc(2f64.powi(m as i32 - 1), chi2 / 2.0))
 }
 
 /// 2.13 Cumulative sums (forward) test.
 pub fn cumulative_sums(bits: &BitVec) -> TestResult {
     let n = bits.len();
     if n < 100 {
-        return result("cumulative_sums", 0.0, false);
+        return not_applicable("cumulative_sums", "bits", 100, n);
     }
     let mut s = 0i64;
     let mut z = 0i64;
@@ -452,7 +481,7 @@ pub fn cumulative_sums(bits: &BitVec) -> TestResult {
         p += std_normal_cdf((4.0 * k as f64 + 3.0) * z / sqrt_n)
             - std_normal_cdf((4.0 * k as f64 + 1.0) * z / sqrt_n);
     }
-    result("cumulative_sums", p, true)
+    result("cumulative_sums", p)
 }
 
 fn excursion_cycles(bits: &BitVec) -> (Vec<Vec<i64>>, usize) {
@@ -475,13 +504,17 @@ fn excursion_cycles(bits: &BitVec) -> (Vec<Vec<i64>>, usize) {
     (cycles, j)
 }
 
-/// 2.14 Random excursions test (minimum p-value over the eight states).
-pub fn random_excursion(bits: &BitVec) -> TestResult {
-    let (cycles, j) = excursion_cycles(bits);
-    if j < 500 {
-        return result("random_excursion", 0.0, false);
-    }
-    let pi = |x: i64, k: usize| -> f64 {
+/// SP 800-22 §2.14.4: the excursion tests require `J ≥ max(0.005·√n, 500)`
+/// zero-crossing cycles; with fewer, the per-cycle visit distribution is not
+/// trustworthy and the tests are inapplicable.
+fn excursion_min_cycles(n: usize) -> usize {
+    (0.005 * (n as f64).sqrt()).ceil().max(500.0) as usize
+}
+
+/// χ² statistic of the random excursions test for one state `x`
+/// (SP 800-22 §2.14.4, step 5).
+fn excursion_state_chi2(cycles: &[Vec<i64>], j: usize, x: i64) -> f64 {
+    let pi = |k: usize| -> f64 {
         let ax = x.abs() as f64;
         match k {
             0 => 1.0 - 1.0 / (2.0 * ax),
@@ -489,39 +522,55 @@ pub fn random_excursion(bits: &BitVec) -> TestResult {
             _ => (1.0 / (2.0 * ax)) * (1.0 - 1.0 / (2.0 * ax)).powi(4),
         }
     };
+    let mut counts = [0usize; 6];
+    for cycle in cycles {
+        let visits = cycle.iter().filter(|&&s| s == x).count();
+        counts[visits.min(5)] += 1;
+    }
+    let mut chi2 = 0.0;
+    for (k, &c) in counts.iter().enumerate() {
+        let expected = j as f64 * pi(k);
+        if expected > 0.0 {
+            chi2 += (c as f64 - expected).powi(2) / expected;
+        }
+    }
+    chi2
+}
+
+/// p-value of the random excursions *variant* test for one state `x`
+/// (SP 800-22 §2.15.4: `erfc(|ξ(x) − J| / √(2J(4|x| − 2)))`).
+fn excursion_variant_state_p(cycles: &[Vec<i64>], j: usize, x: i64) -> f64 {
+    let visits: usize = cycles.iter().map(|c| c.iter().filter(|&&s| s == x).count()).sum();
+    let denom = (2.0 * j as f64 * (4.0 * x.abs() as f64 - 2.0)).sqrt();
+    erfc((visits as f64 - j as f64).abs() / denom)
+}
+
+/// 2.14 Random excursions test (minimum p-value over the eight states).
+pub fn random_excursion(bits: &BitVec) -> TestResult {
+    let (cycles, j) = excursion_cycles(bits);
+    let required = excursion_min_cycles(bits.len());
+    if j < required {
+        return not_applicable("random_excursion", "cycles", required, j);
+    }
     let mut min_p = 1.0f64;
     for &x in &[-4i64, -3, -2, -1, 1, 2, 3, 4] {
-        let mut counts = [0usize; 6];
-        for cycle in &cycles {
-            let visits = cycle.iter().filter(|&&s| s == x).count();
-            counts[visits.min(5)] += 1;
-        }
-        let mut chi2 = 0.0;
-        for (k, &c) in counts.iter().enumerate() {
-            let expected = j as f64 * pi(x, k);
-            if expected > 0.0 {
-                chi2 += (c as f64 - expected).powi(2) / expected;
-            }
-        }
-        min_p = min_p.min(igamc(2.5, chi2 / 2.0));
+        min_p = min_p.min(igamc(2.5, excursion_state_chi2(&cycles, j, x) / 2.0));
     }
-    result("random_excursion", min_p, true)
+    result("random_excursion", min_p)
 }
 
 /// 2.15 Random excursions variant test (minimum p-value over the 18 states).
 pub fn random_excursion_variant(bits: &BitVec) -> TestResult {
     let (cycles, j) = excursion_cycles(bits);
-    if j < 500 {
-        return result("random_excursion_variant", 0.0, false);
+    let required = excursion_min_cycles(bits.len());
+    if j < required {
+        return not_applicable("random_excursion_variant", "cycles", required, j);
     }
     let mut min_p = 1.0f64;
     for x in (-9i64..=9).filter(|&x| x != 0) {
-        let visits: usize = cycles.iter().map(|c| c.iter().filter(|&&s| s == x).count()).sum();
-        let denom = (2.0 * j as f64 * (4.0 * x.abs() as f64 - 2.0)).sqrt();
-        let p = erfc((visits as f64 - j as f64).abs() / denom / std::f64::consts::SQRT_2);
-        min_p = min_p.min(p);
+        min_p = min_p.min(excursion_variant_state_p(&cycles, j, x));
     }
-    result("random_excursion_variant", min_p, true)
+    result("random_excursion_variant", min_p)
 }
 
 #[cfg(test)]
@@ -607,14 +656,14 @@ mod tests {
     #[test]
     fn excursion_tests_apply_only_to_long_sequences() {
         let short = random_bits(20_000, 4);
-        assert!(!random_excursion(&short).applicable || random_excursion(&short).p_value >= 0.0);
+        assert!(!random_excursion(&short).is_applicable() || random_excursion(&short).p_value >= 0.0);
         let long = random_bits(600_000, 4);
         let re = random_excursion(&long);
         let rev = random_excursion_variant(&long);
-        if re.applicable {
+        if re.is_applicable() {
             assert!(re.p_value >= 0.0005, "excursion p {}", re.p_value);
         }
-        if rev.applicable {
+        if rev.is_applicable() {
             assert!(rev.p_value >= 0.0005, "variant p {}", rev.p_value);
         }
     }
@@ -633,11 +682,70 @@ mod tests {
     }
 
     #[test]
+    fn sp80022_maurers_universal_example() {
+        // SP 800-22 §2.9.8: ε = 01011010011101010111 with L = 2, Q = 4,
+        // K = 6 gives fn = 1.1949875 and (with the illustration's
+        // σ = √variance) a p-value of 0.767189.
+        let bits = BitVec::from_bit_str("01011010011101010111").unwrap();
+        let fn_stat = maurers_fn_statistic(&bits, 2, 4, 6);
+        assert!((fn_stat - 1.194_987_5).abs() < 1e-6, "fn = {fn_stat}");
+        let expected = 1.537_438_3;
+        let variance = 1.338f64;
+        let p = erfc(((fn_stat - expected) / (std::f64::consts::SQRT_2 * variance.sqrt())).abs());
+        assert!((p - 0.767_189).abs() < 1e-4, "p = {p}");
+    }
+
+    #[test]
+    fn sp80022_random_excursion_example() {
+        // SP 800-22 §2.14.8: ε = 0110110101 has J = 3 cycles and, for state
+        // x = +1, χ² = 4.333033 and p-value 0.502529.
+        let bits = BitVec::from_bit_str("0110110101").unwrap();
+        let (cycles, j) = excursion_cycles(&bits);
+        assert_eq!(j, 3);
+        let chi2 = excursion_state_chi2(&cycles, j, 1);
+        assert!((chi2 - 4.333_033).abs() < 1e-3, "chi2 = {chi2}");
+        let p = igamc(2.5, chi2 / 2.0);
+        assert!((p - 0.502_529).abs() < 1e-4, "p = {p}");
+    }
+
+    #[test]
+    fn sp80022_random_excursion_variant_example() {
+        // SP 800-22 §2.15.8: same ε, state x = +1 visited 4 times over J = 3
+        // cycles gives p-value erfc(1/√12) = 0.683091.
+        let bits = BitVec::from_bit_str("0110110101").unwrap();
+        let (cycles, j) = excursion_cycles(&bits);
+        let p = excursion_variant_state_p(&cycles, j, 1);
+        assert!((p - 0.683_091).abs() < 1e-4, "p = {p}");
+    }
+
+    #[test]
+    fn inapplicable_results_name_the_failed_requirement() {
+        let short = random_bits(1000, 3);
+        let r = maurers_universal(&short);
+        assert!(r.p_value.is_nan(), "no p-value exists for inapplicable tests");
+        assert!(r.passes(crate::Significance::PAPER), "inapplicable passes vacuously");
+        match r.applicability {
+            Applicability::NotApplicable { requirement, required, actual } => {
+                assert_eq!(requirement, "bits");
+                assert_eq!(required, 387_840);
+                assert_eq!(actual, 1000);
+            }
+            Applicability::Applicable => panic!("1 kb stream cannot drive Maurer's test"),
+        }
+        assert!(r.display_p_value().starts_with("n/a"));
+        // The excursion gate scales with n per §2.14.4 (0.005·√n caps the
+        // constant floor only beyond 10¹⁰ bits).
+        assert_eq!(excursion_min_cycles(1_000_000), 500);
+        assert_eq!(excursion_min_cycles(100_000_000), 500);
+        assert_eq!(excursion_min_cycles(40_000_000_000), 1000);
+    }
+
+    #[test]
     fn maurers_universal_needs_long_sequences() {
-        assert!(!maurers_universal(&random_bits(50_000, 1)).applicable);
+        assert!(!maurers_universal(&random_bits(50_000, 1)).is_applicable());
         let long = random_bits(400_000, 1);
         let r = maurers_universal(&long);
-        assert!(r.applicable);
+        assert!(r.is_applicable());
         assert!(r.p_value > 0.001, "universal p {}", r.p_value);
     }
 }

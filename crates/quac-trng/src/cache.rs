@@ -1,0 +1,303 @@
+//! Persistent store for module characterisations.
+//!
+//! Characterising a full-size module at `QUAC_FULL=1` density walks thousands
+//! of segments × tens of thousands of bitlines, which is the expensive,
+//! *one-time* step of the paper's flow (Section 6; re-run monthly per
+//! Section 8). The figure and table binaries all re-characterise the same
+//! modules with the same configuration, so this store serialises each
+//! [`ModuleCharacterization`] to disk keyed by module identity + sweep
+//! configuration, and later runs load instead of re-sweeping.
+//!
+//! The on-disk format is a versioned, line-oriented text file with every
+//! `f64` written as its IEEE-754 bit pattern in hex, so a load round-trips
+//! *exactly* — a cached characterisation is bit-identical to the freshly
+//! computed one. (The vendored `serde` stand-in has no real serialisation
+//! backend, so the format is hand-rolled; swapping in crates.io serde later
+//! does not affect this file format.)
+
+use crate::characterize::{characterize_module, CharacterizationConfig, ModuleCharacterization};
+use qt_dram_analog::{OperatingConditions, QuacAnalogModel};
+use qt_dram_core::{DataPattern, Segment};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Format marker of the store files.
+const MAGIC: &str = "quac-characterization v1";
+
+/// A directory-backed characterisation store.
+#[derive(Debug, Clone)]
+pub struct CharacterizationCache {
+    dir: PathBuf,
+}
+
+impl CharacterizationCache {
+    /// Opens (and lazily creates) a store rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CharacterizationCache { dir: dir.into() }
+    }
+
+    /// The store honoured by the figure binaries: the `QUAC_CACHE_DIR`
+    /// environment variable when set (`0`, `off`, or an empty value disables
+    /// caching entirely), else `.quac-cache` under the working directory.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var("QUAC_CACHE_DIR") {
+            Ok(v) if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") => None,
+            Ok(v) => Some(Self::new(v)),
+            Err(_) => Some(Self::new(".quac-cache")),
+        }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Loads the characterisation for `(label, model, pattern, cfg)` if a
+    /// valid entry exists, otherwise characterises the module (in parallel)
+    /// and stores the result best-effort. `label` names the module (e.g.
+    /// `"M3"`); the file key also folds in the variation seed, geometry,
+    /// sweep configuration, and the model's physics fingerprint (calibration
+    /// parameters + model revision), so stale entries — including ones
+    /// computed by an older or differently-calibrated analog model — can
+    /// never be confused for fresh ones.
+    pub fn load_or_characterize(
+        &self,
+        label: &str,
+        model: &QuacAnalogModel,
+        pattern: DataPattern,
+        cfg: &CharacterizationConfig,
+    ) -> ModuleCharacterization {
+        let path = self.entry_path(label, model, pattern, cfg);
+        if let Some(ch) = load_entry(&path, pattern, cfg) {
+            return ch;
+        }
+        let ch = characterize_module(model, pattern, cfg);
+        // Best-effort persistence: a read-only filesystem must not break
+        // characterisation itself.
+        let _ = self.store_at(&path, &ch);
+        ch
+    }
+
+    /// The file path that `load_or_characterize` uses for this key.
+    pub fn entry_path(
+        &self,
+        label: &str,
+        model: &QuacAnalogModel,
+        pattern: DataPattern,
+        cfg: &CharacterizationConfig,
+    ) -> PathBuf {
+        let sanitized: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let name = format!(
+            "{sanitized}-s{:016x}-m{:016x}-r{}-g{}-p{pattern}-ss{}-bs{}-t{:016x}-a{:016x}.qch",
+            model.variation().seed(),
+            // Calibration + model-revision fingerprint: a physics change
+            // (new AnalogParams, new entropy path) keys different entries,
+            // so stale results are never served after a model edit.
+            model.physics_fingerprint(),
+            model.geometry().row_bits,
+            model.geometry().segments_per_bank(),
+            cfg.segment_stride,
+            cfg.bitline_stride,
+            cfg.conditions.temperature_c.to_bits(),
+            cfg.conditions.age_days.to_bits(),
+        );
+        self.dir.join(name)
+    }
+
+    fn store_at(&self, path: &Path, ch: &ModuleCharacterization) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("pattern {}\n", ch.pattern));
+        out.push_str(&format!(
+            "conditions {:016x} {:016x}\n",
+            ch.conditions.temperature_c.to_bits(),
+            ch.conditions.age_days.to_bits()
+        ));
+        out.push_str(&format!("best_segment {}\n", ch.best_segment.index()));
+        out.push_str(&format!("best_segment_entropy {:016x}\n", ch.best_segment_entropy.to_bits()));
+        out.push_str(&format!("segments {}\n", ch.segment_entropy.len()));
+        for (s, e) in &ch.segment_entropy {
+            out.push_str(&format!("{s} {:016x}\n", e.to_bits()));
+        }
+        out.push_str(&format!("cache_blocks {}\n", ch.best_segment_cache_blocks.len()));
+        for e in &ch.best_segment_cache_blocks {
+            out.push_str(&format!("{:016x}\n", e.to_bits()));
+        }
+        out.push_str("end\n");
+        // Write-then-rename so a crashed run never leaves a torn entry.
+        let tmp = path.with_extension("qch.tmp");
+        fs::write(&tmp, out)?;
+        fs::rename(&tmp, path)
+    }
+}
+
+/// Parses a store entry, returning `None` (caller recomputes) on any
+/// mismatch, truncation, or corruption.
+fn load_entry(
+    path: &Path,
+    pattern: DataPattern,
+    cfg: &CharacterizationConfig,
+) -> Option<ModuleCharacterization> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != MAGIC {
+        return None;
+    }
+    let stored_pattern: DataPattern =
+        lines.next()?.strip_prefix("pattern ")?.parse().ok()?;
+    if stored_pattern != pattern {
+        return None;
+    }
+    let mut cond_fields = lines.next()?.strip_prefix("conditions ")?.split(' ');
+    let conditions = OperatingConditions {
+        temperature_c: f64::from_bits(u64::from_str_radix(cond_fields.next()?, 16).ok()?),
+        age_days: f64::from_bits(u64::from_str_radix(cond_fields.next()?, 16).ok()?),
+    };
+    if conditions != cfg.conditions {
+        return None;
+    }
+    let best_segment =
+        Segment::new(lines.next()?.strip_prefix("best_segment ")?.parse().ok()?);
+    let best_segment_entropy = f64::from_bits(
+        u64::from_str_radix(lines.next()?.strip_prefix("best_segment_entropy ")?, 16).ok()?,
+    );
+    let n_segments: usize = lines.next()?.strip_prefix("segments ")?.parse().ok()?;
+    let mut segment_entropy = Vec::with_capacity(n_segments);
+    for _ in 0..n_segments {
+        let mut fields = lines.next()?.split(' ');
+        let s: usize = fields.next()?.parse().ok()?;
+        let e = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
+        segment_entropy.push((s, e));
+    }
+    let n_blocks: usize = lines.next()?.strip_prefix("cache_blocks ")?.parse().ok()?;
+    let mut best_segment_cache_blocks = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        best_segment_cache_blocks
+            .push(f64::from_bits(u64::from_str_radix(lines.next()?, 16).ok()?));
+    }
+    if lines.next()? != "end" {
+        return None;
+    }
+    Some(ModuleCharacterization {
+        pattern,
+        segment_entropy,
+        best_segment,
+        best_segment_entropy,
+        best_segment_cache_blocks,
+        conditions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::characterize_module_serial;
+    use qt_dram_analog::ModuleVariation;
+    use qt_dram_core::DramGeometry;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "quac-cache-test-{tag}-{}-{unique}",
+            std::process::id()
+        ))
+    }
+
+    fn tiny_model(seed: u64) -> QuacAnalogModel {
+        let geom = DramGeometry::tiny_test();
+        QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, seed))
+    }
+
+    fn cfg() -> CharacterizationConfig {
+        CharacterizationConfig {
+            segment_stride: 2,
+            bitline_stride: 4,
+            conditions: OperatingConditions::nominal(),
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly_and_loads_on_second_call() {
+        let dir = scratch_dir("roundtrip");
+        let cache = CharacterizationCache::new(&dir);
+        let model = tiny_model(77);
+        let pattern = DataPattern::best_average();
+        let fresh = cache.load_or_characterize("Mx", &model, pattern, &cfg());
+        let direct = characterize_module_serial(&model, pattern, &cfg());
+        assert_eq!(fresh, direct, "first call must compute the real result");
+        let path = cache.entry_path("Mx", &model, pattern, &cfg());
+        assert!(path.exists(), "entry stored at {path:?}");
+        // Second call loads from disk — bit-identical.
+        let loaded = cache.load_or_characterize("Mx", &model, pattern, &cfg());
+        assert_eq!(loaded, fresh);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_configurations_use_distinct_entries() {
+        let dir = scratch_dir("keys");
+        let cache = CharacterizationCache::new(&dir);
+        let model = tiny_model(5);
+        let pattern = DataPattern::best_average();
+        let a = cache.entry_path("M1", &model, pattern, &cfg());
+        let aged = cfg().with_conditions(OperatingConditions::nominal().aged(30.0));
+        let b = cache.entry_path("M1", &model, pattern, &aged);
+        let c = cache.entry_path("M2", &model, pattern, &cfg());
+        let d = cache.entry_path("M1", &tiny_model(6), pattern, &cfg());
+        assert!(a != b && a != c && a != d && b != c);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recalibrated_physics_uses_a_distinct_entry() {
+        // Editing the analog calibration (or bumping the model version) must
+        // change the key, so stale cached figures are never served.
+        let dir = scratch_dir("physics");
+        let cache = CharacterizationCache::new(&dir);
+        let pattern = DataPattern::best_average();
+        let base = tiny_model(5);
+        let mut params = qt_dram_analog::AnalogParams::calibrated();
+        params.share_voltage *= 1.01;
+        let recalibrated = QuacAnalogModel::new(
+            DramGeometry::tiny_test(),
+            ModuleVariation::generate_with(&DramGeometry::tiny_test(), 5, params, 1.0),
+        );
+        assert_ne!(base.physics_fingerprint(), recalibrated.physics_fingerprint());
+        assert_ne!(
+            cache.entry_path("M1", &base, pattern, &cfg()),
+            cache.entry_path("M1", &recalibrated, pattern, &cfg())
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_recomputed() {
+        let dir = scratch_dir("corrupt");
+        let cache = CharacterizationCache::new(&dir);
+        let model = tiny_model(9);
+        let pattern = DataPattern::best_average();
+        let expected = cache.load_or_characterize("M", &model, pattern, &cfg());
+        let path = cache.entry_path("M", &model, pattern, &cfg());
+        fs::write(&path, "quac-characterization v1\npattern 0111\ngarbage").unwrap();
+        let recovered = cache.load_or_characterize("M", &model, pattern, &cfg());
+        assert_eq!(recovered, expected);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_and_custom_env_paths() {
+        // `from_env` is exercised without mutating the environment (tests run
+        // in parallel): the default path is used when the variable is absent.
+        if std::env::var("QUAC_CACHE_DIR").is_err() {
+            let cache = CharacterizationCache::from_env().expect("default cache");
+            assert_eq!(cache.dir(), Path::new(".quac-cache"));
+        }
+    }
+}

@@ -9,6 +9,57 @@
 use qt_dram_analog::{OperatingConditions, QuacAnalogModel};
 use qt_dram_core::{DataPattern, Segment, CACHE_BLOCK_BITS, RANDOM_NUMBER_BITS};
 use serde::{Deserialize, Serialize};
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads characterisation sweeps shard across: the
+/// `QUAC_THREADS` environment variable when set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn worker_threads() -> usize {
+    if let Ok(v) = std::env::var("QUAC_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, returning results
+/// in item order. Each item is evaluated independently and the merge is a
+/// positional copy, so the output is bit-identical to a serial map regardless
+/// of the worker count — the property the `*_with_threads` characterisation
+/// entry points rely on.
+fn ordered_parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads.min(items.len()));
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let f = &f;
+    thread::scope(|scope| {
+        for (chunk_items, chunk_out) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in chunk_items.iter().zip(chunk_out.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("worker filled every slot")).collect()
+}
+
+/// The segment indices a sweep with the given stride evaluates.
+fn sampled_segments(segments_per_bank: usize, stride: usize) -> Vec<usize> {
+    assert!(stride > 0, "segment stride must be non-zero");
+    (0..segments_per_bank).step_by(stride).collect()
+}
 
 /// Sampling configuration for characterisation sweeps. Full-resolution
 /// characterisation of a real-size module is expensive (8192 segments ×
@@ -114,83 +165,120 @@ impl ModuleCharacterization {
 }
 
 /// Sweeps the data patterns of Figure 8 over a sample of segments and
-/// returns per-pattern average/maximum cache-block entropy.
+/// returns per-pattern average/maximum cache-block entropy, sharding
+/// `(pattern, segment)` work items across [`worker_threads`] scoped workers.
 pub fn pattern_sweep(
     model: &QuacAnalogModel,
     patterns: &[DataPattern],
     cfg: &CharacterizationConfig,
 ) -> Vec<PatternStats> {
-    let segments = model.geometry().segments_per_bank();
+    pattern_sweep_with_threads(model, patterns, cfg, worker_threads())
+}
+
+/// Single-threaded reference implementation of [`pattern_sweep`]; the
+/// parallel path is property-tested to match it exactly.
+pub fn pattern_sweep_serial(
+    model: &QuacAnalogModel,
+    patterns: &[DataPattern],
+    cfg: &CharacterizationConfig,
+) -> Vec<PatternStats> {
+    pattern_sweep_with_threads(model, patterns, cfg, 1)
+}
+
+/// [`pattern_sweep`] with an explicit worker count. Every `(pattern,
+/// segment)` pair is evaluated independently and per-pattern statistics fold
+/// the per-segment subtotals in segment order, so the result is bit-identical
+/// for any `threads`.
+pub fn pattern_sweep_with_threads(
+    model: &QuacAnalogModel,
+    patterns: &[DataPattern],
+    cfg: &CharacterizationConfig,
+    threads: usize,
+) -> Vec<PatternStats> {
+    let segments = sampled_segments(model.geometry().segments_per_bank(), cfg.segment_stride);
     let blocks = model.geometry().cache_blocks_per_row();
+    let items: Vec<(usize, usize)> = patterns
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| segments.iter().map(move |&s| (pi, s)))
+        .collect();
+    // Per (pattern, segment): the segment's cache-block entropy subtotal and
+    // maximum under that pattern. One whole-row walk per item, so the shared
+    // offset grid is fetched once per item, not once per cache block.
+    let per_item: Vec<(f64, f64)> = ordered_parallel_map(&items, threads, |&(pi, s)| {
+        let prober = model.prober(Segment::new(s), patterns[pi], cfg.conditions);
+        let mut sum = 0.0;
+        let mut max = 0.0f64;
+        for (block_sum, count) in prober.cache_block_entropy_sums(cfg.bitline_stride) {
+            let e = block_sum * CACHE_BLOCK_BITS as f64 / count.max(1) as f64;
+            sum += e;
+            max = max.max(e);
+        }
+        (sum, max)
+    });
     patterns
         .iter()
-        .map(|&pattern| {
-            let mut sum = 0.0;
-            let mut count = 0usize;
-            let mut max = 0.0f64;
-            let mut s = 0;
-            while s < segments {
-                for cb in 0..blocks {
-                    let e = cache_block_entropy_strided(model, Segment::new(s), cb, pattern, cfg);
-                    sum += e;
-                    count += 1;
-                    max = max.max(e);
-                }
-                s += cfg.segment_stride;
-            }
+        .enumerate()
+        .map(|(pi, &pattern)| {
+            let rows = &per_item[pi * segments.len()..(pi + 1) * segments.len()];
+            let sum: f64 = rows.iter().map(|(s, _)| s).sum();
+            let max = rows.iter().fold(0.0f64, |m, &(_, x)| m.max(x));
+            let count = (segments.len() * blocks).max(1);
             PatternStats {
                 pattern,
-                avg_cache_block_entropy: sum / count.max(1) as f64,
+                avg_cache_block_entropy: sum / count as f64,
                 max_cache_block_entropy: max,
             }
         })
         .collect()
 }
 
-fn cache_block_entropy_strided(
-    model: &QuacAnalogModel,
-    segment: Segment,
-    cache_block: usize,
-    pattern: DataPattern,
-    cfg: &CharacterizationConfig,
-) -> f64 {
-    let start = cache_block * CACHE_BLOCK_BITS;
-    let mut sum = 0.0;
-    let mut count = 0usize;
-    let mut b = start;
-    while b < start + CACHE_BLOCK_BITS {
-        sum += model.bitline_entropy(segment, b, pattern, cfg.conditions);
-        count += 1;
-        b += cfg.bitline_stride;
-    }
-    sum * CACHE_BLOCK_BITS as f64 / count.max(1) as f64
-}
-
 /// Builds the per-segment entropy map (Figure 9) and selects the
-/// highest-entropy segment, then profiles its cache blocks (Figure 10).
+/// highest-entropy segment, then profiles its cache blocks (Figure 10),
+/// sharding the segment sweep across [`worker_threads`] scoped workers.
 pub fn characterize_module(
     model: &QuacAnalogModel,
     pattern: DataPattern,
     cfg: &CharacterizationConfig,
 ) -> ModuleCharacterization {
-    let segments = model.geometry().segments_per_bank();
-    let mut segment_entropy = Vec::new();
+    characterize_module_with_threads(model, pattern, cfg, worker_threads())
+}
+
+/// Single-threaded reference implementation of [`characterize_module`]; the
+/// parallel path is property-tested to match it exactly.
+pub fn characterize_module_serial(
+    model: &QuacAnalogModel,
+    pattern: DataPattern,
+    cfg: &CharacterizationConfig,
+) -> ModuleCharacterization {
+    characterize_module_with_threads(model, pattern, cfg, 1)
+}
+
+/// [`characterize_module`] with an explicit worker count. Each segment's
+/// entropy is computed independently and merged in segment order, so the
+/// returned [`ModuleCharacterization`] is bit-identical for any `threads`.
+pub fn characterize_module_with_threads(
+    model: &QuacAnalogModel,
+    pattern: DataPattern,
+    cfg: &CharacterizationConfig,
+    threads: usize,
+) -> ModuleCharacterization {
+    let segments = sampled_segments(model.geometry().segments_per_bank(), cfg.segment_stride);
+    let entropies = ordered_parallel_map(&segments, threads, |&s| {
+        model.segment_entropy(Segment::new(s), pattern, cfg.conditions, cfg.bitline_stride)
+    });
+    let segment_entropy: Vec<(usize, f64)> =
+        segments.iter().copied().zip(entropies.iter().copied()).collect();
     let mut best = (Segment::new(0), f64::MIN);
-    let mut s = 0;
-    while s < segments {
-        let seg = Segment::new(s);
-        let e = model.segment_entropy(seg, pattern, cfg.conditions, cfg.bitline_stride);
-        segment_entropy.push((s, e));
+    for &(s, e) in &segment_entropy {
         if e > best.1 {
-            best = (seg, e);
+            best = (Segment::new(s), e);
         }
-        s += cfg.segment_stride;
     }
-    // Profile the best segment's cache blocks exactly (it is only 128 blocks).
-    let blocks = model.geometry().cache_blocks_per_row();
-    let best_segment_cache_blocks: Vec<f64> = (0..blocks)
-        .map(|cb| model.cache_block_entropy(best.0, cb, pattern, cfg.conditions))
-        .collect();
+    // Profile the best segment's cache blocks exactly (it is only 128 blocks,
+    // and the shared offset grid makes the stride-1 walk cheap).
+    let best_segment_cache_blocks: Vec<f64> =
+        model.cache_block_entropies(best.0, pattern, cfg.conditions);
     let best_entropy: f64 = best_segment_cache_blocks.iter().sum();
     ModuleCharacterization {
         pattern,
@@ -204,7 +292,7 @@ pub fn characterize_module(
 
 /// Per-chip segment entropy at a given temperature (the Figure 14 study).
 /// Returns the per-chip maximum and average segment entropy over the sampled
-/// segments.
+/// segments, sharded like the other sweeps.
 pub fn chip_temperature_study(
     model: &QuacAnalogModel,
     chip: usize,
@@ -212,20 +300,18 @@ pub fn chip_temperature_study(
     temperature_c: f64,
     cfg: &CharacterizationConfig,
 ) -> (f64, f64) {
-    let segments = model.geometry().segments_per_bank();
+    let segments = sampled_segments(model.geometry().segments_per_bank(), cfg.segment_stride);
     let conditions = OperatingConditions::at_temperature(temperature_c);
+    let entropies = ordered_parallel_map(&segments, worker_threads(), |&s| {
+        model.chip_segment_entropy(Segment::new(s), chip, pattern, conditions, cfg.bitline_stride)
+    });
     let mut max = 0.0f64;
     let mut sum = 0.0;
-    let mut count = 0usize;
-    let mut s = 0;
-    while s < segments {
-        let e = model.chip_segment_entropy(Segment::new(s), chip, pattern, conditions, cfg.bitline_stride);
+    for &e in &entropies {
         max = max.max(e);
         sum += e;
-        count += 1;
-        s += cfg.segment_stride;
     }
-    (max, sum / count.max(1) as f64)
+    (max, sum / entropies.len().max(1) as f64)
 }
 
 #[cfg(test)]
@@ -304,6 +390,56 @@ mod tests {
             "M1 avg segment entropy {avg:.1} vs Table 3 {target}"
         );
         assert!(ch.sha_input_blocks() >= 4, "SIB {}", ch.sha_input_blocks());
+    }
+
+    #[test]
+    fn parallel_characterisation_is_bit_identical_to_serial() {
+        let model = tiny_model();
+        let cfg = tiny_cfg();
+        let serial = characterize_module_serial(&model, DataPattern::best_average(), &cfg);
+        for threads in [2, 3, 5, 16] {
+            let parallel = characterize_module_with_threads(
+                &model,
+                DataPattern::best_average(),
+                &cfg,
+                threads,
+            );
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_pattern_sweep_is_bit_identical_to_serial() {
+        let model = tiny_model();
+        let cfg = tiny_cfg();
+        let patterns = DataPattern::figure8_patterns();
+        let serial = pattern_sweep_serial(&model, &patterns, &cfg);
+        for threads in [2, 4, 7] {
+            let parallel = pattern_sweep_with_threads(&model, &patterns, &cfg, threads);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_parallel_equals_serial_for_any_module_and_config(
+            seed in proptest::prelude::any::<u64>(),
+            threads in 1usize..12,
+            segment_stride in 1usize..8,
+            bitline_stride in 1usize..8,
+        ) {
+            let geom = DramGeometry::tiny_test();
+            let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, seed));
+            let cfg = CharacterizationConfig {
+                segment_stride,
+                bitline_stride,
+                conditions: OperatingConditions::nominal(),
+            };
+            let serial = characterize_module_serial(&model, DataPattern::best_average(), &cfg);
+            let parallel = characterize_module_with_threads(
+                &model, DataPattern::best_average(), &cfg, threads);
+            proptest::prop_assert_eq!(parallel, serial);
+        }
     }
 
     #[test]

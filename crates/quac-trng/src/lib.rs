@@ -8,7 +8,11 @@
 //!
 //! * [`characterize`] — the one-time characterisation step (Section 6):
 //!   data-pattern sweeps, per-segment and per-cache-block entropy maps, and
-//!   selection of the highest-entropy segment and its SHA-256 input blocks.
+//!   selection of the highest-entropy segment and its SHA-256 input blocks,
+//!   sharded across scoped worker threads.
+//! * [`cache`] — a persistent, exactly-round-tripping store for
+//!   characterisations, so figure binaries re-running the same module and
+//!   configuration load instead of re-sweeping.
 //! * [`pipeline`] — the runtime generator (Section 5.2): initialise the
 //!   reserved segment with in-DRAM copies, QUAC it, read the sense
 //!   amplifiers, split them into 256-bit-entropy blocks, and post-process
@@ -32,11 +36,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod characterize;
 pub mod integration;
 pub mod pipeline;
 pub mod throughput;
 
+pub use cache::CharacterizationCache;
 pub use characterize::{CharacterizationConfig, ModuleCharacterization, PatternStats};
 pub use pipeline::QuacTrng;
 pub use throughput::{ConfigurationThroughput, ThroughputModel};

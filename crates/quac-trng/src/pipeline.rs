@@ -7,27 +7,41 @@
 //! each block with SHA-256 to emit 256 random bits.
 
 use crate::characterize::{characterize_module, CharacterizationConfig, ModuleCharacterization};
-use qt_crypto::{Sha256, VonNeumannCorrector};
-use qt_dram_analog::{ModuleProfile, OperatingConditions, QuacAnalogModel};
+use qt_crypto::{Sha256, Sha256Digest, VonNeumannCorrector};
+use qt_dram_analog::{
+    BitThreshold, ModuleProfile, OperatingConditions, PackedSampler, QuacAnalogModel,
+};
 use qt_dram_core::{BitVec, DataPattern, CACHE_BLOCK_BITS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::VecDeque;
 
 /// A ready-to-run QUAC-TRNG instance bound to one module.
 ///
 /// The generator models the *memory-controller view* of the mechanism: it
-/// holds the chosen segment's per-bitline one-probabilities (the physics),
-/// draws fresh thermal noise per QUAC iteration, and post-processes exactly
-/// as the hardware would.
+/// holds the chosen segment's per-bitline one-probabilities (the physics)
+/// pre-quantised into a word-packed threshold sampler, draws fresh thermal
+/// noise per QUAC iteration, and post-processes exactly as the hardware
+/// would. The steady-state loop reuses its row buffer, block-byte buffer, and
+/// digest buffer, so sustained generation performs no per-iteration heap
+/// allocation.
 #[derive(Debug, Clone)]
 pub struct QuacTrng {
     model: QuacAnalogModel,
     characterization: ModuleCharacterization,
     probabilities: Vec<f64>,
+    sampler: PackedSampler,
     block_ranges: Vec<(usize, usize)>,
     rng: StdRng,
-    /// Buffered random bits awaiting delivery (Section 9's output buffer).
-    buffer: Vec<u8>,
+    /// Buffered random bytes awaiting delivery (Section 9's output buffer).
+    /// A deque: delivery pops from the front without shifting the tail.
+    buffer: VecDeque<u8>,
+    /// Reused row buffer holding the latest QUAC outcome.
+    raw: BitVec,
+    /// Reused packed-byte buffer for one SHA-256 input block.
+    block_bytes: Vec<u8>,
+    /// Reused per-iteration digest buffer for `generate_bytes`.
+    digests: Vec<Sha256Digest>,
     iterations: u64,
 }
 
@@ -63,13 +77,19 @@ impl QuacTrng {
             characterization.conditions,
         );
         let block_ranges = characterization.entropy_block_ranges();
+        let sampler = PackedSampler::new(&probabilities);
+        let raw = BitVec::zeros(probabilities.len());
         QuacTrng {
             model,
             characterization,
             probabilities,
+            sampler,
             block_ranges,
             rng: StdRng::seed_from_u64(noise_seed),
-            buffer: Vec::new(),
+            buffer: VecDeque::new(),
+            raw,
+            block_bytes: Vec::new(),
+            digests: Vec::new(),
             iterations: 0,
         }
     }
@@ -89,41 +109,63 @@ impl QuacTrng {
         self.block_ranges.len().max(1)
     }
 
+    /// Advances the generator by one QUAC operation, refreshing the reused
+    /// row buffer through the word-packed sampler.
+    fn advance_raw(&mut self) {
+        self.iterations += 1;
+        self.sampler.sample_into(&mut self.raw, &mut self.rng);
+    }
+
     /// Performs one QUAC iteration and returns the raw sense-amplifier
     /// contents (before post-processing).
     pub fn raw_iteration(&mut self) -> BitVec {
-        self.iterations += 1;
-        QuacAnalogModel::sample_from_probabilities(&self.probabilities, &mut self.rng)
+        self.advance_raw();
+        self.raw.clone()
+    }
+
+    /// Performs one QUAC iteration and post-processes each 256-bit-entropy
+    /// block with SHA-256 into `out` (cleared first) — the allocation-free
+    /// core of [`QuacTrng::iteration`]: packed words flow from the sampler
+    /// through the byte-range extractor into the streaming hasher.
+    pub fn iteration_into(&mut self, out: &mut Vec<Sha256Digest>) {
+        self.advance_raw();
+        out.clear();
+        if self.block_ranges.is_empty() {
+            // Degenerate (low-entropy) module: hash the whole row buffer.
+            self.raw.extract_bytes_into(0, self.raw.len(), &mut self.block_bytes);
+            out.push(Sha256::digest(&self.block_bytes));
+            return;
+        }
+        for &(start_block, end_block) in &self.block_ranges {
+            self.raw.extract_bytes_into(
+                start_block * CACHE_BLOCK_BITS,
+                end_block * CACHE_BLOCK_BITS,
+                &mut self.block_bytes,
+            );
+            out.push(Sha256::digest(&self.block_bytes));
+        }
     }
 
     /// Performs one QUAC iteration and post-processes each 256-bit-entropy
     /// block with SHA-256, returning `numbers_per_iteration()` random
     /// 256-bit numbers (Figure 6, steps 1–4).
-    pub fn iteration(&mut self) -> Vec<[u8; 32]> {
-        let raw = self.raw_iteration();
-        let mut out = Vec::with_capacity(self.block_ranges.len());
-        if self.block_ranges.is_empty() {
-            // Degenerate (low-entropy) module: hash the whole row buffer.
-            out.push(Sha256::digest(&raw.to_bytes()));
-            return out;
-        }
-        for &(start_block, end_block) in &self.block_ranges {
-            let bits = raw.slice(start_block * CACHE_BLOCK_BITS, end_block * CACHE_BLOCK_BITS);
-            out.push(Sha256::digest(&bits.to_bytes()));
-        }
+    pub fn iteration(&mut self) -> Vec<Sha256Digest> {
+        let mut out = Vec::with_capacity(self.block_ranges.len().max(1));
+        self.iteration_into(&mut out);
         out
     }
 
     /// Generates `count` bytes of random output, buffering any excess.
     pub fn generate_bytes(&mut self, count: usize) -> Vec<u8> {
+        let mut digests = std::mem::take(&mut self.digests);
         while self.buffer.len() < count {
-            for digest in self.iteration() {
-                self.buffer.extend_from_slice(&digest);
+            self.iteration_into(&mut digests);
+            for digest in &digests {
+                self.buffer.extend(digest.iter().copied());
             }
         }
-        let out = self.buffer[..count].to_vec();
-        self.buffer.drain(..count);
-        out
+        self.digests = digests;
+        self.buffer.drain(..count).collect()
     }
 
     /// Generates a bitstream of `bits` random bits (SHA-256 post-processed),
@@ -146,11 +188,11 @@ impl QuacTrng {
             .min_by(|a, b| (a.1 - 0.5).abs().partial_cmp(&(b.1 - 0.5).abs()).unwrap())
             .map(|(i, _)| i)
             .unwrap_or(0);
-        let p = self.probabilities[best];
-        let raw = BitVec::from_bits((0..iterations).map(|_| {
-            use rand::Rng;
-            self.rng.gen::<f64>() < p
-        }));
+        // One quantised threshold, one RNG word per raw sample — the
+        // single-bitline equivalent of the packed row sampler.
+        let threshold = BitThreshold::quantize(self.probabilities[best]);
+        let rng = &mut self.rng;
+        let raw = BitVec::from_bits((0..iterations).map(|_| threshold.sample(rng)));
         self.iterations += iterations as u64;
         VonNeumannCorrector::correct(&raw)
     }
@@ -177,6 +219,7 @@ impl QuacTrng {
         self.characterization.conditions = cfg.conditions;
         self.block_ranges = self.characterization.entropy_block_ranges();
         self.probabilities = self.model.bitline_probabilities(best, self.characterization.pattern, conditions);
+        self.sampler = PackedSampler::new(&self.probabilities);
     }
 }
 
@@ -222,6 +265,41 @@ mod tests {
         let mut a = QuacTrng::from_model(model.clone(), cfg, 5);
         let mut b = QuacTrng::from_model(model, cfg, 5);
         assert_eq!(a.generate_bytes(64), b.generate_bytes(64));
+    }
+
+    #[test]
+    fn chunked_reads_equal_one_bulk_read() {
+        // The deque-backed output buffer must deliver the same stream no
+        // matter how reads are sliced (and without O(n²) tail shifting).
+        let geom = DramGeometry::tiny_test();
+        let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
+        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let mut chunked = QuacTrng::from_model(model.clone(), cfg, 13);
+        let mut bulk = QuacTrng::from_model(model, cfg, 13);
+        let mut stream = Vec::new();
+        for size in [1, 7, 32, 100, 3, 257, 64] {
+            stream.extend(chunked.generate_bytes(size));
+        }
+        assert_eq!(stream, bulk.generate_bytes(stream.len()));
+    }
+
+    #[test]
+    fn packed_iteration_matches_scalar_reference_sampling() {
+        // The pipeline's packed sampler must produce exactly the stream the
+        // scalar reference path defines for the same seed.
+        let geom = DramGeometry::tiny_test();
+        let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 21));
+        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let mut t = QuacTrng::from_model(model.clone(), cfg, 99);
+        let ch = t.characterization().clone();
+        let probs = model.bitline_probabilities(ch.best_segment, ch.pattern, ch.conditions);
+        let mut reference_rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..5 {
+            let raw = t.raw_iteration();
+            let reference =
+                QuacAnalogModel::sample_from_probabilities(&probs, &mut reference_rng);
+            assert_eq!(raw, reference);
+        }
     }
 
     #[test]

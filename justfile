@@ -24,6 +24,11 @@ fmt-check:
 bench:
     cargo bench
 
+# Measure the benches and refresh the machine-readable perf trajectory
+# (BENCH_RESULTS.json at the repo root; baselines are carried forward).
+bench-json:
+    BENCH_JSON="$(pwd)/BENCH_RESULTS.json" cargo bench -p qt_bench
+
 # Reproduce every paper figure/table (sampled resolution).
 figures:
     for bin in fig08_data_patterns fig09_segment_entropy fig10_cache_blocks \

@@ -1,25 +1,50 @@
 //! Offline stand-in for the `criterion` benchmarking crate.
 //!
 //! Supports the subset of the criterion API the workspace's benches use:
-//! [`Criterion::bench_function`], [`Bencher::iter`], `sample_size`, and the
+//! [`Criterion::bench_function`], [`Bencher::iter`], `sample_size`, a
+//! [`Criterion::throughput_bits`] hint for Gb/s derivation, and the
 //! [`criterion_group!`]/[`criterion_main!`] macros (both the struct-like and
 //! positional forms). Like the real criterion, when the harness is invoked
 //! by `cargo test` (no `--bench` flag on the command line) every benchmark
 //! body runs exactly once as a smoke test; under `cargo bench` it measures
 //! wall-clock time over `sample_size` samples and prints a short report.
 //!
+//! ## Machine-readable results
+//!
+//! When the `BENCH_JSON` environment variable names a file and the harness
+//! runs in measuring mode, [`write_json_report`] (invoked automatically by
+//! `criterion_main!`) writes every benchmark's best time — and, where a
+//! throughput hint was given, the derived Gb/s — as JSON. If the file
+//! already exists, each benchmark's *baseline* (its `baseline_ns_per_iter`,
+//! or failing that its previous `ns_per_iter`) is carried forward and a
+//! `speedup` factor against that baseline is recorded, so the file tracks
+//! the performance trajectory across commits.
+//!
 //! No statistics, plots, or baselines — swap the `[workspace.dependencies]`
 //! entry for crates.io criterion to get those without changing bench code.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One measured benchmark, queued for the JSON report.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    name: String,
+    ns_per_iter: f64,
+    samples: usize,
+    bits_per_iter: Option<u64>,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
 /// The benchmark harness: collects named benchmark functions and runs them.
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
     measure: bool,
+    pending_bits: Option<u64>,
 }
 
 impl Default for Criterion {
@@ -28,7 +53,7 @@ impl Default for Criterion {
         // harness binary; `cargo test` does not, and benches become smoke
         // tests that run each body once.
         let measure = std::env::args().any(|a| a == "--bench");
-        Criterion { sample_size: 100, measure }
+        Criterion { sample_size: 100, measure, pending_bits: None }
     }
 }
 
@@ -41,20 +66,38 @@ impl Criterion {
         self
     }
 
+    /// Declares how many bits one iteration of the *next* benchmark
+    /// processes, so the JSON report can derive Gb/s (the stand-in for
+    /// criterion's `Throughput`).
+    pub fn throughput_bits(&mut self, bits: u64) -> &mut Self {
+        self.pending_bits = Some(bits);
+        self
+    }
+
     /// Runs (or smoke-tests) one benchmark and prints its timing.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let samples = if self.measure { self.sample_size } else { 1 };
+        let bits = self.pending_bits.take();
         let mut bencher = Bencher { samples, best: Duration::MAX, iters_done: 0 };
         f(&mut bencher);
         if self.measure {
-            println!(
-                "{id:<40} best {:>12.1} ns/iter ({} samples)",
-                bencher.best.as_nanos() as f64,
-                samples
-            );
+            let ns = bencher.best.as_nanos() as f64;
+            match bits {
+                Some(b) => println!(
+                    "{id:<40} best {ns:>12.1} ns/iter ({samples} samples, {:.3} Gb/s)",
+                    b as f64 / ns
+                ),
+                None => println!("{id:<40} best {ns:>12.1} ns/iter ({samples} samples)"),
+            }
+            RESULTS.lock().expect("bench registry poisoned").push(BenchRecord {
+                name: id.to_string(),
+                ns_per_iter: ns,
+                samples,
+                bits_per_iter: bits,
+            });
         } else {
             println!("{id:<40} ok (smoke test, 1 iteration)");
         }
@@ -84,6 +127,76 @@ impl Bencher {
             self.best = self.best.min(elapsed);
             self.iters_done += 1;
         }
+    }
+}
+
+/// Extracts `"key":value` (a bare JSON number) from a result line.
+fn json_number(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts `"key":"value"` (a JSON string, no escapes) from a result line.
+fn json_string(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Writes the measured results as JSON to the `BENCH_JSON` path (no-op when
+/// the variable is unset or nothing was measured). Carries each benchmark's
+/// baseline forward from an existing report at the same path.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let results = RESULTS.lock().expect("bench registry poisoned");
+    if results.is_empty() {
+        return;
+    }
+    // Previous report → name ↦ baseline ns (explicit baseline wins, else the
+    // previous current value becomes the baseline).
+    let mut baselines: Vec<(String, f64)> = Vec::new();
+    if let Ok(old) = std::fs::read_to_string(&path) {
+        for line in old.lines() {
+            if let Some(name) = json_string(line, "name") {
+                let baseline = json_number(line, "baseline_ns_per_iter")
+                    .or_else(|| json_number(line, "ns_per_iter"));
+                if let Some(b) = baseline {
+                    baselines.push((name, b));
+                }
+            }
+        }
+    }
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"unit\": \"ns/iter (best of N samples)\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let mut fields = format!(
+            "{{\"name\":\"{}\",\"ns_per_iter\":{:.1},\"samples\":{}",
+            r.name, r.ns_per_iter, r.samples
+        );
+        if let Some(bits) = r.bits_per_iter {
+            fields.push_str(&format!(
+                ",\"bits_per_iter\":{bits},\"gbps\":{:.4}",
+                bits as f64 / r.ns_per_iter
+            ));
+        }
+        if let Some((_, baseline)) = baselines.iter().find(|(n, _)| *n == r.name) {
+            fields.push_str(&format!(
+                ",\"baseline_ns_per_iter\":{baseline:.1},\"speedup\":{:.2}",
+                baseline / r.ns_per_iter
+            ));
+        }
+        fields.push('}');
+        out.push_str("    ");
+        out.push_str(&fields);
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {e}");
     }
 }
 
@@ -117,12 +230,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates the `main` function that runs every listed group.
+/// Generates the `main` function that runs every listed group, then emits
+/// the machine-readable report when `BENCH_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
@@ -133,7 +248,7 @@ mod tests {
 
     #[test]
     fn smoke_mode_runs_body_once_per_sample_request() {
-        let mut criterion = Criterion { sample_size: 5, measure: false };
+        let mut criterion = Criterion { sample_size: 5, measure: false, pending_bits: None };
         let mut runs = 0;
         criterion.bench_function("t", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 1);
@@ -141,9 +256,18 @@ mod tests {
 
     #[test]
     fn measuring_mode_honours_sample_size() {
-        let mut criterion = Criterion { sample_size: 4, measure: true };
+        let mut criterion = Criterion { sample_size: 4, measure: true, pending_bits: None };
         let mut runs = 0;
-        criterion.bench_function("t", |b| b.iter(|| runs += 1));
+        criterion.bench_function("vendored-criterion-self-test", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn json_field_extraction() {
+        let line = r#"    {"name":"sha","ns_per_iter":123.4,"samples":10,"baseline_ns_per_iter":456.0,"speedup":3.70},"#;
+        assert_eq!(json_string(line, "name").as_deref(), Some("sha"));
+        assert_eq!(json_number(line, "ns_per_iter"), Some(123.4));
+        assert_eq!(json_number(line, "baseline_ns_per_iter"), Some(456.0));
+        assert_eq!(json_number(line, "missing"), None);
     }
 }
