@@ -38,8 +38,13 @@ fn bench_sha256(c: &mut Criterion) {
 fn bench_vnc(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let bits = BitVec::from_bits((0..65_536).map(|_| rng.gen::<f64>() < 0.8));
+    // The word-wise production path vs. the pair-at-a-time reference it is
+    // property-tested against.
     c.throughput_bits(65_536).bench_function("von_neumann_64Kb", |b| {
         b.iter(|| VonNeumannCorrector::correct(std::hint::black_box(&bits)))
+    });
+    c.throughput_bits(65_536).bench_function("von_neumann_64Kb_pairwise_reference", |b| {
+        b.iter(|| VonNeumannCorrector::correct_pairwise(std::hint::black_box(&bits)))
     });
 }
 
@@ -121,6 +126,44 @@ fn bench_characterisation(c: &mut Criterion) {
     });
 }
 
+fn bench_rng_service(c: &mut Criterion) {
+    // The acceptance bench of the service layer: 4 concurrent clients, 2
+    // channel shards, aggregate delivered Gb/s. Each iteration pushes
+    // 4 × 16 KiB through the full submit → schedule → batch → generate →
+    // deliver path.
+    use qt_rng_service::{ClientId, Priority, RngService, RngServiceConfig};
+    const CLIENTS: u32 = 4;
+    const SHARDS: usize = 2;
+    const BYTES_PER_CLIENT: usize = 16 << 10;
+    let geom = DramGeometry::tiny_test();
+    let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 3));
+    let ch = quac_trng::characterize::characterize_module(
+        &model,
+        DataPattern::best_average(),
+        &tiny_cfg(),
+    );
+    let service = RngService::start(
+        QuacTrng::shards(&model, &ch, 17, SHARDS),
+        RngServiceConfig::default(),
+    );
+    let total_bits = (CLIENTS as u64) * (BYTES_PER_CLIENT as u64) * 8;
+    c.throughput_bits(total_bits).bench_function("rng_service_4clients_2shards_64KiB", |b| {
+        b.iter(|| {
+            let tickets: Vec<_> = (0..CLIENTS)
+                .map(|client| {
+                    service
+                        .submit(ClientId(client), Priority::Normal, BYTES_PER_CLIENT)
+                        .expect("bench submission")
+                })
+                .collect();
+            for t in tickets {
+                std::hint::black_box(t.wait().expect("bench completion"));
+            }
+        })
+    });
+    service.shutdown();
+}
+
 fn bench_nist_suite(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let bits = BitVec::from_bits((0..50_000).map(|_| rng.gen::<bool>()));
@@ -139,7 +182,8 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_sha256, bench_vnc, bench_packed_sampling, bench_bitvec_extract,
-              bench_quac_iteration, bench_generate_bytes, bench_segment_entropy,
-              bench_characterisation, bench_nist_suite, bench_memory_system
+              bench_quac_iteration, bench_generate_bytes, bench_rng_service,
+              bench_segment_entropy, bench_characterisation, bench_nist_suite,
+              bench_memory_system
 }
 criterion_main!(benches);

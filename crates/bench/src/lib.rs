@@ -21,7 +21,7 @@ use qt_nist_sts::{run_all_tests, Significance};
 use qt_workloads::{TraceGenerator, SPEC2006_WORKLOADS};
 use quac_trng::cache::CharacterizationCache;
 use quac_trng::characterize::{
-    characterize_module, chip_temperature_study, pattern_sweep, CharacterizationConfig,
+    chip_temperature_study, pattern_sweep, CharacterizationConfig,
     ModuleCharacterization,
 };
 use quac_trng::integration::integration_costs;
@@ -59,12 +59,12 @@ fn characterize_cached(
     cfg: &CharacterizationConfig,
 ) -> ModuleCharacterization {
     let model = module.analog_model();
-    match CharacterizationCache::from_env() {
-        Some(cache) => {
-            cache.load_or_characterize(module.name, &model, DataPattern::best_average(), cfg)
-        }
-        None => characterize_module(&model, DataPattern::best_average(), cfg),
-    }
+    CharacterizationCache::load_or_characterize_env(
+        module.name,
+        &model,
+        DataPattern::best_average(),
+        cfg,
+    )
 }
 
 /// Figure 8: average and maximum cache-block entropy per data pattern,

@@ -15,7 +15,56 @@ pub struct VonNeumannCorrector;
 impl VonNeumannCorrector {
     /// Applies the corrector to a bitstream and returns the (shorter)
     /// de-biased stream.
+    ///
+    /// Works word-at-a-time on the `BitVec`'s packed `u64` storage: each word
+    /// holds 32 non-overlapping pairs, the surviving pairs are found with one
+    /// XOR (`first ^ second` at the even bit positions), and only survivors
+    /// are visited — cost is proportional to the *output* length plus one
+    /// pass over the words, not to the input length. Bit-identical to
+    /// [`VonNeumannCorrector::correct_pairwise`] (property-tested).
     pub fn correct(bits: &BitVec) -> BitVec {
+        /// Mask of the even bit positions (each pair's first bit).
+        const EVEN: u64 = 0x5555_5555_5555_5555;
+        let pairs = bits.len() / 2;
+        let mut out_words: Vec<u64> = Vec::new();
+        let mut acc = 0u64;
+        let mut acc_len = 0u32;
+        let mut out_len = 0usize;
+        for (k, &word) in bits.words().iter().enumerate() {
+            // Pairs never straddle words (64 is even); the final word may
+            // hold fewer than 32 complete pairs.
+            let pairs_here = pairs.saturating_sub(32 * k).min(32);
+            if pairs_here == 0 {
+                break;
+            }
+            let pair_mask =
+                if pairs_here == 32 { u64::MAX } else { (1u64 << (2 * pairs_here)) - 1 };
+            // Surviving pairs: first != second. The emitted bit is the pair's
+            // second bit (`01` -> 1, `10` -> 0).
+            let mut survivors = ((word ^ (word >> 1)) & EVEN) & pair_mask;
+            while survivors != 0 {
+                let i = survivors.trailing_zeros();
+                acc |= ((word >> (i + 1)) & 1) << acc_len;
+                acc_len += 1;
+                out_len += 1;
+                if acc_len == 64 {
+                    out_words.push(acc);
+                    acc = 0;
+                    acc_len = 0;
+                }
+                survivors &= survivors - 1;
+            }
+        }
+        if acc_len > 0 {
+            out_words.push(acc);
+        }
+        BitVec::from_words(out_words, out_len)
+    }
+
+    /// The pair-at-a-time reference implementation: examines each
+    /// non-overlapping pair with two single-bit reads. [`Self::correct`] is
+    /// property-tested bit-identical to this definition.
+    pub fn correct_pairwise(bits: &BitVec) -> BitVec {
         let mut out = BitVec::zeros(0);
         let mut i = 0;
         while i + 1 < bits.len() {
@@ -88,7 +137,35 @@ mod tests {
         assert!((measured - expected).abs() < 0.02, "yield {measured} vs {expected}");
     }
 
+    #[test]
+    fn word_wise_matches_pairwise_at_word_boundaries() {
+        // Lengths straddling the u64 word boundary and pair parity exercise
+        // the tail masking of the word-wise path.
+        let mut rng = StdRng::seed_from_u64(9);
+        for len in [0, 1, 2, 63, 64, 65, 126, 127, 128, 129, 191, 192, 1000] {
+            for bias in [0.05, 0.5, 0.95] {
+                let bits = BitVec::from_bits((0..len).map(|_| rng.gen::<f64>() < bias));
+                assert_eq!(
+                    VonNeumannCorrector::correct(&bits),
+                    VonNeumannCorrector::correct_pairwise(&bits),
+                    "len {len} bias {bias}"
+                );
+            }
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_word_wise_is_bit_identical_to_pairwise(
+            bits in proptest::collection::vec(any::<bool>(), 0..700),
+        ) {
+            let input = BitVec::from_bits(bits);
+            prop_assert_eq!(
+                VonNeumannCorrector::correct(&input),
+                VonNeumannCorrector::correct_pairwise(&input)
+            );
+        }
+
         #[test]
         fn prop_output_no_longer_than_half(bits in proptest::collection::vec(any::<bool>(), 0..500)) {
             let input = BitVec::from_bits(bits);

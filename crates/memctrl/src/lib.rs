@@ -18,4 +18,4 @@ pub mod schedule;
 pub mod system;
 
 pub use schedule::{InitMethod, IterationSchedule, QuacScheduleConfig};
-pub use system::{MemorySystem, MemorySystemConfig, UtilizationReport};
+pub use system::{IdleBudget, MemorySystem, MemorySystemConfig, UtilizationReport};

@@ -189,6 +189,66 @@ pub fn idle_injection_throughput_gbps(
     report.idle_fraction() * peak_trng_gbps * injection_efficiency.clamp(0.0, 1.0)
 }
 
+/// A rate budget for injecting QUAC-TRNG work into a channel's idle DRAM
+/// cycles (Section 7.3): the sustained random-byte rate the controller may
+/// draw without displacing application traffic. The RNG service's workers
+/// pace themselves against this budget; [`IdleBudget::unlimited`] disables
+/// pacing (a dedicated channel, or a micro-benchmark).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdleBudget {
+    /// Sustained random-number rate available to the TRNG, in Gb/s.
+    pub gbps: f64,
+}
+
+impl IdleBudget {
+    /// Budget measured from a channel's utilisation report under a co-running
+    /// workload, via the idle-injection model of Figure 12.
+    pub fn from_report(
+        report: &UtilizationReport,
+        peak_trng_gbps: f64,
+        injection_efficiency: f64,
+    ) -> Self {
+        IdleBudget {
+            gbps: idle_injection_throughput_gbps(report, peak_trng_gbps, injection_efficiency),
+        }
+    }
+
+    /// An explicit rate in Gb/s (clamped to be non-negative).
+    pub fn from_gbps(gbps: f64) -> Self {
+        IdleBudget { gbps: gbps.max(0.0) }
+    }
+
+    /// No pacing: the channel is dedicated to TRNG work.
+    pub fn unlimited() -> Self {
+        IdleBudget { gbps: f64::INFINITY }
+    }
+
+    /// Returns `true` if this budget never throttles.
+    pub fn is_unlimited(&self) -> bool {
+        self.gbps.is_infinite()
+    }
+
+    /// Bytes the budget admits over `duration`.
+    pub fn bytes_in(&self, duration: std::time::Duration) -> usize {
+        if self.is_unlimited() {
+            return usize::MAX;
+        }
+        (self.gbps * 1e9 / 8.0 * duration.as_secs_f64()) as usize
+    }
+
+    /// The wall-clock time the budget requires to emit `bytes` random bytes —
+    /// the pacing delay a worker owes after producing a batch. A zero-rate
+    /// budget saturates to ~1 hour per call rather than an infinite wait, so
+    /// a shutdown request can still interrupt the sleep.
+    pub fn time_for_bytes(&self, bytes: usize) -> std::time::Duration {
+        if self.is_unlimited() || bytes == 0 {
+            return std::time::Duration::ZERO;
+        }
+        let secs = (bytes as f64 * 8.0) / (self.gbps * 1e9);
+        std::time::Duration::from_secs_f64(secs.min(3600.0))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +310,43 @@ mod tests {
         assert!((tp - 0.6 * 3.44).abs() < 1e-9);
         let tp_eff = idle_injection_throughput_gbps(&r, 3.44, 0.9);
         assert!(tp_eff < tp);
+    }
+
+    #[test]
+    fn idle_budget_round_trips_bytes_and_time() {
+        let budget = IdleBudget::from_gbps(2.0);
+        let one_sec = std::time::Duration::from_secs(1);
+        // 2 Gb/s = 250 MB/s.
+        assert_eq!(budget.bytes_in(one_sec), 250_000_000);
+        let t = budget.time_for_bytes(250_000_000);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9, "{t:?}");
+        assert_eq!(budget.time_for_bytes(0), std::time::Duration::ZERO);
+
+        let unlimited = IdleBudget::unlimited();
+        assert!(unlimited.is_unlimited());
+        assert_eq!(unlimited.bytes_in(one_sec), usize::MAX);
+        assert_eq!(unlimited.time_for_bytes(1 << 30), std::time::Duration::ZERO);
+
+        // Zero-rate budgets stall, but with a bounded (interruptible) wait.
+        let stalled = IdleBudget::from_gbps(0.0);
+        assert_eq!(stalled.bytes_in(one_sec), 0);
+        assert_eq!(stalled.time_for_bytes(1).as_secs(), 3600);
+        // Negative rates are clamped rather than producing negative waits.
+        assert_eq!(IdleBudget::from_gbps(-1.0).gbps, 0.0);
+    }
+
+    #[test]
+    fn idle_budget_tracks_the_injection_model() {
+        let r = UtilizationReport {
+            total_ns: 1000.0,
+            data_bus_busy_ns: 400.0,
+            served_requests: 10,
+            row_hits: 5,
+            avg_latency_ns: 50.0,
+        };
+        let budget = IdleBudget::from_report(&r, 3.44, 0.95);
+        assert!((budget.gbps - idle_injection_throughput_gbps(&r, 3.44, 0.95)).abs() < 1e-12);
+        assert!(budget.gbps > 0.0 && !budget.is_unlimited());
     }
 
     #[test]

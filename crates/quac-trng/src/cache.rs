@@ -52,6 +52,23 @@ impl CharacterizationCache {
         &self.dir
     }
 
+    /// [`CharacterizationCache::load_or_characterize`] through the
+    /// environment-selected store ([`CharacterizationCache::from_env`]):
+    /// callers honouring `QUAC_CACHE_DIR` (the figure binaries, examples,
+    /// services) share this one fallback policy — a disabled store means a
+    /// fresh characterisation, nothing else changes.
+    pub fn load_or_characterize_env(
+        label: &str,
+        model: &QuacAnalogModel,
+        pattern: DataPattern,
+        cfg: &CharacterizationConfig,
+    ) -> ModuleCharacterization {
+        match Self::from_env() {
+            Some(cache) => cache.load_or_characterize(label, model, pattern, cfg),
+            None => characterize_module(model, pattern, cfg),
+        }
+    }
+
     /// Loads the characterisation for `(label, model, pattern, cfg)` if a
     /// valid entry exists, otherwise characterises the module (in parallel)
     /// and stores the result best-effort. `label` names the module (e.g.

@@ -94,6 +94,32 @@ impl QuacTrng {
         }
     }
 
+    /// Builds `count` independent per-channel generator shards that share one
+    /// characterisation (the paper's controller characterises a module once
+    /// and then drives every channel from the stored result, Section 8).
+    ///
+    /// Shard `i` draws its thermal noise from [`shard_seed`]`(base_seed, i)`,
+    /// so the set of per-shard streams is a pure function of `base_seed`:
+    /// a multi-threaded service built on these shards is reproducible against
+    /// single-threaded per-shard reference runs. Every shard owns its state
+    /// (`QuacTrng` is `Send`), so each can move onto its own worker thread.
+    pub fn shards(
+        model: &QuacAnalogModel,
+        characterization: &ModuleCharacterization,
+        base_seed: u64,
+        count: usize,
+    ) -> Vec<QuacTrng> {
+        (0..count)
+            .map(|i| {
+                Self::with_characterization(
+                    model.clone(),
+                    characterization.clone(),
+                    shard_seed(base_seed, i),
+                )
+            })
+            .collect()
+    }
+
     /// The characterisation backing this generator.
     pub fn characterization(&self) -> &ModuleCharacterization {
         &self.characterization
@@ -157,15 +183,49 @@ impl QuacTrng {
 
     /// Generates `count` bytes of random output, buffering any excess.
     pub fn generate_bytes(&mut self, count: usize) -> Vec<u8> {
+        let mut out = vec![0u8; count];
+        self.fill_bytes(&mut out);
+        out
+    }
+
+    /// Fills `out` with random bytes, drawing from the output buffer first
+    /// and running QUAC iterations for the remainder — the allocation-free
+    /// equivalent of [`QuacTrng::generate_bytes`] for callers that reuse one
+    /// delivery buffer (e.g. the sharded RNG service). The emitted stream is
+    /// identical no matter how reads are sliced across the two entry points.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
         let mut digests = std::mem::take(&mut self.digests);
-        while self.buffer.len() < count {
+        let mut filled = 0;
+        loop {
+            // Copy the buffered prefix as (at most) two slice memcpys — the
+            // deque's two halves — rather than byte-by-byte.
+            let take = self.buffer.len().min(out.len() - filled);
+            if take > 0 {
+                let (front, back) = self.buffer.as_slices();
+                let from_front = take.min(front.len());
+                out[filled..filled + from_front].copy_from_slice(&front[..from_front]);
+                if take > from_front {
+                    out[filled + from_front..filled + take]
+                        .copy_from_slice(&back[..take - from_front]);
+                }
+                self.buffer.drain(..take);
+                filled += take;
+            }
+            if filled == out.len() {
+                break;
+            }
             self.iteration_into(&mut digests);
             for digest in &digests {
                 self.buffer.extend(digest.iter().copied());
             }
         }
         self.digests = digests;
-        self.buffer.drain(..count).collect()
+    }
+
+    /// Number of random bytes already generated and awaiting delivery in the
+    /// output buffer (Section 9's controller-side buffer).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffer.len()
     }
 
     /// Generates a bitstream of `bits` random bits (SHA-256 post-processed),
@@ -221,6 +281,17 @@ impl QuacTrng {
         self.probabilities = self.model.bitline_probabilities(best, self.characterization.pattern, conditions);
         self.sampler = PackedSampler::new(&self.probabilities);
     }
+}
+
+/// The per-shard noise seed used by [`QuacTrng::shards`]: a SplitMix64-style
+/// finalizer over `(base_seed, shard)`, so shard streams are decorrelated
+/// even for adjacent base seeds yet fully determined by them.
+pub fn shard_seed(base_seed: u64, shard: usize) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -299,6 +370,74 @@ mod tests {
             let reference =
                 QuacAnalogModel::sample_from_probabilities(&probs, &mut reference_rng);
             assert_eq!(raw, reference);
+        }
+    }
+
+    #[test]
+    fn fill_bytes_and_generate_bytes_share_one_stream() {
+        // Interleaving the slice-filling and Vec-returning entry points must
+        // walk the same underlying stream as one bulk read.
+        let geom = DramGeometry::tiny_test();
+        let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
+        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let mut mixed = QuacTrng::from_model(model.clone(), cfg, 42);
+        let mut bulk = QuacTrng::from_model(model, cfg, 42);
+        let mut stream = Vec::new();
+        for (i, size) in [3usize, 64, 1, 200, 31, 128].into_iter().enumerate() {
+            if i % 2 == 0 {
+                let mut buf = vec![0u8; size];
+                mixed.fill_bytes(&mut buf);
+                stream.extend(buf);
+            } else {
+                stream.extend(mixed.generate_bytes(size));
+            }
+        }
+        assert_eq!(stream, bulk.generate_bytes(stream.len()));
+    }
+
+    #[test]
+    fn fill_bytes_empty_slice_is_a_no_op() {
+        let mut t = tiny_trng();
+        let before = t.iterations();
+        t.fill_bytes(&mut []);
+        assert_eq!(t.iterations(), before);
+        assert_eq!(t.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn shards_are_independent_deterministic_and_sendable() {
+        fn assert_send<T: Send>(_: &T) {}
+        let geom = DramGeometry::tiny_test();
+        let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
+        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let ch = characterize_module(&model, DataPattern::best_average(), &cfg);
+        let mut shards = QuacTrng::shards(&model, &ch, 7, 3);
+        assert_send(&shards[0]);
+        assert_eq!(shards.len(), 3);
+        // Distinct shards emit distinct streams; the same (base_seed, index)
+        // always reproduces the same stream.
+        let streams: Vec<Vec<u8>> =
+            shards.iter_mut().map(|s| s.generate_bytes(64)).collect();
+        assert_ne!(streams[0], streams[1]);
+        assert_ne!(streams[1], streams[2]);
+        let mut again = QuacTrng::shards(&model, &ch, 7, 3);
+        for (shard, stream) in again.iter_mut().zip(&streams) {
+            assert_eq!(&shard.generate_bytes(64), stream);
+        }
+        // A shard equals a directly-seeded generator with the derived seed.
+        let mut direct =
+            QuacTrng::with_characterization(model.clone(), ch.clone(), shard_seed(7, 1));
+        let mut shard1 = QuacTrng::shards(&model, &ch, 7, 2).pop().unwrap();
+        assert_eq!(direct.generate_bytes(96), shard1.generate_bytes(96));
+    }
+
+    #[test]
+    fn shard_seeds_do_not_collide_across_nearby_bases() {
+        let mut seen = std::collections::HashSet::new();
+        for base in 0..64u64 {
+            for shard in 0..16usize {
+                assert!(seen.insert(shard_seed(base, shard)), "collision at ({base}, {shard})");
+            }
         }
     }
 

@@ -1,0 +1,163 @@
+//! Failure-path and exactness tests of the characterisation store, driven
+//! purely through its public API: a cached load must equal a fresh
+//! `characterize_module` to the last `f64` bit, and *any* corrupt or
+//! truncated entry must silently fall back to recomputation.
+
+use quac_trng::cache::CharacterizationCache;
+use quac_trng::characterize::{characterize_module, CharacterizationConfig};
+use qt_dram_analog::{ModuleVariation, OperatingConditions, QuacAnalogModel};
+use qt_dram_core::{DataPattern, DramGeometry};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "quac-cache-integration-{tag}-{}-{unique}",
+        std::process::id()
+    ))
+}
+
+fn tiny_model(seed: u64) -> QuacAnalogModel {
+    let geom = DramGeometry::tiny_test();
+    QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, seed))
+}
+
+fn cfg() -> CharacterizationConfig {
+    CharacterizationConfig {
+        segment_stride: 2,
+        bitline_stride: 4,
+        conditions: OperatingConditions::nominal(),
+    }
+}
+
+/// Bit-for-bit equality of every `f64` in two characterisations — stricter
+/// than `==` (which would accept `-0.0 == 0.0` and reject NaN == NaN).
+fn assert_f64_exact(
+    a: &quac_trng::ModuleCharacterization,
+    b: &quac_trng::ModuleCharacterization,
+) {
+    assert_eq!(a.pattern, b.pattern);
+    assert_eq!(a.best_segment, b.best_segment);
+    assert_eq!(a.best_segment_entropy.to_bits(), b.best_segment_entropy.to_bits());
+    assert_eq!(a.conditions.temperature_c.to_bits(), b.conditions.temperature_c.to_bits());
+    assert_eq!(a.conditions.age_days.to_bits(), b.conditions.age_days.to_bits());
+    assert_eq!(a.segment_entropy.len(), b.segment_entropy.len());
+    for ((sa, ea), (sb, eb)) in a.segment_entropy.iter().zip(&b.segment_entropy) {
+        assert_eq!(sa, sb);
+        assert_eq!(ea.to_bits(), eb.to_bits(), "segment {sa} entropy differs in bits");
+    }
+    assert_eq!(a.best_segment_cache_blocks.len(), b.best_segment_cache_blocks.len());
+    for (i, (ea, eb)) in
+        a.best_segment_cache_blocks.iter().zip(&b.best_segment_cache_blocks).enumerate()
+    {
+        assert_eq!(ea.to_bits(), eb.to_bits(), "cache block {i} entropy differs in bits");
+    }
+}
+
+#[test]
+fn cached_load_equals_fresh_parallel_characterisation_f64_exactly() {
+    let dir = scratch_dir("exact");
+    let cache = CharacterizationCache::new(&dir);
+    let model = tiny_model(1234);
+    let pattern = DataPattern::best_average();
+
+    let stored = cache.load_or_characterize("Mexact", &model, pattern, &cfg());
+    let fresh = characterize_module(&model, pattern, &cfg());
+    assert_f64_exact(&stored, &fresh);
+
+    // The second call must hit the disk entry (remove the directory and a
+    // third call silently recomputes — proving the second really loaded).
+    let loaded = cache.load_or_characterize("Mexact", &model, pattern, &cfg());
+    assert_f64_exact(&loaded, &fresh);
+
+    let path = cache.entry_path("Mexact", &model, pattern, &cfg());
+    assert!(path.exists());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_entries_at_every_prefix_fall_back_to_recomputation() {
+    let dir = scratch_dir("truncate");
+    let cache = CharacterizationCache::new(&dir);
+    let model = tiny_model(9);
+    let pattern = DataPattern::best_average();
+    let expected = cache.load_or_characterize("Mtrunc", &model, pattern, &cfg());
+    let path = cache.entry_path("Mtrunc", &model, pattern, &cfg());
+    let full = fs::read(&path).expect("entry stored");
+
+    // Cut the stored file at a spread of byte lengths, from empty up to one
+    // byte short of complete: no prefix may ever produce a wrong
+    // characterisation or a panic. Every cut except `len - 1` loses data and
+    // must be rejected and rewritten; cutting only the final newline leaves
+    // a still-complete entry ("end" remains the last line), which may load.
+    let cuts: Vec<usize> =
+        (0..full.len()).step_by(full.len().div_ceil(40).max(1)).chain([full.len() - 1]).collect();
+    for cut in cuts {
+        fs::write(&path, &full[..cut]).unwrap();
+        let recovered = cache.load_or_characterize("Mtrunc", &model, pattern, &cfg());
+        assert_f64_exact(&recovered, &expected);
+        if cut < full.len() - 1 {
+            // The fallback also rewrites a valid entry.
+            let rewritten = fs::read(&path).expect("entry restored after truncation");
+            assert_eq!(rewritten, full, "cut at {cut} bytes left a stale entry behind");
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_field_values_fall_back_to_recomputation() {
+    let dir = scratch_dir("corrupt-fields");
+    let cache = CharacterizationCache::new(&dir);
+    let model = tiny_model(77);
+    let pattern = DataPattern::best_average();
+    let expected = cache.load_or_characterize("Mcorrupt", &model, pattern, &cfg());
+    let path = cache.entry_path("Mcorrupt", &model, pattern, &cfg());
+    let good = fs::read_to_string(&path).unwrap();
+
+    let corruptions: Vec<String> = vec![
+        // Wrong magic line.
+        good.replacen("quac-characterization v1", "quac-characterization v0", 1),
+        // Stored pattern disagrees with the requested one.
+        good.replacen(&format!("pattern {pattern}"), "pattern 0000", 1),
+        // Non-hex garbage where an f64 bit pattern belongs.
+        good.replacen("best_segment_entropy ", "best_segment_entropy zzzz-", 1),
+        // Conditions that do not match the requested configuration.
+        good.replacen("conditions ", "conditions 0000000000000000 ", 1),
+        // Claimed segment count larger than the lines that follow.
+        good.replacen("segments ", "segments 9", 1),
+        // Missing terminator.
+        good.replacen("end\n", "", 1),
+        // Binary noise.
+        "\u{0}\u{1}\u{2}garbage".to_string(),
+    ];
+    for (i, text) in corruptions.iter().enumerate() {
+        fs::write(&path, text).unwrap();
+        let recovered = cache.load_or_characterize("Mcorrupt", &model, pattern, &cfg());
+        assert_f64_exact(&recovered, &expected);
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            good,
+            "corruption #{i} was not replaced by a fresh entry"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unreadable_store_directory_still_characterises() {
+    // Pointing the store at a path that exists as a *file* makes every read
+    // and write fail; characterisation itself must still succeed.
+    let dir = scratch_dir("not-a-dir");
+    fs::write(&dir, b"occupied").unwrap();
+    let cache = CharacterizationCache::new(&dir);
+    let model = tiny_model(5);
+    let pattern = DataPattern::best_average();
+    let ch = cache.load_or_characterize("Mblocked", &model, pattern, &cfg());
+    let fresh = characterize_module(&model, pattern, &cfg());
+    assert_f64_exact(&ch, &fresh);
+    let _ = fs::remove_file(&dir);
+}

@@ -1,0 +1,97 @@
+//! # qt-rng-service
+//!
+//! A sharded, asynchronous random-number **service** in front of the
+//! QUAC-TRNG pipeline — the system layer of the paper's end-to-end story
+//! (Sections 3, 7.3 and 9): a memory controller answering random-number
+//! requests from many applications out of idle DRAM cycles. DR-STRaNGe
+//! (arXiv:2201.01385) shows that the system value of a DRAM TRNG hinges on
+//! exactly this layer — request scheduling, buffering, and fairness between
+//! RNG traffic and regular traffic — and D-RaNGe (arXiv:1808.04286) frames
+//! the same multi-client throughput question.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients ──▶ submit()/try_submit() ──▶ ┌────────────────────────────┐
+//!   (N apps)     │ backpressure:         │ per-shard ShardScheduler   │
+//!                │ park/reject when      │  · High ▷ Normal bands     │
+//!                │ in-flight bytes       │  · round-robin per client  │
+//!                │ exceed the budget     │  · fairness window (aging) │
+//!                ▼                       └─────────────┬──────────────┘
+//!            Ticket (mpsc)                             │ pop_batch(): coalesce
+//!                ▲                                     ▼
+//!                │               ┌──────────────────────────────────────┐
+//!                └── Completion ─┤ worker thread per shard (channel):   │
+//!                                │  QuacTrng::fill_bytes over the batch │
+//!                                │  → pace against IdleBudget           │
+//!                                │  → deliver → release budget          │
+//!                                └──────────────────────────────────────┘
+//! ```
+//!
+//! * **Sharding** — one [`QuacTrng`](quac_trng::pipeline::QuacTrng) per
+//!   DRAM channel (built with `QuacTrng::shards`), each owned by a worker
+//!   thread; requests are assigned to shards round-robin at submission.
+//! * **Batching** — a worker drains its queue up to
+//!   [`RngServiceConfig::max_batch_bytes`] per wakeup and generates the whole
+//!   batch with one buffer-reusing `fill_bytes` call, so small reads coalesce
+//!   into whole QUAC iterations instead of paying per-request overhead.
+//! * **Backpressure** — a service-wide in-flight byte budget
+//!   ([`RngServiceConfig::max_inflight_bytes`]): [`RngService::try_submit`]
+//!   rejects with [`SubmitError::Saturated`], [`RngService::submit`] parks the
+//!   caller until space frees.
+//! * **Scheduling** — per shard, two priority bands with round-robin between
+//!   clients inside a band and a bounded anti-starvation window
+//!   ([`RngServiceConfig::fairness_window`]): at most that many consecutive
+//!   high-priority dispatches while normal work waits (property-tested in
+//!   [`queue`]).
+//! * **Pacing** — an optional [`IdleBudget`](qt_memctrl::IdleBudget) from
+//!   `qt_memctrl` throttles each worker's *delivery* rate to the random-byte
+//!   rate the channel's idle cycles can sustain under co-running traffic
+//!   (Figure 12's injection model).
+//!
+//! ## Determinism contract
+//!
+//! Shard `i` seeded via `QuacTrng::shards(.., base_seed, ..)` emits one fixed
+//! byte stream. Every [`Completion`] carries `(shard, stream_offset)`, and a
+//! shard's completions — sorted by `stream_offset` — concatenate to exactly
+//! the prefix an identically-seeded, single-threaded `QuacTrng` produces.
+//! Thread interleaving can change *which request* receives *which chunk*,
+//! but never the bytes each shard hands out; under a fixed submission order
+//! (single submitter, one request outstanding) even the per-request bytes
+//! are reproducible. The integration suite (`tests/rng_service.rs` at the
+//! workspace root) pins both properties.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qt_rng_service::{ClientId, Priority, RngService, RngServiceConfig};
+//! use quac_trng::characterize::{characterize_module, CharacterizationConfig};
+//! use quac_trng::pipeline::QuacTrng;
+//! use qt_dram_analog::{ModuleVariation, QuacAnalogModel};
+//! use qt_dram_core::{DataPattern, DramGeometry};
+//!
+//! // Characterise once, then shard the generator across two channels.
+//! let geom = DramGeometry::tiny_test();
+//! let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 1));
+//! let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, ..Default::default() };
+//! let ch = characterize_module(&model, DataPattern::best_average(), &cfg);
+//! let service = RngService::start(
+//!     QuacTrng::shards(&model, &ch, 42, 2),
+//!     RngServiceConfig::default(),
+//! );
+//! let ticket = service.submit(ClientId(0), Priority::Normal, 64).unwrap();
+//! let completion = ticket.wait().unwrap();
+//! assert_eq!(completion.bytes.len(), 64);
+//! service.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod request;
+pub mod service;
+
+pub use queue::ShardScheduler;
+pub use request::{ClientId, Completion, Priority, RngRequest, SubmitError};
+pub use service::{Canceled, RngService, RngServiceConfig, ServiceStats, Ticket};

@@ -1,0 +1,104 @@
+//! Request, completion, and error types of the RNG service.
+
+use std::fmt;
+
+/// Identifies one client (application) of the RNG service. The scheduler
+/// round-robins between clients of the same priority, so the id is part of
+/// the fairness contract, not just a label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client{}", self.0)
+    }
+}
+
+/// Scheduling priority of a request (DR-STRaNGe's RNG-aware scheduler
+/// distinguishes latency-critical RNG consumers from bulk ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Served first, subject to the anti-starvation fairness window.
+    High,
+    /// Served round-robin whenever no `High` request is eligible, and at
+    /// least once per fairness window under sustained `High` load.
+    #[default]
+    Normal,
+}
+
+/// One queued random-byte request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngRequest {
+    /// The requesting client.
+    pub client: ClientId,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Number of random bytes requested.
+    pub len: usize,
+    /// Service-wide submission sequence number (assigned by the service;
+    /// ties completions back to submission order).
+    pub seq: u64,
+}
+
+/// A served request: the random bytes plus enough provenance to reconstruct
+/// exactly where they came from in the per-shard deterministic stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The client that requested the bytes.
+    pub client: ClientId,
+    /// Submission sequence number of the request.
+    pub seq: u64,
+    /// The shard (channel) that generated the bytes.
+    pub shard: usize,
+    /// Byte offset of this chunk within the shard's deterministic output
+    /// stream: a shard's completions, sorted by this offset, concatenate to
+    /// a prefix of the stream an identically-seeded serial `QuacTrng` emits.
+    pub stream_offset: u64,
+    /// The random bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admitting the request would exceed the in-flight byte budget right
+    /// now (backpressure). Blocking submission parks instead.
+    Saturated {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes currently in flight (queued + being generated).
+        in_flight: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The request alone exceeds the in-flight byte budget and could never
+    /// be admitted; blocking submission refuses it too (it would deadlock).
+    TooLarge {
+        /// Bytes requested.
+        requested: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The request was for zero bytes.
+    Empty,
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Saturated { requested, in_flight, budget } => write!(
+                f,
+                "queue saturated: {requested} B requested with {in_flight}/{budget} B in flight"
+            ),
+            SubmitError::TooLarge { requested, budget } => {
+                write!(f, "request of {requested} B exceeds the {budget} B in-flight budget")
+            }
+            SubmitError::Empty => write!(f, "zero-byte request"),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}

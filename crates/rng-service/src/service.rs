@@ -1,0 +1,469 @@
+//! The concurrent RNG service: per-shard worker threads behind a shared,
+//! bounded request queue.
+
+use crate::queue::ShardScheduler;
+use crate::request::{ClientId, Completion, Priority, RngRequest, SubmitError};
+use qt_memctrl::IdleBudget;
+use quac_trng::pipeline::QuacTrng;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs of the service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RngServiceConfig {
+    /// Backpressure budget: the maximum number of requested-but-undelivered
+    /// bytes (queued plus being generated). `try_submit` rejects and
+    /// `submit` parks while admitting a request would exceed it.
+    pub max_inflight_bytes: usize,
+    /// Coalescing target: a worker keeps dequeuing requests until the batch
+    /// reaches this many bytes (small reads ride along in whole QUAC
+    /// iterations instead of paying one wakeup each).
+    pub max_batch_bytes: usize,
+    /// Hard cap on requests coalesced into one batch.
+    pub max_batch_requests: usize,
+    /// Anti-starvation window of the per-shard scheduler: at most this many
+    /// consecutive high-priority dispatches while normal work waits.
+    pub fairness_window: u32,
+    /// Per-shard delivery-rate budget (idle DRAM cycles of the channel).
+    /// [`IdleBudget::unlimited`] disables pacing.
+    pub pacing: IdleBudget,
+}
+
+impl Default for RngServiceConfig {
+    fn default() -> Self {
+        RngServiceConfig {
+            max_inflight_bytes: 1 << 20,
+            max_batch_bytes: 16 << 10,
+            max_batch_requests: 64,
+            fairness_window: 4,
+            pacing: IdleBudget::unlimited(),
+        }
+    }
+}
+
+/// Counters the service maintains while running and reports at shutdown.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests completed (delivered to their tickets).
+    pub completed_requests: u64,
+    /// Random bytes delivered.
+    pub completed_bytes: u64,
+    /// High-water mark of in-flight bytes — never exceeds
+    /// [`RngServiceConfig::max_inflight_bytes`].
+    pub peak_in_flight_bytes: usize,
+    /// Bytes delivered by each shard.
+    pub per_shard_bytes: Vec<u64>,
+}
+
+/// The receipt for one submitted request; redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    seq: u64,
+    shard: usize,
+    rx: mpsc::Receiver<Completion>,
+}
+
+/// The request was discarded before completion (service aborted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Canceled;
+
+impl std::fmt::Display for Canceled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request canceled: the RNG service stopped before serving it")
+    }
+}
+
+impl std::error::Error for Canceled {}
+
+impl Ticket {
+    /// Submission sequence number of the request.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The shard (channel) the request was assigned to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Blocks until the request is served and returns its bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Canceled`] if the service was aborted before serving it.
+    pub fn wait(self) -> Result<Completion, Canceled> {
+        self.rx.recv().map_err(|_| Canceled)
+    }
+
+    /// Non-blocking poll: `Ok(Some)` once the request has been served,
+    /// `Ok(None)` while it is still pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Canceled`] if the service was aborted before serving it
+    /// (polling loops must not keep spinning on a dead request).
+    pub fn try_wait(&self) -> Result<Option<Completion>, Canceled> {
+        match self.rx.try_recv() {
+            Ok(completion) => Ok(Some(completion)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(Canceled),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lifecycle {
+    Running,
+    /// Serve everything already queued, then stop.
+    Draining,
+    /// Discard queued work and stop as soon as possible.
+    Aborting,
+}
+
+#[derive(Debug)]
+struct State {
+    shards: Vec<ShardScheduler>,
+    /// Completion channel of each queued request, keyed by sequence number.
+    /// Dropping a sender cancels its ticket.
+    senders: HashMap<u64, mpsc::Sender<Completion>>,
+    in_flight_bytes: usize,
+    next_shard: usize,
+    next_seq: u64,
+    lifecycle: Lifecycle,
+    stats: ServiceStats,
+}
+
+#[derive(Debug)]
+struct Shared {
+    cfg: RngServiceConfig,
+    state: Mutex<State>,
+    /// Signalled when work arrives or the lifecycle changes (workers wait
+    /// here, both for requests and during pacing sleeps).
+    work: Condvar,
+    /// Signalled when in-flight bytes are released (parked submitters wait
+    /// here).
+    space: Condvar,
+}
+
+/// A sharded, batching, backpressured random-number service: one worker
+/// thread per [`QuacTrng`] shard (channel), a priority/round-robin scheduler
+/// per shard, and a service-wide in-flight byte budget.
+///
+/// See the [crate docs](crate) for the architecture and the determinism
+/// contract.
+#[derive(Debug)]
+pub struct RngService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RngService {
+    /// Starts the service over the given per-channel generator shards
+    /// (usually built with [`QuacTrng::shards`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn start(shards: Vec<QuacTrng>, cfg: RngServiceConfig) -> Self {
+        assert!(!shards.is_empty(), "the RNG service needs at least one shard");
+        let shard_count = shards.len();
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(State {
+                shards: (0..shard_count).map(|_| ShardScheduler::new(cfg.fairness_window)).collect(),
+                senders: HashMap::new(),
+                in_flight_bytes: 0,
+                next_shard: 0,
+                next_seq: 0,
+                lifecycle: Lifecycle::Running,
+                stats: ServiceStats {
+                    per_shard_bytes: vec![0; shard_count],
+                    ..ServiceStats::default()
+                },
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let workers = shards
+            .into_iter()
+            .enumerate()
+            .map(|(idx, trng)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rng-shard-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx, trng))
+                    .expect("spawning an RNG shard worker")
+            })
+            .collect();
+        RngService { shared, workers }
+    }
+
+    /// Number of shards (channels) serving requests.
+    pub fn num_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &RngServiceConfig {
+        &self.shared.cfg
+    }
+
+    /// Submits a request, parking the caller while the in-flight byte budget
+    /// is exhausted (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Empty`] and [`SubmitError::TooLarge`] for requests that
+    /// can never be served; [`SubmitError::ShuttingDown`] once shutdown has
+    /// begun (including while parked).
+    pub fn submit(
+        &self,
+        client: ClientId,
+        priority: Priority,
+        len: usize,
+    ) -> Result<Ticket, SubmitError> {
+        self.validate(len)?;
+        let mut st = self.lock();
+        loop {
+            if st.lifecycle != Lifecycle::Running {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if st.in_flight_bytes + len <= self.shared.cfg.max_inflight_bytes {
+                break;
+            }
+            st = self.shared.space.wait(st).expect("service state poisoned");
+        }
+        Ok(self.admit(&mut st, client, priority, len))
+    }
+
+    /// Submits a request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`RngService::submit`] returns, plus
+    /// [`SubmitError::Saturated`] when the request does not fit the in-flight
+    /// budget right now.
+    pub fn try_submit(
+        &self,
+        client: ClientId,
+        priority: Priority,
+        len: usize,
+    ) -> Result<Ticket, SubmitError> {
+        self.validate(len)?;
+        let mut st = self.lock();
+        if st.lifecycle != Lifecycle::Running {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.in_flight_bytes + len > self.shared.cfg.max_inflight_bytes {
+            return Err(SubmitError::Saturated {
+                requested: len,
+                in_flight: st.in_flight_bytes,
+                budget: self.shared.cfg.max_inflight_bytes,
+            });
+        }
+        Ok(self.admit(&mut st, client, priority, len))
+    }
+
+    /// A snapshot of the running counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.lock().stats.clone()
+    }
+
+    /// Bytes currently in flight (queued plus being generated).
+    pub fn in_flight_bytes(&self) -> usize {
+        self.lock().in_flight_bytes
+    }
+
+    /// Serves everything already queued, then stops the workers and returns
+    /// the final counters. Parked submitters are released with
+    /// [`SubmitError::ShuttingDown`], and delivery pacing is lifted for the
+    /// drain, so shutdown completes promptly even under a near-zero idle
+    /// budget.
+    pub fn shutdown(self) -> ServiceStats {
+        self.stop(Lifecycle::Draining)
+    }
+
+    /// Stops as soon as possible, discarding queued work; the discarded
+    /// requests' tickets report [`Canceled`].
+    pub fn abort(self) -> ServiceStats {
+        self.stop(Lifecycle::Aborting)
+    }
+
+    fn stop(mut self, how: Lifecycle) -> ServiceStats {
+        {
+            let mut st = self.lock();
+            st.lifecycle = how;
+            if how == Lifecycle::Aborting {
+                // Cancel every queued ticket by dropping its sender.
+                st.senders.clear();
+            }
+            self.shared.work.notify_all();
+            self.shared.space.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.lock().stats.clone()
+    }
+
+    fn validate(&self, len: usize) -> Result<(), SubmitError> {
+        if len == 0 {
+            return Err(SubmitError::Empty);
+        }
+        if len > self.shared.cfg.max_inflight_bytes {
+            return Err(SubmitError::TooLarge {
+                requested: len,
+                budget: self.shared.cfg.max_inflight_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Admits a validated, budget-fitting request: assigns its sequence
+    /// number and shard (round-robin over submission order — the assignment
+    /// the serial-equivalence tests replay), charges the budget, and wakes a
+    /// worker.
+    fn admit(
+        &self,
+        st: &mut MutexGuard<'_, State>,
+        client: ClientId,
+        priority: Priority,
+        len: usize,
+    ) -> Ticket {
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let shard = st.next_shard;
+        st.next_shard = (st.next_shard + 1) % st.shards.len();
+        st.in_flight_bytes += len;
+        st.stats.peak_in_flight_bytes = st.stats.peak_in_flight_bytes.max(st.in_flight_bytes);
+        let (tx, rx) = mpsc::channel();
+        st.senders.insert(seq, tx);
+        st.shards[shard].push(RngRequest { client, priority, len, seq });
+        self.shared.work.notify_all();
+        Ticket { seq, shard, rx }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.shared.state.lock().expect("service state poisoned")
+    }
+}
+
+impl Drop for RngService {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        {
+            let mut st = self.lock();
+            st.lifecycle = Lifecycle::Aborting;
+            st.senders.clear();
+            self.shared.work.notify_all();
+            self.shared.space.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One shard's worker: dequeue a coalesced batch, generate all its bytes
+/// with a single buffer-reusing [`QuacTrng::fill_bytes`] call, pace delivery
+/// against the idle-cycle budget, deliver per-request completions, release
+/// the budget.
+fn worker_loop(shared: &Shared, shard_idx: usize, mut trng: QuacTrng) {
+    // Token-bucket pacing deadline: each batch owes `time_for_bytes` of
+    // wall-clock on top of the previous deadline (or of "now" after an idle
+    // gap — idle time is not banked into a later burst). Accumulating per
+    // batch keeps every single wait within `time_for_bytes`' saturation
+    // bound, no matter how much has been delivered in total.
+    let mut pace_deadline = Instant::now();
+    let mut batch: Vec<RngRequest> = Vec::new();
+    let mut senders: Vec<Option<mpsc::Sender<Completion>>> = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut stream_offset: u64 = 0;
+    loop {
+        // Phase 1 (locked): wait for work, dequeue a batch and its tickets.
+        batch.clear();
+        senders.clear();
+        let batch_bytes = {
+            let mut st = shared.state.lock().expect("service state poisoned");
+            loop {
+                match st.lifecycle {
+                    Lifecycle::Aborting => return,
+                    Lifecycle::Draining if st.shards[shard_idx].is_empty() => return,
+                    _ if !st.shards[shard_idx].is_empty() => break,
+                    _ => st = shared.work.wait(st).expect("service state poisoned"),
+                }
+            }
+            let bytes = st.shards[shard_idx].pop_batch(
+                shared.cfg.max_batch_bytes,
+                shared.cfg.max_batch_requests,
+                &mut batch,
+            );
+            senders.extend(batch.iter().map(|r| st.senders.remove(&r.seq)));
+            bytes
+        };
+
+        // Phase 2 (unlocked): one generation pass covers the whole batch.
+        buf.resize(batch_bytes, 0);
+        trng.fill_bytes(&mut buf);
+
+        // Phase 3: pace delivery against the channel's idle-cycle budget.
+        // The batch's bytes stay charged against the in-flight budget while
+        // the worker is parked, which is what makes backpressure reflect the
+        // *delivered* rate, not the simulation's generation speed.
+        if !shared.cfg.pacing.is_unlimited() {
+            pace_deadline = pace_deadline.max(Instant::now())
+                + shared.cfg.pacing.time_for_bytes(batch_bytes);
+            let mut st = shared.state.lock().expect("service state poisoned");
+            loop {
+                match st.lifecycle {
+                    Lifecycle::Aborting => return,
+                    // A drain lifts pacing: queued work is delivered
+                    // promptly instead of making `shutdown()` wait out the
+                    // budget (which saturates at an hour per batch).
+                    Lifecycle::Draining => break,
+                    Lifecycle::Running => {}
+                }
+                let now = Instant::now();
+                if now >= pace_deadline {
+                    break;
+                }
+                let (guard, _) = shared
+                    .work
+                    .wait_timeout(st, pace_deadline - now)
+                    .expect("service state poisoned");
+                st = guard;
+            }
+        }
+
+        // Phase 4: deliver completions, then release the budget.
+        let mut offset_in_batch = 0usize;
+        for (req, sender) in batch.iter().zip(&senders) {
+            let bytes = buf[offset_in_batch..offset_in_batch + req.len].to_vec();
+            if let Some(sender) = sender {
+                // A dropped receiver just means the client lost interest.
+                let _ = sender.send(Completion {
+                    client: req.client,
+                    seq: req.seq,
+                    shard: shard_idx,
+                    stream_offset: stream_offset + offset_in_batch as u64,
+                    bytes,
+                });
+            }
+            offset_in_batch += req.len;
+        }
+        stream_offset += batch_bytes as u64;
+        {
+            let mut st = shared.state.lock().expect("service state poisoned");
+            st.in_flight_bytes -= batch_bytes;
+            st.stats.completed_requests += batch.len() as u64;
+            st.stats.completed_bytes += batch_bytes as u64;
+            st.stats.per_shard_bytes[shard_idx] += batch_bytes as u64;
+            shared.space.notify_all();
+        }
+    }
+}

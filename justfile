@@ -29,6 +29,19 @@ bench:
 bench-json:
     BENCH_JSON="$(pwd)/BENCH_RESULTS.json" cargo bench -p qt_bench
 
+# Full-density reproduction: seed .quac-cache once with the population-wide
+# characterisation (table3 sweeps all modules at QUAC_FULL=1 density), then
+# reproduce every figure/table from the cached characterisations. The first
+# run is the expensive one; later runs load from .quac-cache instantly.
+figures-full:
+    QUAC_FULL=1 QUAC_CACHE_DIR="$(pwd)/.quac-cache" cargo run --release --bin table3_modules
+    for bin in fig08_data_patterns fig09_segment_entropy fig10_cache_blocks \
+               fig11_throughput fig12_spec_idle fig13_scaling fig14_temperature \
+               table1_nist_sts table2_prior_work section9_integration; do \
+        QUAC_FULL=1 QUAC_CACHE_DIR="$(pwd)/.quac-cache" \
+            cargo run --release --bin $bin || exit 1; echo; \
+    done
+
 # Reproduce every paper figure/table (sampled resolution).
 figures:
     for bin in fig08_data_patterns fig09_segment_entropy fig10_cache_blocks \

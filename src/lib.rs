@@ -11,6 +11,7 @@ pub use qt_dram_core as dram_core;
 pub use qt_dram_sim as dram_sim;
 pub use qt_memctrl as memctrl;
 pub use qt_nist_sts as nist_sts;
+pub use qt_rng_service as rng_service;
 pub use qt_softmc as softmc;
 pub use qt_workloads as workloads;
 pub use quac_trng as trng;
