@@ -165,9 +165,38 @@ fn bench_rng_service(c: &mut Criterion) {
 }
 
 fn bench_nist_suite(c: &mut Criterion) {
+    use qt_nist_sts::tests15::{
+        approximate_entropy, linear_complexity, non_overlapping_template_matching,
+        overlapping_template_matching, serial,
+    };
     let mut rng = StdRng::seed_from_u64(2);
     let bits = BitVec::from_bits((0..50_000).map(|_| rng.gen::<bool>()));
-    c.bench_function("nist_sts_50kb", |b| b.iter(|| run_all_tests(std::hint::black_box(&bits))));
+    // The full battery — the "validate what we serve" hot path; Gb/s lands
+    // in BENCH_RESULTS.json so the validation rate is comparable against the
+    // generation rate (paper: 3.44 Gb/s per channel).
+    c.throughput_bits(50_000)
+        .bench_function("nist_sts_50kb", |b| b.iter(|| run_all_tests(std::hint::black_box(&bits))));
+    // The three historical worst offenders, benched separately so a future
+    // regression in one of them is attributable from the JSON alone.
+    c.throughput_bits(50_000).bench_function("nist_serial_approx_entropy_50kb", |b| {
+        b.iter(|| {
+            (
+                serial(std::hint::black_box(&bits), 16),
+                approximate_entropy(std::hint::black_box(&bits), 10),
+            )
+        })
+    });
+    c.throughput_bits(50_000).bench_function("nist_template_matching_50kb", |b| {
+        b.iter(|| {
+            (
+                non_overlapping_template_matching(std::hint::black_box(&bits), 9),
+                overlapping_template_matching(std::hint::black_box(&bits), 9),
+            )
+        })
+    });
+    c.throughput_bits(50_000).bench_function("nist_linear_complexity_50kb", |b| {
+        b.iter(|| linear_complexity(std::hint::black_box(&bits), 500))
+    });
 }
 
 fn bench_memory_system(c: &mut Criterion) {

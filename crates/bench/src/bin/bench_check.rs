@@ -1,0 +1,219 @@
+//! Perf-regression gate over `BENCH_RESULTS.json`.
+//!
+//! ```text
+//! bench_check <fresh.json> <committed-baseline.json>
+//! ```
+//!
+//! Compares every benchmark present in both reports and exits non-zero if
+//! any named hot path regressed by more than the threshold (default 25%,
+//! override with `BENCH_REGRESSION_THRESHOLD`, e.g. `0.25`).
+//!
+//! The two reports are usually measured on *different machines* (a dev box
+//! committed the baseline, CI measured the fresh run), so raw ns ratios
+//! would flag a uniformly slower runner as a regression of everything.
+//! Ratios are therefore normalised by their median: a real regression is a
+//! hot path that got slower *relative to the rest of the suite*, which is
+//! machine-independent to first order. A wide absolute raw-ratio bound
+//! (default 4×, `BENCH_ABS_RATIO_BOUND`) backstops the median against
+//! suite-majority regressions it would otherwise absorb.
+
+use criterion::{json_number, json_string};
+use std::process::ExitCode;
+
+/// One `(name, ns_per_iter)` pair per entry of a report, parsed with the
+/// writer's own helpers (vendored criterion).
+///
+/// `include_carried` controls whether entries tagged `"carried":true` — the
+/// JSON merge's copied-forward-not-measured marker — count. The *fresh*
+/// report must exclude them: a deleted benchmark would otherwise reappear
+/// with ratio exactly 1.0, dodging the MISSING check and skewing the median
+/// normalisation. The *baseline* must include them: a carried entry there
+/// still holds a real historical measurement, and dropping it would
+/// silently remove that hot path from the gate after a filtered run is
+/// committed.
+fn parse_results(text: &str, include_carried: bool) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = json_string(line, "name") else { continue };
+        let Some(ns) = json_number(line, "ns_per_iter") else { continue };
+        if ns > 0.0 && (include_carried || !line.contains("\"carried\":true")) {
+            out.push((name, ns));
+        }
+    }
+    out
+}
+
+/// How far a *raw* fresh/baseline ratio may drift before it fails even when
+/// the median normalisation would absorb it. The median cancels uniform
+/// machine-speed differences (runners rarely differ by more than ~3×), but
+/// it is blind to a regression that hits the majority of the suite — e.g. a
+/// slowed shared primitive shifts the median itself. The absolute bound
+/// closes that blind spot; override with `BENCH_ABS_RATIO_BOUND`.
+const DEFAULT_ABS_RATIO_BOUND: f64 = 4.0;
+
+/// Per-benchmark verdicts: `(name, fresh/baseline ratio normalised by the
+/// suite median, regressed?)`, plus the median itself (printed so a
+/// suite-wide shift is visible to humans even when no entry fails). An
+/// entry regresses if its normalised ratio exceeds `1 + threshold` *or*
+/// its raw ratio exceeds `abs_bound`. Pure so the decision rule is
+/// unit-testable.
+fn verdicts(
+    fresh: &[(String, f64)],
+    baseline: &[(String, f64)],
+    threshold: f64,
+    abs_bound: f64,
+) -> (Vec<(String, f64, bool)>, f64) {
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for (name, base_ns) in baseline {
+        if let Some((_, fresh_ns)) = fresh.iter().find(|(n, _)| n == name) {
+            ratios.push((name.clone(), fresh_ns / base_ns));
+        }
+    }
+    if ratios.is_empty() {
+        return (Vec::new(), 1.0);
+    }
+    let mut sorted: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let median = sorted[sorted.len() / 2];
+    let rows = ratios
+        .into_iter()
+        .map(|(name, ratio)| {
+            let normalised = ratio / median;
+            (name, normalised, normalised > 1.0 + threshold || ratio > abs_bound)
+        })
+        .collect();
+    (rows, median)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, fresh_path, baseline_path] = &args[..] else {
+        eprintln!("usage: bench_check <fresh.json> <committed-baseline.json>");
+        return ExitCode::from(2);
+    };
+    let threshold = std::env::var("BENCH_REGRESSION_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.25);
+    let abs_bound = std::env::var("BENCH_ABS_RATIO_BOUND")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_ABS_RATIO_BOUND);
+    let read = |path: &str, include_carried: bool| -> Option<Vec<(String, f64)>> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Some(parse_results(&text, include_carried)),
+            Err(e) => {
+                eprintln!("bench_check: cannot read {path}: {e}");
+                None
+            }
+        }
+    };
+    let (Some(fresh), Some(baseline)) = (read(fresh_path, false), read(baseline_path, true))
+    else {
+        return ExitCode::from(2);
+    };
+    let (rows, median) = verdicts(&fresh, &baseline, threshold, abs_bound);
+    if rows.is_empty() {
+        eprintln!("bench_check: no common benchmarks between {fresh_path} and {baseline_path}");
+        return ExitCode::from(2);
+    }
+    // Names in the committed baseline but missing from the fresh run mean a
+    // hot path silently disappeared — fail loudly.
+    let mut failed = false;
+    for (name, _) in &baseline {
+        if !fresh.iter().any(|(n, _)| n == name) {
+            eprintln!("MISSING   {name} (in baseline but not measured)");
+            failed = true;
+        }
+    }
+    println!("suite median fresh/baseline ratio: {median:.3} (normalisation factor)");
+    println!("{:<42}{:>18}", "benchmark", "normalised ratio");
+    for (name, ratio, regressed) in &rows {
+        let flag = if *regressed { "  <-- REGRESSION" } else { "" };
+        println!("{name:<42}{ratio:>18.3}{flag}");
+        failed |= regressed;
+    }
+    if failed {
+        eprintln!(
+            "bench_check: regression beyond {:.0}% (median-normalised) — investigate or refresh \
+             the committed BENCH_RESULTS.json with `just bench-json`",
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_check: all hot paths within {:.0}% of the committed baseline", threshold * 100.0);
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn parses_report_lines_with_carried_entries_fresh_vs_baseline() {
+        let text = r#"{
+  "results": [
+    {"name":"a","ns_per_iter":100.0,"samples":10},
+    {"name":"b","ns_per_iter":250.5,"samples":10,"gbps":1.0},
+    {"name":"stale","ns_per_iter":99.0,"samples":10,"carried":true}
+  ]
+}"#;
+        // Fresh side: the carried entry was not measured this run and must
+        // not count (a deleted benchmark would otherwise reappear with
+        // ratio exactly 1.0 and dodge the MISSING check).
+        assert_eq!(parse_results(text, false), results(&[("a", 100.0), ("b", 250.5)]));
+        // Baseline side: a carried entry is still a real historical
+        // measurement — dropping it would un-gate that hot path after a
+        // filtered `just nist-bench` refresh is committed.
+        assert_eq!(
+            parse_results(text, true),
+            results(&[("a", 100.0), ("b", 250.5), ("stale", 99.0)])
+        );
+    }
+
+    #[test]
+    fn uniform_machine_slowdown_is_not_a_regression() {
+        // Fresh run measured on a runner uniformly 2x slower: the median
+        // normalisation cancels it.
+        let base = results(&[("a", 100.0), ("b", 200.0), ("c", 300.0)]);
+        let fresh = results(&[("a", 200.0), ("b", 400.0), ("c", 600.0)]);
+        let (rows, median) = verdicts(&fresh, &base, 0.25, DEFAULT_ABS_RATIO_BOUND);
+        assert!((median - 2.0).abs() < 1e-12);
+        assert!(rows.iter().all(|(_, _, r)| !r));
+    }
+
+    #[test]
+    fn suite_majority_regression_trips_the_absolute_bound() {
+        // A slowed shared primitive regresses most of the suite; the median
+        // absorbs it (normalised ratios ~1) but the raw 5x exceeds the
+        // absolute bound, so the gate still fails.
+        let base = results(&[("a", 100.0), ("b", 200.0), ("c", 300.0)]);
+        let fresh = results(&[("a", 500.0), ("b", 1000.0), ("c", 1500.0)]);
+        let (rows, _) = verdicts(&fresh, &base, 0.25, DEFAULT_ABS_RATIO_BOUND);
+        assert!(rows.iter().all(|(_, _, r)| *r), "5x across the board must fail");
+    }
+
+    #[test]
+    fn single_hot_path_regression_is_flagged() {
+        let base = results(&[("a", 100.0), ("b", 200.0), ("c", 300.0)]);
+        let fresh = results(&[("a", 100.0), ("b", 200.0), ("c", 600.0)]);
+        let (rows, _) = verdicts(&fresh, &base, 0.25, DEFAULT_ABS_RATIO_BOUND);
+        assert!(!rows.iter().find(|(n, _, _)| n == "a").unwrap().2);
+        assert!(rows.iter().find(|(n, _, _)| n == "c").unwrap().2, "2x on c must flag");
+    }
+
+    #[test]
+    fn benchmarks_missing_from_either_side_are_ignored_in_ratios() {
+        let base = results(&[("a", 100.0), ("gone", 50.0)]);
+        let fresh = results(&[("a", 110.0), ("new", 10.0)]);
+        let (rows, _) = verdicts(&fresh, &base, 0.25, DEFAULT_ABS_RATIO_BOUND);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "a");
+        assert!(!rows[0].2);
+    }
+}

@@ -62,4 +62,4 @@ pub use model::{QuacAnalogModel, SegmentProber};
 pub use params::AnalogParams;
 pub use profiles::{ModuleProfile, TemperatureTrend, PAPER_MODULES};
 pub use sampler::{BitThreshold, PackedSampler};
-pub use variation::ModuleVariation;
+pub use variation::{ModuleVariation, OffsetProber};

@@ -149,11 +149,41 @@ pub fn splitmix64(mut z: u64) -> u64 {
 
 /// Combines a seed with up to three coordinates into a single hash.
 pub fn hash_coords(seed: u64, a: u64, b: u64, c: u64) -> u64 {
-    let mut h = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
-    h = splitmix64(h ^ a.wrapping_mul(0xE703_7ED1_A0B4_28DB));
-    h = splitmix64(h ^ b.wrapping_mul(0x8EBC_6AF0_9C88_C6E3));
-    h = splitmix64(h ^ c.wrapping_mul(0x5897_89E6_C6B1_DC97));
-    h
+    CoordHasher::new(seed, a).hash(b, c)
+}
+
+/// The `(seed, a)` prefix of [`hash_coords`], hoisted: the first two of the
+/// four SplitMix rounds depend only on the seed and the first coordinate
+/// (the segment or subarray in every per-bitline use), so loops that hash
+/// thousands of bitlines of one segment pay two rounds per call instead of
+/// four. `CoordHasher::new(seed, a).hash(b, c)` is the same function
+/// composition as [`hash_coords`]`(seed, a, b, c)` — bit-identical, which
+/// the tests pin.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordHasher {
+    prefix: u64,
+}
+
+impl CoordHasher {
+    /// Folds the seed and first coordinate into the hash prefix.
+    pub fn new(seed: u64, a: u64) -> Self {
+        let h = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
+        CoordHasher { prefix: splitmix64(h ^ a.wrapping_mul(0xE703_7ED1_A0B4_28DB)) }
+    }
+
+    /// Finishes the hash with the remaining two coordinates.
+    #[inline]
+    pub fn hash(&self, b: u64, c: u64) -> u64 {
+        let h = splitmix64(self.prefix ^ b.wrapping_mul(0x8EBC_6AF0_9C88_C6E3));
+        splitmix64(h ^ c.wrapping_mul(0x5897_89E6_C6B1_DC97))
+    }
+
+    /// A standard normal variate for the remaining coordinates, through the
+    /// same unit-interval mapping as [`normal_at`].
+    #[inline]
+    pub fn normal(&self, b: u64, c: u64) -> f64 {
+        hash_to_std_normal(self.hash(b, c))
+    }
 }
 
 /// Maps a 64-bit hash to the open unit interval (0, 1), excluding endpoints.
@@ -254,6 +284,24 @@ mod tests {
         assert_eq!(entropy_of_normal_bias(0.0), 1.0);
         assert_eq!(entropy_of_normal_bias(100.0), 0.0);
         assert_eq!(entropy_of_normal_bias(f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn coord_hasher_is_bit_identical_to_hash_coords() {
+        for seed in [0u64, 7, u64::MAX] {
+            for a in [0u64, 3, 1 << 40] {
+                let hasher = CoordHasher::new(seed, a);
+                for b in [0u64, 1, 511, 65_535] {
+                    for c in [0u64, 2] {
+                        assert_eq!(hasher.hash(b, c), hash_coords(seed, a, b, c));
+                        assert_eq!(
+                            hasher.normal(b, c).to_bits(),
+                            normal_at(seed, a, b, c).to_bits()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -209,13 +209,7 @@ impl QuacAnalogModel {
         // Compute outside the lock so concurrent workers filling *different*
         // segments never serialise; a rare double-compute of the same grid
         // yields bit-identical values, and the first insertion wins.
-        let subarray = self.variation.subarray_of_segment(segment);
-        let grid: Arc<Vec<f64>> = Arc::new(
-            (0..self.geom.row_bits)
-                .step_by(stride)
-                .map(|b| self.static_offset(segment, subarray, b, age_days))
-                .collect(),
-        );
+        let grid: Arc<Vec<f64>> = Arc::new(self.static_offset_grid(segment, stride, age_days));
         let mut cache = self.offsets.lock().expect("offset cache poisoned");
         if let Some(existing) = cache.map.get(&key) {
             return Arc::clone(existing);
@@ -229,6 +223,25 @@ impl QuacAnalogModel {
             }
         }
         grid
+    }
+
+    /// The per-device static offsets of a segment on the grid `0, stride,
+    /// 2·stride…` (up to `row_bits`), computed directly — no shared-cache
+    /// lock or `Arc` bookkeeping. Sweeps that visit one segment under
+    /// several data patterns (the offsets depend on neither pattern nor
+    /// temperature) compute this once and pass it to
+    /// [`SegmentProber::cache_block_entropy_sums_with_grid`], which is what
+    /// makes the Figure 8 pattern sweep one grid derivation per segment
+    /// instead of one per `(pattern, segment)` probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn static_offset_grid(&self, segment: Segment, stride: usize, age_days: f64) -> Vec<f64> {
+        assert!(stride > 0, "bitline stride must be non-zero");
+        let subarray = self.variation.subarray_of_segment(segment);
+        let prober = self.variation.offset_prober(segment, subarray, age_days);
+        (0..self.geom.row_bits).step_by(stride).map(|b| prober.static_offset(b)).collect()
     }
 
     /// Probability that the sense amplifier on `bitline` resolves to logic-1
@@ -466,6 +479,17 @@ impl SegmentProber<'_> {
         self.entropy_sum_with(grid.as_ref().map(|g| g.as_slice()), start, end, stride)
     }
 
+    /// Sums the entropy of bitlines `start, start+stride, …` below `end`
+    /// with the static offsets computed inline — no shared-cache lock, no
+    /// grid allocation, one fused pass. Bit-identical to
+    /// [`SegmentProber::entropy_sum_strided`] (same offset function, same
+    /// fold order); this is the fastest path when the segment is visited
+    /// exactly once, which is what the `characterize_module` sweep does.
+    pub fn entropy_sum_fused(&self, start: usize, end: usize, stride: usize) -> (f64, usize) {
+        assert!(stride > 0, "bitline stride must be non-zero");
+        self.entropy_sum_with(None, start, end, stride)
+    }
+
     /// The entropy of every cache block of the segment at the given bitline
     /// stride, as `(sum over sampled bitlines, sampled count)` per block —
     /// one grid fetch for the whole row, so sweeping all blocks (the
@@ -474,18 +498,48 @@ impl SegmentProber<'_> {
     pub fn cache_block_entropy_sums(&self, stride: usize) -> Vec<(f64, usize)> {
         assert!(stride > 0, "bitline stride must be non-zero");
         let grid = self.model.static_offsets(self.segment, stride, self.conditions.age_days);
+        self.cache_block_entropy_sums_with_grid(grid.as_slice(), stride)
+    }
+
+    /// [`SegmentProber::cache_block_entropy_sums`] with a caller-provided
+    /// offsets grid (from [`QuacAnalogModel::static_offset_grid`] for this
+    /// probe's segment, `stride`, and age). Pattern sweeps that revisit one
+    /// segment under several patterns share one grid across all of them —
+    /// the offsets depend on neither pattern nor temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or the grid does not cover the row at this
+    /// stride.
+    pub fn cache_block_entropy_sums_with_grid(
+        &self,
+        grid: &[f64],
+        stride: usize,
+    ) -> Vec<(f64, usize)> {
+        assert!(stride > 0, "bitline stride must be non-zero");
+        let row_bits = self.model.geometry().row_bits;
+        assert!(
+            grid.len() == row_bits.div_ceil(stride),
+            "grid of {} offsets does not cover {row_bits} bitlines at stride {stride}",
+            grid.len()
+        );
         (0..self.blocks)
             .map(|cb| {
                 let start = cb * CACHE_BLOCK_BITS;
                 // The grid holds offsets at multiples of `stride`; a block
                 // whose start is off-grid walks its own phase directly.
-                let aligned = (start % stride == 0).then_some(grid.as_slice());
+                let aligned = (start % stride == 0).then_some(grid);
                 self.entropy_sum_with(aligned, start, start + CACHE_BLOCK_BITS, stride)
             })
             .collect()
     }
 
     /// The strided entropy walk with an optional pre-fetched offset grid.
+    /// The walk advances in spans of constant noise (between cache-block and
+    /// chip boundaries), so the inner loop is only the per-bitline offset
+    /// (hoisted [`crate::variation::OffsetProber`] when no grid was given)
+    /// and the entropy interpolation — bit-identical to the per-bitline
+    /// recomputation it replaced (same values, same fold order).
     fn entropy_sum_with(
         &self,
         grid: Option<&[f64]>,
@@ -494,40 +548,36 @@ impl SegmentProber<'_> {
         stride: usize,
     ) -> (f64, usize) {
         let v = self.model.variation();
+        let prober = match grid {
+            Some(_) => None,
+            None => {
+                Some(v.offset_prober(self.segment, self.subarray, self.conditions.age_days))
+            }
+        };
+        // chip_of_bitline's mapping, hoisted to span boundaries.
+        let per_chip = (v.row_bits() / v.chip_count()).max(1);
         let mut sum = 0.0;
         let mut count = 0usize;
-        let mut current_block = usize::MAX;
-        let mut current_chip = usize::MAX;
-        let mut noise = 1.0;
-        let mut cb_factor = 0.0;
-        let mut temp_factor = 0.0;
         let mut b = start;
         while b < end {
             let block = b / CACHE_BLOCK_BITS;
             let chip = v.chip_of_bitline(b);
-            if block != current_block || chip != current_chip {
-                if block != current_block {
-                    current_block = block;
-                    cb_factor = v.cb_position_factor(block, self.blocks);
-                }
-                if chip != current_chip {
-                    current_chip = chip;
-                    temp_factor = v.temperature_factor(chip, self.conditions.temperature_c);
-                }
-                noise = ((self.noise_seg * cb_factor) * temp_factor) * self.boost;
+            let cb_factor = v.cb_position_factor(block, self.blocks);
+            let temp_factor = v.temperature_factor(chip, self.conditions.temperature_c);
+            let noise = ((self.noise_seg * cb_factor) * temp_factor) * self.boost;
+            let chip_end =
+                if chip + 1 < v.chip_count() { (chip + 1) * per_chip } else { usize::MAX };
+            let span_end = end.min((block + 1) * CACHE_BLOCK_BITS).min(chip_end);
+            while b < span_end {
+                let offset = match (&prober, grid) {
+                    (Some(p), _) => p.static_offset(b),
+                    (None, Some(g)) => g[b / stride],
+                    (None, None) => unreachable!("either a grid or a prober exists"),
+                };
+                sum += entropy_of_normal_bias((self.pattern_term + offset) / noise);
+                count += 1;
+                b += stride;
             }
-            let offset = match grid {
-                Some(g) => g[b / stride],
-                None => self.model.static_offset(
-                    self.segment,
-                    self.subarray,
-                    b,
-                    self.conditions.age_days,
-                ),
-            };
-            sum += entropy_of_normal_bias((self.pattern_term + offset) / noise);
-            count += 1;
-            b += stride;
         }
         (sum, count)
     }
@@ -703,6 +753,35 @@ mod tests {
             (0..m.geometry().row_bits).step_by(5).map(|b| prober.bitline_entropy(b)).sum();
         assert_eq!(sum, by_hand);
         assert_eq!(count, m.geometry().row_bits.div_ceil(5));
+    }
+
+    #[test]
+    fn fused_and_grid_paths_are_bit_identical_to_the_cached_walk() {
+        let m = model();
+        let pattern = DataPattern::best_average();
+        let cond = OperatingConditions::at_temperature(57.0).aged(3.0);
+        for seg in [Segment::new(1), Segment::new(9)] {
+            for stride in [1usize, 3, 16] {
+                let prober = m.prober(seg, pattern, cond);
+                let cached = prober.entropy_sum_strided(0, m.geometry().row_bits, stride);
+                let fused = prober.entropy_sum_fused(0, m.geometry().row_bits, stride);
+                assert_eq!(cached, fused, "segment {seg:?} stride {stride}");
+                let grid = m.static_offset_grid(seg, stride, cond.age_days);
+                assert_eq!(
+                    prober.cache_block_entropy_sums(stride),
+                    prober.cache_block_entropy_sums_with_grid(&grid, stride),
+                    "segment {seg:?} stride {stride}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn short_grid_is_rejected() {
+        let m = model();
+        let prober = m.prober(Segment::new(0), DataPattern::best_average(), nominal());
+        let _ = prober.cache_block_entropy_sums_with_grid(&[0.0; 3], 1);
     }
 
     #[test]

@@ -201,6 +201,65 @@ impl BitVec {
 
     /// Reads up to 64 bits starting at `bit` as one word (bit `bit` in the
     /// result's LSB); positions beyond the backing storage read as zero.
+    ///
+    /// This is the primitive behind every word-parallel scan in the
+    /// workspace (packed sampling, the word-wise Von Neumann corrector, the
+    /// word-parallel NIST battery): callers process 64 stream positions per
+    /// load instead of one `get` per bit. No bounds check is applied — out
+    /// of range positions read as zero — so callers own their masking.
+    pub fn word_at(&self, bit: usize) -> u64 {
+        self.read_word(bit)
+    }
+
+    /// Number of set bits in `[start, end)` via a masked word scan —
+    /// `slice(start, end).count_ones()` without materialising the slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn count_ones_range(&self, start: usize, end: usize) -> usize {
+        assert!(start <= end && end <= self.len, "invalid range {start}..{end} of {}", self.len);
+        if start == end {
+            return 0;
+        }
+        let (first, last) = (start / 64, (end - 1) / 64);
+        let lo_mask = u64::MAX << (start % 64);
+        let hi_mask = u64::MAX >> (63 - (end - 1) % 64);
+        if first == last {
+            return (self.words[first] & lo_mask & hi_mask).count_ones() as usize;
+        }
+        let mut ones = (self.words[first] & lo_mask).count_ones() as usize;
+        for &w in &self.words[first + 1..last] {
+            ones += w.count_ones() as usize;
+        }
+        ones + (self.words[last] & hi_mask).count_ones() as usize
+    }
+
+    /// Number of positions `i` where bit `i` differs from bit `i + 1`
+    /// (`0 ≤ i < len − 1`) — the run-boundary count of the stream, computed
+    /// word-wise as `count_ones(w ^ (w >> 1))` with the successor word's
+    /// first bit injected at each word boundary.
+    pub fn transitions(&self) -> usize {
+        if self.len < 2 {
+            return 0;
+        }
+        let mut count = 0usize;
+        let last = (self.len - 1) / 64;
+        for (k, &w) in self.words[..=last].iter().enumerate() {
+            // Bit j of `shifted` is the stream bit following position 64k+j.
+            let next = self.words.get(k + 1).copied().unwrap_or(0);
+            let shifted = (w >> 1) | (next << 63);
+            let mut diff = w ^ shifted;
+            if k == last {
+                // Only transitions i → i+1 with i+1 < len are real.
+                let valid = self.len - 1 - 64 * k;
+                diff &= if valid >= 64 { u64::MAX } else { (1u64 << valid) - 1 };
+            }
+            count += diff.count_ones() as usize;
+        }
+        count
+    }
+
     fn read_word(&self, bit: usize) -> u64 {
         let w = bit / 64;
         let s = bit % 64;
@@ -510,6 +569,41 @@ mod tests {
     }
 
     #[test]
+    fn word_at_reads_unaligned_and_pads_with_zeros() {
+        let v = BitVec::from_bits((0..100).map(|i| i % 3 == 0));
+        for start in [0, 1, 17, 63, 64, 65, 90, 99] {
+            let w = v.word_at(start);
+            for j in 0..64 {
+                let expected = start + j < v.len() && v.get(start + j);
+                assert_eq!((w >> j) & 1 == 1, expected, "start {start} bit {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_ones_range_matches_slice() {
+        let v = BitVec::from_bits((0..300).map(|i| i % 5 < 2));
+        for (start, end) in [(0, 300), (0, 0), (5, 5), (3, 64), (3, 65), (64, 128), (63, 129), (250, 300)] {
+            assert_eq!(
+                v.count_ones_range(start, end),
+                v.slice(start, end).count_ones(),
+                "range {start}..{end}"
+            );
+        }
+    }
+
+    #[test]
+    fn transitions_counts_run_boundaries() {
+        assert_eq!(BitVec::zeros(0).transitions(), 0);
+        assert_eq!(BitVec::zeros(1).transitions(), 0);
+        assert_eq!(BitVec::from_bit_str("01").unwrap().transitions(), 1);
+        assert_eq!(BitVec::ones(200).transitions(), 0);
+        // Alternating stream: every adjacent pair differs.
+        let alt = BitVec::from_bits((0..129).map(|i| i % 2 == 0));
+        assert_eq!(alt.transitions(), 128);
+    }
+
+    #[test]
     fn extract_bytes_matches_slice_to_bytes() {
         let v = BitVec::from_bits((0..300).map(|i| i % 7 < 3));
         for (start, end) in [(0, 300), (0, 64), (3, 131), (65, 300), (128, 192), (7, 8), (5, 5)] {
@@ -564,6 +658,31 @@ mod tests {
             let (a, b) = (a % (v.len() + 1), b % (v.len() + 1));
             let (start, end) = (a.min(b), a.max(b));
             prop_assert_eq!(v.extract_bytes(start, end), v.slice(start, end).to_bytes());
+        }
+
+        #[test]
+        fn prop_word_scans_match_per_bit_walks(
+            bits in proptest::collection::vec(any::<bool>(), 0..400),
+            a in 0usize..400,
+            b in 0usize..400,
+        ) {
+            let v = BitVec::from_bits(bits.clone());
+            let (a, b) = (a % (v.len() + 1), b % (v.len() + 1));
+            let (start, end) = (a.min(b), a.max(b));
+            prop_assert_eq!(
+                v.count_ones_range(start, end),
+                bits[start..end].iter().filter(|x| **x).count()
+            );
+            let by_bit = bits.windows(2).filter(|w| w[0] != w[1]).count();
+            prop_assert_eq!(v.transitions(), by_bit);
+            if !bits.is_empty() {
+                let w = v.word_at(start.min(v.len() - 1));
+                let i0 = start.min(v.len() - 1);
+                for j in 0..64 {
+                    let expected = i0 + j < v.len() && bits[i0 + j];
+                    prop_assert_eq!((w >> j) & 1 == 1, expected);
+                }
+            }
         }
 
         #[test]

@@ -39,6 +39,7 @@ pub mod data;
 pub mod error;
 pub mod geometry;
 pub mod rate;
+pub mod threads;
 pub mod timing;
 
 pub use address::{
@@ -51,6 +52,7 @@ pub use data::{DataPattern, RowFill, ALL_DATA_PATTERNS};
 pub use error::DramCoreError;
 pub use geometry::DramGeometry;
 pub use rate::TransferRate;
+pub use threads::worker_threads;
 pub use timing::{SpeedGrade, TimingParams};
 
 /// Number of rows in a DRAM segment (fixed by the hierarchical wordline

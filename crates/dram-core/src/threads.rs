@@ -1,0 +1,31 @@
+//! The workspace-wide worker-thread convention.
+//!
+//! Every sharded sweep in the workspace — characterisation
+//! (`quac_trng::characterize`), the NIST battery (`qt_nist_sts`) — uses the
+//! same policy for how many scoped workers to spawn, so one environment
+//! variable tunes (or serialises, for debugging) all of them consistently.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads sharded sweeps fan across: the `QUAC_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn worker_threads() -> usize {
+    if let Ok(v) = std::env::var("QUAC_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn worker_threads_is_positive() {
+        // Whatever the environment says, the answer is a usable count.
+        assert!(super::worker_threads() >= 1);
+    }
+}

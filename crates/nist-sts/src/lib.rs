@@ -125,38 +125,122 @@ pub const TEST_NAMES: [&str; 15] = [
     "random_excursion_variant",
 ];
 
-/// Runs all 15 NIST STS tests on a bitstream and returns one result per test.
-pub fn run_all_tests(bits: &BitVec) -> Vec<TestResult> {
+/// Number of worker threads the battery and [`pass_rate`] shard across —
+/// the workspace-wide `QUAC_THREADS` convention, shared with the
+/// characterisation sweeps through `qt_dram_core`.
+pub use qt_dram_core::worker_threads;
+
+/// Runs one of the 15 tests by its [`TEST_NAMES`] index, with the battery's
+/// standard parameters (block lengths per Table 1 / SP 800-22 §2 defaults).
+fn run_test(bits: &BitVec, index: usize) -> TestResult {
     use tests15::*;
-    vec![
-        monobit(bits),
-        frequency_within_block(bits, 128),
-        runs(bits),
-        longest_run_of_ones(bits),
-        binary_matrix_rank(bits),
-        dft(bits),
-        non_overlapping_template_matching(bits, 9),
-        overlapping_template_matching(bits, 9),
-        maurers_universal(bits),
-        linear_complexity(bits, 500),
-        serial(bits, 16),
-        approximate_entropy(bits, 10),
-        cumulative_sums(bits),
-        random_excursion(bits),
-        random_excursion_variant(bits),
-    ]
+    match index {
+        0 => monobit(bits),
+        1 => frequency_within_block(bits, 128),
+        2 => runs(bits),
+        3 => longest_run_of_ones(bits),
+        4 => binary_matrix_rank(bits),
+        5 => dft(bits),
+        6 => non_overlapping_template_matching(bits, 9),
+        7 => overlapping_template_matching(bits, 9),
+        8 => maurers_universal(bits),
+        9 => linear_complexity(bits, 500),
+        10 => serial(bits, 16),
+        11 => approximate_entropy(bits, 10),
+        12 => cumulative_sums(bits),
+        13 => random_excursion(bits),
+        14 => random_excursion_variant(bits),
+        _ => unreachable!("test index {index} out of range"),
+    }
+}
+
+/// Runs all 15 NIST STS tests on a bitstream and returns one result per test
+/// (in [`TEST_NAMES`] order), fanning the tests across [`worker_threads`]
+/// scoped workers. Each test is a pure function of the stream, so the result
+/// is identical to [`run_all_tests_serial`] for any worker count — which the
+/// test suite pins.
+pub fn run_all_tests(bits: &BitVec) -> Vec<TestResult> {
+    run_all_tests_with_threads(bits, worker_threads())
+}
+
+/// Single-threaded reference battery; the parallel path is tested identical.
+pub fn run_all_tests_serial(bits: &BitVec) -> Vec<TestResult> {
+    (0..TEST_NAMES.len()).map(|i| run_test(bits, i)).collect()
+}
+
+/// [`run_all_tests`] with an explicit worker count. Workers pull test
+/// indices from a shared queue (the per-test costs differ by orders of
+/// magnitude, so static chunking would idle most workers) and write each
+/// result into its index slot.
+pub fn run_all_tests_with_threads(bits: &BitVec, threads: usize) -> Vec<TestResult> {
+    let count = TEST_NAMES.len();
+    if threads <= 1 {
+        return run_all_tests_serial(bits);
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<TestResult>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads.min(count))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= count {
+                            return done;
+                        }
+                        done.push((i, run_test(bits, i)));
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, r) in worker.join().expect("battery worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("every test index was claimed")).collect()
 }
 
 /// Fraction of sequences that pass every test at the given α — the
-/// Section 7.1 pass-rate metric. Returns `(pass_fraction, minimum acceptable
-/// fraction)` where the minimum follows NIST's `(1-α) - 3·sqrt(α(1-α)/k)`
-/// rule for `k` sequences.
+/// Section 7.1 pass-rate metric, sharding the sequences across
+/// [`worker_threads`] scoped workers. Returns `(pass_fraction, minimum
+/// acceptable fraction)` where the minimum follows NIST's
+/// `(1-α) - 3·sqrt(α(1-α)/k)` rule for `k` sequences.
 pub fn pass_rate(sequences: &[BitVec], alpha: Significance) -> (f64, f64) {
+    pass_rate_with_threads(sequences, alpha, worker_threads())
+}
+
+/// Single-threaded reference for [`pass_rate`]; the sharded path is tested
+/// identical for any worker count.
+pub fn pass_rate_serial(sequences: &[BitVec], alpha: Significance) -> (f64, f64) {
+    pass_rate_with_threads(sequences, alpha, 1)
+}
+
+/// [`pass_rate`] with an explicit worker count. The parallelism is across
+/// sequences (each worker runs serial batteries on its shard), and the merge
+/// is a sum of per-shard pass counts — an integer, so the result is
+/// bit-identical for any `threads`.
+pub fn pass_rate_with_threads(
+    sequences: &[BitVec],
+    alpha: Significance,
+    threads: usize,
+) -> (f64, f64) {
     let k = sequences.len().max(1) as f64;
-    let passed = sequences
-        .iter()
-        .filter(|s| run_all_tests(s).iter().all(|r| r.passes(alpha)))
-        .count() as f64;
+    let passes = |s: &BitVec| run_all_tests_serial(s).iter().all(|r| r.passes(alpha));
+    let passed = if threads <= 1 || sequences.len() <= 1 {
+        sequences.iter().filter(|s| passes(s)).count()
+    } else {
+        let chunk = sequences.len().div_ceil(threads.min(sequences.len()));
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = sequences
+                .chunks(chunk)
+                .map(|shard| scope.spawn(move || shard.iter().filter(|s| passes(s)).count()))
+                .collect();
+            workers.into_iter().map(|w| w.join().expect("pass-rate worker panicked")).sum()
+        })
+    } as f64;
     let a = 0.005; // NIST's proportion-test alpha for the acceptable-rate bound (footnote 9).
     let min_rate = (1.0 - a) - 3.0 * (a * (1.0 - a) / k).sqrt();
     (passed / k, min_rate)
@@ -221,5 +305,57 @@ mod tests {
         let (rate, min_rate) = pass_rate(&sequences, Significance::PAPER);
         assert!(rate >= min_rate, "rate {rate} min {min_rate}");
         assert!(rate > 0.9);
+    }
+
+    /// Bit-exact equality of two batteries (NaN p-values compare equal).
+    fn assert_batteries_identical(a: &[TestResult], b: &[TestResult]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.applicability, y.applicability);
+            assert_eq!(x.p_value.to_bits(), y.p_value.to_bits(), "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn parallel_battery_is_identical_to_serial_for_any_worker_count() {
+        for (n, seed) in [(0usize, 0u64), (3_000, 5), (60_000, 7)] {
+            let bits = random_bits(n, seed);
+            let serial = run_all_tests_serial(&bits);
+            for threads in [1, 2, 3, 5, 16, 64] {
+                let parallel = run_all_tests_with_threads(&bits, threads);
+                assert_batteries_identical(&parallel, &serial);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_pass_rate_is_identical_to_serial_for_any_worker_count() {
+        let sequences: Vec<BitVec> = (0..9)
+            .map(|i| {
+                if i % 3 == 0 {
+                    BitVec::ones(20_000) // guaranteed failures mix into the count
+                } else {
+                    random_bits(20_000, 40 + i)
+                }
+            })
+            .collect();
+        let serial = pass_rate_serial(&sequences, Significance::PAPER);
+        assert!(serial.0 < 1.0, "the constant streams must fail");
+        for threads in [1, 2, 3, 4, 9, 32] {
+            let sharded = pass_rate_with_threads(&sequences, Significance::PAPER, threads);
+            assert_eq!(sharded.0.to_bits(), serial.0.to_bits(), "threads = {threads}");
+            assert_eq!(sharded.1.to_bits(), serial.1.to_bits(), "threads = {threads}");
+        }
+        // Empty input: defined, no division by zero (k clamps to 1, so the
+        // bound is the single-sequence one, ≈ 0.78).
+        let (rate, bound) = pass_rate_with_threads(&[], Significance::PAPER, 4);
+        assert_eq!(rate, 0.0);
+        assert!(bound > 0.7 && bound < 1.0);
+    }
+
+    #[test]
+    fn worker_threads_is_positive() {
+        assert!(worker_threads() >= 1);
     }
 }

@@ -15,7 +15,10 @@
 //! backend, so the format is hand-rolled; swapping in crates.io serde later
 //! does not affect this file format.)
 
-use crate::characterize::{characterize_module, CharacterizationConfig, ModuleCharacterization};
+use crate::characterize::{
+    characterize_module, pattern_sweep_with_threads, worker_threads, CharacterizationConfig,
+    ModuleCharacterization, PatternStats,
+};
 use qt_dram_analog::{OperatingConditions, QuacAnalogModel};
 use qt_dram_core::{DataPattern, Segment};
 use std::fs;
@@ -23,6 +26,10 @@ use std::path::{Path, PathBuf};
 
 /// Format marker of the store files.
 const MAGIC: &str = "quac-characterization v1";
+
+/// Format marker of the pattern-sweep store files (Figure 8's per-pattern
+/// statistics).
+const SWEEP_MAGIC: &str = "quac-pattern-sweep v1";
 
 /// A directory-backed characterisation store.
 #[derive(Debug, Clone)]
@@ -151,6 +158,167 @@ impl CharacterizationCache {
         fs::write(&tmp, out)?;
         fs::rename(&tmp, path)
     }
+
+    /// [`CharacterizationCache::load_or_pattern_sweep`] through the
+    /// environment-selected store, with an explicit worker count for the
+    /// fallback sweep — callers that already shard *modules* across workers
+    /// (the Figure 8 binary) pass 1 to keep the total thread count bounded.
+    pub fn load_or_pattern_sweep_env(
+        label: &str,
+        model: &QuacAnalogModel,
+        patterns: &[DataPattern],
+        cfg: &CharacterizationConfig,
+        threads: usize,
+    ) -> Vec<PatternStats> {
+        match Self::from_env() {
+            Some(cache) => cache.load_or_pattern_sweep_with(label, model, patterns, cfg, threads),
+            None => pattern_sweep_with_threads(model, patterns, cfg, threads),
+        }
+    }
+
+    /// Loads the Figure 8 per-pattern statistics for `(label, model,
+    /// patterns, cfg)` if a valid entry exists, otherwise runs the sweep
+    /// (across [`worker_threads`] workers) and stores the result
+    /// best-effort. Stored values round-trip f64-exactly, so a cached sweep
+    /// is bit-identical to a fresh one.
+    pub fn load_or_pattern_sweep(
+        &self,
+        label: &str,
+        model: &QuacAnalogModel,
+        patterns: &[DataPattern],
+        cfg: &CharacterizationConfig,
+    ) -> Vec<PatternStats> {
+        self.load_or_pattern_sweep_with(label, model, patterns, cfg, worker_threads())
+    }
+
+    /// [`CharacterizationCache::load_or_pattern_sweep`] with an explicit
+    /// worker count for the fallback sweep.
+    pub fn load_or_pattern_sweep_with(
+        &self,
+        label: &str,
+        model: &QuacAnalogModel,
+        patterns: &[DataPattern],
+        cfg: &CharacterizationConfig,
+        threads: usize,
+    ) -> Vec<PatternStats> {
+        let path = self.sweep_entry_path(label, model, patterns, cfg);
+        if let Some(stats) = load_sweep_entry(&path, patterns, cfg) {
+            return stats;
+        }
+        let stats = pattern_sweep_with_threads(model, patterns, cfg, threads);
+        // Best-effort persistence, like the characterisation entries.
+        let _ = self.store_sweep_at(&path, &stats, cfg);
+        stats
+    }
+
+    /// The file path that `load_or_pattern_sweep` uses for this key. Keyed
+    /// like [`CharacterizationCache::entry_path`] (module identity, physics
+    /// fingerprint, geometry, sweep configuration, conditions) plus the
+    /// pattern list, so a different pattern set can never serve a stale
+    /// entry.
+    pub fn sweep_entry_path(
+        &self,
+        label: &str,
+        model: &QuacAnalogModel,
+        patterns: &[DataPattern],
+        cfg: &CharacterizationConfig,
+    ) -> PathBuf {
+        let sanitized: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let pattern_key: String = patterns.iter().map(|p| p.to_string()).collect();
+        let name = format!(
+            "{sanitized}-sweep-s{:016x}-m{:016x}-r{}-g{}-P{pattern_key}-ss{}-bs{}-t{:016x}-a{:016x}.qps",
+            model.variation().seed(),
+            model.physics_fingerprint(),
+            model.geometry().row_bits,
+            model.geometry().segments_per_bank(),
+            cfg.segment_stride,
+            cfg.bitline_stride,
+            cfg.conditions.temperature_c.to_bits(),
+            cfg.conditions.age_days.to_bits(),
+        );
+        self.dir.join(name)
+    }
+
+    fn store_sweep_at(
+        &self,
+        path: &Path,
+        stats: &[PatternStats],
+        cfg: &CharacterizationConfig,
+    ) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let mut out = String::new();
+        out.push_str(SWEEP_MAGIC);
+        out.push('\n');
+        // The key already folds the conditions in; stored redundantly so a
+        // renamed file can never masquerade as another configuration.
+        out.push_str(&format!(
+            "conditions {:016x} {:016x}\n",
+            cfg.conditions.temperature_c.to_bits(),
+            cfg.conditions.age_days.to_bits()
+        ));
+        out.push_str(&format!("patterns {}\n", stats.len()));
+        for s in stats {
+            out.push_str(&format!(
+                "{} {:016x} {:016x}\n",
+                s.pattern,
+                s.avg_cache_block_entropy.to_bits(),
+                s.max_cache_block_entropy.to_bits()
+            ));
+        }
+        out.push_str("end\n");
+        let tmp = path.with_extension("qps.tmp");
+        fs::write(&tmp, out)?;
+        fs::rename(&tmp, path)
+    }
+}
+
+/// Parses a pattern-sweep entry, returning `None` (caller re-sweeps) on any
+/// mismatch, truncation, or corruption. The stored pattern list must match
+/// the requested one exactly, in order.
+fn load_sweep_entry(
+    path: &Path,
+    patterns: &[DataPattern],
+    cfg: &CharacterizationConfig,
+) -> Option<Vec<PatternStats>> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != SWEEP_MAGIC {
+        return None;
+    }
+    let mut cond_fields = lines.next()?.strip_prefix("conditions ")?.split(' ');
+    let conditions = OperatingConditions {
+        temperature_c: f64::from_bits(u64::from_str_radix(cond_fields.next()?, 16).ok()?),
+        age_days: f64::from_bits(u64::from_str_radix(cond_fields.next()?, 16).ok()?),
+    };
+    if conditions != cfg.conditions {
+        return None;
+    }
+    let count: usize = lines.next()?.strip_prefix("patterns ")?.parse().ok()?;
+    if count != patterns.len() {
+        return None;
+    }
+    let mut stats = Vec::with_capacity(count);
+    for &expected in patterns {
+        let mut fields = lines.next()?.split(' ');
+        let pattern: DataPattern = fields.next()?.parse().ok()?;
+        if pattern != expected {
+            return None;
+        }
+        let avg = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
+        let max = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
+        stats.push(PatternStats {
+            pattern,
+            avg_cache_block_entropy: avg,
+            max_cache_block_entropy: max,
+        });
+    }
+    if lines.next()? != "end" {
+        return None;
+    }
+    Some(stats)
 }
 
 /// Parses a store entry, returning `None` (caller recomputes) on any
@@ -304,6 +472,55 @@ mod tests {
         let path = cache.entry_path("M", &model, pattern, &cfg());
         fs::write(&path, "quac-characterization v1\npattern 0111\ngarbage").unwrap();
         let recovered = cache.load_or_characterize("M", &model, pattern, &cfg());
+        assert_eq!(recovered, expected);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pattern_sweep_round_trips_exactly_and_loads_on_second_call() {
+        use crate::characterize::pattern_sweep_serial;
+        let dir = scratch_dir("sweep");
+        let cache = CharacterizationCache::new(&dir);
+        let model = tiny_model(21);
+        let patterns = DataPattern::figure8_patterns();
+        let fresh = cache.load_or_pattern_sweep("Mx", &model, &patterns, &cfg());
+        let direct = pattern_sweep_serial(&model, &patterns, &cfg());
+        assert_eq!(fresh, direct, "first call must compute the real sweep");
+        let path = cache.sweep_entry_path("Mx", &model, &patterns, &cfg());
+        assert!(path.exists(), "entry stored at {path:?}");
+        let loaded = cache.load_or_pattern_sweep("Mx", &model, &patterns, &cfg());
+        assert_eq!(loaded, fresh, "loaded sweep must be bit-identical");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pattern_sweep_entries_reject_mismatches_and_corruption() {
+        let dir = scratch_dir("sweep-corrupt");
+        let cache = CharacterizationCache::new(&dir);
+        let model = tiny_model(22);
+        let patterns = DataPattern::figure8_patterns();
+        let expected = cache.load_or_pattern_sweep("M", &model, &patterns, &cfg());
+        let path = cache.sweep_entry_path("M", &model, &patterns, &cfg());
+        let stored = fs::read_to_string(&path).unwrap();
+
+        // A different pattern subset keys a different entry.
+        assert_ne!(
+            cache.sweep_entry_path("M", &model, &patterns[..4], &cfg()),
+            path,
+            "pattern list must be part of the key"
+        );
+        // Truncation forces a recompute (which must succeed and produce the
+        // original result); sampled prefixes keep the test fast.
+        for cut in (0..stored.len()).step_by(7) {
+            fs::write(&path, &stored[..cut]).unwrap();
+            let recovered = cache.load_or_pattern_sweep("M", &model, &patterns, &cfg());
+            assert_eq!(recovered, expected, "truncated at {cut}");
+            fs::write(&path, &stored).unwrap();
+        }
+        // A stored pattern list that does not match the request is rejected.
+        let swapped = stored.replacen("0111", "1000", 1);
+        fs::write(&path, swapped).unwrap();
+        let recovered = cache.load_or_pattern_sweep("M", &model, &patterns, &cfg());
         assert_eq!(recovered, expected);
         let _ = fs::remove_dir_all(&dir);
     }

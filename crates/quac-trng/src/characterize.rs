@@ -9,29 +9,20 @@
 use qt_dram_analog::{OperatingConditions, QuacAnalogModel};
 use qt_dram_core::{DataPattern, Segment, CACHE_BLOCK_BITS, RANDOM_NUMBER_BITS};
 use serde::{Deserialize, Serialize};
-use std::num::NonZeroUsize;
 use std::thread;
 
-/// Number of worker threads characterisation sweeps shard across: the
-/// `QUAC_THREADS` environment variable when set to a positive integer,
-/// otherwise the machine's available parallelism.
-pub fn worker_threads() -> usize {
-    if let Ok(v) = std::env::var("QUAC_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
-}
+/// Number of worker threads characterisation sweeps shard across — the
+/// workspace-wide `QUAC_THREADS` convention, shared with the NIST battery
+/// through `qt_dram_core`.
+pub use qt_dram_core::worker_threads;
 
 /// Maps `f` over `items` on up to `threads` scoped workers, returning results
 /// in item order. Each item is evaluated independently and the merge is a
 /// positional copy, so the output is bit-identical to a serial map regardless
 /// of the worker count — the property the `*_with_threads` characterisation
-/// entry points rely on.
-fn ordered_parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+/// entry points rely on. Public so other sweeps (the figure binaries shard
+/// modules with it) inherit the same determinism contract.
+pub fn ordered_parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -185,10 +176,15 @@ pub fn pattern_sweep_serial(
     pattern_sweep_with_threads(model, patterns, cfg, 1)
 }
 
-/// [`pattern_sweep`] with an explicit worker count. Every `(pattern,
-/// segment)` pair is evaluated independently and per-pattern statistics fold
-/// the per-segment subtotals in segment order, so the result is bit-identical
-/// for any `threads`.
+/// [`pattern_sweep`] with an explicit worker count. The work items are
+/// *segments* (not `(pattern, segment)` pairs): the per-bitline static
+/// offsets depend on neither pattern nor temperature, so each item derives
+/// its segment's offset grid once ([`QuacAnalogModel::static_offset_grid`])
+/// and shares it across all patterns — one grid derivation per segment
+/// instead of one per probe. Every `(pattern, segment)` value is unchanged
+/// and per-pattern statistics fold the per-segment subtotals in segment
+/// order, so the result is bit-identical for any `threads` (and to the
+/// pre-sharing sweep, which the proptests pin via the serial reference).
 pub fn pattern_sweep_with_threads(
     model: &QuacAnalogModel,
     patterns: &[DataPattern],
@@ -197,32 +193,38 @@ pub fn pattern_sweep_with_threads(
 ) -> Vec<PatternStats> {
     let segments = sampled_segments(model.geometry().segments_per_bank(), cfg.segment_stride);
     let blocks = model.geometry().cache_blocks_per_row();
-    let items: Vec<(usize, usize)> = patterns
-        .iter()
-        .enumerate()
-        .flat_map(|(pi, _)| segments.iter().map(move |&s| (pi, s)))
-        .collect();
-    // Per (pattern, segment): the segment's cache-block entropy subtotal and
-    // maximum under that pattern. One whole-row walk per item, so the shared
-    // offset grid is fetched once per item, not once per cache block.
-    let per_item: Vec<(f64, f64)> = ordered_parallel_map(&items, threads, |&(pi, s)| {
-        let prober = model.prober(Segment::new(s), patterns[pi], cfg.conditions);
-        let mut sum = 0.0;
-        let mut max = 0.0f64;
-        for (block_sum, count) in prober.cache_block_entropy_sums(cfg.bitline_stride) {
-            let e = block_sum * CACHE_BLOCK_BITS as f64 / count.max(1) as f64;
-            sum += e;
-            max = max.max(e);
-        }
-        (sum, max)
+    // Per segment: the cache-block entropy subtotal and maximum under each
+    // pattern, all patterns walking one shared offset grid.
+    let per_segment: Vec<Vec<(f64, f64)>> = ordered_parallel_map(&segments, threads, |&s| {
+        let segment = Segment::new(s);
+        let grid = model.static_offset_grid(segment, cfg.bitline_stride, cfg.conditions.age_days);
+        patterns
+            .iter()
+            .map(|&pattern| {
+                let prober = model.prober(segment, pattern, cfg.conditions);
+                let mut sum = 0.0;
+                let mut max = 0.0f64;
+                for (block_sum, count) in
+                    prober.cache_block_entropy_sums_with_grid(&grid, cfg.bitline_stride)
+                {
+                    let e = block_sum * CACHE_BLOCK_BITS as f64 / count.max(1) as f64;
+                    sum += e;
+                    max = max.max(e);
+                }
+                (sum, max)
+            })
+            .collect()
     });
     patterns
         .iter()
         .enumerate()
         .map(|(pi, &pattern)| {
-            let rows = &per_item[pi * segments.len()..(pi + 1) * segments.len()];
-            let sum: f64 = rows.iter().map(|(s, _)| s).sum();
-            let max = rows.iter().fold(0.0f64, |m, &(_, x)| m.max(x));
+            let mut sum = 0.0;
+            let mut max = 0.0f64;
+            for row in &per_segment {
+                sum += row[pi].0;
+                max = max.max(row[pi].1);
+            }
             let count = (segments.len() * blocks).max(1);
             PatternStats {
                 pattern,
@@ -257,6 +259,13 @@ pub fn characterize_module_serial(
 /// [`characterize_module`] with an explicit worker count. Each segment's
 /// entropy is computed independently and merged in segment order, so the
 /// returned [`ModuleCharacterization`] is bit-identical for any `threads`.
+///
+/// The sweep visits every segment exactly once, so it probes through
+/// [`qt_dram_analog::SegmentProber::entropy_sum_fused`]: static offsets are
+/// computed inline with the entropy walk, skipping the shared offset-cache
+/// lock, the grid allocation, and its second memory pass — those only pay
+/// off on revisits, which this sweep never makes. (Bit-identical to the
+/// cached path; `segment_entropy`'s scaling is reproduced exactly.)
 pub fn characterize_module_with_threads(
     model: &QuacAnalogModel,
     pattern: DataPattern,
@@ -264,8 +273,11 @@ pub fn characterize_module_with_threads(
     threads: usize,
 ) -> ModuleCharacterization {
     let segments = sampled_segments(model.geometry().segments_per_bank(), cfg.segment_stride);
+    let row_bits = model.geometry().row_bits;
     let entropies = ordered_parallel_map(&segments, threads, |&s| {
-        model.segment_entropy(Segment::new(s), pattern, cfg.conditions, cfg.bitline_stride)
+        let prober = model.prober(Segment::new(s), pattern, cfg.conditions);
+        let (sum, count) = prober.entropy_sum_fused(0, row_bits, cfg.bitline_stride);
+        sum * row_bits as f64 / count as f64
     });
     let segment_entropy: Vec<(usize, f64)> =
         segments.iter().copied().zip(entropies.iter().copied()).collect();
@@ -390,6 +402,28 @@ mod tests {
             "M1 avg segment entropy {avg:.1} vs Table 3 {target}"
         );
         assert!(ch.sha_input_blocks() >= 4, "SIB {}", ch.sha_input_blocks());
+    }
+
+    #[test]
+    fn fused_sweep_matches_the_cached_entropy_path_bit_for_bit() {
+        // The sweep's fused probe (offsets inline, no shared cache) must
+        // reproduce `model.segment_entropy` — the cached path — exactly.
+        let model = tiny_model();
+        let cfg = CharacterizationConfig {
+            segment_stride: 3,
+            bitline_stride: 2,
+            conditions: OperatingConditions::at_temperature(61.0),
+        };
+        let ch = characterize_module_serial(&model, DataPattern::best_average(), &cfg);
+        for &(s, e) in &ch.segment_entropy {
+            let cached = model.segment_entropy(
+                Segment::new(s),
+                DataPattern::best_average(),
+                cfg.conditions,
+                cfg.bitline_stride,
+            );
+            assert_eq!(e.to_bits(), cached.to_bits(), "segment {s}");
+        }
     }
 
     #[test]

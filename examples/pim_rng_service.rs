@@ -9,12 +9,20 @@
 //! to the random-byte rate its idle cycles can sustain under a co-running
 //! SPEC2006 workload.
 //!
+//! The burst run's output is then validated *inline* with the full NIST
+//! SP 800-22 battery (the paper's α = 0.001, Section 6.2): shard 0's
+//! channel stream is reassembled from the completions' provenance and run
+//! through all 15 tests. The word-parallel battery runs ~19× faster than
+//! the bit-at-a-time one, so "validate what we serve" fits in the serving
+//! loop instead of being an offline step (the DR-STRaNGe system argument).
+//!
 //! Run with: `cargo run --release --example pim_rng_service`
 
 use quac_trng_repro::dram_analog::PAPER_MODULES;
-use quac_trng_repro::dram_core::{DataPattern, TransferRate};
+use quac_trng_repro::dram_core::{BitVec, DataPattern, TransferRate};
 use quac_trng_repro::memctrl::system::{idle_injection_throughput_gbps, MemorySystem, MemorySystemConfig};
 use quac_trng_repro::memctrl::IdleBudget;
+use quac_trng_repro::nist_sts::{run_all_tests, Significance};
 use quac_trng_repro::rng_service::{ClientId, Priority, RngService, RngServiceConfig};
 use quac_trng_repro::trng::characterize::CharacterizationConfig;
 use quac_trng_repro::trng::pipeline::QuacTrng;
@@ -29,17 +37,22 @@ const CLIENTS: u32 = 4;
 const REQUESTS_PER_CLIENT: usize = 16;
 const REQUEST_BYTES: usize = 16 << 10;
 const INJECTION_EFFICIENCY: f64 = 0.95;
+/// How much of the delivered stream the inline battery validates — the
+/// paper's per-sequence length (1 Mb, Section 6.2).
+const VALIDATED_BITS: usize = 1_000_000;
 
 /// Drives `CLIENTS` concurrent client threads through the service and
 /// returns the aggregate delivered rate in Gb/s (of simulation wall-clock —
 /// the simulated electrical model generates far slower than real DRAM, so
-/// rates are meaningful relative to each other, not to the paper's 3.44).
-fn drive_clients(service: &Arc<RngService>) -> f64 {
+/// rates are meaningful relative to each other, not to the paper's 3.44)
+/// plus every completion's `(shard, stream_offset, bytes)` provenance.
+fn drive_clients(service: &Arc<RngService>) -> (f64, Vec<(usize, u64, Vec<u8>)>) {
     let started = Instant::now();
     let handles: Vec<_> = (0..CLIENTS)
         .map(|client| {
             let service = Arc::clone(service);
             std::thread::spawn(move || {
+                let mut delivered = Vec::with_capacity(REQUESTS_PER_CLIENT);
                 for i in 0..REQUESTS_PER_CLIENT {
                     // One client mixes priorities, the rest are bulk readers.
                     let priority =
@@ -49,15 +62,55 @@ fn drive_clients(service: &Arc<RngService>) -> f64 {
                         .expect("request admitted");
                     let completion = ticket.wait().expect("request served");
                     assert_eq!(completion.bytes.len(), REQUEST_BYTES);
+                    delivered.push((completion.shard, completion.stream_offset, completion.bytes));
                 }
+                delivered
             })
         })
         .collect();
+    let mut chunks = Vec::new();
     for h in handles {
-        h.join().expect("client thread");
+        chunks.extend(h.join().expect("client thread"));
     }
-    let total_bytes = (CLIENTS as usize * REQUESTS_PER_CLIENT * REQUEST_BYTES) as f64;
-    total_bytes * 8.0 / 1e9 / started.elapsed().as_secs_f64()
+    let total: usize = chunks.iter().map(|(_, _, b)| b.len()).sum();
+    let rate = total as f64 * 8.0 / 1e9 / started.elapsed().as_secs_f64();
+    (rate, chunks)
+}
+
+/// Validates served output inline: reassembles shard 0's output stream from
+/// the completions' `(shard, stream_offset)` provenance — *which* client got
+/// which chunk is scheduling-dependent, but a shard's stream content is
+/// deterministic (the service's serial-equivalence tests pin this) — and
+/// runs the first `VALIDATED_BITS` of it through the full 15-test battery
+/// at the paper's α = 0.001. Prints a one-line verdict per failing test
+/// (none can occur: the stream is identical on every run and passes).
+fn validate_served_stream(chunks: &[(usize, u64, Vec<u8>)]) {
+    let mut shard0: Vec<(u64, &[u8])> =
+        chunks.iter().filter(|(s, _, _)| *s == 0).map(|(_, o, b)| (*o, b.as_slice())).collect();
+    shard0.sort_by_key(|(offset, _)| *offset);
+    let mut bytes = Vec::new();
+    for (offset, chunk) in shard0 {
+        assert_eq!(offset as usize, bytes.len(), "shard stream must be gapless");
+        bytes.extend_from_slice(chunk);
+    }
+    let n = VALIDATED_BITS.min(bytes.len() * 8);
+    let started = Instant::now();
+    let stream = BitVec::from_bytes(&bytes, n);
+    let results = run_all_tests(&stream);
+    let alpha = Significance::PAPER;
+    let passed = results.iter().filter(|r| r.passes(alpha)).count();
+    println!(
+        "  inline NIST SP 800-22 on shard 0's stream: {passed}/{} tests pass on the \
+         first {:.1} Mb (alpha = {}, {:.0} ms)",
+        results.len(),
+        n as f64 / 1e6,
+        alpha.0,
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+    for r in results.iter().filter(|r| !r.passes(alpha)) {
+        println!("    FAILED {}: p = {}", r.name, r.display_p_value());
+    }
+    assert_eq!(passed, results.len(), "served bits must pass the battery");
 }
 
 fn main() {
@@ -88,7 +141,7 @@ fn main() {
     };
     let service =
         Arc::new(RngService::start(QuacTrng::shards(&model, &ch, 2024, SHARDS), service_cfg));
-    let sim_peak = drive_clients(&service);
+    let (sim_peak, delivered_chunks) = drive_clients(&service);
     let stats = Arc::try_unwrap(service).expect("clients joined").shutdown();
     println!(
         "burst (no pacing): {CLIENTS} clients x {REQUESTS_PER_CLIENT} x {} KiB over {SHARDS} shards",
@@ -102,6 +155,7 @@ fn main() {
     for (shard, bytes) in stats.per_shard_bytes.iter().enumerate() {
         println!("  shard {shard}: {} KiB delivered", bytes >> 10);
     }
+    validate_served_stream(&delivered_chunks);
 
     // Idle-cycle budgets under SPEC2006 traffic (Figure 12's model), then the
     // same budgets applied to the service — scaled into simulation time so
@@ -121,7 +175,7 @@ fn main() {
         };
         let service =
             Arc::new(RngService::start(QuacTrng::shards(&model, &ch, 2024, SHARDS), paced_cfg));
-        let delivered = drive_clients(&service);
+        let (delivered, _) = drive_clients(&service);
         Arc::try_unwrap(service).expect("clients joined").shutdown();
         println!(
             "{:<12}{:>6.1}{:>13.2}{:>11.3} ({:.3})",

@@ -29,6 +29,20 @@ bench:
 bench-json:
     BENCH_JSON="$(pwd)/BENCH_RESULTS.json" cargo bench -p qt_bench
 
+# Measure only the NIST battery benches (name filter); the JSON merge keeps
+# every other benchmark's entry intact.
+nist-bench:
+    BENCH_JSON="$(pwd)/BENCH_RESULTS.json" cargo bench -p qt_bench -- nist
+
+# Re-measure and fail if any hot path regressed >25% (median-normalised)
+# against the committed BENCH_RESULTS.json — the same gate CI runs. The
+# fresh run goes to a temp file, so the committed baseline is never touched
+# (refresh it deliberately with `just bench-json`).
+bench-check:
+    cp BENCH_RESULTS.json /tmp/quac-bench-fresh.json
+    BENCH_JSON=/tmp/quac-bench-fresh.json cargo bench -p qt_bench
+    cargo run --release -p qt_bench --bin bench_check -- /tmp/quac-bench-fresh.json BENCH_RESULTS.json
+
 # Full-density reproduction: seed .quac-cache once with the population-wide
 # characterisation (table3 sweeps all modules at QUAC_FULL=1 density), then
 # reproduce every figure/table from the cached characterisations. The first

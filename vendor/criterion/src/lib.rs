@@ -45,15 +45,24 @@ pub struct Criterion {
     sample_size: usize,
     measure: bool,
     pending_bits: Option<u64>,
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // Mirrors real criterion: `cargo bench` passes `--bench` to the
         // harness binary; `cargo test` does not, and benches become smoke
-        // tests that run each body once.
+        // tests that run each body once. A trailing free argument
+        // (`cargo bench -- <substring>`) filters benchmarks by name, again
+        // like the real crate; the filter only applies in measuring mode so
+        // `cargo test` harness flags are never misread as filters.
         let measure = std::env::args().any(|a| a == "--bench");
-        Criterion { sample_size: 100, measure, pending_bits: None }
+        let filter = if measure {
+            std::env::args().skip(1).find(|a| !a.starts_with('-'))
+        } else {
+            None
+        };
+        Criterion { sample_size: 100, measure, pending_bits: None, filter }
     }
 }
 
@@ -81,6 +90,11 @@ impl Criterion {
     {
         let samples = if self.measure { self.sample_size } else { 1 };
         let bits = self.pending_bits.take();
+        if let Some(f) = &self.filter {
+            if !id.contains(f.as_str()) {
+                return self;
+            }
+        }
         let mut bencher = Bencher { samples, best: Duration::MAX, iters_done: 0 };
         f(&mut bencher);
         if self.measure {
@@ -130,16 +144,33 @@ impl Bencher {
     }
 }
 
-/// Extracts `"key":value` (a bare JSON number) from a result line.
-fn json_number(line: &str, key: &str) -> Option<f64> {
+/// Extracts `"key":value` (a bare JSON number) from a result line of the
+/// `BENCH_JSON` report. Public so report consumers (the `bench_check`
+/// regression gate) parse with the exact helpers the writer round-trips
+/// through, instead of a drifting copy.
+pub fn json_number(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
     let rest = &line[line.find(&pat)? + pat.len()..];
     let end = rest.find([',', '}']).unwrap_or(rest.len());
     rest[..end].trim().parse().ok()
 }
 
-/// Extracts `"key":"value"` (a JSON string, no escapes) from a result line.
-fn json_string(line: &str, key: &str) -> Option<String> {
+/// Tags a preserved-but-unmeasured report entry with `"carried":true`
+/// (idempotent), so downstream tooling — the `bench_check` regression gate —
+/// can tell a real measurement from a merge artefact.
+fn carry_entry(raw: &str) -> String {
+    if raw.contains("\"carried\":true") {
+        return raw.to_string();
+    }
+    match raw.strip_suffix('}') {
+        Some(body) => format!("{body},\"carried\":true}}"),
+        None => raw.to_string(),
+    }
+}
+
+/// Extracts `"key":"value"` (a JSON string, no escapes) from a result line
+/// of the `BENCH_JSON` report; see [`json_number`].
+pub fn json_string(line: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":\"");
     let rest = &line[line.find(&pat)? + pat.len()..];
     Some(rest[..rest.find('"')?].to_string())
@@ -147,7 +178,10 @@ fn json_string(line: &str, key: &str) -> Option<String> {
 
 /// Writes the measured results as JSON to the `BENCH_JSON` path (no-op when
 /// the variable is unset or nothing was measured). Carries each benchmark's
-/// baseline forward from an existing report at the same path.
+/// baseline forward from an existing report at the same path, and *merges*:
+/// entries present in the old report but not measured this run (e.g. when a
+/// name filter selected a subset) are preserved verbatim, so a filtered run
+/// never drops the rest of the trajectory.
 pub fn write_json_report() {
     let Ok(path) = std::env::var("BENCH_JSON") else { return };
     if path.is_empty() {
@@ -157,22 +191,19 @@ pub fn write_json_report() {
     if results.is_empty() {
         return;
     }
-    // Previous report → name ↦ baseline ns (explicit baseline wins, else the
-    // previous current value becomes the baseline).
-    let mut baselines: Vec<(String, f64)> = Vec::new();
+    // Previous report → (name, raw entry JSON, baseline ns). The explicit
+    // baseline wins, else the previous current value becomes the baseline.
+    let mut previous: Vec<(String, String, Option<f64>)> = Vec::new();
     if let Ok(old) = std::fs::read_to_string(&path) {
         for line in old.lines() {
             if let Some(name) = json_string(line, "name") {
                 let baseline = json_number(line, "baseline_ns_per_iter")
                     .or_else(|| json_number(line, "ns_per_iter"));
-                if let Some(b) = baseline {
-                    baselines.push((name, b));
-                }
+                previous.push((name, line.trim().trim_end_matches(',').to_string(), baseline));
             }
         }
     }
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"unit\": \"ns/iter (best of N samples)\",\n  \"results\": [\n");
-    for (i, r) in results.iter().enumerate() {
+    let format_measured = |r: &BenchRecord| {
         let mut fields = format!(
             "{{\"name\":\"{}\",\"ns_per_iter\":{:.1},\"samples\":{}",
             r.name, r.ns_per_iter, r.samples
@@ -183,16 +214,36 @@ pub fn write_json_report() {
                 bits as f64 / r.ns_per_iter
             ));
         }
-        if let Some((_, baseline)) = baselines.iter().find(|(n, _)| *n == r.name) {
+        if let Some((_, _, Some(baseline))) = previous.iter().find(|(n, _, _)| *n == r.name) {
             fields.push_str(&format!(
                 ",\"baseline_ns_per_iter\":{baseline:.1},\"speedup\":{:.2}",
                 baseline / r.ns_per_iter
             ));
         }
         fields.push('}');
+        fields
+    };
+    // Old entry order first (measured names updated in place, unmeasured
+    // kept as-is but tagged `"carried":true` so downstream tooling — the
+    // bench_check regression gate — can tell a real measurement from a
+    // merge artefact), then any newly-added benchmarks in run order.
+    let mut entries: Vec<String> = Vec::new();
+    for (name, raw, _) in &previous {
+        match results.iter().find(|r| r.name == *name) {
+            Some(r) => entries.push(format_measured(r)),
+            None => entries.push(carry_entry(raw)),
+        }
+    }
+    for r in results.iter() {
+        if !previous.iter().any(|(n, _, _)| n == &r.name) {
+            entries.push(format_measured(r));
+        }
+    }
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"unit\": \"ns/iter (best of N samples)\",\n  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
         out.push_str("    ");
-        out.push_str(&fields);
-        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+        out.push_str(e);
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write(&path, out) {
@@ -248,18 +299,47 @@ mod tests {
 
     #[test]
     fn smoke_mode_runs_body_once_per_sample_request() {
-        let mut criterion = Criterion { sample_size: 5, measure: false, pending_bits: None };
+        let mut criterion =
+            Criterion { sample_size: 5, measure: false, pending_bits: None, filter: None };
         let mut runs = 0;
         criterion.bench_function("t", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 1);
     }
 
     #[test]
+    fn name_filter_skips_non_matching_benchmarks() {
+        let mut criterion = Criterion {
+            sample_size: 2,
+            measure: true,
+            pending_bits: None,
+            filter: Some("nist".to_string()),
+        };
+        let mut matched = 0;
+        let mut skipped = 0;
+        criterion.bench_function("nist_sts_50kb", |b| b.iter(|| matched += 1));
+        criterion.bench_function("sha256_4KiB", |b| b.iter(|| skipped += 1));
+        assert_eq!(matched, 2);
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
     fn measuring_mode_honours_sample_size() {
-        let mut criterion = Criterion { sample_size: 4, measure: true, pending_bits: None };
+        let mut criterion =
+            Criterion { sample_size: 4, measure: true, pending_bits: None, filter: None };
         let mut runs = 0;
         criterion.bench_function("vendored-criterion-self-test", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn merge_tags_unmeasured_entries_as_carried_exactly_once() {
+        // Unmeasured entries preserved by the merge gain `"carried":true`;
+        // re-merging an already-carried entry must not tag it again.
+        let raw = r#"{"name":"old","ns_per_iter":5.0,"samples":10}"#;
+        let once = carry_entry(raw);
+        assert_eq!(once, r#"{"name":"old","ns_per_iter":5.0,"samples":10,"carried":true}"#);
+        assert_eq!(carry_entry(&once), once, "idempotent");
+        assert_eq!(once.matches("\"carried\":true").count(), 1);
     }
 
     #[test]
