@@ -51,6 +51,20 @@ fn parse_results(text: &str, include_carried: bool) -> Vec<(String, f64)> {
 /// closes that blind spot; override with `BENCH_ABS_RATIO_BOUND`.
 const DEFAULT_ABS_RATIO_BOUND: f64 = 4.0;
 
+/// The continuous-validation overhead gate: the on/off pair of the RNG
+/// service bench, measured in the *same* fresh run (same machine, same
+/// build), must stay within `overhead` of each other — the acceptance bound
+/// of the validation tap ("validation-on overhead < 10%"). Returns
+/// `Some((on_over_off_ratio, regressed?))` when both entries are present,
+/// `None` otherwise. Pure so the rule is unit-testable.
+fn validation_overhead(fresh: &[(String, f64)], overhead: f64) -> Option<(f64, bool)> {
+    let ns = |name: &str| fresh.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    let on = ns("rng_service_continuous_validation_on")?;
+    let off = ns("rng_service_continuous_validation_off")?;
+    let ratio = on / off;
+    Some((ratio, ratio > 1.0 + overhead))
+}
+
 /// Per-benchmark verdicts: `(name, fresh/baseline ratio normalised by the
 /// suite median, regressed?)`, plus the median itself (printed so a
 /// suite-wide shift is visible to humans even when no entry fails). An
@@ -133,6 +147,20 @@ fn main() -> ExitCode {
         println!("{name:<42}{ratio:>18.3}{flag}");
         failed |= regressed;
     }
+    // Paired bound, fresh-run only (same machine on both sides): the
+    // continuous-validation tap must stay within its overhead budget.
+    let overhead_budget = std::env::var("BENCH_VALIDATION_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.10);
+    if let Some((ratio, over)) = validation_overhead(&fresh, overhead_budget) {
+        let flag = if over { "  <-- OVER BUDGET" } else { "" };
+        println!(
+            "validation-on / validation-off:          {ratio:>18.3}{flag} (budget {:.0}%)",
+            overhead_budget * 100.0
+        );
+        failed |= over;
+    }
     if failed {
         eprintln!(
             "bench_check: regression beyond {:.0}% (median-normalised) — investigate or refresh \
@@ -205,6 +233,24 @@ mod tests {
         let (rows, _) = verdicts(&fresh, &base, 0.25, DEFAULT_ABS_RATIO_BOUND);
         assert!(!rows.iter().find(|(n, _, _)| n == "a").unwrap().2);
         assert!(rows.iter().find(|(n, _, _)| n == "c").unwrap().2, "2x on c must flag");
+    }
+
+    #[test]
+    fn validation_overhead_gate_pairs_the_on_off_benches() {
+        let fresh = results(&[
+            ("rng_service_continuous_validation_off", 1000.0),
+            ("rng_service_continuous_validation_on", 1050.0),
+        ]);
+        let (ratio, over) = validation_overhead(&fresh, 0.10).unwrap();
+        assert!((ratio - 1.05).abs() < 1e-12);
+        assert!(!over, "5% overhead is within the 10% budget");
+        let fresh = results(&[
+            ("rng_service_continuous_validation_off", 1000.0),
+            ("rng_service_continuous_validation_on", 1200.0),
+        ]);
+        assert!(validation_overhead(&fresh, 0.10).unwrap().1, "20% overhead must fail");
+        // Missing either side: no verdict (e.g. a filtered `-- nist` run).
+        assert!(validation_overhead(&results(&[("a", 1.0)]), 0.10).is_none());
     }
 
     #[test]

@@ -25,6 +25,9 @@
 
 pub mod special;
 pub mod tests15;
+pub mod windowed;
+
+pub use windowed::{WindowReport, WindowedBattery};
 
 use qt_dram_core::BitVec;
 use serde::{Deserialize, Serialize};

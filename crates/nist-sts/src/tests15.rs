@@ -1112,6 +1112,71 @@ pub fn cumulative_sums_reference(bits: &BitVec) -> TestResult {
     result("cumulative_sums", cumulative_sums_p_value(z, n))
 }
 
+/// One counting pass of the ±1 random walk: everything the two excursion
+/// tests need — the cycle count `J`, the per-cycle visit-count buckets for
+/// the eight excursion states (|x| ≤ 4, bucketed at `min(visits, 5)`), and
+/// the whole-walk visit totals for the 18 variant states (|x| ≤ 9) — without
+/// materialising per-cycle state vectors. The reference implementations
+/// allocate one `Vec<i64>` per cycle (O(n) heap churn over the walk); this
+/// scan keeps O(1) state and produces the *same integers*, so the derived
+/// χ²/p-values are bit-identical (pinned by proptest against the references).
+struct ExcursionScan {
+    /// Number of zero-crossing cycles (a non-empty tail counts as one).
+    j: usize,
+    /// `bucketed[state][k]` = cycles that visited excursion state
+    /// `EXCURSION_STATES[state]` exactly `k` times (`k = 5` means ≥ 5).
+    bucketed: [[usize; 6]; 8],
+    /// Total visits to variant state `x` over the whole walk, indexed by
+    /// [`variant_state_index`].
+    totals: [usize; 18],
+}
+
+/// The eight states of the random excursions test, in SP 800-22 §2.14 order.
+const EXCURSION_STATES: [i64; 8] = [-4, -3, -2, -1, 1, 2, 3, 4];
+
+/// Index of excursion state `x ∈ {±1..±4}` in [`EXCURSION_STATES`].
+fn excursion_state_index(x: i64) -> usize {
+    if x < 0 { (x + 4) as usize } else { (x + 3) as usize }
+}
+
+/// Index of variant state `x ∈ {±1..±9}` (ascending, zero skipped).
+fn variant_state_index(x: i64) -> usize {
+    if x < 0 { (x + 9) as usize } else { (x + 8) as usize }
+}
+
+fn excursion_scan(bits: &BitVec) -> ExcursionScan {
+    let mut scan = ExcursionScan { j: 0, bucketed: [[0; 6]; 8], totals: [0; 18] };
+    let mut visits = [0usize; 8];
+    let mut s = 0i64;
+    let mut steps_since_zero = 0usize;
+    fn flush(visits: &mut [usize; 8], scan: &mut ExcursionScan) {
+        for (state, v) in visits.iter_mut().enumerate() {
+            scan.bucketed[state][(*v).min(5)] += 1;
+            *v = 0;
+        }
+        scan.j += 1;
+    }
+    for b in bits.iter() {
+        s += if b { 1 } else { -1 };
+        steps_since_zero += 1;
+        if s == 0 {
+            flush(&mut visits, &mut scan);
+            steps_since_zero = 0;
+        } else {
+            if s.abs() <= 4 {
+                visits[excursion_state_index(s)] += 1;
+            }
+            if s.abs() <= 9 {
+                scan.totals[variant_state_index(s)] += 1;
+            }
+        }
+    }
+    if steps_since_zero > 0 {
+        flush(&mut visits, &mut scan);
+    }
+    scan
+}
+
 fn excursion_cycles(bits: &BitVec) -> (Vec<Vec<i64>>, usize) {
     // Partition the random walk into zero-crossing cycles; each cycle records
     // the walk states visited.
@@ -1139,9 +1204,11 @@ fn excursion_min_cycles(n: usize) -> usize {
     (0.005 * (n as f64).sqrt()).ceil().max(500.0) as usize
 }
 
-/// χ² statistic of the random excursions test for one state `x`
-/// (SP 800-22 §2.14.4, step 5).
-fn excursion_state_chi2(cycles: &[Vec<i64>], j: usize, x: i64) -> f64 {
+/// χ² of the random excursions test for one state `x` from its per-cycle
+/// visit-count buckets (SP 800-22 §2.14.4, step 5). Both the counting scan
+/// and the cycle-vector reference funnel through this, so identical counts
+/// yield bit-identical statistics.
+fn excursion_state_chi2_from_counts(counts: &[usize; 6], j: usize, x: i64) -> f64 {
     let pi = |k: usize| -> f64 {
         let ax = x.abs() as f64;
         match k {
@@ -1150,11 +1217,6 @@ fn excursion_state_chi2(cycles: &[Vec<i64>], j: usize, x: i64) -> f64 {
             _ => (1.0 / (2.0 * ax)) * (1.0 - 1.0 / (2.0 * ax)).powi(4),
         }
     };
-    let mut counts = [0usize; 6];
-    for cycle in cycles {
-        let visits = cycle.iter().filter(|&&s| s == x).count();
-        counts[visits.min(5)] += 1;
-    }
     let mut chi2 = 0.0;
     for (k, &c) in counts.iter().enumerate() {
         let expected = j as f64 * pi(k);
@@ -1165,30 +1227,85 @@ fn excursion_state_chi2(cycles: &[Vec<i64>], j: usize, x: i64) -> f64 {
     chi2
 }
 
-/// p-value of the random excursions *variant* test for one state `x`
-/// (SP 800-22 §2.15.4: `erfc(|ξ(x) − J| / √(2J(4|x| − 2)))`).
-fn excursion_variant_state_p(cycles: &[Vec<i64>], j: usize, x: i64) -> f64 {
-    let visits: usize = cycles.iter().map(|c| c.iter().filter(|&&s| s == x).count()).sum();
+/// χ² statistic of the random excursions test for one state `x`, from the
+/// reference cycle vectors.
+fn excursion_state_chi2(cycles: &[Vec<i64>], j: usize, x: i64) -> f64 {
+    let mut counts = [0usize; 6];
+    for cycle in cycles {
+        let visits = cycle.iter().filter(|&&s| s == x).count();
+        counts[visits.min(5)] += 1;
+    }
+    excursion_state_chi2_from_counts(&counts, j, x)
+}
+
+/// p-value of the random excursions *variant* test for one state `x` from
+/// its whole-walk visit total (SP 800-22 §2.15.4:
+/// `erfc(|ξ(x) − J| / √(2J(4|x| − 2)))`).
+fn excursion_variant_state_p_from_total(visits: usize, j: usize, x: i64) -> f64 {
     let denom = (2.0 * j as f64 * (4.0 * x.abs() as f64 - 2.0)).sqrt();
     erfc((visits as f64 - j as f64).abs() / denom)
 }
 
-/// 2.14 Random excursions test (minimum p-value over the eight states).
+/// p-value of the variant test for one state `x`, from the reference cycle
+/// vectors.
+fn excursion_variant_state_p(cycles: &[Vec<i64>], j: usize, x: i64) -> f64 {
+    let visits: usize = cycles.iter().map(|c| c.iter().filter(|&&s| s == x).count()).sum();
+    excursion_variant_state_p_from_total(visits, j, x)
+}
+
+/// 2.14 Random excursions test (minimum p-value over the eight states),
+/// in counting form: one O(1)-state pass buckets per-cycle visit counts
+/// directly, with no per-cycle state vectors. Identical to
+/// [`random_excursion_reference`] to the last ulp (proptest-pinned).
 pub fn random_excursion(bits: &BitVec) -> TestResult {
+    let scan = excursion_scan(bits);
+    let required = excursion_min_cycles(bits.len());
+    if scan.j < required {
+        return not_applicable("random_excursion", "cycles", required, scan.j);
+    }
+    let mut min_p = 1.0f64;
+    for &x in &EXCURSION_STATES {
+        let counts = &scan.bucketed[excursion_state_index(x)];
+        min_p = min_p.min(igamc(2.5, excursion_state_chi2_from_counts(counts, scan.j, x) / 2.0));
+    }
+    result("random_excursion", min_p)
+}
+
+/// Cycle-vector reference for [`random_excursion`] (materialises the walk's
+/// zero-crossing cycles, as the spec describes the procedure).
+pub fn random_excursion_reference(bits: &BitVec) -> TestResult {
     let (cycles, j) = excursion_cycles(bits);
     let required = excursion_min_cycles(bits.len());
     if j < required {
         return not_applicable("random_excursion", "cycles", required, j);
     }
     let mut min_p = 1.0f64;
-    for &x in &[-4i64, -3, -2, -1, 1, 2, 3, 4] {
+    for &x in &EXCURSION_STATES {
         min_p = min_p.min(igamc(2.5, excursion_state_chi2(&cycles, j, x) / 2.0));
     }
     result("random_excursion", min_p)
 }
 
-/// 2.15 Random excursions variant test (minimum p-value over the 18 states).
+/// 2.15 Random excursions variant test (minimum p-value over the 18
+/// states), in counting form — the variant statistic only needs whole-walk
+/// visit totals, so no cycle structure is stored at all. Identical to
+/// [`random_excursion_variant_reference`] to the last ulp (proptest-pinned).
 pub fn random_excursion_variant(bits: &BitVec) -> TestResult {
+    let scan = excursion_scan(bits);
+    let required = excursion_min_cycles(bits.len());
+    if scan.j < required {
+        return not_applicable("random_excursion_variant", "cycles", required, scan.j);
+    }
+    let mut min_p = 1.0f64;
+    for x in (-9i64..=9).filter(|&x| x != 0) {
+        let visits = scan.totals[variant_state_index(x)];
+        min_p = min_p.min(excursion_variant_state_p_from_total(visits, scan.j, x));
+    }
+    result("random_excursion_variant", min_p)
+}
+
+/// Cycle-vector reference for [`random_excursion_variant`].
+pub fn random_excursion_variant_reference(bits: &BitVec) -> TestResult {
     let (cycles, j) = excursion_cycles(bits);
     let required = excursion_min_cycles(bits.len());
     if j < required {
@@ -1376,6 +1493,27 @@ mod tests {
         if rev.is_applicable() {
             assert!(rev.p_value >= 0.0005, "variant p {}", rev.p_value);
         }
+        // The counting form must match the cycle-vector reference on an
+        // *applicable* stream (J ≈ √(2n/π) ≈ 618 ≥ 500 here), not just on
+        // the short-stream skip path the proptests mostly exercise.
+        assert_identical(&re, &random_excursion_reference(&long));
+        assert_identical(&rev, &random_excursion_variant_reference(&long));
+    }
+
+    /// An anti-correlated walk (each bit flips the previous one with
+    /// probability `flip`) crosses zero every few steps, so even short
+    /// streams reach the excursion tests' J ≥ 500 gate while still visiting
+    /// a spread of ±states — the applicable-path fodder for the equivalence
+    /// proptest below.
+    fn anticorrelated_bits(n: usize, flip: f64, seed: u64) -> BitVec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prev = false;
+        BitVec::from_bits((0..n).map(|_| {
+            if rng.gen::<f64>() < flip {
+                prev = !prev;
+            }
+            prev
+        }))
     }
 
     #[test]
@@ -1448,6 +1586,16 @@ mod tests {
         assert!((chi2 - 4.333_033).abs() < 1e-3, "chi2 = {chi2}");
         let p = igamc(2.5, chi2 / 2.0);
         assert!((p - 0.502_529).abs() < 1e-4, "p = {p}");
+        // The counting scan reproduces the worked example exactly: same J,
+        // same visit buckets, same χ².
+        let scan = excursion_scan(&bits);
+        assert_eq!(scan.j, 3);
+        let counting_chi2 = excursion_state_chi2_from_counts(
+            &scan.bucketed[excursion_state_index(1)],
+            scan.j,
+            1,
+        );
+        assert_eq!(counting_chi2.to_bits(), chi2.to_bits());
     }
 
     #[test]
@@ -1458,6 +1606,38 @@ mod tests {
         let (cycles, j) = excursion_cycles(&bits);
         let p = excursion_variant_state_p(&cycles, j, 1);
         assert!((p - 0.683_091).abs() < 1e-4, "p = {p}");
+        let scan = excursion_scan(&bits);
+        assert_eq!(scan.totals[variant_state_index(1)], 4);
+        let counting_p =
+            excursion_variant_state_p_from_total(scan.totals[variant_state_index(1)], scan.j, 1);
+        assert_eq!(counting_p.to_bits(), p.to_bits());
+    }
+
+    #[test]
+    fn counting_excursions_match_reference_on_applicable_streams() {
+        // Anti-correlated walks cross zero often and visit many ±states.
+        // J still depends on the slow drift component, so applicability is
+        // asserted only for tuples verified to clear the J ≥ 500 gate
+        // (seeded, so the verdict is stable); the rest pin the equivalence
+        // on rich near-applicable walks.
+        for (n, flip, seed, applicable) in [
+            (40_000usize, 0.97, 3u64, true),
+            (20_000, 0.995, 4, true),
+            (4096, 0.9, 1, false),
+            (4095, 0.8, 2, false),
+            (10_000, 0.6, 5, false),
+        ] {
+            let bits = anticorrelated_bits(n, flip, seed);
+            let counting = random_excursion(&bits);
+            assert_identical(&counting, &random_excursion_reference(&bits));
+            assert_identical(
+                &random_excursion_variant(&bits),
+                &random_excursion_variant_reference(&bits),
+            );
+            if applicable {
+                assert!(counting.is_applicable(), "n={n} flip={flip} seed={seed} crosses often");
+            }
+        }
     }
 
     #[test]
@@ -1578,6 +1758,31 @@ mod tests {
             assert_identical(
                 &linear_complexity(&bits, block_len),
                 &linear_complexity_reference(&bits, block_len),
+            );
+        }
+
+        #[test]
+        fn prop_excursion_tests_match_reference(
+            kind in 0u8..5,
+            len in 0usize..4000,
+            delta in 0usize..3,
+            seed in any::<u64>(),
+        ) {
+            // Kinds 0..4 are the standard families (mostly the inapplicable
+            // path: a random 4 kb walk has J ≈ 50 ≪ 500, constant/biased
+            // walks almost never cross zero; alternating crosses every two
+            // steps and IS applicable). Kind 4 is the anti-correlated walk:
+            // applicable with a spread of visited states.
+            let n = (len / 64 * 64 + delta).saturating_sub(1).min(4000);
+            let bits = if kind == 4 {
+                anticorrelated_bits(n, 0.6 + (seed % 4) as f64 * 0.1, seed)
+            } else {
+                stream(kind, n, seed)
+            };
+            assert_identical(&random_excursion(&bits), &random_excursion_reference(&bits));
+            assert_identical(
+                &random_excursion_variant(&bits),
+                &random_excursion_variant_reference(&bits),
             );
         }
 

@@ -1,0 +1,275 @@
+//! Deterministic fault injection for the generator's *output* path — the
+//! test seam behind continuous in-service validation.
+//!
+//! A DRAM TRNG can fail in the field in ways the one-time characterisation
+//! never saw: a weakening sense amplifier biasing its bitline, a stuck DQ
+//! pin on the channel, a marginal connector dropping bursts of transfers.
+//! DR-STRaNGe's system argument is that such a source must be *detected in
+//! service* and fenced off. To test that machinery without touching the
+//! production sampling path, [`FaultInjector`] corrupts the generator's
+//! post-processed output bytes instead: SHA-256 whitens any raw-side bias
+//! into statistically perfect output (that is the paper's whole point), so
+//! only a delivery-side fault is visible to the NIST battery — exactly the
+//! class of fault the in-service validator exists to catch.
+//!
+//! Every mode is a pure function of `(seed, absolute output byte offset)`,
+//! so corruption is reproducible and independent of how reads are sliced:
+//! corrupting a stream in chunks equals corrupting it in one pass, which
+//! keeps the service's determinism contract testable even for faulty
+//! shards.
+//!
+//! Attach an injector with
+//! [`QuacTrng::inject_fault`](crate::pipeline::QuacTrng::inject_fault); a
+//! generator without one (the default) pays a single `Option` check per
+//! `fill_bytes` call.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of corruption the injector applies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultMode {
+    /// Biases the delivered bits toward one: each output bit is forced to 1
+    /// with probability `2·ones_fraction − 1`, so an unbiased input stream
+    /// leaves with the given ones fraction. Models a weak sense amplifier /
+    /// reference-voltage drift. `ones_fraction` is clamped to `[0.5, 1.0]`.
+    Bias {
+        /// Target fraction of one bits in the corrupted stream.
+        ones_fraction: f64,
+    },
+    /// Forces one bit position of every byte to a constant — a stuck DQ
+    /// line. One bit in eight is deterministic, which both biases the
+    /// stream (monobit) and imprints an 8-bit period (serial/DFT).
+    StuckAt {
+        /// Which bit of each byte is stuck (0–7).
+        bit: u8,
+        /// The stuck value.
+        value: bool,
+    },
+    /// Zeroes `burst_bytes` consecutive bytes out of every `period_bytes` —
+    /// a marginal bus dropping whole transfers. Long all-zero runs fail the
+    /// runs/longest-run/cusum tests.
+    Burst {
+        /// Length of the corruption cycle in bytes.
+        period_bytes: u64,
+        /// Bytes zeroed at the start of each cycle.
+        burst_bytes: u64,
+    },
+}
+
+/// A seeded, reproducible output-byte corrupter — the `FlakySource` shim the
+/// quarantine integration tests inject behind the generation seam.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjector {
+    /// The corruption mode.
+    pub mode: FaultMode,
+    /// Seed of the per-byte corruption hash (only [`FaultMode::Bias`] draws
+    /// randomness; the other modes are offset-deterministic).
+    pub seed: u64,
+    /// If `true`, [`recharacterize`](crate::pipeline::QuacTrng::recharacterize)
+    /// removes the injector — modelling a fault the
+    /// controller routes around by re-selecting the segment (the monthly
+    /// re-characterisation of Section 8). If `false`, the fault is
+    /// persistent and a quarantined shard can never requalify.
+    pub cleared_on_recharacterize: bool,
+}
+
+impl FaultInjector {
+    /// A bias fault targeting the given ones fraction.
+    pub fn bias(ones_fraction: f64, seed: u64) -> Self {
+        FaultInjector {
+            mode: FaultMode::Bias { ones_fraction },
+            seed,
+            cleared_on_recharacterize: false,
+        }
+    }
+
+    /// A stuck-at fault on one bit line of every byte.
+    pub fn stuck_at(bit: u8, value: bool) -> Self {
+        assert!(bit < 8, "a byte has bit positions 0-7, got {bit}");
+        FaultInjector { mode: FaultMode::StuckAt { bit, value }, seed: 0, cleared_on_recharacterize: false }
+    }
+
+    /// A periodic burst-erasure fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_bytes > period_bytes` or `period_bytes == 0`.
+    pub fn burst(period_bytes: u64, burst_bytes: u64) -> Self {
+        assert!(
+            period_bytes > 0 && burst_bytes <= period_bytes,
+            "burst {burst_bytes} must fit its period {period_bytes}"
+        );
+        FaultInjector {
+            mode: FaultMode::Burst { period_bytes, burst_bytes },
+            seed: 0,
+            cleared_on_recharacterize: false,
+        }
+    }
+
+    /// Marks this fault as transient: recharacterisation clears it (the
+    /// re-selected segment / refreshed thresholds route around the damage).
+    pub fn transient(mut self) -> Self {
+        self.cleared_on_recharacterize = true;
+        self
+    }
+
+    /// Corrupts `out`, which holds the output bytes at absolute stream
+    /// offset `offset` (bytes delivered before this call). Pure in
+    /// `(self, offset)`: slicing the stream differently yields identical
+    /// corruption.
+    pub fn corrupt(&self, offset: u64, out: &mut [u8]) {
+        match self.mode {
+            FaultMode::Bias { ones_fraction } => {
+                // Per-bit Bernoulli(2f−1) OR mask from a per-byte hash:
+                // P(bit = 1) = 0.5·(1−d) + d = f for unbiased input.
+                let d = (2.0 * ones_fraction.clamp(0.5, 1.0) - 1.0).clamp(0.0, 1.0);
+                let threshold = (d * 256.0).round().min(255.0) as u8;
+                for (i, byte) in out.iter_mut().enumerate() {
+                    let h = splitmix64(self.seed ^ (offset + i as u64));
+                    let mut mask = 0u8;
+                    for bit in 0..8 {
+                        if (((h >> (8 * bit)) & 0xFF) as u8) < threshold {
+                            mask |= 1 << bit;
+                        }
+                    }
+                    *byte |= mask;
+                }
+            }
+            FaultMode::StuckAt { bit, value } => {
+                let mask = 1u8 << bit;
+                for byte in out.iter_mut() {
+                    if value {
+                        *byte |= mask;
+                    } else {
+                        *byte &= !mask;
+                    }
+                }
+            }
+            FaultMode::Burst { period_bytes, burst_bytes } => {
+                for (i, byte) in out.iter_mut().enumerate() {
+                    if (offset + i as u64) % period_bytes < burst_bytes {
+                        *byte = 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The SplitMix64 finalizer — one well-mixed word per output byte index.
+fn splitmix64(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn unbiased_bytes(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (rng.gen::<u64>() & 0xFF) as u8).collect()
+    }
+
+    fn ones_fraction(bytes: &[u8]) -> f64 {
+        let ones: u32 = bytes.iter().map(|b| b.count_ones()).sum();
+        ones as f64 / (bytes.len() * 8) as f64
+    }
+
+    #[test]
+    fn bias_mode_hits_its_target_ones_fraction() {
+        for target in [0.55, 0.6, 0.75, 0.9] {
+            let mut bytes = unbiased_bytes(64 * 1024, 1);
+            FaultInjector::bias(target, 7).corrupt(0, &mut bytes);
+            let got = ones_fraction(&bytes);
+            assert!(
+                (got - target).abs() < 0.01,
+                "target {target}, got {got} (quantised mask density)"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_never_clears_bits() {
+        let clean = unbiased_bytes(4096, 2);
+        let mut corrupted = clean.clone();
+        FaultInjector::bias(0.7, 3).corrupt(100, &mut corrupted);
+        for (c, d) in clean.iter().zip(&corrupted) {
+            assert_eq!(c & d, *c, "bias is an OR mask: every clean one survives");
+        }
+    }
+
+    #[test]
+    fn corruption_is_slicing_invariant_and_seed_deterministic() {
+        for injector in [
+            FaultInjector::bias(0.8, 42),
+            FaultInjector::stuck_at(3, true),
+            FaultInjector::burst(64, 16),
+        ] {
+            let clean = unbiased_bytes(3000, 4);
+            let mut whole = clean.clone();
+            injector.corrupt(500, &mut whole);
+            // Same seed and offsets, arbitrary chunking: identical bytes.
+            let mut chunked = clean.clone();
+            let mut offset = 500u64;
+            for chunk in chunked.chunks_mut(17) {
+                injector.corrupt(offset, chunk);
+                offset += chunk.len() as u64;
+            }
+            assert_eq!(whole, chunked, "{:?}", injector.mode);
+            // Replays exactly.
+            let mut again = clean.clone();
+            injector.corrupt(500, &mut again);
+            assert_eq!(whole, again);
+        }
+        // A different seed produces a different bias mask.
+        let clean = unbiased_bytes(3000, 4);
+        let (mut a, mut b) = (clean.clone(), clean);
+        FaultInjector::bias(0.8, 1).corrupt(0, &mut a);
+        FaultInjector::bias(0.8, 2).corrupt(0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stuck_at_pins_exactly_one_bit_per_byte() {
+        let mut bytes = unbiased_bytes(4096, 5);
+        let clean = bytes.clone();
+        FaultInjector::stuck_at(5, false).corrupt(0, &mut bytes);
+        for (c, d) in clean.iter().zip(&bytes) {
+            assert_eq!(d & (1 << 5), 0, "bit 5 stuck low");
+            assert_eq!(c & !(1 << 5), d & !(1 << 5), "other bits untouched");
+        }
+        // The induced bias is the analytic 1/16.
+        let frac = ones_fraction(&bytes);
+        assert!((frac - (0.5 - 1.0 / 16.0)).abs() < 0.01, "ones fraction {frac}");
+    }
+
+    #[test]
+    fn burst_zeroes_the_expected_fraction_at_the_expected_offsets() {
+        let mut bytes = vec![0xFFu8; 1000];
+        FaultInjector::burst(100, 25).corrupt(50, &mut bytes);
+        let zeroed = bytes.iter().filter(|&&b| b == 0).count();
+        // Offsets 50..1050: each 100-byte period zeroes its first 25.
+        assert_eq!(zeroed, 250);
+        assert_eq!(bytes[49], 0xFF, "stream offset 99 is outside every burst");
+        assert_eq!(bytes[50], 0, "stream offset 100 opens a burst");
+        assert_eq!(bytes[74], 0, "stream offset 124 is the burst's last byte");
+        assert_eq!(bytes[75], 0xFF, "stream offset 125 is past the burst");
+    }
+
+    #[test]
+    fn transient_flag_round_trips() {
+        assert!(!FaultInjector::bias(0.6, 1).cleared_on_recharacterize);
+        assert!(FaultInjector::bias(0.6, 1).transient().cleared_on_recharacterize);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit positions")]
+    fn stuck_at_rejects_out_of_range_bits() {
+        let _ = FaultInjector::stuck_at(8, true);
+    }
+}

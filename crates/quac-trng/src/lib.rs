@@ -38,11 +38,13 @@
 
 pub mod cache;
 pub mod characterize;
+pub mod fault;
 pub mod integration;
 pub mod pipeline;
 pub mod throughput;
 
 pub use cache::CharacterizationCache;
 pub use characterize::{CharacterizationConfig, ModuleCharacterization, PatternStats};
+pub use fault::{FaultInjector, FaultMode};
 pub use pipeline::QuacTrng;
 pub use throughput::{ConfigurationThroughput, ThroughputModel};

@@ -7,6 +7,7 @@
 //! each block with SHA-256 to emit 256 random bits.
 
 use crate::characterize::{characterize_module, CharacterizationConfig, ModuleCharacterization};
+use crate::fault::FaultInjector;
 use qt_crypto::{Sha256, Sha256Digest, VonNeumannCorrector};
 use qt_dram_analog::{
     BitThreshold, ModuleProfile, OperatingConditions, PackedSampler, QuacAnalogModel,
@@ -43,6 +44,12 @@ pub struct QuacTrng {
     /// Reused per-iteration digest buffer for `generate_bytes`.
     digests: Vec<Sha256Digest>,
     iterations: u64,
+    /// Test/fault-injection seam: corrupts delivered output bytes as a pure
+    /// function of `(seed, stream offset)`. `None` in production.
+    fault: Option<FaultInjector>,
+    /// Output bytes delivered so far — the stream offset the fault seam
+    /// corrupts against.
+    delivered_bytes: u64,
 }
 
 impl QuacTrng {
@@ -91,6 +98,8 @@ impl QuacTrng {
             block_bytes: Vec::new(),
             digests: Vec::new(),
             iterations: 0,
+            fault: None,
+            delivered_bytes: 0,
         }
     }
 
@@ -194,6 +203,17 @@ impl QuacTrng {
     /// delivery buffer (e.g. the sharded RNG service). The emitted stream is
     /// identical no matter how reads are sliced across the two entry points.
     pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        self.fill_bytes_clean(out);
+        if let Some(fault) = self.fault {
+            fault.corrupt(self.delivered_bytes, out);
+        }
+        self.delivered_bytes += out.len() as u64;
+    }
+
+    /// The uncorrupted core of [`QuacTrng::fill_bytes`] (the fault seam
+    /// wraps this at the delivery boundary, so the internal output buffer
+    /// always holds clean stream bytes).
+    fn fill_bytes_clean(&mut self, out: &mut [u8]) {
         let mut digests = std::mem::take(&mut self.digests);
         let mut filled = 0;
         loop {
@@ -280,6 +300,60 @@ impl QuacTrng {
         self.block_ranges = self.characterization.entropy_block_ranges();
         self.probabilities = self.model.bitline_probabilities(best, self.characterization.pattern, conditions);
         self.sampler = PackedSampler::new(&self.probabilities);
+    }
+
+    /// Attaches a [`FaultInjector`] to the delivery path — the test seam
+    /// continuous-validation tests use to make this generator's *served*
+    /// bytes statistically detectable as faulty, without touching the
+    /// sampling pipeline. See [`crate::fault`] for why the corruption
+    /// applies post-SHA (raw-side faults are whitened away).
+    pub fn inject_fault(&mut self, fault: FaultInjector) {
+        self.fault = Some(fault);
+    }
+
+    /// Removes any injected fault.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+    }
+
+    /// The currently injected fault, if any.
+    pub fn fault(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Output bytes delivered so far through [`QuacTrng::fill_bytes`] /
+    /// [`QuacTrng::generate_bytes`] — the stream offset the fault seam
+    /// corrupts against.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Re-runs the full characterisation on the stored analog model and
+    /// rebuilds the runtime state from the fresh result — the controller's
+    /// response to a shard failing in-service validation (Section 8's
+    /// periodic re-characterisation, triggered on demand). Buffered output
+    /// from the old configuration is discarded (a requalifying shard must
+    /// not serve stale bytes), and a fault marked
+    /// [`transient`](FaultInjector::transient) is cleared — modelling
+    /// damage the re-selected segment routes around.
+    ///
+    /// Returns the fresh characterisation.
+    pub fn recharacterize(&mut self, cfg: &CharacterizationConfig) -> &ModuleCharacterization {
+        let pattern = self.characterization.pattern;
+        self.characterization = characterize_module(&self.model, pattern, cfg);
+        self.probabilities = self.model.bitline_probabilities(
+            self.characterization.best_segment,
+            self.characterization.pattern,
+            self.characterization.conditions,
+        );
+        self.block_ranges = self.characterization.entropy_block_ranges();
+        self.sampler = PackedSampler::new(&self.probabilities);
+        self.raw = BitVec::zeros(self.probabilities.len());
+        self.buffer.clear();
+        if self.fault.is_some_and(|f| f.cleared_on_recharacterize) {
+            self.fault = None;
+        }
+        &self.characterization
     }
 }
 
@@ -456,6 +530,68 @@ mod tests {
         assert!(t.numbers_per_iteration() >= 4, "blocks {}", t.numbers_per_iteration());
         let numbers = t.iteration();
         assert_eq!(numbers.len(), t.numbers_per_iteration());
+    }
+
+    #[test]
+    fn injected_fault_corrupts_delivery_but_not_the_underlying_stream() {
+        use crate::fault::FaultInjector;
+        let geom = DramGeometry::tiny_test();
+        let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
+        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let mut clean = QuacTrng::from_model(model.clone(), cfg, 5);
+        let mut faulty = QuacTrng::from_model(model, cfg, 5);
+        faulty.inject_fault(FaultInjector::bias(0.85, 99));
+        let reference = clean.generate_bytes(8192);
+        let corrupted = faulty.generate_bytes(8192);
+        assert_ne!(reference, corrupted);
+        // Corruption is an OR mask over the same underlying stream.
+        for (c, d) in reference.iter().zip(&corrupted) {
+            assert_eq!(c | d, *d);
+        }
+        let ones: u32 = corrupted.iter().map(|b| b.count_ones()).sum();
+        let frac = ones as f64 / (corrupted.len() * 8) as f64;
+        assert!((frac - 0.85).abs() < 0.02, "biased delivery, got {frac}");
+        assert_eq!(faulty.delivered_bytes(), 8192);
+    }
+
+    #[test]
+    fn fault_corruption_is_invariant_to_read_slicing() {
+        use crate::fault::FaultInjector;
+        let geom = DramGeometry::tiny_test();
+        let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
+        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let mut chunked = QuacTrng::from_model(model.clone(), cfg, 31);
+        let mut bulk = QuacTrng::from_model(model, cfg, 31);
+        let fault = FaultInjector::burst(100, 30);
+        chunked.inject_fault(fault);
+        bulk.inject_fault(fault);
+        let mut stream = Vec::new();
+        for size in [3usize, 64, 1, 200, 31, 500] {
+            stream.extend(chunked.generate_bytes(size));
+        }
+        assert_eq!(stream, bulk.generate_bytes(stream.len()));
+    }
+
+    #[test]
+    fn recharacterize_refreshes_state_and_clears_transient_faults() {
+        use crate::fault::FaultInjector;
+        let mut t = tiny_trng();
+        t.inject_fault(FaultInjector::bias(0.9, 1).transient());
+        let _ = t.generate_bytes(512);
+        assert!(t.fault().is_some());
+        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let before = t.characterization().clone();
+        let fresh = t.recharacterize(&cfg).clone();
+        // Same model, same config: the fresh characterisation agrees with
+        // the original (recharacterisation is a pure function of the model).
+        assert_eq!(fresh.best_segment, before.best_segment);
+        assert!(t.fault().is_none(), "transient fault cleared by recharacterisation");
+        assert_eq!(t.buffered_bytes(), 0, "stale buffered output discarded");
+        assert_eq!(t.generate_bytes(64).len(), 64);
+        // A persistent fault survives recharacterisation.
+        t.inject_fault(FaultInjector::stuck_at(0, true));
+        t.recharacterize(&cfg);
+        assert!(t.fault().is_some(), "persistent fault survives");
     }
 
     #[test]

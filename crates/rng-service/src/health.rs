@@ -1,0 +1,311 @@
+//! Per-shard health: the window → EWMA/streak → quarantine → probation →
+//! readmission state machine behind continuous in-service validation.
+//!
+//! ## The state machine
+//!
+//! ```text
+//!              window fails EWMA or streak test
+//!   Healthy ───────────────────────────────────────▶ Quarantined
+//!      ▲                                                  │ worker drains its
+//!      │                                                  │ queue, then
+//!      │  `probation_windows` consecutive                 ▼ recharacterises
+//!      │  passing windows                             Probation
+//!      └──────────────────────────────────────────────────┘
+//!               (a failing probation window goes back to
+//!                recharacterisation, not to serving)
+//! ```
+//!
+//! While **Healthy**, every completed validation window folds into the
+//! record: a pass-rate EWMA (`pass_ewma`) and a consecutive-failure counter.
+//! The shard is quarantined when either trips its
+//! [`HealthPolicy`] bound — the streak catches a hard fault within
+//! `max_consecutive_failures` windows, the EWMA catches an intermittent one
+//! that never fails often enough in a row.
+//!
+//! While **Quarantined/Probation**, the shard is out of placement: the
+//! service routes new requests to healthy shards only, the shard's worker
+//! drains what it already owes, recharacterises the module
+//! (`QuacTrng::recharacterize` — Section 8's re-characterisation, on
+//! demand), and then generates *probation* windows that are validated
+//! without being served. Only `probation_windows` consecutive passing
+//! windows readmit the shard; a single failure loops back to
+//! recharacterisation.
+//!
+//! The record is a deterministic pure function of the window verdict
+//! sequence, so every transition is unit-testable without threads.
+
+/// Where a shard is in the validation lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardState {
+    /// In placement, serving, its served windows being validated.
+    #[default]
+    Healthy,
+    /// Fenced off: out of placement, draining/awaiting requalification.
+    Quarantined,
+    /// Out of placement, generating probation windows after a
+    /// recharacterisation.
+    Probation,
+}
+
+/// The quarantine/readmission thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Weight of the newest window in the pass-rate EWMA.
+    pub ewma_alpha: f64,
+    /// Quarantine when the pass-rate EWMA falls below this.
+    pub min_pass_ewma: f64,
+    /// Quarantine after this many consecutive failing windows.
+    pub max_consecutive_failures: u32,
+    /// Consecutive passing probation windows required to readmit.
+    pub probation_windows: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            ewma_alpha: 0.1,
+            min_pass_ewma: 0.5,
+            max_consecutive_failures: 3,
+            probation_windows: 2,
+        }
+    }
+}
+
+/// One shard's validation health record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardHealth {
+    /// Current lifecycle state.
+    pub state: ShardState,
+    /// EWMA of the per-window pass bit while healthy (starts at 1.0).
+    pub pass_ewma: f64,
+    /// Consecutive failing windows while healthy.
+    pub consecutive_failures: u32,
+    /// Served windows validated while healthy (lifetime).
+    pub windows_validated: u64,
+    /// Served windows that failed the battery while healthy (lifetime).
+    pub windows_failed: u64,
+    /// Times this shard was quarantined.
+    pub quarantines: u64,
+    /// Times this shard was readmitted after probation.
+    pub readmissions: u64,
+    /// Consecutive passing probation windows in the current probation run.
+    pub probation_streak: u32,
+}
+
+impl Default for ShardHealth {
+    fn default() -> Self {
+        ShardHealth {
+            state: ShardState::Healthy,
+            pass_ewma: 1.0,
+            consecutive_failures: 0,
+            windows_validated: 0,
+            windows_failed: 0,
+            quarantines: 0,
+            readmissions: 0,
+            probation_streak: 0,
+        }
+    }
+}
+
+impl ShardHealth {
+    /// A fresh, healthy record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` while the shard may receive placements.
+    pub fn is_serving(&self) -> bool {
+        self.state == ShardState::Healthy
+    }
+
+    /// Folds one served-window verdict into a healthy shard's record.
+    /// Returns `true` when this window crosses a [`HealthPolicy`] bound and
+    /// the shard must be quarantined (the transition is applied here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while not [`ShardState::Healthy`] — served windows
+    /// of a fenced-off shard are stale and must be discarded by the caller.
+    pub fn record_window(&mut self, pass: bool, policy: &HealthPolicy) -> bool {
+        assert_eq!(self.state, ShardState::Healthy, "only healthy shards fold served windows");
+        self.windows_validated += 1;
+        let alpha = policy.ewma_alpha.clamp(0.0, 1.0);
+        self.pass_ewma = (1.0 - alpha) * self.pass_ewma + alpha * f64::from(u8::from(pass));
+        if pass {
+            self.consecutive_failures = 0;
+        } else {
+            self.windows_failed += 1;
+            self.consecutive_failures += 1;
+        }
+        let quarantine = self.consecutive_failures >= policy.max_consecutive_failures.max(1)
+            || self.pass_ewma < policy.min_pass_ewma;
+        if quarantine {
+            self.state = ShardState::Quarantined;
+            self.quarantines += 1;
+        }
+        quarantine
+    }
+
+    /// Marks the start of a probation run (after a recharacterisation).
+    pub fn begin_probation(&mut self) {
+        self.state = ShardState::Probation;
+        self.probation_streak = 0;
+    }
+
+    /// Folds one probation-window verdict. Returns `true` when the streak
+    /// reaches [`HealthPolicy::probation_windows`] and the shard is
+    /// readmitted (the record is reset to a serving state here); on a
+    /// failure the streak resets and the state drops back to
+    /// [`ShardState::Quarantined`] — the marker that the next
+    /// requalification round must recharacterise before new probation
+    /// windows count (a shard still in `Probation` resumes its run without
+    /// repeating the expensive sweep, e.g. after yielding to queued work).
+    pub fn record_probation_window(&mut self, pass: bool, policy: &HealthPolicy) -> bool {
+        debug_assert_eq!(self.state, ShardState::Probation);
+        if !pass {
+            self.probation_streak = 0;
+            self.state = ShardState::Quarantined;
+            return false;
+        }
+        self.probation_streak += 1;
+        if self.probation_streak >= policy.probation_windows.max(1) {
+            self.state = ShardState::Healthy;
+            self.pass_ewma = 1.0;
+            self.consecutive_failures = 0;
+            self.probation_streak = 0;
+            self.readmissions += 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> HealthPolicy {
+        HealthPolicy {
+            ewma_alpha: 0.25,
+            min_pass_ewma: 0.5,
+            max_consecutive_failures: 3,
+            probation_windows: 2,
+        }
+    }
+
+    #[test]
+    fn consecutive_failures_quarantine_at_the_bound() {
+        let mut h = ShardHealth::new();
+        let p = policy();
+        assert!(!h.record_window(false, &p));
+        assert!(!h.record_window(false, &p));
+        assert!(h.record_window(false, &p), "third consecutive failure quarantines");
+        assert_eq!(h.state, ShardState::Quarantined);
+        assert_eq!(h.quarantines, 1);
+        assert_eq!(h.windows_validated, 3);
+        assert_eq!(h.windows_failed, 3);
+    }
+
+    #[test]
+    fn passing_windows_reset_the_streak() {
+        // EWMA bound disabled: this test isolates the streak counter (a
+        // 50% failure rate would rightly trip the default EWMA bound).
+        let mut h = ShardHealth::new();
+        let p = HealthPolicy { min_pass_ewma: 0.0, ..policy() };
+        for _ in 0..10 {
+            assert!(!h.record_window(false, &p));
+            assert!(!h.record_window(false, &p));
+            assert!(!h.record_window(true, &p), "a pass resets the streak before the bound");
+            assert_eq!(h.consecutive_failures, 0);
+        }
+        assert_eq!(h.state, ShardState::Healthy);
+        assert_eq!(h.windows_failed, 20);
+    }
+
+    #[test]
+    fn ewma_quarantines_intermittent_failures_the_streak_misses() {
+        // Alternate fail/fail/pass: the streak never reaches 3, but the
+        // pass EWMA decays toward 1/3 < 0.5 and trips the bound.
+        let mut h = ShardHealth::new();
+        let p = policy();
+        let mut quarantined = false;
+        for i in 0..60 {
+            let pass = i % 3 == 2;
+            if h.record_window(pass, &p) {
+                quarantined = true;
+                break;
+            }
+        }
+        assert!(quarantined, "EWMA bound must catch a 2/3 failure rate");
+        assert_eq!(h.state, ShardState::Quarantined);
+    }
+
+    #[test]
+    fn ewma_tracks_the_pass_rate() {
+        let mut h = ShardHealth::new();
+        // Both quarantine bounds disabled: this test only tracks the EWMA.
+        let p = HealthPolicy {
+            min_pass_ewma: 0.0,
+            max_consecutive_failures: u32::MAX,
+            ..policy()
+        };
+        for _ in 0..200 {
+            h.record_window(true, &p);
+        }
+        assert!((h.pass_ewma - 1.0).abs() < 1e-9);
+        for _ in 0..200 {
+            h.record_window(false, &p);
+        }
+        assert!(h.pass_ewma < 1e-9, "ewma {}", h.pass_ewma);
+        assert_eq!(h.state, ShardState::Healthy, "both bounds were disabled");
+    }
+
+    #[test]
+    fn probation_requires_a_consecutive_streak() {
+        let mut h = ShardHealth::new();
+        let p = policy();
+        for _ in 0..3 {
+            h.record_window(false, &p);
+        }
+        assert_eq!(h.state, ShardState::Quarantined);
+        h.begin_probation();
+        assert_eq!(h.state, ShardState::Probation);
+        assert!(!h.record_probation_window(true, &p));
+        // A failure resets the streak and drops back to Quarantined — the
+        // caller must recharacterise before probation resumes.
+        assert!(!h.record_probation_window(false, &p));
+        assert_eq!(h.probation_streak, 0);
+        assert_eq!(h.state, ShardState::Quarantined);
+        h.begin_probation();
+        assert!(!h.record_probation_window(true, &p));
+        assert!(h.record_probation_window(true, &p), "two consecutive passes readmit");
+        assert_eq!(h.state, ShardState::Healthy);
+        assert_eq!(h.readmissions, 1);
+        assert!((h.pass_ewma - 1.0).abs() < 1e-12, "readmission resets the EWMA");
+        assert!(h.is_serving());
+    }
+
+    #[test]
+    #[should_panic(expected = "only healthy shards")]
+    fn served_windows_of_a_quarantined_shard_are_rejected() {
+        let mut h = ShardHealth::new();
+        let p = policy();
+        for _ in 0..3 {
+            h.record_window(false, &p);
+        }
+        h.record_window(true, &p);
+    }
+
+    #[test]
+    fn degenerate_policy_bounds_are_clamped() {
+        let mut h = ShardHealth::new();
+        let p = HealthPolicy {
+            max_consecutive_failures: 0,
+            probation_windows: 0,
+            ..policy()
+        };
+        assert!(h.record_window(false, &p), "a zero streak bound acts as 1");
+        h.begin_probation();
+        assert!(h.record_probation_window(true, &p), "a zero probation run acts as 1");
+    }
+}

@@ -48,13 +48,30 @@
 //!   `qt_memctrl` throttles each worker's *delivery* rate to the random-byte
 //!   rate the channel's idle cycles can sustain under co-running traffic
 //!   (Figure 12's injection model).
+//! * **Placement** — requests go to the least-loaded healthy shard
+//!   ([`queue::least_loaded_shard`]), with rotation tie-breaking so an idle
+//!   service degrades to round-robin; quarantined shards are skipped while
+//!   any healthy shard exists.
+//! * **Continuous validation** — with [`ValidationConfig::enabled`]
+//!   (default off), a validator thread taps a copy of every served batch,
+//!   grades fixed-size windows with the word-parallel NIST SP 800-22
+//!   battery, and folds verdicts into per-shard health (pass-rate EWMA +
+//!   consecutive-failure streak). A shard crossing a bound is
+//!   **quarantined**: removed from placement, drained, recharacterised via
+//!   `QuacTrng::recharacterize`, and readmitted only after a probation
+//!   streak passes the battery. See [`validate`] for the loop and
+//!   [`health`] for the state machine.
 //!
 //! ## Determinism contract
 //!
 //! Shard `i` seeded via `QuacTrng::shards(.., base_seed, ..)` emits one fixed
-//! byte stream. Every [`Completion`] carries `(shard, stream_offset)`, and a
-//! shard's completions — sorted by `stream_offset` — concatenate to exactly
-//! the prefix an identically-seeded, single-threaded `QuacTrng` produces.
+//! byte stream. Every [`Completion`] carries `(shard, epoch, stream_offset)`,
+//! and a shard's epoch-0 completions — sorted by `stream_offset` —
+//! concatenate to exactly the prefix an identically-seeded, single-threaded
+//! `QuacTrng` produces. A quarantine→readmission cycle restarts the shard's
+//! stream and bumps the epoch (offsets restart at 0), so each `(shard,
+//! epoch)` stream is gapless on its own; shards that never fail validation
+//! stay in epoch 0 forever.
 //! Thread interleaving can change *which request* receives *which chunk*,
 //! but never the bytes each shard hands out; under a fixed submission order
 //! (single submitter, one request outstanding) even the per-request bytes
@@ -88,10 +105,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod health;
 pub mod queue;
 pub mod request;
 pub mod service;
+pub mod stats;
+pub mod validate;
 
-pub use queue::ShardScheduler;
+pub use health::{HealthPolicy, ShardHealth, ShardState};
+pub use queue::{least_loaded_shard, ShardScheduler};
 pub use request::{ClientId, Completion, Priority, RngRequest, SubmitError};
-pub use service::{Canceled, RngService, RngServiceConfig, ServiceStats, Ticket};
+pub use service::{Canceled, RngService, RngServiceConfig, Ticket};
+pub use stats::{Histogram, ServiceStats, ValidationStats};
+pub use validate::ValidationConfig;

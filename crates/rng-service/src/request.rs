@@ -38,6 +38,10 @@ pub struct RngRequest {
     /// Service-wide submission sequence number (assigned by the service;
     /// ties completions back to submission order).
     pub seq: u64,
+    /// When the request was admitted — the start of the latency the
+    /// delivery path records into
+    /// [`ServiceStats::latency_us`](crate::ServiceStats::latency_us).
+    pub submitted_at: std::time::Instant,
 }
 
 /// A served request: the random bytes plus enough provenance to reconstruct
@@ -50,9 +54,17 @@ pub struct Completion {
     pub seq: u64,
     /// The shard (channel) that generated the bytes.
     pub shard: usize,
+    /// The shard's stream epoch. Epoch 0 is the seed-determined stream; a
+    /// quarantine→recharacterisation→readmission cycle restarts the shard's
+    /// stream and bumps the epoch, so offsets are only comparable within
+    /// one `(shard, epoch)` pair.
+    pub epoch: u64,
     /// Byte offset of this chunk within the shard's deterministic output
-    /// stream: a shard's completions, sorted by this offset, concatenate to
-    /// a prefix of the stream an identically-seeded serial `QuacTrng` emits.
+    /// stream *for this epoch*: a shard's completions with equal `epoch`,
+    /// sorted by this offset, concatenate to a contiguous prefix of that
+    /// epoch's stream — for epoch 0, the stream an identically-seeded
+    /// serial `QuacTrng` emits (a shard that is never quarantined stays in
+    /// epoch 0 forever).
     pub stream_offset: u64,
     /// The random bytes.
     pub bytes: Vec<u8>,

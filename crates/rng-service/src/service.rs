@@ -1,8 +1,13 @@
 //! The concurrent RNG service: per-shard worker threads behind a shared,
-//! bounded request queue.
+//! bounded request queue, with an optional continuous-validation loop
+//! grading what the shards serve.
 
-use crate::queue::ShardScheduler;
+use crate::health::ShardHealth;
+use crate::queue::{least_loaded_shard, ShardScheduler};
 use crate::request::{ClientId, Completion, Priority, RngRequest, SubmitError};
+use crate::stats::ServiceStats;
+use crate::validate::{tap_quota_allows, StreamValidator, TapChunk, ValidationConfig};
+use qt_dram_core::BitVec;
 use qt_memctrl::IdleBudget;
 use quac_trng::pipeline::QuacTrng;
 use std::collections::HashMap;
@@ -30,6 +35,10 @@ pub struct RngServiceConfig {
     /// Per-shard delivery-rate budget (idle DRAM cycles of the channel).
     /// [`IdleBudget::unlimited`] disables pacing.
     pub pacing: IdleBudget,
+    /// Continuous in-service validation (off by default). See
+    /// [`crate::validate`] for the loop and [`crate::health`] for the
+    /// quarantine state machine.
+    pub validation: ValidationConfig,
 }
 
 impl Default for RngServiceConfig {
@@ -40,22 +49,9 @@ impl Default for RngServiceConfig {
             max_batch_requests: 64,
             fairness_window: 4,
             pacing: IdleBudget::unlimited(),
+            validation: ValidationConfig::default(),
         }
     }
-}
-
-/// Counters the service maintains while running and reports at shutdown.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct ServiceStats {
-    /// Requests completed (delivered to their tickets).
-    pub completed_requests: u64,
-    /// Random bytes delivered.
-    pub completed_bytes: u64,
-    /// High-water mark of in-flight bytes — never exceeds
-    /// [`RngServiceConfig::max_inflight_bytes`].
-    pub peak_in_flight_bytes: usize,
-    /// Bytes delivered by each shard.
-    pub per_shard_bytes: Vec<u64>,
 }
 
 /// The receipt for one submitted request; redeem it with [`Ticket::wait`].
@@ -130,18 +126,47 @@ struct State {
     /// Dropping a sender cancels its ticket.
     senders: HashMap<u64, mpsc::Sender<Completion>>,
     in_flight_bytes: usize,
+    /// Admitted-but-undelivered bytes per shard — the load metric
+    /// least-loaded placement minimises (unlike the scheduler's queued
+    /// bytes, it still counts a batch being generated).
+    shard_load: Vec<usize>,
+    /// Per-shard validation health; placement skips shards that are not
+    /// [`ShardState::Healthy`].
+    health: Vec<ShardHealth>,
+    /// Per-shard stream epoch, bumped at readmission. Tap chunks carry the
+    /// epoch of the batch they were served in, so bytes served while the
+    /// shard was fenced (stale stream content, possibly still faulty) can
+    /// never fold into the fresh post-readmission health record even if
+    /// they linger in the tap queue across the whole requalification.
+    shard_epoch: Vec<u64>,
+    /// Rotation point for placement tie-breaking (advanced past each pick,
+    /// so equal loads degrade to round-robin).
     next_shard: usize,
     next_seq: u64,
     lifecycle: Lifecycle,
     stats: ServiceStats,
 }
 
+impl State {
+    /// A consistent stats snapshot including per-shard health.
+    fn snapshot(&self) -> ServiceStats {
+        let mut stats = self.stats.clone();
+        stats.shard_health = self.health.clone();
+        stats
+    }
+}
+
 #[derive(Debug)]
 struct Shared {
     cfg: RngServiceConfig,
+    /// Approximate occupancy of the tap queue (incremented by workers on a
+    /// successful send, decremented by the validator on receive). Lets the
+    /// lossy tap skip building a batch copy it would immediately drop.
+    tap_fill: std::sync::atomic::AtomicUsize,
     state: Mutex<State>,
     /// Signalled when work arrives or the lifecycle changes (workers wait
-    /// here, both for requests and during pacing sleeps).
+    /// here, both for requests and during pacing sleeps), and when a shard
+    /// is quarantined (its idle worker must wake to requalify it).
     work: Condvar,
     /// Signalled when in-flight bytes are released (parked submitters wait
     /// here).
@@ -150,14 +175,18 @@ struct Shared {
 
 /// A sharded, batching, backpressured random-number service: one worker
 /// thread per [`QuacTrng`] shard (channel), a priority/round-robin scheduler
-/// per shard, and a service-wide in-flight byte budget.
+/// per shard, least-loaded quarantine-aware placement, a service-wide
+/// in-flight byte budget, and (optionally) a continuous-validation thread
+/// grading served windows with the NIST battery.
 ///
 /// See the [crate docs](crate) for the architecture and the determinism
-/// contract.
+/// contract, [`crate::validate`] for the validation loop, and
+/// [`crate::health`] for the quarantine state machine.
 #[derive(Debug)]
 pub struct RngService {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    validator: Option<JoinHandle<()>>,
 }
 
 impl RngService {
@@ -166,16 +195,31 @@ impl RngService {
     ///
     /// # Panics
     ///
-    /// Panics if `shards` is empty.
+    /// Panics if `shards` is empty, or if validation is enabled with a
+    /// window that is not a whole number of bytes.
     pub fn start(shards: Vec<QuacTrng>, cfg: RngServiceConfig) -> Self {
         assert!(!shards.is_empty(), "the RNG service needs at least one shard");
+        if cfg.validation.enabled {
+            // Fail here, in the caller's thread — a malformed window would
+            // otherwise panic the validator/worker threads at first use,
+            // silently disabling validation (their join errors are dropped).
+            assert!(
+                cfg.validation.window_bits > 0 && cfg.validation.window_bits % 8 == 0,
+                "validation windows must be a positive whole number of bytes, got {} bits",
+                cfg.validation.window_bits
+            );
+        }
         let shard_count = shards.len();
         let shared = Arc::new(Shared {
             cfg,
+            tap_fill: std::sync::atomic::AtomicUsize::new(0),
             state: Mutex::new(State {
                 shards: (0..shard_count).map(|_| ShardScheduler::new(cfg.fairness_window)).collect(),
                 senders: HashMap::new(),
                 in_flight_bytes: 0,
+                shard_load: vec![0; shard_count],
+                health: vec![ShardHealth::new(); shard_count],
+                shard_epoch: vec![0; shard_count],
                 next_shard: 0,
                 next_seq: 0,
                 lifecycle: Lifecycle::Running,
@@ -187,18 +231,32 @@ impl RngService {
             work: Condvar::new(),
             space: Condvar::new(),
         });
+        let (tap_tx, validator) = if cfg.validation.enabled {
+            let (tx, rx) = mpsc::sync_channel(cfg.validation.tap_queue_batches.max(1));
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name("rng-validator".into())
+                .spawn(move || validator_loop(&shared, &rx, shard_count))
+                .expect("spawning the RNG validator");
+            (Some(tx), Some(handle))
+        } else {
+            (None, None)
+        };
         let workers = shards
             .into_iter()
             .enumerate()
             .map(|(idx, trng)| {
                 let shared = Arc::clone(&shared);
+                let tap = tap_tx.clone();
                 std::thread::Builder::new()
                     .name(format!("rng-shard-{idx}"))
-                    .spawn(move || worker_loop(&shared, idx, trng))
+                    .spawn(move || worker_loop(&shared, idx, trng, tap))
                     .expect("spawning an RNG shard worker")
             })
             .collect();
-        RngService { shared, workers }
+        // `tap_tx` drops here: the validator exits once every worker's
+        // clone is gone (i.e. after the workers join).
+        RngService { shared, workers, validator }
     }
 
     /// Number of shards (channels) serving requests.
@@ -267,9 +325,9 @@ impl RngService {
         Ok(self.admit(&mut st, client, priority, len))
     }
 
-    /// A snapshot of the running counters.
+    /// A snapshot of the running counters, including per-shard health.
     pub fn stats(&self) -> ServiceStats {
-        self.lock().stats.clone()
+        self.lock().snapshot()
     }
 
     /// Bytes currently in flight (queued plus being generated).
@@ -281,7 +339,8 @@ impl RngService {
     /// the final counters. Parked submitters are released with
     /// [`SubmitError::ShuttingDown`], and delivery pacing is lifted for the
     /// drain, so shutdown completes promptly even under a near-zero idle
-    /// budget.
+    /// budget. A shard mid-requalification abandons it (no readmission
+    /// survives shutdown anyway).
     pub fn shutdown(self) -> ServiceStats {
         self.stop(Lifecycle::Draining)
     }
@@ -306,7 +365,12 @@ impl RngService {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        self.lock().stats.clone()
+        // The workers' tap senders are gone; the validator drains the
+        // channel and exits on disconnect.
+        if let Some(validator) = self.validator.take() {
+            let _ = validator.join();
+        }
+        self.lock().snapshot()
     }
 
     fn validate(&self, len: usize) -> Result<(), SubmitError> {
@@ -323,9 +387,10 @@ impl RngService {
     }
 
     /// Admits a validated, budget-fitting request: assigns its sequence
-    /// number and shard (round-robin over submission order — the assignment
-    /// the serial-equivalence tests replay), charges the budget, and wakes a
-    /// worker.
+    /// number and shard — the least-loaded healthy shard, with rotation
+    /// tie-breaking so an idle service degrades to the round-robin
+    /// assignment the serial-equivalence tests replay — charges the budget,
+    /// records the queue-depth sample, and wakes a worker.
     fn admit(
         &self,
         st: &mut MutexGuard<'_, State>,
@@ -335,13 +400,30 @@ impl RngService {
     ) -> Ticket {
         let seq = st.next_seq;
         st.next_seq += 1;
-        let shard = st.next_shard;
-        st.next_shard = (st.next_shard + 1) % st.shards.len();
+        let shard = {
+            let st = &**st;
+            least_loaded_shard(
+                st.shards.len(),
+                st.next_shard,
+                |i| st.shard_load[i],
+                |i| !st.health[i].is_serving(),
+            )
+        };
+        st.next_shard = (shard + 1) % st.shards.len();
         st.in_flight_bytes += len;
+        st.shard_load[shard] += len;
         st.stats.peak_in_flight_bytes = st.stats.peak_in_flight_bytes.max(st.in_flight_bytes);
+        let depth = st.shards[shard].len() as u64;
+        st.stats.queue_depth.record(depth);
         let (tx, rx) = mpsc::channel();
         st.senders.insert(seq, tx);
-        st.shards[shard].push(RngRequest { client, priority, len, seq });
+        st.shards[shard].push(RngRequest {
+            client,
+            priority,
+            len,
+            seq,
+            submitted_at: Instant::now(),
+        });
         self.shared.work.notify_all();
         Ticket { seq, shard, rx }
     }
@@ -357,7 +439,7 @@ impl Drop for RngService {
             return;
         }
         {
-            let mut st = self.lock();
+            let mut st = self.shared.state.lock().expect("service state poisoned");
             st.lifecycle = Lifecycle::Aborting;
             st.senders.clear();
             self.shared.work.notify_all();
@@ -366,14 +448,25 @@ impl Drop for RngService {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(validator) = self.validator.take() {
+            let _ = validator.join();
+        }
     }
 }
 
 /// One shard's worker: dequeue a coalesced batch, generate all its bytes
 /// with a single buffer-reusing [`QuacTrng::fill_bytes`] call, pace delivery
-/// against the idle-cycle budget, deliver per-request completions, release
-/// the budget.
-fn worker_loop(shared: &Shared, shard_idx: usize, mut trng: QuacTrng) {
+/// against the idle-cycle budget, deliver per-request completions, tap a
+/// copy for the validator, release the budget. When the shard is
+/// quarantined and its queue has drained, the worker switches to
+/// requalification: recharacterise, generate probation windows, grade them,
+/// and readmit on a passing streak.
+fn worker_loop(
+    shared: &Shared,
+    shard_idx: usize,
+    mut trng: QuacTrng,
+    tap: Option<mpsc::SyncSender<TapChunk>>,
+) {
     // Token-bucket pacing deadline: each batch owes `time_for_bytes` of
     // wall-clock on top of the previous deadline (or of "now" after an idle
     // gap — idle time is not banked into a later burst). Accumulating per
@@ -383,29 +476,63 @@ fn worker_loop(shared: &Shared, shard_idx: usize, mut trng: QuacTrng) {
     let mut batch: Vec<RngRequest> = Vec::new();
     let mut senders: Vec<Option<mpsc::Sender<Completion>>> = Vec::new();
     let mut buf: Vec<u8> = Vec::new();
+    // Delivered-byte offset within the current stream epoch: readmission
+    // restarts the shard's stream (recharacterisation rebuilds the
+    // sampler), so offsets restart with it — completions stay gapless per
+    // `(shard, epoch)`.
     let mut stream_offset: u64 = 0;
+    let mut current_epoch: u64 = 0;
+    // Coverage accounting of the lossy tap (bytes served vs bytes tapped by
+    // this worker), enforcing `ValidationConfig::target_coverage`.
+    let mut tap_served: u64 = 0;
+    let mut tap_taken: u64 = 0;
     loop {
-        // Phase 1 (locked): wait for work, dequeue a batch and its tickets.
+        // Phase 1 (locked): wait for work, dequeue a batch and its tickets —
+        // or detect that this shard is fenced off with an empty queue and
+        // must requalify instead.
         batch.clear();
         senders.clear();
+        let mut requalify = false;
+        let mut batch_epoch = 0u64;
         let batch_bytes = {
             let mut st = shared.state.lock().expect("service state poisoned");
             loop {
                 match st.lifecycle {
                     Lifecycle::Aborting => return,
                     Lifecycle::Draining if st.shards[shard_idx].is_empty() => return,
+                    // Anything already queued is served (the drain step of
+                    // quarantine) before requalification starts.
                     _ if !st.shards[shard_idx].is_empty() => break,
+                    Lifecycle::Running if !st.health[shard_idx].is_serving() => {
+                        requalify = true;
+                        break;
+                    }
                     _ => st = shared.work.wait(st).expect("service state poisoned"),
                 }
             }
-            let bytes = st.shards[shard_idx].pop_batch(
-                shared.cfg.max_batch_bytes,
-                shared.cfg.max_batch_requests,
-                &mut batch,
-            );
-            senders.extend(batch.iter().map(|r| st.senders.remove(&r.seq)));
-            bytes
+            if requalify {
+                0
+            } else {
+                batch_epoch = st.shard_epoch[shard_idx];
+                let bytes = st.shards[shard_idx].pop_batch(
+                    shared.cfg.max_batch_bytes,
+                    shared.cfg.max_batch_requests,
+                    &mut batch,
+                );
+                senders.extend(batch.iter().map(|r| st.senders.remove(&r.seq)));
+                bytes
+            }
         };
+        if requalify {
+            if !requalify_shard(shared, shard_idx, &mut trng, &mut buf) {
+                return;
+            }
+            continue;
+        }
+        if batch_epoch != current_epoch {
+            current_epoch = batch_epoch;
+            stream_offset = 0;
+        }
 
         // Phase 2 (unlocked): one generation pass covers the whole batch.
         buf.resize(batch_bytes, 0);
@@ -440,7 +567,76 @@ fn worker_loop(shared: &Shared, shard_idx: usize, mut trng: QuacTrng) {
             }
         }
 
-        // Phase 4: deliver completions, then release the budget.
+        // Phase 4: tap a copy of the served bytes for the validator,
+        // release the budget, then deliver completions. The budget and
+        // per-shard load are released *before* any completion becomes
+        // visible: a sequential client that saw its reply and immediately
+        // submits again must observe the load already settled, or placement
+        // (and with it the per-request replay determinism the tests pin)
+        // would race the release.
+        let mut tapped = 0u64;
+        let mut dropped = 0u64;
+        if let Some(tap) = &tap {
+            use std::sync::atomic::Ordering;
+            if shared.cfg.validation.lossless_tap {
+                // Parks this worker until the validator catches up: full,
+                // deterministic coverage for tests (and backpressure stays
+                // charged meanwhile, coupling admission to validation).
+                let chunk = TapChunk {
+                    shard: shard_idx,
+                    epoch: batch_epoch,
+                    bytes: buf[..batch_bytes].to_vec(),
+                };
+                if tap.send(chunk).is_ok() {
+                    tapped = batch_bytes as u64;
+                }
+            } else if !tap_quota_allows(
+                tap_taken,
+                tap_served,
+                batch_bytes as u64,
+                shared.cfg.validation.target_coverage,
+            ) || shared.tap_fill.load(Ordering::Relaxed)
+                >= shared.cfg.validation.tap_queue_batches.max(1)
+            {
+                // Over the coverage budget, or the queue is (approximately)
+                // full — the expected steady state when generation outpaces
+                // grading. Skip without paying the batch copy a try_send
+                // would immediately discard.
+                dropped = batch_bytes as u64;
+            } else {
+                let chunk = TapChunk {
+                    shard: shard_idx,
+                    epoch: batch_epoch,
+                    bytes: buf[..batch_bytes].to_vec(),
+                };
+                match tap.try_send(chunk) {
+                    Ok(()) => {
+                        shared.tap_fill.fetch_add(1, Ordering::Relaxed);
+                        tapped = batch_bytes as u64;
+                    }
+                    Err(_) => dropped = batch_bytes as u64,
+                }
+            }
+            tap_served += batch_bytes as u64;
+            tap_taken += tapped;
+        }
+        {
+            let now = Instant::now();
+            let mut st = shared.state.lock().expect("service state poisoned");
+            st.in_flight_bytes -= batch_bytes;
+            st.shard_load[shard_idx] -= batch_bytes;
+            st.stats.completed_requests += batch.len() as u64;
+            st.stats.completed_bytes += batch_bytes as u64;
+            st.stats.per_shard_bytes[shard_idx] += batch_bytes as u64;
+            st.stats.validation.bytes_tapped += tapped;
+            st.stats.validation.bytes_dropped += dropped;
+            for req in &batch {
+                st.stats
+                    .latency_us
+                    .record(now.duration_since(req.submitted_at).as_micros() as u64);
+            }
+            shared.space.notify_all();
+        }
         let mut offset_in_batch = 0usize;
         for (req, sender) in batch.iter().zip(&senders) {
             let bytes = buf[offset_in_batch..offset_in_batch + req.len].to_vec();
@@ -450,6 +646,7 @@ fn worker_loop(shared: &Shared, shard_idx: usize, mut trng: QuacTrng) {
                     client: req.client,
                     seq: req.seq,
                     shard: shard_idx,
+                    epoch: batch_epoch,
                     stream_offset: stream_offset + offset_in_batch as u64,
                     bytes,
                 });
@@ -457,13 +654,189 @@ fn worker_loop(shared: &Shared, shard_idx: usize, mut trng: QuacTrng) {
             offset_in_batch += req.len;
         }
         stream_offset += batch_bytes as u64;
-        {
-            let mut st = shared.state.lock().expect("service state poisoned");
-            st.in_flight_bytes -= batch_bytes;
-            st.stats.completed_requests += batch.len() as u64;
-            st.stats.completed_bytes += batch_bytes as u64;
-            st.stats.per_shard_bytes[shard_idx] += batch_bytes as u64;
-            shared.space.notify_all();
+    }
+}
+
+/// What the requalification loop should do next, checked between its
+/// expensive unlocked steps.
+enum RequalifyGate {
+    /// Keep requalifying.
+    Continue,
+    /// Requests are queued on this shard (the all-quarantined placement
+    /// fallback admits to fenced shards rather than deadlocking): go back
+    /// and serve them — accepted work is never stranded behind probation.
+    ServeQueue,
+    /// The service is stopping.
+    Stop,
+}
+
+fn requalify_gate(shared: &Shared, shard_idx: usize) -> RequalifyGate {
+    let st = shared.state.lock().expect("service state poisoned");
+    match st.lifecycle {
+        Lifecycle::Aborting => RequalifyGate::Stop,
+        // Queued work outranks both requalification and a drain: accepted
+        // requests are served before this worker does anything else, which
+        // is what keeps shutdown()'s serve-everything-accepted contract
+        // intact even mid-requalification (the serving loop then handles
+        // `Draining` + empty queue by exiting).
+        _ if !st.shards[shard_idx].is_empty() => RequalifyGate::ServeQueue,
+        Lifecycle::Draining => RequalifyGate::Stop,
+        Lifecycle::Running => RequalifyGate::Continue,
+    }
+}
+
+/// Requalifies a quarantined shard: recharacterise, generate probation
+/// windows that are graded but never served, and readmit after
+/// [`HealthPolicy::probation_windows`](crate::health::HealthPolicy) pass in
+/// a row; a failing window loops back to recharacterisation (after a brief
+/// backoff, so a permanently faulty shard cycles instead of pegging a
+/// core). Yields between steps whenever requests are queued on this shard —
+/// the all-quarantined placement fallback still gets served — and returns
+/// `false` only when the service stopped mid-requalification (the worker
+/// exits); `true` hands control back to the serving loop, which re-enters
+/// requalification once the queue is empty again if the shard is still
+/// fenced.
+fn requalify_shard(
+    shared: &Shared,
+    shard_idx: usize,
+    trng: &mut QuacTrng,
+    scratch: &mut Vec<u8>,
+) -> bool {
+    let vcfg = &shared.cfg.validation;
+    let window_bytes = vcfg.window_bits / 8;
+    loop {
+        match requalify_gate(shared, shard_idx) {
+            RequalifyGate::Stop => return false,
+            RequalifyGate::ServeQueue => return true,
+            RequalifyGate::Continue => {}
         }
+        // Recharacterise only from the Quarantined state (fresh quarantine,
+        // or a failed probation window dropped back to it). A shard still
+        // in Probation — requalification yielded to queued work between
+        // windows — resumes its run instead of repeating the expensive
+        // sweep, so steady fallback traffic cannot defer readmission
+        // indefinitely.
+        let needs_recharacterization = {
+            let st = shared.state.lock().expect("service state poisoned");
+            st.health[shard_idx].state != crate::health::ShardState::Probation
+        };
+        if needs_recharacterization {
+            // The sweep runs unlocked, so healthy shards keep serving.
+            trng.recharacterize(&vcfg.recharacterization);
+            let mut st = shared.state.lock().expect("service state poisoned");
+            st.health[shard_idx].begin_probation();
+            st.stats.validation.recharacterizations += 1;
+        }
+        loop {
+            match requalify_gate(shared, shard_idx) {
+                RequalifyGate::Stop => return false,
+                RequalifyGate::ServeQueue => return true,
+                RequalifyGate::Continue => {}
+            }
+            scratch.resize(window_bytes, 0);
+            trng.fill_bytes(scratch);
+            let bits = BitVec::from_bytes(scratch, vcfg.window_bits);
+            let pass = qt_nist_sts::run_all_tests(&bits).iter().all(|r| r.passes(vcfg.alpha));
+            let mut st = shared.state.lock().expect("service state poisoned");
+            st.stats.validation.probation_windows += 1;
+            if st.health[shard_idx].record_probation_window(pass, &vcfg.policy) {
+                st.stats.validation.readmissions += 1;
+                // A new stream epoch: any tap chunk from before this point
+                // (fenced-era bytes still queued at the validator) is stale
+                // and must not grade the fresh record.
+                st.shard_epoch[shard_idx] += 1;
+                // Back in placement: wake submitters and peers.
+                shared.work.notify_all();
+                shared.space.notify_all();
+                return true;
+            }
+            if !pass {
+                break; // recharacterise again, after the backoff below
+            }
+        }
+        // Backoff between requalification attempts: a shard whose fault
+        // persists would otherwise alternate characterisation sweeps and
+        // battery runs at full duty for the life of the service. Waiting on
+        // the work condvar keeps shutdown and new queue arrivals prompt.
+        let st = shared.state.lock().expect("service state poisoned");
+        if st.lifecycle == Lifecycle::Running && st.shards[shard_idx].is_empty() {
+            let _ = shared
+                .work
+                .wait_timeout(st, std::time::Duration::from_millis(50))
+                .expect("service state poisoned");
+        }
+    }
+}
+
+/// The validator thread: drains tapped chunks, windows them per shard,
+/// grades full windows with the word-parallel battery, and folds verdicts
+/// into shard health — quarantining a shard the moment a bound trips.
+fn validator_loop(shared: &Shared, rx: &mpsc::Receiver<TapChunk>, shard_count: usize) {
+    let vcfg = &shared.cfg.validation;
+    let mut validator = StreamValidator::new(shard_count, vcfg.window_bits);
+    while let Ok(chunk) = rx.recv() {
+        if !vcfg.lossless_tap {
+            // Mirror of the worker-side increment: the occupancy estimate
+            // lets lossy workers skip copies the full queue would drop.
+            shared.tap_fill.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        // Skip grading while aborting (but keep draining so lossless
+        // workers never block on a dead validator), for fenced-off shards
+        // (their tapped bytes predate the quarantine and are stale), and
+        // for chunks from a previous stream epoch (fenced-era bytes that
+        // sat in this queue across a readmission).
+        let skip = {
+            let st = shared.state.lock().expect("service state poisoned");
+            st.lifecycle == Lifecycle::Aborting
+                || !st.health[chunk.shard].is_serving()
+                || st.shard_epoch[chunk.shard] != chunk.epoch
+        };
+        if skip {
+            validator.reset_shard(chunk.shard);
+            continue;
+        }
+        let mut fenced = false;
+        validator.ingest(&chunk, |report| {
+            let mut st = shared.state.lock().expect("service state poisoned");
+            if !st.health[chunk.shard].is_serving() {
+                return; // quarantined by an earlier window of this push
+            }
+            let pass = report.passes(vcfg.alpha);
+            let quarantine = st.health[chunk.shard].record_window(pass, &vcfg.policy);
+            st.stats.validation.windows_validated += 1;
+            if !pass {
+                st.stats.validation.windows_failed += 1;
+            }
+            if quarantine {
+                fenced = true;
+                st.stats.validation.quarantines += 1;
+                // The shard is out of placement as of now; wake its (likely
+                // idle) worker so it drains and requalifies.
+                shared.work.notify_all();
+            }
+        });
+        if fenced {
+            // Whatever partial window followed the quarantine decision is
+            // stale stream content.
+            validator.reset_shard(chunk.shard);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::ShardState;
+
+    #[test]
+    fn shard_state_default_is_healthy() {
+        assert_eq!(ShardState::default(), ShardState::Healthy);
+        assert!(ShardHealth::new().is_serving());
+    }
+
+    #[test]
+    fn config_default_disables_validation() {
+        let cfg = RngServiceConfig::default();
+        assert!(!cfg.validation.enabled);
     }
 }

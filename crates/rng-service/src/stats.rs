@@ -1,0 +1,191 @@
+//! Observability: log₂ histograms, validation counters, and the service's
+//! aggregate [`ServiceStats`] snapshot.
+//!
+//! Everything here is plain data guarded by the service's one state lock —
+//! recording is a couple of integer ops, cheap enough for the submit and
+//! delivery paths — and a [`RngService::stats`](crate::RngService::stats)
+//! call clones a consistent snapshot out, so tests and operators can assert
+//! on queue depths, latencies, and per-shard health without stopping the
+//! service.
+
+use crate::health::ShardHealth;
+
+/// Number of log₂ buckets; values at or above 2³⁰ land in the last bucket.
+const BUCKETS: usize = 32;
+
+/// A log₂-bucketed histogram of non-negative integer samples (queue depths
+/// in requests, latencies in microseconds). Bucket 0 holds zeros; bucket
+/// `i ≥ 1` holds values in `[2^(i−1), 2^i)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; BUCKETS], count: 0, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// An upper bound on the `q`-quantile (0 ≤ q ≤ 1): the inclusive upper
+    /// edge of the first bucket whose cumulative count reaches `q·count`,
+    /// clamped to the observed maximum. Returns 0 for an empty histogram.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // The final bucket is open-ended ([2^30, u64::MAX]), so its
+                // only honest upper bound is the observed maximum.
+                let edge = if i == 0 {
+                    0
+                } else if i == BUCKETS - 1 {
+                    self.max
+                } else {
+                    (1u64 << i) - 1
+                };
+                return edge.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The per-bucket counts (bucket 0 = zeros, bucket `i` = `[2^(i−1), 2^i)`).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Counters of the continuous-validation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ValidationStats {
+    /// Served bytes copied into the validator tap.
+    pub bytes_tapped: u64,
+    /// Served bytes that bypassed validation because the tap queue was full
+    /// (lossy mode only) — the coverage the validator knowingly gave up.
+    pub bytes_dropped: u64,
+    /// Served windows the battery graded (all shards).
+    pub windows_validated: u64,
+    /// Served windows that failed the battery.
+    pub windows_failed: u64,
+    /// Quarantine transitions.
+    pub quarantines: u64,
+    /// Recharacterisations run by quarantined shards.
+    pub recharacterizations: u64,
+    /// Probation windows generated and graded during requalification.
+    pub probation_windows: u64,
+    /// Readmissions after a passed probation.
+    pub readmissions: u64,
+}
+
+/// Counters the service maintains while running and reports at shutdown.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceStats {
+    /// Requests completed (delivered to their tickets).
+    pub completed_requests: u64,
+    /// Random bytes delivered.
+    pub completed_bytes: u64,
+    /// High-water mark of in-flight bytes — never exceeds
+    /// [`RngServiceConfig::max_inflight_bytes`](crate::RngServiceConfig::max_inflight_bytes).
+    pub peak_in_flight_bytes: usize,
+    /// Bytes delivered by each shard.
+    pub per_shard_bytes: Vec<u64>,
+    /// Queue depth (requests already waiting on the chosen shard) sampled at
+    /// each admission.
+    pub queue_depth: Histogram,
+    /// Request latency (submission to delivery) in microseconds.
+    pub latency_us: Histogram,
+    /// Continuous-validation counters (all zero when validation is off).
+    pub validation: ValidationStats,
+    /// Per-shard health records (empty until snapshot; filled by
+    /// [`RngService::stats`](crate::RngService::stats) and at shutdown).
+    pub shard_health: Vec<ShardHealth>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_with_zero_bucket() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 5, 8, 13, 900] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), 900);
+        assert_eq!(h.quantile_upper_bound(0.0), 0);
+        // Median of 9 samples is the 5th (value 3): its bucket [2,4) has
+        // upper edge 3.
+        assert_eq!(h.quantile_upper_bound(0.5), 3);
+        assert!(h.quantile_upper_bound(1.0) >= 900);
+        assert_eq!(h.quantile_upper_bound(1.0), 900, "clamped to the observed max");
+        assert_eq!(Histogram::new().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn open_ended_final_bucket_reports_the_observed_max() {
+        // Values beyond 2^31 land in the open-ended last bucket; its edge
+        // must be the observed max, not the (1 << 31) - 1 boundary.
+        let mut h = Histogram::new();
+        h.record(10_000_000_000); // ~2.8 hours in microseconds
+        h.record(5);
+        assert_eq!(h.quantile_upper_bound(1.0), 10_000_000_000);
+        assert!(h.quantile_upper_bound(0.25) <= 7);
+    }
+
+    #[test]
+    fn record_accumulates_counts() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(7);
+        }
+        assert_eq!(h.buckets()[Histogram::bucket_of(7)], 10);
+        assert_eq!(h.count(), 10);
+    }
+}

@@ -1,0 +1,228 @@
+//! Continuous in-service validation: the per-shard tap that grades served
+//! bytes with the NIST SP 800-22 battery, off the delivery path.
+//!
+//! ## How the loop closes
+//!
+//! ```text
+//!  worker (per shard)                        validator thread
+//!  ──────────────────                        ────────────────
+//!  generate batch ──▶ deliver completions    recv (shard, bytes)
+//!        │                                      │ accumulate into that
+//!        └── tap: copy batch bytes ───────────▶ │ shard's 50 kb window
+//!            (try_send, bounded queue;          ▼
+//!             never blocks delivery)         window full → word-parallel
+//!                                            battery → pass/fail →
+//!                                            ShardHealth::record_window
+//!                                                  │ bound crossed
+//!                                                  ▼
+//!                                            quarantine: shard leaves
+//!                                            placement; its worker drains,
+//!                                            recharacterises, probations,
+//!                                            readmits (see `health`)
+//! ```
+//!
+//! The tap is a **copy**, so validation never perturbs the served streams —
+//! the bit-identical-reassembly determinism contract holds with validation
+//! on or off. In the default lossy mode the tap queue is bounded and a full
+//! queue skips the batch (counted in
+//! [`ValidationStats::bytes_dropped`](crate::stats::ValidationStats)):
+//! the word-parallel battery grades ~20 Mb/s per validator thread while a
+//! shard can generate several times that, and sampled coverage that never
+//! stalls delivery is the right trade for a production service. On a
+//! core-constrained host, [`ValidationConfig::target_coverage`] further
+//! budgets the validator's CPU share by byte-quota sampling (grading costs
+//! several times generation per byte). Tests set
+//! [`ValidationConfig::lossless_tap`] instead, which parks the worker —
+//! including that batch's completions, delivered after the tap — until the
+//! validator catches up, making window composition (and therefore every
+//! quarantine decision) a deterministic function of the served streams at
+//! the cost of coupling delivery latency to validation rate.
+//!
+//! Windows are graded per shard in stream order (the tap channel preserves
+//! each worker's send order), so a shard's verdict sequence is exactly what
+//! a serial validator reading its stream would produce.
+
+use crate::health::HealthPolicy;
+use qt_nist_sts::{Significance, WindowReport, WindowedBattery};
+use quac_trng::characterize::CharacterizationConfig;
+
+/// Tuning of the continuous-validation loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationConfig {
+    /// Master switch. Off by default: the service behaves exactly as the
+    /// pre-validation service (no tap copies, no validator thread).
+    pub enabled: bool,
+    /// Bits per validation window (must be a whole number of bytes).
+    /// Default 50 kb — the battery-bench window, ~2.5 ms to grade.
+    pub window_bits: usize,
+    /// Significance level windows are graded at (default: the paper's
+    /// α = 0.001).
+    pub alpha: Significance,
+    /// Quarantine/readmission thresholds.
+    pub policy: HealthPolicy,
+    /// `false` (default): a full tap queue skips the batch and counts the
+    /// bytes as dropped. `true`: the worker parks until the validator
+    /// catches up — full coverage and deterministic window composition, at
+    /// the cost of coupling delivery rate to validation rate.
+    pub lossless_tap: bool,
+    /// Capacity of the tap queue, in batches.
+    pub tap_queue_batches: usize,
+    /// Fraction of served bytes the lossy tap aims to grade (clamped to
+    /// `[0, 1]`; ignored in lossless mode, which always grades everything).
+    /// Default 1.0: tap whatever the queue admits. Grading costs several
+    /// times more CPU per byte than generation in this simulation, so a
+    /// core-constrained host budgets validation by sampling — e.g. 0.005
+    /// keeps the validator's CPU share in the low single digits while still
+    /// grading a window every few MB per shard; a host with spare cores can
+    /// leave it at 1.0.
+    pub target_coverage: f64,
+    /// Characterisation configuration a quarantined shard requalifies with.
+    pub recharacterization: CharacterizationConfig,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig {
+            enabled: false,
+            window_bits: 50_000,
+            alpha: Significance::PAPER,
+            policy: HealthPolicy::default(),
+            lossless_tap: false,
+            tap_queue_batches: 64,
+            target_coverage: 1.0,
+            recharacterization: CharacterizationConfig::fast(),
+        }
+    }
+}
+
+/// The lossy tap's coverage budget: may this batch be tapped, given that
+/// `taken` of `served` bytes (both *excluding* this batch) were tapped so
+/// far and the target is `coverage` of the stream? Pure, so the quota rule
+/// is unit-testable: admitting the batch must not push tapped bytes beyond
+/// the budget earned by the stream served so far (batch included).
+pub(crate) fn tap_quota_allows(taken: u64, served: u64, batch: u64, coverage: f64) -> bool {
+    let coverage = coverage.clamp(0.0, 1.0);
+    (taken + batch) as f64 <= coverage * (served + batch) as f64
+}
+
+impl ValidationConfig {
+    /// Validation on with the default window/policy.
+    pub fn enabled() -> Self {
+        ValidationConfig { enabled: true, ..ValidationConfig::default() }
+    }
+}
+
+/// One tapped delivery: a copy of the bytes one shard just served, tagged
+/// with the shard's stream epoch at serving time (epochs bump at
+/// readmission, so fenced-era bytes lingering in the tap queue can never
+/// grade a freshly requalified shard).
+#[derive(Debug)]
+pub(crate) struct TapChunk {
+    pub shard: usize,
+    pub epoch: u64,
+    pub bytes: Vec<u8>,
+}
+
+/// The validator thread's engine: one [`WindowedBattery`] per shard,
+/// windows graded in arrival (= stream) order.
+#[derive(Debug)]
+pub(crate) struct StreamValidator {
+    batteries: Vec<WindowedBattery>,
+}
+
+impl StreamValidator {
+    pub fn new(shards: usize, window_bits: usize) -> Self {
+        StreamValidator {
+            batteries: (0..shards).map(|_| WindowedBattery::new(window_bits)).collect(),
+        }
+    }
+
+    /// Accumulates a tapped chunk; calls `on_window` for every window it
+    /// completes, in stream order.
+    pub fn ingest(&mut self, chunk: &TapChunk, on_window: impl FnMut(WindowReport)) {
+        self.batteries[chunk.shard].push(&chunk.bytes, on_window);
+    }
+
+    /// Discards a shard's partial window (its stream is discontinuous:
+    /// quarantined, about to be recharacterised).
+    pub fn reset_shard(&mut self, shard: usize) {
+        self.batteries[shard].reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_nist_sts::Significance;
+
+    #[test]
+    fn default_is_disabled_and_sane() {
+        let cfg = ValidationConfig::default();
+        assert!(!cfg.enabled);
+        assert_eq!(cfg.window_bits % 8, 0);
+        assert!(cfg.policy.max_consecutive_failures >= 1);
+        assert!((cfg.target_coverage - 1.0).abs() < 1e-12);
+        assert!(ValidationConfig::enabled().enabled);
+    }
+
+    #[test]
+    fn tap_quota_tracks_the_coverage_target() {
+        // Full coverage: every batch is within budget.
+        assert!(tap_quota_allows(0, 0, 100, 1.0));
+        assert!(tap_quota_allows(1000, 1000, 100, 1.0));
+        // Zero coverage: nothing is.
+        assert!(!tap_quota_allows(0, 0, 100, 0.0));
+        // Half coverage: alternating admit/skip stays near the target.
+        let mut taken = 0u64;
+        let mut served = 0u64;
+        let mut admitted = 0u64;
+        for _ in 0..1000 {
+            if tap_quota_allows(taken, served, 100, 0.5) {
+                taken += 100;
+                admitted += 1;
+            }
+            served += 100;
+        }
+        assert_eq!(admitted, 500);
+        // Out-of-range coverage clamps instead of misbehaving.
+        assert!(tap_quota_allows(0, 1000, 10, 7.5));
+        assert!(!tap_quota_allows(0, 1000, 10, -1.0));
+    }
+
+    #[test]
+    fn stream_validator_windows_per_shard_independently() {
+        let mut v = StreamValidator::new(2, 8_000);
+        let mut windows = Vec::new();
+        // 999 bytes to shard 0: no window yet; 1000 to shard 1: one window.
+        v.ingest(&TapChunk { shard: 0, epoch: 0, bytes: vec![0xA5; 999] }, |w| windows.push((0, w.index)));
+        assert!(windows.is_empty());
+        v.ingest(&TapChunk { shard: 1, epoch: 0, bytes: vec![0xA5; 1000] }, |w| windows.push((1, w.index)));
+        assert_eq!(windows, vec![(1, 0)]);
+        // One more byte completes shard 0's window.
+        v.ingest(&TapChunk { shard: 0, epoch: 0, bytes: vec![0xA5; 1] }, |w| windows.push((0, w.index)));
+        assert_eq!(windows, vec![(1, 0), (0, 0)]);
+        // Reset drops shard 0's partial accumulation.
+        v.ingest(&TapChunk { shard: 0, epoch: 0, bytes: vec![0xA5; 999] }, |_| panic!("no window"));
+        v.reset_shard(0);
+        v.ingest(&TapChunk { shard: 0, epoch: 0, bytes: vec![0xA5; 999] }, |_| panic!("still partial"));
+        let mut later = Vec::new();
+        v.ingest(&TapChunk { shard: 0, epoch: 0, bytes: vec![0xA5; 1] }, |w| later.push(w.index));
+        assert_eq!(later, vec![1], "window indices keep counting across resets");
+    }
+
+    #[test]
+    fn constant_windows_fail_random_windows_pass() {
+        let mut v = StreamValidator::new(1, 16_000);
+        let mut verdicts = Vec::new();
+        v.ingest(
+            &TapChunk { shard: 0, epoch: 0, bytes: vec![0u8; 2000] },
+            |w| verdicts.push(w.passes(Significance::PAPER)),
+        );
+        // A battery-grade "good" stream from the workspace PRNG.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let good: Vec<u8> = (0..2000).map(|_| (rng.gen::<u64>() & 0xFF) as u8).collect();
+        v.ingest(&TapChunk { shard: 0, epoch: 0, bytes: good }, |w| verdicts.push(w.passes(Significance::PAPER)));
+        assert_eq!(verdicts, vec![false, true]);
+    }
+}

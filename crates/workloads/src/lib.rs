@@ -9,12 +9,18 @@
 //! and row-buffer locality follow the published characterisation of each
 //! workload. The memory system in `qt-memctrl` only cares about the arrival
 //! process and address locality, which is exactly what these profiles encode.
+//!
+//! Beyond SPEC, [`adversarial`] generates hostile *service-level* request
+//! patterns (burst trains, starvation bait, multi-rank interleaves) used to
+//! property-test the RNG service's scheduler fairness and placement rules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod profiles;
 pub mod trace;
 
+pub use adversarial::{AdversarialProfile, ServiceRequestEvent};
 pub use profiles::{WorkloadClass, WorkloadProfile, SPEC2006_WORKLOADS};
 pub use trace::{MemoryRequest, RequestKind, TraceGenerator};

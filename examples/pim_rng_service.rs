@@ -23,7 +23,9 @@ use quac_trng_repro::dram_core::{BitVec, DataPattern, TransferRate};
 use quac_trng_repro::memctrl::system::{idle_injection_throughput_gbps, MemorySystem, MemorySystemConfig};
 use quac_trng_repro::memctrl::IdleBudget;
 use quac_trng_repro::nist_sts::{run_all_tests, Significance};
-use quac_trng_repro::rng_service::{ClientId, Priority, RngService, RngServiceConfig};
+use quac_trng_repro::rng_service::{
+    ClientId, Priority, RngService, RngServiceConfig, ServiceStats, ValidationConfig,
+};
 use quac_trng_repro::trng::characterize::CharacterizationConfig;
 use quac_trng_repro::trng::pipeline::QuacTrng;
 use quac_trng_repro::trng::throughput::ThroughputModel;
@@ -113,6 +115,33 @@ fn validate_served_stream(chunks: &[(usize, u64, Vec<u8>)]) {
     assert_eq!(passed, results.len(), "served bits must pass the battery");
 }
 
+/// Prints what the in-service validation loop observed during the burst
+/// run: window verdicts, tap coverage, per-shard health, and the service's
+/// queue-depth/latency histograms.
+fn report_continuous_validation(stats: &ServiceStats) {
+    let v = &stats.validation;
+    println!(
+        "  continuous validation: {} windows graded ({} failed), {} KiB tapped, {} KiB skipped",
+        v.windows_validated,
+        v.windows_failed,
+        v.bytes_tapped >> 10,
+        v.bytes_dropped >> 10,
+    );
+    for (shard, health) in stats.shard_health.iter().enumerate() {
+        println!(
+            "  shard {shard} health: {:?}, pass EWMA {:.3}, {} quarantines, {} readmissions",
+            health.state, health.pass_ewma, health.quarantines, health.readmissions
+        );
+    }
+    println!(
+        "  latency p50 <= {} us, p99 <= {} us, max {} us; queue depth p99 <= {} requests",
+        stats.latency_us.quantile_upper_bound(0.5),
+        stats.latency_us.quantile_upper_bound(0.99),
+        stats.latency_us.max(),
+        stats.queue_depth.quantile_upper_bound(0.99),
+    );
+}
+
 fn main() {
     // One-time characterisation of M1, shared by both shards (and cached in
     // .quac-cache/ across runs, like the figure binaries).
@@ -133,10 +162,14 @@ fn main() {
     println!("module {}: best segment entropy {:.0} bits", module.name, ch.best_segment_entropy);
     println!("hardware-model peak per channel (RC+BGP): {hw_peak:.2} Gb/s\n");
 
-    // Burst capacity of the *simulation*: 4 clients, 2 shards, no pacing.
+    // Burst capacity of the *simulation*: 4 clients, 2 shards, no pacing —
+    // with the continuous-validation loop on: a validator thread grades
+    // 50 kb windows of every shard's served bytes off the delivery path and
+    // would quarantine a shard whose health crossed the failure bounds.
     let service_cfg = RngServiceConfig {
         max_inflight_bytes: 1 << 20,
         max_batch_bytes: 64 << 10,
+        validation: ValidationConfig::enabled(),
         ..RngServiceConfig::default()
     };
     let service =
@@ -155,6 +188,7 @@ fn main() {
     for (shard, bytes) in stats.per_shard_bytes.iter().enumerate() {
         println!("  shard {shard}: {} KiB delivered", bytes >> 10);
     }
+    report_continuous_validation(&stats);
     validate_served_stream(&delivered_chunks);
 
     // Idle-cycle budgets under SPEC2006 traffic (Figure 12's model), then the

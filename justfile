@@ -20,6 +20,12 @@ clippy:
 fmt-check:
     cargo fmt --all --check
 
+# The RNG-service integration + adversarial-scheduling suites under the
+# same QUAC_THREADS matrix CI runs (serial and 4-worker validation paths).
+service-tests:
+    QUAC_THREADS=1 cargo test -q --test rng_service --test adversarial_scheduling
+    QUAC_THREADS=4 cargo test -q --test rng_service --test adversarial_scheduling
+
 # Run the criterion micro-benchmarks in measuring mode.
 bench:
     cargo bench

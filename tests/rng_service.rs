@@ -12,11 +12,14 @@ use quac_trng_repro::dram_analog::{ModuleVariation, OperatingConditions, QuacAna
 use quac_trng_repro::dram_core::{DataPattern, DramGeometry};
 use quac_trng_repro::memctrl::IdleBudget;
 use quac_trng_repro::rng_service::{
-    ClientId, Completion, Priority, RngService, RngServiceConfig, SubmitError,
+    ClientId, Completion, HealthPolicy, Priority, RngService, RngServiceConfig, ServiceStats,
+    ShardState, SubmitError, ValidationConfig,
 };
 use quac_trng_repro::trng::characterize::{characterize_module, CharacterizationConfig};
+use quac_trng_repro::trng::fault::FaultInjector;
 use quac_trng_repro::trng::pipeline::{shard_seed, QuacTrng};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const BASE_SEED: u64 = 0xDEAD_BEEF;
 
@@ -260,6 +263,7 @@ fn starved_low_priority_client_still_completes() {
         max_batch_requests: 1,
         max_batch_bytes: LEN,
         pacing: IdleBudget::from_gbps(0.001),
+        ..RngServiceConfig::default()
     };
     let service = RngService::start(shards, cfg);
 
@@ -335,6 +339,267 @@ fn shutdown_lifts_pacing_and_drains_promptly() {
     for t in tickets {
         assert_eq!(t.wait().unwrap().bytes.len(), 4096);
     }
+}
+
+// ---- continuous in-service validation: quarantine and readmission ----
+
+/// A validation config tuned for test speed: small windows, lossless tap
+/// (deterministic coverage), streak-only quarantine (EWMA disabled so a
+/// healthy shard can only be fenced by two *consecutive* unlucky windows,
+/// which the fixed seeds rule out), stride-1 recharacterisation of the tiny
+/// model.
+fn test_validation() -> ValidationConfig {
+    ValidationConfig {
+        enabled: true,
+        window_bits: 16_000,
+        lossless_tap: true,
+        policy: HealthPolicy {
+            ewma_alpha: 0.1,
+            min_pass_ewma: 0.0,
+            max_consecutive_failures: 2,
+            probation_windows: 2,
+        },
+        recharacterization: CharacterizationConfig {
+            segment_stride: 1,
+            bitline_stride: 1,
+            conditions: OperatingConditions::nominal(),
+        },
+        ..ValidationConfig::default()
+    }
+}
+
+/// Polls `stats()` until `predicate` holds, failing after `timeout`.
+fn wait_for(
+    service: &RngService,
+    timeout: Duration,
+    what: &str,
+    predicate: impl Fn(&ServiceStats) -> bool,
+) -> ServiceStats {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let stats = service.stats();
+        if predicate(&stats) {
+            return stats;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}: {stats:?}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn biased_shard_is_quarantined_within_bounded_windows_and_readmitted() {
+    const SHARDS: usize = 2;
+    const FAULTY: usize = 1;
+    const REQ: usize = 2048;
+    let (model, mut shards) = tiny_shards(SHARDS);
+    // A transient delivery-side bias on shard 1: every served window fails
+    // monobit decisively, and recharacterisation routes around the fault.
+    shards[FAULTY].inject_fault(FaultInjector::bias(0.75, 7).transient());
+    let cfg = RngServiceConfig { validation: test_validation(), ..RngServiceConfig::default() };
+    let service = RngService::start(shards, cfg);
+
+    // Drive traffic until the validator fences the faulty shard. Each poll
+    // round pushes 8 × 2 KiB; least-loaded placement spreads it over both
+    // shards, so the faulty shard accumulates windows quickly.
+    let mut completions: Vec<Completion> = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let quarantine_stats = loop {
+        let tickets: Vec<_> = (0..8)
+            .map(|i| service.submit(ClientId(i % 4), Priority::Normal, REQ).unwrap())
+            .collect();
+        completions.extend(tickets.into_iter().map(|t| t.wait().expect("served")));
+        let stats = service.stats();
+        if stats.validation.quarantines >= 1 {
+            break stats;
+        }
+        assert!(Instant::now() < deadline, "faulty shard never quarantined: {stats:?}");
+    };
+
+    // Bounded detection: with every faulty window failing and a streak
+    // bound of 2, the shard is fenced the moment its second window is
+    // graded (allow one in-flight window of slack for the poll).
+    let health = &quarantine_stats.shard_health[FAULTY];
+    assert!(health.windows_failed >= 2, "{health:?}");
+    assert!(
+        health.windows_validated <= 3,
+        "detection took {} windows, expected ≤ K=3: {health:?}",
+        health.windows_validated
+    );
+    assert_eq!(quarantine_stats.validation.quarantines, 1);
+    assert!(health.state == ShardState::Quarantined || health.state == ShardState::Probation);
+
+    // The loop closes on its own: recharacterisation clears the transient
+    // fault, probation passes the battery twice, the shard is readmitted.
+    let readmitted = wait_for(&service, Duration::from_secs(120), "readmission", |s| {
+        s.validation.readmissions >= 1
+    });
+    assert!(readmitted.validation.recharacterizations >= 1);
+    assert!(readmitted.validation.probation_windows >= 2);
+    assert_eq!(readmitted.shard_health[FAULTY].state, ShardState::Healthy);
+
+    // A readmitted shard re-enters placement and serves again.
+    let before = service.stats().per_shard_bytes[FAULTY];
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let tickets: Vec<_> = (0..4)
+            .map(|_| service.submit(ClientId(0), Priority::Normal, REQ).unwrap())
+            .collect();
+        completions.extend(tickets.into_iter().map(|t| t.wait().expect("served")));
+        if service.stats().per_shard_bytes[FAULTY] > before {
+            break;
+        }
+        assert!(Instant::now() < deadline, "readmitted shard never placed again");
+    }
+
+    // Completions served after readmission carry the bumped stream epoch,
+    // and each epoch's offsets are gapless from zero on their own.
+    let mut epoch1: Vec<&Completion> =
+        completions.iter().filter(|c| c.shard == FAULTY && c.epoch == 1).collect();
+    assert!(!epoch1.is_empty(), "post-readmission completions must carry epoch 1");
+    epoch1.sort_by_key(|c| c.stream_offset);
+    let mut expected_offset = 0u64;
+    for c in &epoch1 {
+        assert_eq!(c.stream_offset, expected_offset, "epoch-1 stream must be gapless");
+        expected_offset += c.bytes.len() as u64;
+    }
+    assert!(completions.iter().all(|c| c.shard != (1 - FAULTY) || c.epoch == 0));
+
+    let stats = service.shutdown();
+    // Validation was lossless: everything delivered was tapped.
+    assert_eq!(stats.validation.bytes_tapped, stats.completed_bytes);
+    assert_eq!(stats.validation.bytes_dropped, 0);
+    assert!(stats.validation.windows_validated >= 3);
+    assert_eq!(stats.latency_us.count(), stats.completed_requests);
+    assert_eq!(stats.queue_depth.count(), stats.completed_requests);
+
+    // The healthy shard's stream is untouched by the whole episode: its
+    // completions still reassemble bit-identically to the single-threaded
+    // reference — validation taps copies, never the stream.
+    let healthy = reassemble_shard(&completions, 1 - FAULTY);
+    assert!(!healthy.is_empty());
+    assert_eq!(
+        healthy,
+        reference_stream(&model, 1 - FAULTY, healthy.len()),
+        "healthy shard diverged while the faulty one was handled"
+    );
+}
+
+#[test]
+fn shutdown_during_endless_requalification_terminates_cleanly() {
+    const SHARDS: usize = 2;
+    const FAULTY: usize = 1;
+    let (model, mut shards) = tiny_shards(SHARDS);
+    // A *persistent* stuck-at fault: probation can never pass, so the shard
+    // cycles recharacterise → probation-fail forever. Shutdown must still
+    // drain queued work and return promptly.
+    shards[FAULTY].inject_fault(FaultInjector::stuck_at(0, true));
+    let cfg = RngServiceConfig { validation: test_validation(), ..RngServiceConfig::default() };
+    let service = RngService::start(shards, cfg);
+
+    let mut completions = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while service.stats().validation.quarantines == 0 {
+        let tickets: Vec<_> = (0..8)
+            .map(|_| service.submit(ClientId(0), Priority::Normal, 2048).unwrap())
+            .collect();
+        completions.extend(tickets.into_iter().map(|t| t.wait().expect("served")));
+        assert!(Instant::now() < deadline, "persistent fault never quarantined");
+    }
+    // Queue more work while the shard is fenced: it must be served by the
+    // healthy shard (placement skips the quarantined one).
+    let tickets: Vec<_> = (0..6)
+        .map(|_| service.submit(ClientId(1), Priority::Normal, 1024).unwrap())
+        .collect();
+    for t in tickets {
+        let c = t.wait().expect("served during quarantine");
+        assert_eq!(c.shard, 1 - FAULTY, "quarantined shard must not be placed");
+        completions.push(c);
+    }
+
+    let started = Instant::now();
+    let stats = service.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "drain mid-requalification took {:?}",
+        started.elapsed()
+    );
+    assert!(stats.validation.quarantines >= 1);
+    assert_eq!(stats.validation.readmissions, 0, "a persistent fault can never requalify");
+    assert_ne!(stats.shard_health[FAULTY].state, ShardState::Healthy);
+    // Healthy shard output stayed bit-identical throughout.
+    let healthy = reassemble_shard(&completions, 1 - FAULTY);
+    assert_eq!(healthy, reference_stream(&model, 1 - FAULTY, healthy.len()));
+}
+
+#[test]
+fn all_quarantined_fallback_still_serves_accepted_requests() {
+    // A single shard with a persistent fault: once quarantined, placement
+    // has no healthy shard and falls back to the fenced one. Accepted
+    // requests must still be served — requalification yields to queued
+    // work instead of stranding it behind an endless probation loop.
+    let (_, mut shards) = tiny_shards(1);
+    shards[0].inject_fault(FaultInjector::stuck_at(0, true));
+    let cfg = RngServiceConfig { validation: test_validation(), ..RngServiceConfig::default() };
+    let service = RngService::start(shards, cfg);
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while service.stats().validation.quarantines == 0 {
+        let tickets: Vec<_> = (0..8)
+            .map(|_| service.submit(ClientId(0), Priority::Normal, 2048).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait().expect("served");
+        }
+        assert!(Instant::now() < deadline, "persistent fault never quarantined");
+    }
+    // The only shard is now fenced; submissions keep being accepted and
+    // must complete while its requalification cycles in the background.
+    for _ in 0..5 {
+        let ticket = service.submit(ClientId(1), Priority::Normal, 1024).expect("accepted");
+        let completion = ticket.wait().expect("served despite quarantine");
+        assert_eq!(completion.bytes.len(), 1024);
+    }
+    let stats = service.shutdown();
+    assert!(stats.validation.quarantines >= 1);
+    assert_eq!(stats.validation.readmissions, 0);
+}
+
+#[test]
+#[should_panic(expected = "whole number of bytes")]
+fn misaligned_validation_window_fails_fast_at_start() {
+    let (_, shards) = tiny_shards(1);
+    let cfg = RngServiceConfig {
+        validation: ValidationConfig { window_bits: 50_001, ..test_validation() },
+        ..RngServiceConfig::default()
+    };
+    let _ = RngService::start(shards, cfg);
+}
+
+#[test]
+fn abort_during_quarantine_terminates_cleanly() {
+    const FAULTY: usize = 0;
+    let (_, mut shards) = tiny_shards(2);
+    shards[FAULTY].inject_fault(FaultInjector::burst(64, 48));
+    let cfg = RngServiceConfig { validation: test_validation(), ..RngServiceConfig::default() };
+    let service = RngService::start(shards, cfg);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while service.stats().validation.quarantines == 0 {
+        let tickets: Vec<_> = (0..8)
+            .map(|_| service.submit(ClientId(0), Priority::Normal, 2048).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait().expect("served");
+        }
+        assert!(Instant::now() < deadline, "burst fault never quarantined");
+    }
+    let started = Instant::now();
+    let stats = service.abort();
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "abort mid-requalification took {:?}",
+        started.elapsed()
+    );
+    assert!(stats.validation.quarantines >= 1);
 }
 
 #[test]
