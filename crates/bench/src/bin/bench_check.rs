@@ -51,6 +51,41 @@ fn parse_results(text: &str, include_carried: bool) -> Vec<(String, f64)> {
 /// closes that blind spot; override with `BENCH_ABS_RATIO_BOUND`.
 const DEFAULT_ABS_RATIO_BOUND: f64 = 4.0;
 
+/// The benchmark the absolute-throughput floor gates: sustained steady-state
+/// generation, the headline number of the reproduction.
+const GBPS_GATED_BENCH: &str = "generate_bytes_64KiB";
+
+/// Fraction of the committed baseline's Gb/s the fresh run must reach. The
+/// floor is *relative to the committed baseline* so it ratchets forward when
+/// a faster baseline is committed, yet tolerates slower CI runners; override
+/// the whole floor with an absolute `BENCH_GBPS_FLOOR` (e.g. `0.8`).
+const DEFAULT_GBPS_FLOOR_FRACTION: f64 = 0.75;
+
+/// Extracts the `gbps` field of the named benchmark from a raw report.
+fn gbps_of(text: &str, bench: &str) -> Option<f64> {
+    text.lines()
+        .find(|line| json_string(line, "name").as_deref() == Some(bench))
+        .and_then(|line| json_number(line, "gbps"))
+}
+
+/// The generation-throughput floor: fails when the fresh run's sustained
+/// Gb/s drops below `floor_override`, or — absent an override — below
+/// `fraction` of the committed baseline's Gb/s. Unlike the median-normalised
+/// ratios this is an *absolute* bound: a stream generator that silently
+/// halves its throughput is broken even if the whole suite slowed in
+/// lockstep. Returns `Some((fresh_gbps, floor, failed?))` when a verdict is
+/// possible. Pure so the rule is unit-testable.
+fn gbps_floor_verdict(
+    fresh_gbps: Option<f64>,
+    baseline_gbps: Option<f64>,
+    fraction: f64,
+    floor_override: Option<f64>,
+) -> Option<(f64, f64, bool)> {
+    let fresh = fresh_gbps?;
+    let floor = floor_override.or_else(|| Some(baseline_gbps? * fraction))?;
+    Some((fresh, floor, fresh < floor))
+}
+
 /// The continuous-validation overhead gate: the on/off pair of the RNG
 /// service bench, measured in the *same* fresh run (same machine, same
 /// build), must stay within `overhead` of each other — the acceptance bound
@@ -113,19 +148,20 @@ fn main() -> ExitCode {
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(DEFAULT_ABS_RATIO_BOUND);
-    let read = |path: &str, include_carried: bool| -> Option<Vec<(String, f64)>> {
+    let read = |path: &str| -> Option<String> {
         match std::fs::read_to_string(path) {
-            Ok(text) => Some(parse_results(&text, include_carried)),
+            Ok(text) => Some(text),
             Err(e) => {
                 eprintln!("bench_check: cannot read {path}: {e}");
                 None
             }
         }
     };
-    let (Some(fresh), Some(baseline)) = (read(fresh_path, false), read(baseline_path, true))
-    else {
+    let (Some(fresh_text), Some(baseline_text)) = (read(fresh_path), read(baseline_path)) else {
         return ExitCode::from(2);
     };
+    let fresh = parse_results(&fresh_text, false);
+    let baseline = parse_results(&baseline_text, true);
     let (rows, median) = verdicts(&fresh, &baseline, threshold, abs_bound);
     if rows.is_empty() {
         eprintln!("bench_check: no common benchmarks between {fresh_path} and {baseline_path}");
@@ -160,6 +196,23 @@ fn main() -> ExitCode {
             overhead_budget * 100.0
         );
         failed |= over;
+    }
+    // Absolute generation-throughput floor, fresh-run only: sustained Gb/s
+    // must not fall below 75% of the committed baseline (or the explicit
+    // BENCH_GBPS_FLOOR).
+    let floor_override =
+        std::env::var("BENCH_GBPS_FLOOR").ok().and_then(|v| v.parse::<f64>().ok());
+    if let Some((fresh_gbps, floor, under)) = gbps_floor_verdict(
+        gbps_of(&fresh_text, GBPS_GATED_BENCH),
+        gbps_of(&baseline_text, GBPS_GATED_BENCH),
+        DEFAULT_GBPS_FLOOR_FRACTION,
+        floor_override,
+    ) {
+        let flag = if under { "  <-- UNDER FLOOR" } else { "" };
+        println!(
+            "{GBPS_GATED_BENCH} throughput:     {fresh_gbps:>14.3} Gb/s{flag} (floor {floor:.3} Gb/s)",
+        );
+        failed |= under;
     }
     if failed {
         eprintln!(
@@ -251,6 +304,40 @@ mod tests {
         assert!(validation_overhead(&fresh, 0.10).unwrap().1, "20% overhead must fail");
         // Missing either side: no verdict (e.g. a filtered `-- nist` run).
         assert!(validation_overhead(&results(&[("a", 1.0)]), 0.10).is_none());
+    }
+
+    #[test]
+    fn gbps_floor_tracks_the_committed_baseline() {
+        // Fresh at 0.8 Gb/s against a 1.0 Gb/s baseline: floor is 0.75, ok.
+        let (fresh, floor, under) =
+            gbps_floor_verdict(Some(0.8), Some(1.0), 0.75, None).unwrap();
+        assert!((fresh - 0.8).abs() < 1e-12 && (floor - 0.75).abs() < 1e-12);
+        assert!(!under);
+        // Fresh at 0.5 Gb/s: under the floor, must fail.
+        assert!(gbps_floor_verdict(Some(0.5), Some(1.0), 0.75, None).unwrap().2);
+        // An explicit override wins over the baseline-derived floor.
+        let (_, floor, under) =
+            gbps_floor_verdict(Some(0.7), Some(1.0), 0.75, Some(0.6)).unwrap();
+        assert!((floor - 0.6).abs() < 1e-12 && !under);
+        // No fresh measurement (filtered run) or no baseline gbps: no verdict.
+        assert!(gbps_floor_verdict(None, Some(1.0), 0.75, None).is_none());
+        assert!(gbps_floor_verdict(Some(0.8), None, 0.75, None).is_none());
+        // ... unless the override supplies the floor without a baseline.
+        assert!(gbps_floor_verdict(Some(0.8), None, 0.75, Some(0.9)).unwrap().2);
+    }
+
+    #[test]
+    fn gbps_is_extracted_from_the_named_entry_only() {
+        let text = r#"{
+  "results": [
+    {"name":"other","ns_per_iter":10.0,"samples":10,"gbps":99.0},
+    {"name":"generate_bytes_64KiB","ns_per_iter":650004.0,"samples":10,"bits_per_iter":524288,"gbps":0.8066}
+  ]
+}"#;
+        assert!((gbps_of(text, GBPS_GATED_BENCH).unwrap() - 0.8066).abs() < 1e-12);
+        assert!(gbps_of(text, "missing").is_none());
+        // An entry without a gbps field yields no measurement.
+        assert!(gbps_of("{\"name\":\"generate_bytes_64KiB\",\"ns_per_iter\":1.0}", GBPS_GATED_BENCH).is_none());
     }
 
     #[test]

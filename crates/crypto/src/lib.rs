@@ -24,10 +24,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cost;
 pub mod sha256;
 pub mod vnc;
 
+pub use batch::{digest_many, digest_many_into, BATCH_LANES};
 pub use cost::Sha256HardwareCost;
 pub use sha256::{Sha256, Sha256Digest, DIGEST_BITS};
 pub use vnc::VonNeumannCorrector;

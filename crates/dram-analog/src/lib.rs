@@ -50,6 +50,7 @@ pub mod entropy;
 pub mod failures;
 pub mod math;
 pub mod model;
+pub mod noise;
 pub mod params;
 pub mod profiles;
 pub mod sampler;
@@ -59,7 +60,8 @@ pub use conditions::OperatingConditions;
 pub use entropy::{binary_entropy, bitstream_entropy, entropy_from_counts};
 pub use failures::{FailureModel, RetentionModel};
 pub use model::{QuacAnalogModel, SegmentProber};
+pub use noise::NoiseRng;
 pub use params::AnalogParams;
 pub use profiles::{ModuleProfile, TemperatureTrend, PAPER_MODULES};
-pub use sampler::{BitThreshold, PackedSampler};
+pub use sampler::{BitSlicedSampler, BitThreshold, PackedSampler};
 pub use variation::{ModuleVariation, OffsetProber};

@@ -3,7 +3,7 @@
 
 use crate::conditions::OperatingConditions;
 use crate::math::{entropy_of_normal_bias, std_normal_cdf};
-use crate::sampler::{BitThreshold, PackedSampler};
+use crate::sampler::{BitSlicedSampler, BitThreshold, PackedSampler};
 use crate::variation::ModuleVariation;
 use qt_dram_core::{BitVec, DataPattern, DramGeometry, Segment, SubarrayAddr, CACHE_BLOCK_BITS};
 use rand::Rng;
@@ -379,6 +379,30 @@ impl QuacAnalogModel {
     /// bitline order; near-deterministic bitlines draw nothing).
     pub fn sample_from_probabilities<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> BitVec {
         crate::sampler::sample_reference(probs, rng)
+    }
+
+    /// Builds a bit-sliced bulk-drawn sampler for the whole row of a
+    /// segment: the steady-state hot path of [`BitSlicedSampler`] with this
+    /// model's probabilities baked in.
+    pub fn bitsliced_sampler(
+        &self,
+        segment: Segment,
+        pattern: DataPattern,
+        conditions: OperatingConditions,
+    ) -> BitSlicedSampler {
+        BitSlicedSampler::new(&self.bitline_probabilities(segment, pattern, conditions))
+    }
+
+    /// Samples a QUAC outcome from precomputed per-bitline probabilities
+    /// under the bulk-drawn bit-sliced scheme — the scalar reference path,
+    /// bit-identical to [`BitSlicedSampler`] for the same noise stream (see
+    /// [`crate::sampler::sample_bitsliced_reference`] for the noise-word
+    /// consumption contract).
+    pub fn sample_from_probabilities_bitsliced<R: Rng + ?Sized>(
+        probs: &[f64],
+        rng: &mut R,
+    ) -> BitVec {
+        crate::sampler::sample_bitsliced_reference(probs, rng)
     }
 
     /// Estimates a bitline's entropy the way the paper does (Section 6.1.2):

@@ -1,6 +1,17 @@
 //! Special functions required by SP 800-22: the complementary error function
-//! and the regularized incomplete gamma functions, plus a radix-2 FFT for the
+//! and the regularized incomplete gamma functions, plus the FFTs backing the
 //! spectral test.
+//!
+//! Two FFTs live here. [`fft`] is the frozen complex radix-2 reference:
+//! simple, twiddles by recurrence, kept byte-for-byte stable so rewrites can
+//! be pinned against it. [`RealFftPlan`] is the production path for the
+//! spectral test's *real* ±1 input: it packs even/odd samples into one
+//! half-length complex transform (halving the butterfly work), precomputes
+//! per-stage twiddle tables and the bit-reversal permutation once per length
+//! (amortised across the many same-length calls a test battery makes), and
+//! fuses the input packing with the bit-reversal load so no separate
+//! permutation pass runs. The equivalence tests pin its half-spectrum
+//! magnitudes to the reference transform's to within a few ulps.
 
 /// Complementary error function (via the Abramowitz–Stegun erf
 /// approximation).
@@ -163,6 +174,130 @@ pub fn fft(re: &mut [f64], im: &mut [f64]) {
     }
 }
 
+/// A reusable FFT plan for *real* input of fixed power-of-two length `n`.
+///
+/// The plan performs one complex FFT of length `n/2` over the even/odd
+/// packed input and untangles the result into the real input's half
+/// spectrum. All trigonometry — per-stage butterfly twiddles and the final
+/// untangling twiddles `e^{-2πik/n}` — is evaluated once at plan build time
+/// with direct `cos`/`sin` calls (no error-accumulating recurrence), and the
+/// bit-reversal permutation is stored so input loading and reordering fuse
+/// into one pass.
+#[derive(Debug, Clone)]
+pub struct RealFftPlan {
+    n: usize,
+    /// Bit-reversal permutation of the half-length transform: element `i` of
+    /// the working array is loaded from packed complex sample `rev[i]`.
+    rev: Vec<u32>,
+    /// Per-stage butterfly twiddles `e^{-2πik/len}`, stages concatenated in
+    /// ascending `len` order (`len = 2, 4, …, n/2`), `len/2` entries each.
+    twiddles: Vec<(f64, f64)>,
+    /// Untangling twiddles `e^{-2πik/n}` for `k` in `0..n/2`.
+    untangle: Vec<(f64, f64)>,
+}
+
+impl RealFftPlan {
+    /// Builds a plan for real input of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two and at least 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "FFT length must be a power of two >= 2");
+        let h = n / 2;
+        let stages = h.trailing_zeros();
+        let mut rev = vec![0u32; h];
+        if stages > 0 {
+            for (i, r) in rev.iter_mut().enumerate() {
+                *r = (i.reverse_bits() >> (usize::BITS - stages)) as u32;
+            }
+        }
+        let mut twiddles = Vec::with_capacity(h.saturating_sub(1));
+        let mut len = 2usize;
+        while len <= h {
+            for k in 0..len / 2 {
+                let ang = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                twiddles.push((ang.cos(), ang.sin()));
+            }
+            len <<= 1;
+        }
+        let untangle = (0..h)
+            .map(|k| {
+                let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                (ang.cos(), ang.sin())
+            })
+            .collect();
+        RealFftPlan { n, rev, twiddles, untangle }
+    }
+
+    /// The real input length this plan transforms.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for the trivial length (never: `n >= 2`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Computes `|X[k]|` for `k` in `0..n/2` of the real sequence `input`,
+    /// appending into `out` (cleared first). This is exactly the magnitude
+    /// set the SP 800-22 spectral test thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`.
+    pub fn magnitudes_into(&self, input: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(input.len(), self.n, "input length must match the plan");
+        let h = self.n / 2;
+        // Pack x[2i] + i·x[2i+1] directly in bit-reversed order: the load is
+        // the permutation pass.
+        let mut re: Vec<f64> = self.rev.iter().map(|&r| input[2 * r as usize]).collect();
+        let mut im: Vec<f64> = self.rev.iter().map(|&r| input[2 * r as usize + 1]).collect();
+        // Iterative butterflies over the precomputed per-stage tables.
+        let mut len = 2usize;
+        let mut tw_off = 0usize;
+        while len <= h {
+            let half = len / 2;
+            let tw = &self.twiddles[tw_off..tw_off + half];
+            let mut i = 0;
+            while i < h {
+                for (k, &(wr, wi)) in tw.iter().enumerate() {
+                    let (ur, ui) = (re[i + k], im[i + k]);
+                    let (xr, xi) = (re[i + k + half], im[i + k + half]);
+                    let (vr, vi) = (xr * wr - xi * wi, xr * wi + xi * wr);
+                    re[i + k] = ur + vr;
+                    im[i + k] = ui + vi;
+                    re[i + k + half] = ur - vr;
+                    im[i + k + half] = ui - vi;
+                }
+                i += len;
+            }
+            tw_off += half;
+            len <<= 1;
+        }
+        // Untangle Z = FFT(even + i·odd) into the real input's spectrum:
+        //   Fe[k] = (Z[k] + conj(Z[(h-k) mod h])) / 2        (FFT of evens)
+        //   Fo[k] = (Z[k] - conj(Z[(h-k) mod h])) / (2i)     (FFT of odds)
+        //   X[k]  = Fe[k] + e^{-2πik/n} · Fo[k]
+        out.clear();
+        out.reserve(h);
+        for k in 0..h {
+            let j = (h - k) & (h - 1);
+            let (ar, ai) = (re[k], im[k]);
+            let (br, bi) = (re[j], -im[j]);
+            let (fer, fei) = (0.5 * (ar + br), 0.5 * (ai + bi));
+            let (dr, di) = (0.5 * (ar - br), 0.5 * (ai - bi));
+            // (dr + i·di) / i = di − i·dr.
+            let (f_or, f_oi) = (di, -dr);
+            let (wr, wi) = self.untangle[k];
+            let xr = fer + f_or * wr - f_oi * wi;
+            let xi = fei + f_or * wi + f_oi * wr;
+            out.push((xr * xr + xi * xi).sqrt());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +349,87 @@ mod tests {
         let mut re = vec![0.0; 12];
         let mut im = vec![0.0; 12];
         fft(&mut re, &mut im);
+    }
+
+    /// Reference half-spectrum magnitudes via the frozen complex FFT.
+    fn reference_magnitudes(input: &[f64]) -> Vec<f64> {
+        let n = input.len();
+        let mut re = input.to_vec();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im);
+        (0..n / 2).map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt()).collect()
+    }
+
+    /// Deterministic pseudo-random ±1 input (SplitMix64 parity) — the
+    /// spectral test's actual input shape.
+    fn pm1_input(n: usize, seed: u64) -> Vec<f64> {
+        let mut z = seed;
+        (0..n)
+            .map(|_| {
+                z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut x = z;
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                if (x ^ (x >> 31)).count_ones() % 2 == 0 { 1.0 } else { -1.0 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn real_fft_plan_matches_complex_reference_across_lengths() {
+        for n in [2usize, 4, 8, 64, 512, 4096] {
+            let input = pm1_input(n, n as u64);
+            let reference = reference_magnitudes(&input);
+            let plan = RealFftPlan::new(n);
+            assert_eq!(plan.len(), n);
+            let mut mags = Vec::new();
+            plan.magnitudes_into(&input, &mut mags);
+            assert_eq!(mags.len(), n / 2);
+            for (k, (a, b)) in mags.iter().zip(&reference).enumerate() {
+                let tol = 1e-9 * (n as f64) + 1e-12;
+                assert!((a - b).abs() < tol, "n={n} k={k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn real_fft_plan_handles_non_pm1_input() {
+        // Arbitrary real values, not just ±1 — the untangling must be
+        // correct for any real sequence.
+        let input: Vec<f64> = (0..256).map(|i| ((i * 37 % 101) as f64 - 50.0) / 7.0).collect();
+        let reference = reference_magnitudes(&input);
+        let mut mags = Vec::new();
+        RealFftPlan::new(256).magnitudes_into(&input, &mut mags);
+        for (a, b) in mags.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn real_fft_plan_is_reusable_across_calls() {
+        let plan = RealFftPlan::new(128);
+        let mut first = Vec::new();
+        let mut again = Vec::new();
+        let input = pm1_input(128, 9);
+        plan.magnitudes_into(&input, &mut first);
+        plan.magnitudes_into(&input, &mut again);
+        assert_eq!(first, again);
+        // A different input through the same plan gives a different
+        // spectrum (the plan holds no per-call state).
+        plan.magnitudes_into(&pm1_input(128, 10), &mut again);
+        assert_ne!(first, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn real_fft_plan_rejects_non_power_of_two() {
+        let _ = RealFftPlan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "match the plan")]
+    fn real_fft_plan_rejects_wrong_input_length() {
+        let mut out = Vec::new();
+        RealFftPlan::new(16).magnitudes_into(&[1.0; 8], &mut out);
     }
 }

@@ -44,17 +44,29 @@
 //!   is a word-wise shifted XOR.
 //! * **binary matrix rank** — rows are one 32-bit load + `reverse_bits`.
 //!
+//! * **dft (spectral)** — the production path runs a *real-input* FFT
+//!   ([`crate::special::RealFftPlan`]): even/odd packing into a half-length
+//!   complex transform with precomputed twiddles, plans cached per length in
+//!   a thread-local map (a battery hits the same length repeatedly). About
+//!   half the butterfly work and no per-call trigonometry.
+//!
 //! Every rewritten test keeps its original bit-at-a-time implementation as a
 //! public `*_reference` twin. The references are the executable
 //! specification: property tests pin the word-parallel paths **bit-identical
 //! to the last ulp of the p-value** against them over biased, constant,
 //! alternating, and random streams with lengths crossing word boundaries.
-//! The `dft` spectral test and the excursion tests are unchanged (the FFT is
-//! already O(n log n); the cycle partition is a cheap single pass).
+//! The spectral test's twin is [`dft_reference`] (the frozen complex-FFT
+//! implementation); its p-value is pinned to the real-FFT path through the
+//! integer below-threshold count, which absorbs ulp-level magnitude
+//! differences. The excursion tests are unchanged (the cycle partition is a
+//! cheap single pass).
 
-use crate::special::{erfc, fft, igamc, std_normal_cdf};
+use crate::special::{erfc, fft, igamc, std_normal_cdf, RealFftPlan};
 use crate::{Applicability, TestResult};
 use qt_dram_core::BitVec;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
 
 fn result(name: &'static str, p_value: f64) -> TestResult {
     TestResult {
@@ -377,14 +389,55 @@ pub fn binary_matrix_rank_reference(bits: &BitVec) -> TestResult {
     result("binary_matrix_rank", matrix_rank_p_value(f_full, f_minus1, f_rest, matrices))
 }
 
-/// 2.6 Discrete Fourier transform (spectral) test. Unchanged apart from the
-/// ±1 marshalling: the FFT is already O(n log n) and dominates.
+thread_local! {
+    /// Per-length [`RealFftPlan`] cache for the spectral test. A battery run
+    /// calls `dft` on many same-length streams; building the twiddle tables
+    /// and bit-reversal permutation once per length amortises to nothing.
+    static DFT_PLANS: RefCell<HashMap<usize, Rc<RealFftPlan>>> = RefCell::new(HashMap::new());
+}
+
+fn dft_plan(n: usize) -> Rc<RealFftPlan> {
+    DFT_PLANS.with(|plans| {
+        Rc::clone(
+            plans
+                .borrow_mut()
+                .entry(n)
+                .or_insert_with(|| Rc::new(RealFftPlan::new(n))),
+        )
+    })
+}
+
+/// 2.6 Discrete Fourier transform (spectral) test, via the cached
+/// real-input FFT plan ([`RealFftPlan`]): half the butterfly work of the
+/// complex transform and no per-call trigonometry. The p-value is pinned to
+/// [`dft_reference`] — magnitudes may differ by ulps, but the statistic is
+/// the integer count of peaks below the threshold, which absorbs them.
 pub fn dft(bits: &BitVec) -> TestResult {
     let n_full = bits.len();
     if n_full < 1000 {
         return not_applicable("dft", "bits", 1000, n_full);
     }
     // Use the largest power-of-two prefix for the radix-2 FFT.
+    let n = 1usize << (usize::BITS - 1 - n_full.leading_zeros());
+    let input: Vec<f64> = (0..n).map(|i| if bits.get(i) { 1.0 } else { -1.0 }).collect();
+    let mut magnitudes = Vec::new();
+    dft_plan(n).magnitudes_into(&input, &mut magnitudes);
+    let threshold = ((1.0f64 / 0.05).ln() * n as f64).sqrt();
+    let half = n / 2;
+    let below = magnitudes.iter().filter(|&&m| m < threshold).count();
+    let n0 = 0.95 * half as f64;
+    let d = (below as f64 - n0) / (n as f64 * 0.95 * 0.05 / 4.0).sqrt();
+    result("dft", erfc(d.abs() / std::f64::consts::SQRT_2))
+}
+
+/// Frozen reference twin of [`dft`]: the original full-length complex-FFT
+/// implementation, kept as the executable specification the real-input
+/// rewrite is pinned against.
+pub fn dft_reference(bits: &BitVec) -> TestResult {
+    let n_full = bits.len();
+    if n_full < 1000 {
+        return not_applicable("dft", "bits", 1000, n_full);
+    }
     let n = 1usize << (usize::BITS - 1 - n_full.leading_zeros());
     let mut re: Vec<f64> = (0..n).map(|i| if bits.get(i) { 1.0 } else { -1.0 }).collect();
     let mut im = vec![0.0; n];
@@ -1669,6 +1722,60 @@ mod tests {
         let r = maurers_universal(&long);
         assert!(r.is_applicable());
         assert!(r.p_value > 0.001, "universal p {}", r.p_value);
+    }
+
+    #[test]
+    fn dft_matches_reference_across_stream_families() {
+        // The real-input FFT path must reproduce the frozen complex-FFT
+        // reference's p-value exactly: the statistic is an integer peak
+        // count, so ulp-level magnitude differences must not leak through.
+        for (kind, n, seed) in [
+            (0u8, 1000usize, 1u64),
+            (0, 1024, 2),
+            (0, 4096, 3),
+            (0, 100_000, 4),
+            (1, 30_000, 5),
+            (3, 30_000, 6),
+        ] {
+            let bits = stream(kind, n, seed);
+            assert_identical(&dft(&bits), &dft_reference(&bits));
+        }
+    }
+
+    #[test]
+    fn dft_short_input_is_not_applicable_in_both_paths() {
+        for n in [0usize, 1, 63, 64, 65, 512, 999] {
+            let bits = random_bits(n, 7);
+            let word = dft(&bits);
+            assert!(!word.is_applicable(), "n={n} should be NotApplicable");
+            assert!(word.p_value.is_nan());
+            assert_identical(&word, &dft_reference(&bits));
+        }
+        // The 1000-bit boundary itself is applicable (uses the 512-prefix).
+        assert!(dft(&random_bits(1000, 7)).is_applicable());
+    }
+
+    #[test]
+    fn dft_constant_streams_fail_spectacularly_in_both_paths() {
+        // All-zeros and all-ones map to constant ±1 input: all spectral
+        // energy in the DC bin, every other peak below threshold.
+        for value in [false, true] {
+            let bits = BitVec::filled(4096, value);
+            let word = dft(&bits);
+            assert_identical(&word, &dft_reference(&bits));
+        }
+    }
+
+    #[test]
+    fn dft_plan_cache_serves_repeated_lengths() {
+        // Two same-length calls share one cached plan, and the answers stay
+        // deterministic per input.
+        let a = random_bits(2048, 11);
+        let b = random_bits(2048, 12);
+        let first = dft(&a);
+        let _ = dft(&b);
+        let again = dft(&a);
+        assert_identical(&first, &again);
     }
 
     // ---- word-parallel vs reference equivalence (bit-identical p-values) ----

@@ -160,4 +160,62 @@ mod tests {
         // Table 2: 274 ns.
         assert!(l > 80.0 && l < 600.0, "latency {l}");
     }
+
+    #[test]
+    fn low_entropy_module_produces_zero_blocks_and_bits() {
+        // A segment below 256 bits of entropy yields no SHA input blocks:
+        // the configuration generates nothing, but the model stays finite.
+        let m = ThroughputModel::new(DramGeometry::ddr4_4gb_x8_module(), 200.0);
+        assert_eq!(m.sha_input_blocks(), 0);
+        assert_eq!(m.bits_per_iteration(4), 0.0);
+        let [one, bgp, rc] = m.figure11();
+        for cfg in [&one, &bgp, &rc] {
+            assert_eq!(cfg.throughput_gbps, 0.0, "{}", cfg.name);
+            assert!(cfg.iteration_latency_ns.is_finite() && cfg.iteration_latency_ns > 0.0);
+        }
+        // Latency stays finite even as per-block entropy approaches zero
+        // (the block count clamps to the row's blocks).
+        let zero = ThroughputModel::new(DramGeometry::ddr4_4gb_x8_module(), 0.0);
+        let l = zero.random_number_latency_ns(TransferRate::ddr4_2400());
+        assert!(l.is_finite() && l > 0.0, "latency {l}");
+    }
+
+    #[test]
+    fn entropy_threshold_crossing_adds_whole_blocks() {
+        // sha_input_blocks is floor(entropy / 256): block count steps at
+        // exact multiples of the random-number width.
+        let geom = DramGeometry::ddr4_4gb_x8_module();
+        assert_eq!(ThroughputModel::new(geom, 255.9).sha_input_blocks(), 0);
+        assert_eq!(ThroughputModel::new(geom, 256.0).sha_input_blocks(), 1);
+        assert_eq!(ThroughputModel::new(geom, 511.9).sha_input_blocks(), 1);
+        assert_eq!(ThroughputModel::new(geom, 512.0).sha_input_blocks(), 2);
+        // Throughput is monotone in segment entropy at fixed timing.
+        let lo = ThroughputModel::new(geom, 1024.0).scaled_throughput_gbps(TransferRate::ddr4_2400());
+        let hi = ThroughputModel::new(geom, 2048.0).scaled_throughput_gbps(TransferRate::ddr4_2400());
+        assert!(hi > lo, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn system_throughput_is_linear_in_channels() {
+        let m = population_model();
+        let rate = TransferRate::ddr4_2400();
+        let one = m.system_throughput_gbps(1, rate);
+        assert_eq!(m.system_throughput_gbps(0, rate), 0.0);
+        assert!((m.system_throughput_gbps(4, rate) - 4.0 * one).abs() < 1e-12);
+        assert!((one - m.scaled_throughput_gbps(rate)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_model_is_a_pure_function_of_its_fields() {
+        // Copies agree on every derived quantity — the model carries no
+        // hidden state, so reports can be cached/serialised freely.
+        let m = population_model();
+        let copy = m;
+        assert_eq!(m, copy);
+        assert_eq!(m.figure11(), copy.figure11());
+        assert_eq!(
+            m.random_number_latency_ns(TransferRate::ddr4_2400()),
+            copy.random_number_latency_ns(TransferRate::ddr4_2400()),
+        );
+    }
 }

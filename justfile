@@ -41,13 +41,23 @@ nist-bench:
     BENCH_JSON="$(pwd)/BENCH_RESULTS.json" cargo bench -p qt_bench -- nist
 
 # Re-measure and fail if any hot path regressed >25% (median-normalised)
-# against the committed BENCH_RESULTS.json — the same gate CI runs. The
-# fresh run goes to a temp file, so the committed baseline is never touched
-# (refresh it deliberately with `just bench-json`).
+# against the committed BENCH_RESULTS.json, or if sustained generation fell
+# under the Gb/s floor (75% of the committed baseline) — the same gate CI
+# runs. The fresh run goes to a temp file, so the committed baseline is
+# never touched (refresh it deliberately with `just bench-json`).
 bench-check:
     cp BENCH_RESULTS.json /tmp/quac-bench-fresh.json
     BENCH_JSON=/tmp/quac-bench-fresh.json cargo bench -p qt_bench
     cargo run --release -p qt_bench --bin bench_check -- /tmp/quac-bench-fresh.json BENCH_RESULTS.json
+
+# The throughput-acceptance suite: golden-stream digests (the byte-stream
+# contract), the batched-vs-reference equivalence pins in the generation
+# crates, and a fresh bench measurement gated by bench-check (regressions +
+# the generation Gb/s floor).
+perf-tests:
+    cargo test -q --test golden_streams
+    cargo test -q -p qt_dram_analog -p qt_crypto -p quac_trng -p qt_nist_sts
+    just bench-check
 
 # Full-density reproduction: seed .quac-cache once with the population-wide
 # characterisation (table3 sweeps all modules at QUAC_FULL=1 density), then

@@ -1,0 +1,111 @@
+//! Golden-stream regression tests: SHA-256 digests of the generator's
+//! output, pinned for fixed `(module, noise seed)` pairs.
+//!
+//! The generator's byte stream is a versioned contract: replay determinism
+//! across machines and releases is what makes the sharded service's
+//! validation and fault attribution reproducible. These digests pin the
+//! stream produced by the bit-sliced sampling + batched-SHA pipeline; any
+//! change to noise consumption order, lane packing, or digest batching shows
+//! up here as a one-line diff. If a stream change is *intentional* (it is a
+//! breaking change — say so in the changelog), regenerate the constants by
+//! hashing the first MiB / 64 KiB per configuration below.
+
+use quac_trng_repro::crypto::Sha256;
+use quac_trng_repro::dram_analog::{
+    ModuleVariation, OperatingConditions, QuacAnalogModel, PAPER_MODULES,
+};
+use quac_trng_repro::dram_core::{DataPattern, DramGeometry};
+use quac_trng_repro::trng::characterize::{characterize_module, CharacterizationConfig};
+use quac_trng_repro::trng::pipeline::QuacTrng;
+
+fn hex(digest: &[u8]) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn tiny_cfg() -> CharacterizationConfig {
+    CharacterizationConfig {
+        segment_stride: 1,
+        bitline_stride: 1,
+        conditions: OperatingConditions::nominal(),
+    }
+}
+
+fn tiny_trng(variation_seed: u64, noise_seed: u64) -> QuacTrng {
+    let geom = DramGeometry::tiny_test();
+    let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, variation_seed));
+    QuacTrng::from_model(model, tiny_cfg(), noise_seed)
+}
+
+/// Hashes the first `len` bytes of the generator's stream.
+fn stream_digest(trng: &mut QuacTrng, len: usize) -> String {
+    hex(&Sha256::digest(&trng.generate_bytes(len)))
+}
+
+const MIB: usize = 1 << 20;
+
+#[test]
+fn golden_first_mib_tiny_module_seed_13() {
+    let mut t = tiny_trng(8, 13);
+    assert_eq!(
+        stream_digest(&mut t, MIB),
+        "4d4bd08a8eab937f40f5e1f0292f035a4510eb84102fb0b9dfb663f3391bb4b4",
+    );
+}
+
+#[test]
+fn golden_first_mib_tiny_module_seed_99() {
+    let mut t = tiny_trng(21, 99);
+    assert_eq!(
+        stream_digest(&mut t, MIB),
+        "baae97ad5eb63e82e69ed0a06a1b6d9ecb774f373fc9119a896a952fe56ffd51",
+    );
+}
+
+#[test]
+fn golden_first_mib_paper_module_m1() {
+    let mut t = QuacTrng::for_module(&PAPER_MODULES[0], 3);
+    assert_eq!(
+        stream_digest(&mut t, MIB),
+        "4ea30f017fdcbdf64ab16a2217418b8eb3b31dee44eaf4d12c23dabd14c67224",
+    );
+}
+
+#[test]
+fn golden_first_mib_paper_module_m2() {
+    let mut t = QuacTrng::for_module(&PAPER_MODULES[1], 7);
+    assert_eq!(
+        stream_digest(&mut t, MIB),
+        "8d6d54757b3d7151c5a1a41511f3fab41bdfdf81d2fa58e76758e5113264766f",
+    );
+}
+
+#[test]
+fn golden_per_shard_service_streams() {
+    // The sharded service serves each client from one shard; shard streams
+    // are a pure function of (module, base_seed, shard index). 64 KiB each.
+    let geom = DramGeometry::tiny_test();
+    let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
+    let ch = characterize_module(&model, DataPattern::best_average(), &tiny_cfg());
+    let shards = QuacTrng::shards(&model, &ch, 7, 4);
+    let expected = [
+        "867ca881869d7be1e2da484782f1d9f7b3276e0fdbade63b20fbcf1c8e59c039",
+        "36c514469d3e27fd42770ac2ddb733e0f98ff1c892738b616d32016469753e88",
+        "bd8e8c19734ef665b5a9d55df613c93852aef706ef1d8f4588e496d6b2c08ea2",
+        "40a58d0f176d96a65665e7f9735fd01c4ec49ef0c3f55b7f4fc320838b0ce2b0",
+    ];
+    for (i, mut shard) in shards.into_iter().enumerate() {
+        assert_eq!(stream_digest(&mut shard, 64 << 10), expected[i], "shard {i}");
+    }
+}
+
+#[test]
+fn golden_streams_are_identical_through_the_reference_fill_path() {
+    // The batched hot path and the frozen scalar twin must both reproduce
+    // the pinned stream (the digests above pin the *contract*, not one
+    // implementation).
+    let mut reference = tiny_trng(8, 13);
+    let mut bytes = vec![0u8; 64 << 10];
+    reference.fill_bytes_reference(&mut bytes);
+    let mut fast = tiny_trng(8, 13);
+    assert_eq!(fast.generate_bytes(64 << 10), bytes);
+}
