@@ -284,6 +284,102 @@ fn bench_rng_service_validation(c: &mut Criterion) {
     }
 }
 
+fn bench_rng_service_drift(c: &mut Criterion) {
+    // Degraded-mode companion to the continuous-validation pair: the same
+    // 4-client × 16 KiB round trip, once on clean shards and once with one
+    // shard inside an active environmental-drift pulse
+    // (`quac_trng::fault::FaultInjector::drift`). The health policy is set
+    // to never trip (no failure streak or EWMA can fence a shard), so the
+    // pair isolates the *mechanical* per-byte cost of the drift corrupt
+    // path — threshold lookup per 64-byte step plus OR-mask generation —
+    // from quarantine/failover dynamics, which `tests/chaos_campaigns.rs`
+    // covers functionally. The pair is gated in `bench_check`: under-drift
+    // must stay within 15% of drift-off.
+    use qt_dram_analog::{TemperatureRamp, TemperatureTrend};
+    use qt_rng_service::{
+        ClientId, HealthPolicy, Priority, RngService, RngServiceConfig, ValidationConfig,
+    };
+    use quac_trng::fault::{DriftInjector, FaultInjector};
+    const CLIENTS: u32 = 4;
+    const SHARDS: usize = 2;
+    const BYTES_PER_CLIENT: usize = 16 << 10;
+    let geom = DramGeometry::tiny_test();
+    let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 3));
+    let ch = quac_trng::characterize::characterize_module(
+        &model,
+        DataPattern::best_average(),
+        &tiny_cfg(),
+    );
+    let total_bits = (CLIENTS as u64) * (BYTES_PER_CLIENT as u64) * 8;
+    // Validation on at the same sampled coverage as the validation pair,
+    // but with thresholds no stream can cross: the drifting shard keeps
+    // serving for the whole measurement instead of tripping into
+    // quarantine partway through (which would leave the bench measuring
+    // placement on one shard, not the drift path).
+    let never_trip = ValidationConfig {
+        target_coverage: 0.02,
+        policy: HealthPolicy {
+            min_pass_ewma: 0.0,
+            max_consecutive_failures: u32::MAX,
+            ..ValidationConfig::enabled().policy
+        },
+        ..ValidationConfig::enabled()
+    };
+    // A pulse far longer than any bench run (256 GiB) with a sensitivity
+    // that saturates the OR-mask threshold within the first ~2 KiB of the
+    // stream: every measured byte pays the full drift cost, and the
+    // overhead cannot fade mid-measurement the way a short, realistic
+    // pulse's would.
+    let drift = DriftInjector::excursion(
+        TemperatureRamp::nominal_to(85.0),
+        TemperatureTrend::Decreasing,
+        1 << 38,
+        1e6,
+    );
+    for (name, fault) in [
+        ("rng_service_drift_off", None),
+        ("rng_service_under_drift", Some(FaultInjector::drift(drift, 0x00D7))),
+    ] {
+        let mut shards = QuacTrng::shards(&model, &ch, 17, SHARDS);
+        if let Some(fault) = fault {
+            shards[1].inject_fault(fault);
+        }
+        let service = RngService::start(
+            shards,
+            RngServiceConfig { validation: never_trip, ..RngServiceConfig::default() },
+        );
+        // Warm past the threshold ramp-in and into the validator's lossy
+        // steady state before measuring.
+        for _ in 0..32 {
+            let tickets: Vec<_> = (0..CLIENTS)
+                .map(|client| {
+                    service
+                        .submit(ClientId(client), Priority::Normal, BYTES_PER_CLIENT)
+                        .expect("warmup submission")
+                })
+                .collect();
+            for t in tickets {
+                std::hint::black_box(t.wait().expect("warmup completion"));
+            }
+        }
+        c.throughput_bits(total_bits).bench_function(name, |b| {
+            b.iter(|| {
+                let tickets: Vec<_> = (0..CLIENTS)
+                    .map(|client| {
+                        service
+                            .submit(ClientId(client), Priority::Normal, BYTES_PER_CLIENT)
+                            .expect("bench submission")
+                    })
+                    .collect();
+                for t in tickets {
+                    std::hint::black_box(t.wait().expect("bench completion"));
+                }
+            })
+        });
+        service.shutdown();
+    }
+}
+
 fn bench_nist_suite(c: &mut Criterion) {
     use qt_nist_sts::tests15::{
         approximate_entropy, linear_complexity, non_overlapping_template_matching,
@@ -354,7 +450,7 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_sha256, bench_vnc, bench_packed_sampling, bench_bitvec_extract,
               bench_quac_iteration, bench_generate_bytes, bench_rng_service,
-              bench_rng_service_validation, bench_segment_entropy,
+              bench_rng_service_validation, bench_rng_service_drift, bench_segment_entropy,
               bench_characterisation, bench_nist_suite, bench_memory_system
 }
 criterion_main!(benches);

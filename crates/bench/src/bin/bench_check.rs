@@ -100,6 +100,20 @@ fn validation_overhead(fresh: &[(String, f64)], overhead: f64) -> Option<(f64, b
     Some((ratio, ratio > 1.0 + overhead))
 }
 
+/// The environmental-drift overhead gate: the drift-off/under-drift pair of
+/// the RNG service bench, measured in the *same* fresh run, must stay within
+/// `overhead` of each other — the degraded-mode acceptance bound ("serving
+/// through an active drift pulse costs < 15%"). Returns
+/// `Some((drift_over_off_ratio, regressed?))` when both entries are present,
+/// `None` otherwise. Pure so the rule is unit-testable.
+fn drift_overhead(fresh: &[(String, f64)], overhead: f64) -> Option<(f64, bool)> {
+    let ns = |name: &str| fresh.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    let under = ns("rng_service_under_drift")?;
+    let off = ns("rng_service_drift_off")?;
+    let ratio = under / off;
+    Some((ratio, ratio > 1.0 + overhead))
+}
+
 /// Per-benchmark verdicts: `(name, fresh/baseline ratio normalised by the
 /// suite median, regressed?)`, plus the median itself (printed so a
 /// suite-wide shift is visible to humans even when no entry fails). An
@@ -194,6 +208,21 @@ fn main() -> ExitCode {
         println!(
             "validation-on / validation-off:          {ratio:>18.3}{flag} (budget {:.0}%)",
             overhead_budget * 100.0
+        );
+        failed |= over;
+    }
+    // Paired bound, fresh-run only: serving through an active drift pulse
+    // (one shard's bytes paying the full fault-injection mask cost) must
+    // stay within its overhead budget.
+    let drift_budget = std::env::var("BENCH_DRIFT_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.15);
+    if let Some((ratio, over)) = drift_overhead(&fresh, drift_budget) {
+        let flag = if over { "  <-- OVER BUDGET" } else { "" };
+        println!(
+            "under-drift / drift-off:                 {ratio:>18.3}{flag} (budget {:.0}%)",
+            drift_budget * 100.0
         );
         failed |= over;
     }
@@ -304,6 +333,24 @@ mod tests {
         assert!(validation_overhead(&fresh, 0.10).unwrap().1, "20% overhead must fail");
         // Missing either side: no verdict (e.g. a filtered `-- nist` run).
         assert!(validation_overhead(&results(&[("a", 1.0)]), 0.10).is_none());
+    }
+
+    #[test]
+    fn drift_overhead_gate_pairs_the_off_under_benches() {
+        let fresh = results(&[
+            ("rng_service_drift_off", 1000.0),
+            ("rng_service_under_drift", 1100.0),
+        ]);
+        let (ratio, over) = drift_overhead(&fresh, 0.15).unwrap();
+        assert!((ratio - 1.10).abs() < 1e-12);
+        assert!(!over, "10% overhead is within the 15% budget");
+        let fresh = results(&[
+            ("rng_service_drift_off", 1000.0),
+            ("rng_service_under_drift", 1300.0),
+        ]);
+        assert!(drift_overhead(&fresh, 0.15).unwrap().1, "30% overhead must fail");
+        // Missing either side (e.g. a filtered run): no verdict.
+        assert!(drift_overhead(&results(&[("a", 1.0)]), 0.15).is_none());
     }
 
     #[test]

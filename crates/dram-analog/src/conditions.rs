@@ -44,6 +44,45 @@ impl Default for OperatingConditions {
     }
 }
 
+/// A single deterministic temperature excursion: linear from `base_c` to
+/// `peak_c` and back over a normalised phase in `[0, 1]` (0 → base, 0.5 →
+/// peak, 1 → back at base). Outside that range the module sits at `base_c` —
+/// the ramp is a one-shot environmental event (an HVAC failure, a hot
+/// neighbour spinning up and down), not a periodic wave, so a stream that
+/// outlives the pulse deterministically returns to nominal conditions.
+///
+/// `peak_c` may be below `base_c`: the same shape then models a cooling
+/// excursion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureRamp {
+    /// Resting temperature before, after, and outside the excursion.
+    pub base_c: f64,
+    /// Temperature at the midpoint of the excursion.
+    pub peak_c: f64,
+}
+
+impl TemperatureRamp {
+    /// An excursion from the paper's nominal 50 °C to `peak_c` and back.
+    pub fn nominal_to(peak_c: f64) -> Self {
+        TemperatureRamp { base_c: OperatingConditions::nominal().temperature_c, peak_c }
+    }
+
+    /// Temperature at the given phase of the excursion (triangular: rises
+    /// over `[0, 0.5]`, falls over `[0.5, 1]`, `base_c` outside `[0, 1]`).
+    pub fn at(&self, phase: f64) -> f64 {
+        if !(0.0..=1.0).contains(&phase) {
+            return self.base_c;
+        }
+        let weight = 1.0 - (2.0 * phase - 1.0).abs();
+        self.base_c + (self.peak_c - self.base_c) * weight
+    }
+
+    /// Full [`OperatingConditions`] at the given phase, zero aging.
+    pub fn conditions_at(&self, phase: f64) -> OperatingConditions {
+        OperatingConditions::at_temperature(self.at(phase))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +105,26 @@ mod tests {
     #[test]
     fn figure14_sweep_matches_paper() {
         assert_eq!(OperatingConditions::figure14_temperatures(), [50.0, 65.0, 85.0]);
+    }
+
+    #[test]
+    fn ramp_is_triangular_and_one_shot() {
+        let ramp = TemperatureRamp::nominal_to(85.0);
+        assert_eq!(ramp.at(0.0), 50.0);
+        assert_eq!(ramp.at(0.5), 85.0, "peak at the midpoint");
+        assert_eq!(ramp.at(1.0), 50.0, "back at base when the pulse ends");
+        assert!((ramp.at(0.25) - 67.5).abs() < 1e-12, "linear rise");
+        assert!((ramp.at(0.75) - 67.5).abs() < 1e-12, "symmetric fall");
+        // One-shot: beyond the pulse (and before it) the module is at base.
+        assert_eq!(ramp.at(1.5), 50.0);
+        assert_eq!(ramp.at(-0.1), 50.0);
+        assert_eq!(ramp.conditions_at(0.5), OperatingConditions::at_temperature(85.0));
+    }
+
+    #[test]
+    fn ramp_models_cooling_excursions_too() {
+        let ramp = TemperatureRamp { base_c: 50.0, peak_c: 20.0 };
+        assert_eq!(ramp.at(0.5), 20.0);
+        assert!(ramp.at(0.25) < 50.0 && ramp.at(0.25) > 20.0);
     }
 }

@@ -56,7 +56,7 @@ pub mod profiles;
 pub mod sampler;
 pub mod variation;
 
-pub use conditions::OperatingConditions;
+pub use conditions::{OperatingConditions, TemperatureRamp};
 pub use entropy::{binary_entropy, bitstream_entropy, entropy_from_counts};
 pub use failures::{FailureModel, RetentionModel};
 pub use model::{QuacAnalogModel, SegmentProber};

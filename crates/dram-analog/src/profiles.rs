@@ -25,6 +25,22 @@ pub enum TemperatureTrend {
     Decreasing,
 }
 
+impl TemperatureTrend {
+    /// Degrees Celsius of *entropy-adverse* excursion when a module of this
+    /// trend sits at `temp_c` after being characterised at `base_c`. Trend 1
+    /// modules (entropy rises with temperature) degrade when cooled below
+    /// base; Trend 2 modules degrade when heated above it. Movement in the
+    /// entropy-favourable direction returns 0 — the characterised thresholds
+    /// stay conservative there (Section 8 recharacterises only when quality
+    /// drops).
+    pub fn adverse_excursion(self, base_c: f64, temp_c: f64) -> f64 {
+        match self {
+            TemperatureTrend::Increasing => (base_c - temp_c).max(0.0),
+            TemperatureTrend::Decreasing => (temp_c - base_c).max(0.0),
+        }
+    }
+}
+
 /// One DDR4 module of the characterised population.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModuleProfile {
@@ -151,6 +167,19 @@ pub fn average_of_max_segment_entropy() -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn adverse_excursion_is_one_sided_per_trend() {
+        // Trend 2 (Decreasing): heat hurts, cold is benign.
+        assert_eq!(TemperatureTrend::Decreasing.adverse_excursion(50.0, 85.0), 35.0);
+        assert_eq!(TemperatureTrend::Decreasing.adverse_excursion(50.0, 30.0), 0.0);
+        // Trend 1 (Increasing): cold hurts, heat is benign.
+        assert_eq!(TemperatureTrend::Increasing.adverse_excursion(50.0, 30.0), 20.0);
+        assert_eq!(TemperatureTrend::Increasing.adverse_excursion(50.0, 85.0), 0.0);
+        // At base, neither trend sees an excursion.
+        assert_eq!(TemperatureTrend::Increasing.adverse_excursion(50.0, 50.0), 0.0);
+        assert_eq!(TemperatureTrend::Decreasing.adverse_excursion(50.0, 50.0), 0.0);
+    }
 
     #[test]
     fn population_has_17_modules_with_unique_names_and_seeds() {

@@ -639,6 +639,35 @@ mod tests {
     }
 
     #[test]
+    fn transient_fault_survives_exactly_one_recharacterization() {
+        // Back-to-back recharacterisations must be idempotent on the fault
+        // seam: the first clears a transient fault, the second finds nothing
+        // to clear and must not disturb a freshly injected persistent one.
+        use crate::fault::FaultInjector;
+        let geom = DramGeometry::tiny_test();
+        let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
+        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let mut trng = QuacTrng::from_model(model, cfg, 9);
+        trng.inject_fault(FaultInjector::stuck_at(0, true).transient());
+        assert!(trng.fault().is_some());
+        trng.recharacterize(&cfg);
+        assert!(trng.fault().is_none(), "first recharacterisation clears a transient fault");
+        trng.recharacterize(&cfg);
+        assert!(trng.fault().is_none(), "second pass stays clear");
+        // A persistent fault survives any number of recharacterisations.
+        trng.inject_fault(FaultInjector::stuck_at(1, false));
+        trng.recharacterize(&cfg);
+        trng.recharacterize(&cfg);
+        assert_eq!(trng.fault().map(|f| f.cleared_on_recharacterize), Some(false));
+        // And the healthy stream really is clean: recharacterisation after
+        // clearing leaves no residual corruption.
+        trng.clear_fault();
+        let mut buf = vec![0u8; 512];
+        trng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b & 0b10 != 0), "bit 1 is no longer stuck low");
+    }
+
+    #[test]
     fn paper_module_batched_fill_matches_reference() {
         // Multi-range module (several SHA blocks per iteration): the
         // iteration-major, block-minor digest order must survive batching.

@@ -6,13 +6,23 @@
 //! ```text
 //!              window fails EWMA or streak test
 //!   Healthy ───────────────────────────────────────▶ Quarantined
-//!      ▲                                                  │ worker drains its
-//!      │                                                  │ queue, then
-//!      │  `probation_windows` consecutive                 ▼ recharacterises
-//!      │  passing windows                             Probation
+//!      ▲       · queued requests FAIL OVER to             │
+//!      ▲         healthy shards (or wait, if none)        │ worker
+//!      │       · in-flight batch still delivers           │ recharacterises
+//!      │                                                  ▼
+//!      │  `probation_windows` consecutive             Probation
+//!      │  passing windows; readmission bumps the          │
+//!      │  stream epoch and re-places any requests         │
+//!      │  stranded on still-fenced peers                  │
 //!      └──────────────────────────────────────────────────┘
 //!               (a failing probation window goes back to
 //!                recharacterisation, not to serving)
+//!
+//!   Orthogonal per-request transitions, at any shard state:
+//!     queued ──deadline passes──▶ Expired   (expiry sweep, typed outcome)
+//!     queued ──service aborts───▶ Canceled
+//!     all shards fenced ─▶ admission follows DegradedPolicy
+//!                          (FailFast reject / bounded Park)
 //! ```
 //!
 //! While **Healthy**, every completed validation window folds into the
@@ -22,14 +32,17 @@
 //! `max_consecutive_failures` windows, the EWMA catches an intermittent one
 //! that never fails often enough in a row.
 //!
-//! While **Quarantined/Probation**, the shard is out of placement: the
-//! service routes new requests to healthy shards only, the shard's worker
-//! drains what it already owes, recharacterises the module
+//! While **Quarantined/Probation**, the shard is out of placement and never
+//! serves (while the service runs — a drain may serve requests stranded on
+//! it as the documented last resort): at the quarantine trip its queued,
+//! not-yet-generated requests are re-placed onto healthy shards by the
+//! failover path, the worker recharacterises the module
 //! (`QuacTrng::recharacterize` — Section 8's re-characterisation, on
 //! demand), and then generates *probation* windows that are validated
 //! without being served. Only `probation_windows` consecutive passing
 //! windows readmit the shard; a single failure loops back to
-//! recharacterisation.
+//! recharacterisation. Readmission also re-places requests stranded on
+//! still-fenced peers while every shard was quarantined.
 //!
 //! The record is a deterministic pure function of the window verdict
 //! sequence, so every transition is unit-testable without threads.

@@ -57,10 +57,22 @@
 //!   grades fixed-size windows with the word-parallel NIST SP 800-22
 //!   battery, and folds verdicts into per-shard health (pass-rate EWMA +
 //!   consecutive-failure streak). A shard crossing a bound is
-//!   **quarantined**: removed from placement, drained, recharacterised via
+//!   **quarantined**: removed from placement, its queued requests **failed
+//!   over** to healthy shards, recharacterised via
 //!   `QuacTrng::recharacterize`, and readmitted only after a probation
 //!   streak passes the battery. See [`validate`] for the loop and
 //!   [`health`] for the state machine.
+//! * **Degraded operation** — requests may carry a completion deadline
+//!   ([`RngService::submit_with_deadline`]): a request still queued when it
+//!   passes is completed with a typed [`Expired`] outcome by the expiry
+//!   sweep within one [`RngServiceConfig::expiry_sweep_interval`], so
+//!   clients never park on work the service cannot do in time. While
+//!   *every* shard is quarantined, admission follows the configured
+//!   [`DegradedPolicy`] — fail-fast rejection with
+//!   [`SubmitError::Degraded`], or parking bounded by the policy (and by
+//!   the request's own deadline). [`Ticket::wait_deadline`] bounds the wait
+//!   itself. The expired / failed-over / degraded-rejection counts and a
+//!   deadline-slack histogram are part of every [`ServiceStats`] snapshot.
 //!
 //! ## Determinism contract
 //!
@@ -115,6 +127,8 @@ pub mod validate;
 pub use health::{HealthPolicy, ShardHealth, ShardState};
 pub use queue::{least_loaded_shard, ShardScheduler};
 pub use request::{ClientId, Completion, Priority, RngRequest, SubmitError};
-pub use service::{Canceled, RngService, RngServiceConfig, Ticket};
+pub use service::{
+    Canceled, DegradedPolicy, Expired, RngService, RngServiceConfig, Ticket, WaitError,
+};
 pub use stats::{Histogram, ServiceStats, ValidationStats};
 pub use validate::ValidationConfig;

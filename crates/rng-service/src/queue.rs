@@ -74,6 +74,9 @@ pub struct ShardScheduler {
     high_streak: u32,
     queued_requests: usize,
     queued_bytes: usize,
+    /// Queued requests carrying a deadline — lets the expiry sweep skip
+    /// deadline-free schedulers without scanning them.
+    queued_deadlines: usize,
 }
 
 impl ShardScheduler {
@@ -87,6 +90,7 @@ impl ShardScheduler {
             high_streak: 0,
             queued_requests: 0,
             queued_bytes: 0,
+            queued_deadlines: 0,
         }
     }
 
@@ -94,6 +98,9 @@ impl ShardScheduler {
     pub fn push(&mut self, req: RngRequest) {
         self.queued_requests += 1;
         self.queued_bytes += req.len;
+        if req.deadline.is_some() {
+            self.queued_deadlines += 1;
+        }
         match req.priority {
             Priority::High => self.high.push(req),
             Priority::Normal => self.normal.push(req),
@@ -124,6 +131,9 @@ impl ShardScheduler {
         .expect("selected band is non-empty");
         self.queued_requests -= 1;
         self.queued_bytes -= req.len;
+        if req.deadline.is_some() {
+            self.queued_deadlines -= 1;
+        }
         Some(req)
     }
 
@@ -170,6 +180,53 @@ impl ShardScheduler {
     pub fn queued_bytes(&self) -> usize {
         self.queued_bytes
     }
+
+    /// Removes every queued request whose deadline is at or before `now` and
+    /// appends them to `out`, returning how many were removed. Queue order,
+    /// round-robin rotation, and the fairness streak of the surviving
+    /// requests are untouched; the sweep is O(1) when no queued request
+    /// carries a deadline (the common case).
+    pub fn remove_expired(&mut self, now: std::time::Instant, out: &mut Vec<RngRequest>) -> usize {
+        if self.queued_deadlines == 0 {
+            return 0;
+        }
+        let before = out.len();
+        for band in [&mut self.high, &mut self.normal] {
+            for q in &mut band.clients {
+                if q.requests.iter().any(|r| r.deadline.is_some_and(|d| d <= now)) {
+                    let mut kept = VecDeque::with_capacity(q.requests.len());
+                    for req in q.requests.drain(..) {
+                        if req.deadline.is_some_and(|d| d <= now) {
+                            out.push(req);
+                        } else {
+                            kept.push_back(req);
+                        }
+                    }
+                    q.requests = kept;
+                }
+            }
+            band.clients.retain(|q| !q.requests.is_empty());
+        }
+        let removed = out.len() - before;
+        for req in &out[before..] {
+            self.queued_requests -= 1;
+            self.queued_bytes -= req.len;
+            self.queued_deadlines -= 1;
+        }
+        removed
+    }
+
+    /// Drains every queued request, in dispatch order, into `out` — the
+    /// failover path re-places a quarantined shard's queue onto healthy
+    /// shards with this, so the re-placed requests keep the relative order
+    /// the scheduler would have dispatched them in.
+    pub fn drain_ordered(&mut self, out: &mut Vec<RngRequest>) -> usize {
+        let before = out.len();
+        while let Some(req) = self.pop() {
+            out.push(req);
+        }
+        out.len() - before
+    }
 }
 
 /// Least-loaded, quarantine-aware shard placement — the pure decision rule
@@ -183,9 +240,10 @@ impl ShardScheduler {
 ///
 /// * **Quarantine-aware** — while at least one shard is healthy, a
 ///   quarantined shard is never selected. If *every* shard is quarantined,
-///   placement falls back to all shards (the service keeps accepting work
-///   rather than deadlocking; quarantined shards drain their queues before
-///   requalifying, so the work is still served).
+///   placement falls back to all shards — the service layer normally never
+///   asks in that state (admission is governed by
+///   [`DegradedPolicy`](crate::DegradedPolicy) instead), so the fallback
+///   only keeps the pure rule total.
 /// * **Round-robin at equal load** — ties go to the first candidate in
 ///   rotation order from `start`, so an otherwise idle service degrades to
 ///   exactly the round-robin assignment the serial-equivalence tests replay.
@@ -228,6 +286,7 @@ mod tests {
             len,
             seq,
             submitted_at: std::time::Instant::now(),
+            deadline: None,
         }
     }
 
@@ -305,6 +364,55 @@ mod tests {
         s2.push(req(1, Priority::Normal, 9999, 0));
         assert_eq!(s2.pop_batch(10, 4, &mut batch), 9999);
         assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn remove_expired_takes_only_overdue_requests_and_keeps_order() {
+        use std::time::{Duration, Instant};
+        let now = Instant::now();
+        let soon = now + Duration::from_secs(3600);
+        let mut s = ShardScheduler::new(4);
+        let mut push = |client: u32, seq: u64, deadline: Option<Instant>| {
+            let mut r = req(client, Priority::Normal, 10, seq);
+            r.deadline = deadline;
+            s.push(r);
+        };
+        push(1, 0, None);
+        push(1, 1, Some(now)); // already due
+        push(2, 2, Some(soon));
+        push(2, 3, Some(now));
+        let mut expired = Vec::new();
+        assert_eq!(s.remove_expired(now, &mut expired), 2);
+        let gone: Vec<u64> = expired.iter().map(|r| r.seq).collect();
+        assert_eq!(gone, vec![1, 3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.queued_bytes(), 20);
+        // Survivors still dispatch round-robin in their original order.
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|r| r.seq).collect();
+        assert_eq!(order, vec![0, 2]);
+        // With every deadline gone the sweep is a no-op again.
+        assert_eq!(s.remove_expired(soon, &mut expired), 0);
+    }
+
+    #[test]
+    fn drain_ordered_empties_the_scheduler_in_dispatch_order() {
+        let mut s = ShardScheduler::new(2);
+        for seq in 0..3 {
+            s.push(req(1, Priority::High, 5, seq));
+        }
+        s.push(req(2, Priority::Normal, 5, 100));
+        let mut reference = ShardScheduler::new(2);
+        for seq in 0..3 {
+            reference.push(req(1, Priority::High, 5, seq));
+        }
+        reference.push(req(2, Priority::Normal, 5, 100));
+        let expected: Vec<u64> = std::iter::from_fn(|| reference.pop()).map(|r| r.seq).collect();
+        let mut drained = Vec::new();
+        assert_eq!(s.drain_ordered(&mut drained), 4);
+        assert!(s.is_empty());
+        assert_eq!(s.queued_bytes(), 0);
+        let got: Vec<u64> = drained.iter().map(|r| r.seq).collect();
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub struct RngRequest {
     /// delivery path records into
     /// [`ServiceStats::latency_us`](crate::ServiceStats::latency_us).
     pub submitted_at: std::time::Instant,
+    /// Optional completion deadline. A request still *queued* (not yet
+    /// popped into a generation batch) when its deadline passes is completed
+    /// with a typed [`Expired`] outcome by the expiry sweep instead of
+    /// leaving its client parked; a request whose generation has already
+    /// started is committed and delivered (possibly late — the slack
+    /// histogram records 0 for it).
+    pub deadline: Option<std::time::Instant>,
 }
 
 /// A served request: the random bytes plus enough provenance to reconstruct
@@ -95,6 +102,14 @@ pub enum SubmitError {
     Empty,
     /// The service is shutting down and no longer accepts work.
     ShuttingDown,
+    /// Every shard is quarantined and the configured
+    /// [`DegradedPolicy`](crate::DegradedPolicy) gave up on admission:
+    /// immediately under `FailFast` (and always for `try_submit`), or after
+    /// the parking bound elapsed without a readmission under `Park`.
+    Degraded {
+        /// Number of shards, all of which are currently out of placement.
+        quarantined: usize,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -109,6 +124,9 @@ impl fmt::Display for SubmitError {
             }
             SubmitError::Empty => write!(f, "zero-byte request"),
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+            SubmitError::Degraded { quarantined } => {
+                write!(f, "service degraded: all {quarantined} shards are quarantined")
+            }
         }
     }
 }

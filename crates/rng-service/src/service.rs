@@ -14,7 +14,32 @@ use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// What admission does while *every* shard is quarantined (the service is
+/// degraded: nothing can be placed, and parking submitters indefinitely
+/// would look like a deadlock).
+///
+/// Requests accepted *before* the last shard tripped stay queued either way:
+/// they are served at the next readmission, expired by their deadlines, or
+/// drained at shutdown — the policy only governs new admissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradedPolicy {
+    /// Reject immediately with [`SubmitError::Degraded`] — the brownout is
+    /// visible to clients the moment it starts, and no caller ever parks on
+    /// a service that may never recover.
+    #[default]
+    FailFast,
+    /// Park blocking submissions up to `max_wait` for a readmission, then
+    /// reject with [`SubmitError::Degraded`]. A parked submission whose own
+    /// request deadline is earlier gives up at that deadline instead.
+    /// Non-blocking `try_submit` never parks and rejects immediately under
+    /// either policy.
+    Park {
+        /// Longest a blocking submission waits for a shard to be readmitted.
+        max_wait: Duration,
+    },
+}
 
 /// Tuning knobs of the service.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +64,12 @@ pub struct RngServiceConfig {
     /// [`crate::validate`] for the loop and [`crate::health`] for the
     /// quarantine state machine.
     pub validation: ValidationConfig,
+    /// Admission behaviour while every shard is quarantined.
+    pub degraded: DegradedPolicy,
+    /// Period of the expiry sweep that completes overdue queued requests
+    /// with [`Expired`] — the upper bound on how long past its deadline a
+    /// still-queued request lingers.
+    pub expiry_sweep_interval: Duration,
 }
 
 impl Default for RngServiceConfig {
@@ -50,16 +81,31 @@ impl Default for RngServiceConfig {
             fairness_window: 4,
             pacing: IdleBudget::unlimited(),
             validation: ValidationConfig::default(),
+            degraded: DegradedPolicy::default(),
+            expiry_sweep_interval: Duration::from_millis(5),
         }
     }
 }
 
-/// The receipt for one submitted request; redeem it with [`Ticket::wait`].
+/// The receipt for one submitted request; redeem it with [`Ticket::wait`],
+/// poll it with [`Ticket::try_wait`], or wait with a bound via
+/// [`Ticket::wait_deadline`].
+///
+/// A ticket resolves to exactly one terminal outcome — served, [`Expired`],
+/// or [`Canceled`] — and caches it: once any wait variant has observed the
+/// outcome, every later call reports the *same* outcome (a served ticket
+/// polled twice returns the same completion again rather than misreporting
+/// `Canceled` after the channel drains).
 #[derive(Debug)]
 pub struct Ticket {
     seq: u64,
     shard: usize,
-    rx: mpsc::Receiver<Completion>,
+    rx: mpsc::Receiver<Outcome>,
+    /// The cached terminal outcome. Interior mutability keeps the polling
+    /// API (`&self`) while making the pending→terminal transition atomic
+    /// from the caller's point of view: the state observed here never
+    /// changes once set.
+    resolved: std::cell::RefCell<Option<Result<Completion, WaitError>>>,
 }
 
 /// The request was discarded before completion (service aborted).
@@ -74,38 +120,160 @@ impl std::fmt::Display for Canceled {
 
 impl std::error::Error for Canceled {}
 
+/// The request's deadline passed while it was still queued: the expiry sweep
+/// completed it without generating any bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expired {
+    /// Submission sequence number of the expired request.
+    pub seq: u64,
+    /// The deadline the request was submitted with.
+    pub deadline: Instant,
+    /// When the sweep expired it (at most one
+    /// [`expiry_sweep_interval`](RngServiceConfig::expiry_sweep_interval)
+    /// past the deadline while the service runs).
+    pub expired_at: Instant,
+}
+
+impl std::fmt::Display for Expired {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "request {} expired {} µs past its deadline while still queued",
+            self.seq,
+            self.expired_at.saturating_duration_since(self.deadline).as_micros()
+        )
+    }
+}
+
+impl std::error::Error for Expired {}
+
+/// Terminal failure of a ticket: why the request will never deliver bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitError {
+    /// The deadline passed while the request was still queued.
+    Expired(Expired),
+    /// The service was aborted before serving it.
+    Canceled(Canceled),
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitError::Expired(e) => e.fmt(f),
+            WaitError::Canceled(c) => c.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
+/// What travels over a ticket's completion channel. `Canceled` has no
+/// variant: it is the channel disconnecting with nothing buffered (the
+/// service dropped the sender without serving or expiring the request).
+#[derive(Debug)]
+enum Outcome {
+    /// The request was served.
+    Served(Completion),
+    /// The request's deadline passed while it was queued.
+    Expired(Expired),
+}
+
 impl Ticket {
     /// Submission sequence number of the request.
     pub fn seq(&self) -> u64 {
         self.seq
     }
 
-    /// The shard (channel) the request was assigned to.
+    /// The shard (channel) the request was assigned to at admission.
+    /// Quarantine failover may re-place a queued request, so the shard that
+    /// actually generates the bytes is [`Completion::shard`], which is
+    /// authoritative for provenance.
     pub fn shard(&self) -> usize {
         self.shard
     }
 
-    /// Blocks until the request is served and returns its bytes.
+    fn resolve(&self, outcome: Outcome) -> Result<Completion, WaitError> {
+        let resolution = match outcome {
+            Outcome::Served(c) => Ok(c),
+            Outcome::Expired(e) => Err(WaitError::Expired(e)),
+        };
+        *self.resolved.borrow_mut() = Some(resolution.clone());
+        resolution
+    }
+
+    fn resolve_canceled(&self) -> WaitError {
+        let err = WaitError::Canceled(Canceled);
+        *self.resolved.borrow_mut() = Some(Err(err));
+        err
+    }
+
+    fn cached(&self) -> Option<Result<Completion, WaitError>> {
+        self.resolved.borrow().clone()
+    }
+
+    /// Blocks until the request resolves and returns its bytes.
     ///
     /// # Errors
     ///
-    /// Returns [`Canceled`] if the service was aborted before serving it.
-    pub fn wait(self) -> Result<Completion, Canceled> {
-        self.rx.recv().map_err(|_| Canceled)
+    /// [`WaitError::Expired`] if the request's deadline passed while it was
+    /// still queued; [`WaitError::Canceled`] if the service was aborted
+    /// before serving it.
+    pub fn wait(self) -> Result<Completion, WaitError> {
+        if let Some(resolution) = self.cached() {
+            return resolution;
+        }
+        match self.rx.recv() {
+            Ok(outcome) => self.resolve(outcome),
+            Err(_) => Err(self.resolve_canceled()),
+        }
     }
 
     /// Non-blocking poll: `Ok(Some)` once the request has been served,
-    /// `Ok(None)` while it is still pending.
+    /// `Ok(None)` while it is still pending. Idempotent after resolution:
+    /// a served ticket keeps returning its completion, an expired or
+    /// canceled one keeps returning the same error.
     ///
     /// # Errors
     ///
-    /// Returns [`Canceled`] if the service was aborted before serving it
-    /// (polling loops must not keep spinning on a dead request).
-    pub fn try_wait(&self) -> Result<Option<Completion>, Canceled> {
-        match self.rx.try_recv() {
-            Ok(completion) => Ok(Some(completion)),
-            Err(mpsc::TryRecvError::Empty) => Ok(None),
-            Err(mpsc::TryRecvError::Disconnected) => Err(Canceled),
+    /// [`WaitError::Expired`] once the deadline has expired the request;
+    /// [`WaitError::Canceled`] once the service aborted it (polling loops
+    /// must not keep spinning on a dead request).
+    pub fn try_wait(&self) -> Result<Option<Completion>, WaitError> {
+        if self.cached().is_none() {
+            match self.rx.try_recv() {
+                Ok(outcome) => drop(self.resolve(outcome)),
+                Err(mpsc::TryRecvError::Empty) => return Ok(None),
+                Err(mpsc::TryRecvError::Disconnected) => drop(self.resolve_canceled()),
+            }
+        }
+        self.cached().expect("ticket just resolved").map(Some)
+    }
+
+    /// Blocks until the request resolves or `deadline` passes, whichever is
+    /// first: `Ok(Some)` with the bytes, or `Ok(None)` if the request is
+    /// still pending at the deadline (the request itself stays queued — this
+    /// bounds the *wait*, not the request; submit with a deadline to bound
+    /// the request).
+    ///
+    /// # Errors
+    ///
+    /// The same terminal errors as [`Ticket::wait`].
+    pub fn wait_deadline(&self, deadline: Instant) -> Result<Option<Completion>, WaitError> {
+        if let Some(resolution) = self.cached() {
+            return resolution.map(Some);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return match self.rx.try_recv() {
+                Ok(outcome) => self.resolve(outcome).map(Some),
+                Err(mpsc::TryRecvError::Empty) => Ok(None),
+                Err(mpsc::TryRecvError::Disconnected) => Err(self.resolve_canceled()),
+            };
+        }
+        match self.rx.recv_timeout(deadline - now) {
+            Ok(outcome) => self.resolve(outcome).map(Some),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(self.resolve_canceled()),
         }
     }
 }
@@ -122,9 +290,9 @@ enum Lifecycle {
 #[derive(Debug)]
 struct State {
     shards: Vec<ShardScheduler>,
-    /// Completion channel of each queued request, keyed by sequence number.
+    /// Outcome channel of each queued request, keyed by sequence number.
     /// Dropping a sender cancels its ticket.
-    senders: HashMap<u64, mpsc::Sender<Completion>>,
+    senders: HashMap<u64, mpsc::Sender<Outcome>>,
     in_flight_bytes: usize,
     /// Admitted-but-undelivered bytes per shard — the load metric
     /// least-loaded placement minimises (unlike the scheduler's queued
@@ -187,6 +355,7 @@ pub struct RngService {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     validator: Option<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
 }
 
 impl RngService {
@@ -254,9 +423,18 @@ impl RngService {
                     .expect("spawning an RNG shard worker")
             })
             .collect();
+        let sweeper = {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("rng-expiry".into())
+                    .spawn(move || expiry_loop(&shared))
+                    .expect("spawning the RNG expiry sweep"),
+            )
+        };
         // `tap_tx` drops here: the validator exits once every worker's
         // clone is gone (i.e. after the workers join).
-        RngService { shared, workers, validator }
+        RngService { shared, workers, validator, sweeper }
     }
 
     /// Number of shards (channels) serving requests.
@@ -276,25 +454,86 @@ impl RngService {
     ///
     /// [`SubmitError::Empty`] and [`SubmitError::TooLarge`] for requests that
     /// can never be served; [`SubmitError::ShuttingDown`] once shutdown has
-    /// begun (including while parked).
+    /// begun (including while parked); [`SubmitError::Degraded`] while every
+    /// shard is quarantined, per the configured [`DegradedPolicy`].
     pub fn submit(
         &self,
         client: ClientId,
         priority: Priority,
         len: usize,
     ) -> Result<Ticket, SubmitError> {
+        self.submit_inner(client, priority, len, None)
+    }
+
+    /// Like [`RngService::submit`], with a completion deadline: if the
+    /// request is still queued (generation not started) when `deadline`
+    /// passes, the expiry sweep completes its ticket with
+    /// [`WaitError::Expired`] within one
+    /// [`expiry_sweep_interval`](RngServiceConfig::expiry_sweep_interval)
+    /// instead of leaving the client parked.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`RngService::submit`] returns. Under
+    /// [`DegradedPolicy::Park`], degraded parking additionally gives up at
+    /// `deadline` if that is earlier than the policy's bound.
+    pub fn submit_with_deadline(
+        &self,
+        client: ClientId,
+        priority: Priority,
+        len: usize,
+        deadline: Instant,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_inner(client, priority, len, Some(deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        client: ClientId,
+        priority: Priority,
+        len: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
         self.validate(len)?;
         let mut st = self.lock();
+        // Pinned at the first degraded observation of this call, so repeated
+        // park/wake rounds share one bound instead of restarting it.
+        let mut park_deadline: Option<Instant> = None;
         loop {
             if st.lifecycle != Lifecycle::Running {
                 return Err(SubmitError::ShuttingDown);
+            }
+            if !st.health.iter().any(ShardHealth::is_serving) {
+                let quarantined = st.health.len();
+                let bound = match self.shared.cfg.degraded {
+                    DegradedPolicy::FailFast => {
+                        st.stats.degraded_rejections += 1;
+                        return Err(SubmitError::Degraded { quarantined });
+                    }
+                    DegradedPolicy::Park { max_wait } => {
+                        let bound = *park_deadline.get_or_insert_with(|| Instant::now() + max_wait);
+                        deadline.map_or(bound, |d| bound.min(d))
+                    }
+                };
+                let now = Instant::now();
+                if now >= bound {
+                    st.stats.degraded_rejections += 1;
+                    return Err(SubmitError::Degraded { quarantined });
+                }
+                let (guard, _) = self
+                    .shared
+                    .space
+                    .wait_timeout(st, bound - now)
+                    .expect("service state poisoned");
+                st = guard;
+                continue;
             }
             if st.in_flight_bytes + len <= self.shared.cfg.max_inflight_bytes {
                 break;
             }
             st = self.shared.space.wait(st).expect("service state poisoned");
         }
-        Ok(self.admit(&mut st, client, priority, len))
+        Ok(self.admit(&mut st, client, priority, len, deadline))
     }
 
     /// Submits a request without blocking.
@@ -303,17 +542,49 @@ impl RngService {
     ///
     /// Everything [`RngService::submit`] returns, plus
     /// [`SubmitError::Saturated`] when the request does not fit the in-flight
-    /// budget right now.
+    /// budget right now. While every shard is quarantined this rejects with
+    /// [`SubmitError::Degraded`] immediately, under either policy (a
+    /// non-blocking call never parks).
     pub fn try_submit(
         &self,
         client: ClientId,
         priority: Priority,
         len: usize,
     ) -> Result<Ticket, SubmitError> {
+        self.try_submit_inner(client, priority, len, None)
+    }
+
+    /// Like [`RngService::try_submit`], with a completion deadline (see
+    /// [`RngService::submit_with_deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`RngService::try_submit`] returns.
+    pub fn try_submit_with_deadline(
+        &self,
+        client: ClientId,
+        priority: Priority,
+        len: usize,
+        deadline: Instant,
+    ) -> Result<Ticket, SubmitError> {
+        self.try_submit_inner(client, priority, len, Some(deadline))
+    }
+
+    fn try_submit_inner(
+        &self,
+        client: ClientId,
+        priority: Priority,
+        len: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
         self.validate(len)?;
         let mut st = self.lock();
         if st.lifecycle != Lifecycle::Running {
             return Err(SubmitError::ShuttingDown);
+        }
+        if !st.health.iter().any(ShardHealth::is_serving) {
+            st.stats.degraded_rejections += 1;
+            return Err(SubmitError::Degraded { quarantined: st.health.len() });
         }
         if st.in_flight_bytes + len > self.shared.cfg.max_inflight_bytes {
             return Err(SubmitError::Saturated {
@@ -322,7 +593,7 @@ impl RngService {
                 budget: self.shared.cfg.max_inflight_bytes,
             });
         }
-        Ok(self.admit(&mut st, client, priority, len))
+        Ok(self.admit(&mut st, client, priority, len, deadline))
     }
 
     /// A snapshot of the running counters, including per-shard health.
@@ -366,9 +637,13 @@ impl RngService {
             let _ = worker.join();
         }
         // The workers' tap senders are gone; the validator drains the
-        // channel and exits on disconnect.
+        // channel and exits on disconnect. The sweeper saw the lifecycle
+        // change on the work condvar and exited.
         if let Some(validator) = self.validator.take() {
             let _ = validator.join();
+        }
+        if let Some(sweeper) = self.sweeper.take() {
+            let _ = sweeper.join();
         }
         self.lock().snapshot()
     }
@@ -397,6 +672,7 @@ impl RngService {
         client: ClientId,
         priority: Priority,
         len: usize,
+        deadline: Option<Instant>,
     ) -> Ticket {
         let seq = st.next_seq;
         st.next_seq += 1;
@@ -423,9 +699,10 @@ impl RngService {
             len,
             seq,
             submitted_at: Instant::now(),
+            deadline,
         });
         self.shared.work.notify_all();
-        Ticket { seq, shard, rx }
+        Ticket { seq, shard, rx, resolved: std::cell::RefCell::new(None) }
     }
 
     fn lock(&self) -> MutexGuard<'_, State> {
@@ -451,6 +728,9 @@ impl Drop for RngService {
         if let Some(validator) = self.validator.take() {
             let _ = validator.join();
         }
+        if let Some(sweeper) = self.sweeper.take() {
+            let _ = sweeper.join();
+        }
     }
 }
 
@@ -474,8 +754,9 @@ fn worker_loop(
     // bound, no matter how much has been delivered in total.
     let mut pace_deadline = Instant::now();
     let mut batch: Vec<RngRequest> = Vec::new();
-    let mut senders: Vec<Option<mpsc::Sender<Completion>>> = Vec::new();
+    let mut senders: Vec<Option<mpsc::Sender<Outcome>>> = Vec::new();
     let mut buf: Vec<u8> = Vec::new();
+    let mut expired_scratch: Vec<RngRequest> = Vec::new();
     // Delivered-byte offset within the current stream epoch: readmission
     // restarts the shard's stream (recharacterisation rebuilds the
     // sampler), so offsets restart with it — completions stay gapless per
@@ -500,19 +781,39 @@ fn worker_loop(
                 match st.lifecycle {
                     Lifecycle::Aborting => return,
                     Lifecycle::Draining if st.shards[shard_idx].is_empty() => return,
-                    // Anything already queued is served (the drain step of
-                    // quarantine) before requalification starts.
-                    _ if !st.shards[shard_idx].is_empty() => break,
+                    // A drain serves everything accepted, even through a
+                    // fenced shard — the documented last resort when no
+                    // healthy shard could take its queue over.
+                    Lifecycle::Draining => break,
+                    // While running, a fenced shard never serves: its queued
+                    // work was failed over to healthy shards at the
+                    // quarantine trip (or waits for readmission, expiry, or
+                    // a drain when none was healthy). Requalify instead.
                     Lifecycle::Running if !st.health[shard_idx].is_serving() => {
                         requalify = true;
                         break;
                     }
-                    _ => st = shared.work.wait(st).expect("service state poisoned"),
+                    Lifecycle::Running if !st.shards[shard_idx].is_empty() => break,
+                    Lifecycle::Running => {
+                        st = shared.work.wait(st).expect("service state poisoned");
+                    }
                 }
             }
             if requalify {
                 0
             } else {
+                // Complete overdue requests before composing the batch, so a
+                // request whose deadline already passed is never generated —
+                // the sweep thread bounds the idle case, this bounds the
+                // busy one.
+                let released =
+                    sweep_shard_expired(&mut st, shard_idx, Instant::now(), &mut expired_scratch);
+                if released > 0 {
+                    shared.space.notify_all();
+                }
+                if st.shards[shard_idx].is_empty() {
+                    continue; // everything queued here had expired
+                }
                 batch_epoch = st.shard_epoch[shard_idx];
                 let bytes = st.shards[shard_idx].pop_batch(
                     shared.cfg.max_batch_bytes,
@@ -634,6 +935,13 @@ fn worker_loop(
                 st.stats
                     .latency_us
                     .record(now.duration_since(req.submitted_at).as_micros() as u64);
+                if let Some(deadline) = req.deadline {
+                    // Slack left at delivery; a late delivery (deadline
+                    // passed mid-generation, too late to expire) records 0.
+                    st.stats
+                        .deadline_slack_us
+                        .record(deadline.saturating_duration_since(now).as_micros() as u64);
+                }
             }
             shared.space.notify_all();
         }
@@ -642,14 +950,14 @@ fn worker_loop(
             let bytes = buf[offset_in_batch..offset_in_batch + req.len].to_vec();
             if let Some(sender) = sender {
                 // A dropped receiver just means the client lost interest.
-                let _ = sender.send(Completion {
+                let _ = sender.send(Outcome::Served(Completion {
                     client: req.client,
                     seq: req.seq,
                     shard: shard_idx,
                     epoch: batch_epoch,
                     stream_offset: stream_offset + offset_in_batch as u64,
                     bytes,
-                });
+                }));
             }
             offset_in_batch += req.len;
         }
@@ -662,9 +970,10 @@ fn worker_loop(
 enum RequalifyGate {
     /// Keep requalifying.
     Continue,
-    /// Requests are queued on this shard (the all-quarantined placement
-    /// fallback admits to fenced shards rather than deadlocking): go back
-    /// and serve them — accepted work is never stranded behind probation.
+    /// The service is draining and requests are still queued on this shard
+    /// (stranded from a total-quarantine interval no readmission resolved):
+    /// go back and serve them — shutdown's serve-everything-accepted
+    /// contract outranks the fence, as the documented last resort.
     ServeQueue,
     /// The service is stopping.
     Stop,
@@ -674,13 +983,11 @@ fn requalify_gate(shared: &Shared, shard_idx: usize) -> RequalifyGate {
     let st = shared.state.lock().expect("service state poisoned");
     match st.lifecycle {
         Lifecycle::Aborting => RequalifyGate::Stop,
-        // Queued work outranks both requalification and a drain: accepted
-        // requests are served before this worker does anything else, which
-        // is what keeps shutdown()'s serve-everything-accepted contract
-        // intact even mid-requalification (the serving loop then handles
-        // `Draining` + empty queue by exiting).
-        _ if !st.shards[shard_idx].is_empty() => RequalifyGate::ServeQueue,
+        Lifecycle::Draining if !st.shards[shard_idx].is_empty() => RequalifyGate::ServeQueue,
         Lifecycle::Draining => RequalifyGate::Stop,
+        // While running, a fenced shard never serves — queued work here (it
+        // exists only while no shard is healthy) waits for a readmission
+        // failover, its deadline, or a drain.
         Lifecycle::Running => RequalifyGate::Continue,
     }
 }
@@ -690,12 +997,11 @@ fn requalify_gate(shared: &Shared, shard_idx: usize) -> RequalifyGate {
 /// [`HealthPolicy::probation_windows`](crate::health::HealthPolicy) pass in
 /// a row; a failing window loops back to recharacterisation (after a brief
 /// backoff, so a permanently faulty shard cycles instead of pegging a
-/// core). Yields between steps whenever requests are queued on this shard —
-/// the all-quarantined placement fallback still gets served — and returns
-/// `false` only when the service stopped mid-requalification (the worker
-/// exits); `true` hands control back to the serving loop, which re-enters
-/// requalification once the queue is empty again if the shard is still
-/// fenced.
+/// core). Readmission re-places any requests stranded on still-fenced peers
+/// (see [`failover_fenced_queues`]). Returns `false` only when the service
+/// stopped mid-requalification (the worker exits); `true` hands control
+/// back to the serving loop — during a drain, also to serve requests
+/// stranded on this shard as the last resort.
 fn requalify_shard(
     shared: &Shared,
     shard_idx: usize,
@@ -745,6 +1051,9 @@ fn requalify_shard(
                 // (fenced-era bytes still queued at the validator) is stale
                 // and must not grade the fresh record.
                 st.shard_epoch[shard_idx] += 1;
+                // With a healthy shard back, re-place any work stranded on
+                // still-fenced peers during a total-quarantine interval.
+                failover_fenced_queues(&mut st);
                 // Back in placement: wake submitters and peers.
                 shared.work.notify_all();
                 shared.space.notify_all();
@@ -757,12 +1066,12 @@ fn requalify_shard(
         // Backoff between requalification attempts: a shard whose fault
         // persists would otherwise alternate characterisation sweeps and
         // battery runs at full duty for the life of the service. Waiting on
-        // the work condvar keeps shutdown and new queue arrivals prompt.
+        // the work condvar keeps shutdown prompt.
         let st = shared.state.lock().expect("service state poisoned");
-        if st.lifecycle == Lifecycle::Running && st.shards[shard_idx].is_empty() {
+        if st.lifecycle == Lifecycle::Running {
             let _ = shared
                 .work
-                .wait_timeout(st, std::time::Duration::from_millis(50))
+                .wait_timeout(st, Duration::from_millis(50))
                 .expect("service state poisoned");
         }
     }
@@ -810,9 +1119,17 @@ fn validator_loop(shared: &Shared, rx: &mpsc::Receiver<TapChunk>, shard_count: u
             if quarantine {
                 fenced = true;
                 st.stats.validation.quarantines += 1;
-                // The shard is out of placement as of now; wake its (likely
-                // idle) worker so it drains and requalifies.
+                // Re-place the fenced shard's queued (not-yet-generated)
+                // requests onto healthy shards: accepted work is not served
+                // through a suspect generator. No-op when no shard is
+                // healthy — the requests then wait for readmission, their
+                // deadlines, or a drain.
+                failover_shard_queue(&mut st, chunk.shard);
+                // Wake the fenced shard's worker (to requalify), the
+                // failover targets (new work), and any parked submitter
+                // (which must observe the degraded state).
                 shared.work.notify_all();
+                shared.space.notify_all();
             }
         });
         if fenced {
@@ -821,6 +1138,107 @@ fn validator_loop(shared: &Shared, rx: &mpsc::Receiver<TapChunk>, shard_count: u
             validator.reset_shard(chunk.shard);
         }
     }
+}
+
+/// Completes every queued request of `shard` whose deadline is at or before
+/// `now` with a typed [`Expired`] outcome, releasing its budget and load.
+/// Returns the bytes released (the caller notifies `space` when non-zero).
+fn sweep_shard_expired(
+    st: &mut State,
+    shard: usize,
+    now: Instant,
+    scratch: &mut Vec<RngRequest>,
+) -> usize {
+    scratch.clear();
+    st.shards[shard].remove_expired(now, scratch);
+    let mut released = 0;
+    for req in scratch.drain(..) {
+        st.in_flight_bytes -= req.len;
+        st.shard_load[shard] -= req.len;
+        released += req.len;
+        st.stats.expired_requests += 1;
+        if let Some(tx) = st.senders.remove(&req.seq) {
+            let _ = tx.send(Outcome::Expired(Expired {
+                seq: req.seq,
+                deadline: req.deadline.expect("expired requests carry a deadline"),
+                expired_at: now,
+            }));
+        }
+    }
+    released
+}
+
+/// The expiry sweep thread: every
+/// [`expiry_sweep_interval`](RngServiceConfig::expiry_sweep_interval) (or
+/// sooner, on any work notification) it completes overdue queued requests on
+/// every shard — including fenced and idle shards, whose workers never reach
+/// the pop-time sweep. Exits when the service leaves `Running` (a drain
+/// serves the remaining queue; an abort cancels it).
+fn expiry_loop(shared: &Shared) {
+    let mut scratch: Vec<RngRequest> = Vec::new();
+    let mut st = shared.state.lock().expect("service state poisoned");
+    loop {
+        if st.lifecycle != Lifecycle::Running {
+            return;
+        }
+        let now = Instant::now();
+        let mut released = 0;
+        for shard in 0..st.shards.len() {
+            released += sweep_shard_expired(&mut st, shard, now, &mut scratch);
+        }
+        if released > 0 {
+            shared.space.notify_all();
+        }
+        let (guard, _) = shared
+            .work
+            .wait_timeout(st, shared.cfg.expiry_sweep_interval)
+            .expect("service state poisoned");
+        st = guard;
+    }
+}
+
+/// Re-places the queued (not-yet-generated) requests of shard `from` onto
+/// healthy shards via the least-loaded placement rule, preserving their
+/// dispatch order. The in-flight budget stays charged (the requests are
+/// still admitted); only the per-shard load moves. No-op while no shard is
+/// healthy. Returns how many requests moved.
+fn failover_shard_queue(st: &mut State, from: usize) -> u64 {
+    if st.shards[from].is_empty() || !st.health.iter().any(ShardHealth::is_serving) {
+        return 0;
+    }
+    let mut moved: Vec<RngRequest> = Vec::new();
+    st.shards[from].drain_ordered(&mut moved);
+    let count = moved.len() as u64;
+    for req in moved {
+        let target = {
+            let st = &*st;
+            least_loaded_shard(
+                st.shards.len(),
+                st.next_shard,
+                |i| st.shard_load[i],
+                |i| !st.health[i].is_serving(),
+            )
+        };
+        st.next_shard = (target + 1) % st.shards.len();
+        st.shard_load[from] -= req.len;
+        st.shard_load[target] += req.len;
+        st.shards[target].push(req);
+    }
+    st.stats.failed_over_requests += count;
+    count
+}
+
+/// Failover sweep at readmission: re-places every still-fenced shard's queue
+/// (work stranded during a total-quarantine interval, when the trip-time
+/// failover had no healthy target) onto the shards now serving.
+fn failover_fenced_queues(st: &mut State) -> u64 {
+    let mut total = 0;
+    for shard in 0..st.shards.len() {
+        if !st.health[shard].is_serving() {
+            total += failover_shard_queue(st, shard);
+        }
+    }
+    total
 }
 
 #[cfg(test)]

@@ -123,11 +123,27 @@ pub struct ServiceStats {
     pub peak_in_flight_bytes: usize,
     /// Bytes delivered by each shard.
     pub per_shard_bytes: Vec<u64>,
+    /// Requests completed with a typed `Expired` outcome by the deadline
+    /// sweep (their bytes were never generated).
+    pub expired_requests: u64,
+    /// Queued requests re-placed from a quarantined shard onto a healthy one
+    /// by the failover path (at quarantine trip or at the next readmission).
+    pub failed_over_requests: u64,
+    /// Submissions rejected with
+    /// [`SubmitError::Degraded`](crate::SubmitError::Degraded) because every
+    /// shard was quarantined (fail-fast rejections, non-blocking submissions,
+    /// and parking that timed out all count here).
+    pub degraded_rejections: u64,
     /// Queue depth (requests already waiting on the chosen shard) sampled at
     /// each admission.
     pub queue_depth: Histogram,
     /// Request latency (submission to delivery) in microseconds.
     pub latency_us: Histogram,
+    /// Deadline slack — microseconds left until the deadline at delivery —
+    /// of every served request that carried one (a request delivered at or
+    /// past its deadline records 0). Expired requests are not delivered and
+    /// appear in [`expired_requests`](Self::expired_requests) instead.
+    pub deadline_slack_us: Histogram,
     /// Continuous-validation counters (all zero when validation is off).
     pub validation: ValidationStats,
     /// Per-shard health records (empty until snapshot; filled by

@@ -16,9 +16,25 @@
 //!                                                  │ bound crossed
 //!                                                  ▼
 //!                                            quarantine: shard leaves
-//!                                            placement; its worker drains,
-//!                                            recharacterises, probations,
-//!                                            readmits (see `health`)
+//!                                            placement; its queued requests
+//!                                            FAIL OVER to healthy shards;
+//!                                            its worker recharacterises,
+//!                                            probations, readmits
+//!                                            (see `health`)
+//! ```
+//!
+//! Quarantine composes with the rest of the degraded-mode machinery like
+//! this (the full state machine is in [`crate::health`]):
+//!
+//! ```text
+//!   trip, ≥1 healthy shard │ queued requests re-placed least-loaded
+//!                          │ (stats.failed_over_requests)
+//!   trip, 0 healthy shards │ queue waits; new admissions follow
+//!                          │ DegradedPolicy (FailFast / Park)
+//!   readmission            │ epoch bump + stranded fenced queues re-placed
+//!   deadline passes        │ expiry sweep completes the ticket as Expired
+//!   drain (shutdown)       │ fenced shards may serve their own stranded
+//!                          │ queue — the documented last resort
 //! ```
 //!
 //! The tap is a **copy**, so validation never perturbs the served streams —

@@ -26,6 +26,13 @@ service-tests:
     QUAC_THREADS=1 cargo test -q --test rng_service --test adversarial_scheduling
     QUAC_THREADS=4 cargo test -q --test rng_service --test adversarial_scheduling
 
+# The degraded-mode chaos campaigns (drift, burst, stuck-at, multi-shard
+# loss) against the live threaded service, under the same QUAC_THREADS
+# matrix as CI.
+chaos-tests:
+    QUAC_THREADS=1 cargo test -q --test chaos_campaigns
+    QUAC_THREADS=4 cargo test -q --test chaos_campaigns
+
 # Run the criterion micro-benchmarks in measuring mode.
 bench:
     cargo bench

@@ -27,6 +27,7 @@ fn to_request(event: &ServiceRequestEvent, seq: u64) -> RngRequest {
         len: event.len,
         seq,
         submitted_at: std::time::Instant::now(),
+        deadline: None,
     }
 }
 

@@ -12,8 +12,8 @@ use quac_trng_repro::dram_analog::{ModuleVariation, OperatingConditions, QuacAna
 use quac_trng_repro::dram_core::{DataPattern, DramGeometry};
 use quac_trng_repro::memctrl::IdleBudget;
 use quac_trng_repro::rng_service::{
-    ClientId, Completion, HealthPolicy, Priority, RngService, RngServiceConfig, ServiceStats,
-    ShardState, SubmitError, ValidationConfig,
+    ClientId, Completion, DegradedPolicy, HealthPolicy, Priority, RngService, RngServiceConfig,
+    ServiceStats, ShardState, SubmitError, ValidationConfig, WaitError,
 };
 use quac_trng_repro::trng::characterize::{characterize_module, CharacterizationConfig};
 use quac_trng_repro::trng::fault::FaultInjector;
@@ -386,6 +386,32 @@ fn wait_for(
     }
 }
 
+/// Feeds a persistently-faulty single-shard service one request at a time
+/// until the validator fences its only shard. The fence can land while a
+/// request is still queued — with no healthy target it stays queued forever
+/// (the degraded-mode contract), so every probe carries a deadline and a
+/// typed `Expired` (or a `Degraded` rejection, under either policy) is an
+/// acceptable end of a probe.
+fn drive_until_total_quarantine(service: &RngService) {
+    let give_up = Instant::now() + Duration::from_secs(60);
+    loop {
+        if service.stats().validation.quarantines >= 1 {
+            return;
+        }
+        assert!(Instant::now() < give_up, "persistent fault never quarantined");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        match service.submit_with_deadline(ClientId(0), Priority::Normal, 2048, deadline) {
+            Ok(ticket) => match ticket.wait() {
+                Ok(c) => assert_eq!(c.bytes.len(), 2048),
+                Err(WaitError::Expired(_)) => {}
+                Err(WaitError::Canceled(c)) => panic!("service still running: {c}"),
+            },
+            Err(SubmitError::Degraded { .. }) => return,
+            Err(e) => panic!("unexpected admission failure: {e}"),
+        }
+    }
+}
+
 #[test]
 fn biased_shard_is_quarantined_within_bounded_windows_and_readmitted() {
     const SHARDS: usize = 2;
@@ -532,36 +558,45 @@ fn shutdown_during_endless_requalification_terminates_cleanly() {
 }
 
 #[test]
-fn all_quarantined_fallback_still_serves_accepted_requests() {
-    // A single shard with a persistent fault: once quarantined, placement
-    // has no healthy shard and falls back to the fenced one. Accepted
-    // requests must still be served — requalification yields to queued
-    // work instead of stranding it behind an endless probation loop.
+fn all_quarantined_fail_fast_rejects_new_work_and_drains_cleanly() {
+    // A single shard with a persistent fault: once quarantined there is no
+    // healthy shard left. Under the default FailFast policy the service must
+    // *refuse* new work with a typed Degraded error — a fenced shard never
+    // serves while the service runs — and shutdown must still terminate
+    // despite the endless requalification loop.
     let (_, mut shards) = tiny_shards(1);
     shards[0].inject_fault(FaultInjector::stuck_at(0, true));
     let cfg = RngServiceConfig { validation: test_validation(), ..RngServiceConfig::default() };
     let service = RngService::start(shards, cfg);
 
-    let deadline = Instant::now() + Duration::from_secs(60);
-    while service.stats().validation.quarantines == 0 {
-        let tickets: Vec<_> = (0..8)
-            .map(|_| service.submit(ClientId(0), Priority::Normal, 2048).unwrap())
-            .collect();
-        for t in tickets {
-            t.wait().expect("served");
-        }
-        assert!(Instant::now() < deadline, "persistent fault never quarantined");
+    // Serve one request at a time: two 2048 B requests complete two failing
+    // 2000 B windows, which is the streak bound. The fence can land between
+    // admission and dispatch, stranding the request on the only shard — the
+    // deadline turns that into a typed expiry instead of an eternal wait.
+    drive_until_total_quarantine(&service);
+
+    // Degraded: both the blocking and the non-blocking paths reject
+    // immediately with the typed error and count the rejection.
+    for _ in 0..3 {
+        assert_eq!(
+            service.submit(ClientId(1), Priority::Normal, 1024).unwrap_err(),
+            SubmitError::Degraded { quarantined: 1 }
+        );
+        assert_eq!(
+            service.try_submit(ClientId(1), Priority::Normal, 1024).unwrap_err(),
+            SubmitError::Degraded { quarantined: 1 }
+        );
     }
-    // The only shard is now fenced; submissions keep being accepted and
-    // must complete while its requalification cycles in the background.
-    for _ in 0..5 {
-        let ticket = service.submit(ClientId(1), Priority::Normal, 1024).expect("accepted");
-        let completion = ticket.wait().expect("served despite quarantine");
-        assert_eq!(completion.bytes.len(), 1024);
-    }
+    let stats = service.stats();
+    assert!(stats.degraded_rejections >= 6, "{stats:?}");
+    assert_ne!(stats.shard_health[0].state, ShardState::Healthy);
+
+    let started = Instant::now();
     let stats = service.shutdown();
+    assert!(started.elapsed() < Duration::from_secs(30), "drain hung while degraded");
     assert!(stats.validation.quarantines >= 1);
     assert_eq!(stats.validation.readmissions, 0);
+    assert_eq!(stats.failed_over_requests, 0, "no healthy target ever existed");
 }
 
 #[test]
@@ -618,8 +653,169 @@ fn abort_cancels_unserved_tickets() {
     service.abort();
     for t in tickets {
         // Non-blocking pollers must see the cancellation too, not an
-        // eternal "pending".
-        assert!(t.try_wait().is_err(), "try_wait must report cancellation after abort");
-        assert!(t.wait().is_err(), "aborted request must cancel its ticket");
+        // eternal "pending" — and repeated polls must agree (the terminal
+        // state is cached, never re-derived from a dead channel).
+        assert!(
+            matches!(t.try_wait(), Err(WaitError::Canceled(_))),
+            "try_wait must report cancellation after abort"
+        );
+        assert!(matches!(t.try_wait(), Err(WaitError::Canceled(_))), "cancellation is sticky");
+        assert!(
+            matches!(t.wait(), Err(WaitError::Canceled(_))),
+            "aborted request must cancel its ticket"
+        );
     }
+}
+
+#[test]
+fn served_ticket_polls_idempotently_even_after_abort() {
+    // Regression: try_wait used to consume the completion from the channel,
+    // so a second poll saw a disconnected channel and misreported a *served*
+    // request as canceled once the service stopped. The terminal state must
+    // be cached: every poll after service abort still returns the bytes.
+    let (_, shards) = tiny_shards(1);
+    let service = RngService::start(shards, RngServiceConfig::default());
+    let ticket = service.submit(ClientId(0), Priority::Normal, 128).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let first = loop {
+        match ticket.try_wait().expect("never canceled while running") {
+            Some(c) => break c,
+            None => {
+                assert!(Instant::now() < deadline, "request never served");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    };
+    assert_eq!(first.bytes.len(), 128);
+    // Abort tears down the channels; the served outcome must survive it.
+    service.abort();
+    let again = ticket.try_wait().expect("served outcome is sticky").expect("still resolved");
+    assert_eq!(again.bytes, first.bytes);
+    let wd = ticket
+        .wait_deadline(Instant::now() + Duration::from_millis(1))
+        .expect("still served")
+        .expect("still resolved");
+    assert_eq!(wd.bytes, first.bytes);
+    assert_eq!(ticket.wait().expect("wait agrees with try_wait").bytes, first.bytes);
+}
+
+// ---- deadlines, expiry, and degraded-mode admission ----
+
+#[test]
+fn queued_requests_expire_within_a_sweep_period_and_committed_work_does_not() {
+    // One shard paced to a crawl with single-request batches: the first
+    // (deadline-free) request is popped and parks in pacing — *committed*.
+    // Everything behind it stays queued; their deadlines pass; the sweep
+    // must complete them as Expired without generating a byte.
+    const LEN: usize = 256;
+    const EXPIRING: usize = 4;
+    let (_, shards) = tiny_shards(1);
+    let cfg = RngServiceConfig {
+        max_batch_requests: 1,
+        max_batch_bytes: LEN,
+        pacing: IdleBudget::from_gbps(1e-5),
+        expiry_sweep_interval: Duration::from_millis(2),
+        ..RngServiceConfig::default()
+    };
+    let service = RngService::start(shards, cfg);
+    let sacrificial = service.submit(ClientId(0), Priority::Normal, LEN).unwrap();
+    // Give the worker time to pop the sacrificial request into its batch.
+    std::thread::sleep(Duration::from_millis(50));
+    let deadline = Instant::now() + Duration::from_millis(30);
+    let doomed: Vec<_> = (0..EXPIRING)
+        .map(|_| {
+            service
+                .submit_with_deadline(ClientId(1), Priority::Normal, LEN, deadline)
+                .expect("admitted while queue has space")
+        })
+        .collect();
+    // wait_deadline bounds its own blocking: while the requests are still
+    // queued and unexpired it reports "pending", not an error.
+    assert!(
+        doomed[0]
+            .wait_deadline(Instant::now() + Duration::from_millis(5))
+            .expect("still pending, not failed")
+            .is_none(),
+        "a queued, unexpired request polls as pending"
+    );
+    for t in &doomed {
+        let err = loop {
+            match t.wait_deadline(Instant::now() + Duration::from_millis(20)) {
+                Ok(Some(_)) => panic!("an expired request must never deliver bytes"),
+                Ok(None) => continue,
+                Err(e) => break e,
+            }
+        };
+        let expired = match err {
+            WaitError::Expired(e) => e,
+            WaitError::Canceled(c) => panic!("expired, not canceled: {c}"),
+        };
+        assert_eq!(expired.deadline, deadline);
+        assert!(expired.expired_at >= deadline);
+        assert!(
+            expired.expired_at - deadline < Duration::from_secs(5),
+            "sweep latency {:?} is far beyond the sweep interval",
+            expired.expired_at - deadline
+        );
+        // The terminal state is sticky for expiry too.
+        assert!(matches!(t.try_wait(), Err(WaitError::Expired(_))));
+    }
+    let stats = service.stats();
+    assert_eq!(stats.expired_requests, EXPIRING as u64, "{stats:?}");
+    // The committed request was popped before its peers expired; it still
+    // owes bytes and abort (not expiry) is what ends it here.
+    service.abort();
+    assert!(sacrificial.wait().is_err());
+}
+
+#[test]
+fn served_requests_with_deadlines_record_slack_and_never_expire() {
+    let (_, shards) = tiny_shards(2);
+    let service = RngService::start(shards, RngServiceConfig::default());
+    let generous = Instant::now() + Duration::from_secs(3600);
+    let tickets: Vec<_> = (0..10)
+        .map(|_| {
+            service.submit_with_deadline(ClientId(0), Priority::Normal, 512, generous).unwrap()
+        })
+        .collect();
+    for t in tickets {
+        assert_eq!(t.wait().expect("a generous deadline never expires").bytes.len(), 512);
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.expired_requests, 0);
+    assert_eq!(stats.completed_requests, 10);
+    assert_eq!(
+        stats.deadline_slack_us.count(),
+        10,
+        "every served deadline-carrying request records its slack"
+    );
+    assert!(stats.deadline_slack_us.max() > 0, "an hour of slack cannot round to zero");
+}
+
+#[test]
+fn degraded_parking_unblocks_on_policy_timeout() {
+    // Park policy with a short bound and a persistent fault: a blocking
+    // submit during total quarantine parks, then gives up with the typed
+    // Degraded error once the bound passes (readmission never comes).
+    let (_, mut shards) = tiny_shards(1);
+    shards[0].inject_fault(FaultInjector::stuck_at(0, true));
+    let cfg = RngServiceConfig {
+        validation: test_validation(),
+        degraded: DegradedPolicy::Park { max_wait: Duration::from_millis(200) },
+        ..RngServiceConfig::default()
+    };
+    let service = RngService::start(shards, cfg);
+    drive_until_total_quarantine(&service);
+    let started = Instant::now();
+    let err = service.submit(ClientId(1), Priority::Normal, 512).unwrap_err();
+    let parked = started.elapsed();
+    assert_eq!(err, SubmitError::Degraded { quarantined: 1 });
+    assert!(parked >= Duration::from_millis(150), "gave up after only {parked:?}");
+    assert!(parked < Duration::from_secs(30), "parking must respect the policy bound");
+    // The non-blocking path never parks, even under the Park policy.
+    let quick = Instant::now();
+    assert!(service.try_submit(ClientId(1), Priority::Normal, 512).is_err());
+    assert!(quick.elapsed() < Duration::from_millis(100));
+    let stats = service.abort();
+    assert!(stats.degraded_rejections >= 2, "{stats:?}");
 }
