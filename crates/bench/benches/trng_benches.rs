@@ -437,6 +437,55 @@ fn bench_nist_suite(c: &mut Criterion) {
     });
 }
 
+fn bench_rng_service_export(c: &mut Criterion) {
+    // The metrics-export acceptance pair: the same 4-client × 16 KiB round
+    // trip, once bare and once with a full stats snapshot + Prometheus text
+    // rendering per iteration — a scrape on every round trip, far denser
+    // than any real scrape interval. Gated in `bench_check`: export-on must
+    // stay within 5% of export-off, since a snapshot is one lock + clone
+    // and the rendering never touches the service at all.
+    use qt_rng_service::{ClientId, Priority, RngService, RngServiceConfig};
+    const CLIENTS: u32 = 4;
+    const SHARDS: usize = 2;
+    const BYTES_PER_CLIENT: usize = 16 << 10;
+    let geom = DramGeometry::tiny_test();
+    let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 3));
+    let ch = quac_trng::characterize::characterize_module(
+        &model,
+        DataPattern::best_average(),
+        &tiny_cfg(),
+    );
+    let total_bits = (CLIENTS as u64) * (BYTES_PER_CLIENT as u64) * 8;
+    for (name, export) in
+        [("rng_service_export_off", false), ("rng_service_export_on", true)]
+    {
+        let service = RngService::start(
+            QuacTrng::shards(&model, &ch, 17, SHARDS),
+            RngServiceConfig::default(),
+        );
+        c.throughput_bits(total_bits).bench_function(name, |b| {
+            b.iter(|| {
+                let tickets: Vec<_> = (0..CLIENTS)
+                    .map(|client| {
+                        service
+                            .submit(ClientId(client), Priority::Normal, BYTES_PER_CLIENT)
+                            .expect("bench submission")
+                    })
+                    .collect();
+                for t in tickets {
+                    std::hint::black_box(t.wait().expect("bench completion"));
+                }
+                if export {
+                    std::hint::black_box(qt_rng_service::export::prometheus_text(
+                        &service.stats(),
+                    ));
+                }
+            })
+        });
+        service.shutdown();
+    }
+}
+
 fn bench_memory_system(c: &mut Criterion) {
     let cfg = MemorySystemConfig::paper_system();
     let trace = TraceGenerator::new(SPEC2006_WORKLOADS[2].clone(), cfg.geom, 4).generate_for_cycles(100_000);
@@ -450,7 +499,8 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_sha256, bench_vnc, bench_packed_sampling, bench_bitvec_extract,
               bench_quac_iteration, bench_generate_bytes, bench_rng_service,
-              bench_rng_service_validation, bench_rng_service_drift, bench_segment_entropy,
+              bench_rng_service_validation, bench_rng_service_drift,
+              bench_rng_service_export, bench_segment_entropy,
               bench_characterisation, bench_nist_suite, bench_memory_system
 }
 criterion_main!(benches);

@@ -114,6 +114,20 @@ fn drift_overhead(fresh: &[(String, f64)], overhead: f64) -> Option<(f64, bool)>
     Some((ratio, ratio > 1.0 + overhead))
 }
 
+/// The metrics-export overhead gate: the export-on/off pair of the RNG
+/// service bench, measured in the *same* fresh run, must stay within
+/// `overhead` of each other — the acceptance bound of the stats export ("a
+/// Prometheus render per round trip costs < 5%"). Returns
+/// `Some((on_over_off_ratio, regressed?))` when both entries are present,
+/// `None` otherwise. Pure so the rule is unit-testable.
+fn export_overhead(fresh: &[(String, f64)], overhead: f64) -> Option<(f64, bool)> {
+    let ns = |name: &str| fresh.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    let on = ns("rng_service_export_on")?;
+    let off = ns("rng_service_export_off")?;
+    let ratio = on / off;
+    Some((ratio, ratio > 1.0 + overhead))
+}
+
 /// Per-benchmark verdicts: `(name, fresh/baseline ratio normalised by the
 /// suite median, regressed?)`, plus the median itself (printed so a
 /// suite-wide shift is visible to humans even when no entry fails). An
@@ -226,6 +240,20 @@ fn main() -> ExitCode {
         );
         failed |= over;
     }
+    // Paired bound, fresh-run only: a stats snapshot + Prometheus text
+    // render per client round trip must stay within its overhead budget.
+    let export_budget = std::env::var("BENCH_EXPORT_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.05);
+    if let Some((ratio, over)) = export_overhead(&fresh, export_budget) {
+        let flag = if over { "  <-- OVER BUDGET" } else { "" };
+        println!(
+            "export-on / export-off:                  {ratio:>18.3}{flag} (budget {:.0}%)",
+            export_budget * 100.0
+        );
+        failed |= over;
+    }
     // Absolute generation-throughput floor, fresh-run only: sustained Gb/s
     // must not fall below 75% of the committed baseline (or the explicit
     // BENCH_GBPS_FLOOR).
@@ -333,6 +361,24 @@ mod tests {
         assert!(validation_overhead(&fresh, 0.10).unwrap().1, "20% overhead must fail");
         // Missing either side: no verdict (e.g. a filtered `-- nist` run).
         assert!(validation_overhead(&results(&[("a", 1.0)]), 0.10).is_none());
+    }
+
+    #[test]
+    fn export_overhead_gate_pairs_the_on_off_benches() {
+        let fresh = results(&[
+            ("rng_service_export_off", 1000.0),
+            ("rng_service_export_on", 1030.0),
+        ]);
+        let (ratio, over) = export_overhead(&fresh, 0.05).unwrap();
+        assert!((ratio - 1.03).abs() < 1e-12);
+        assert!(!over, "3% overhead is within the 5% budget");
+        let fresh = results(&[
+            ("rng_service_export_off", 1000.0),
+            ("rng_service_export_on", 1100.0),
+        ]);
+        assert!(export_overhead(&fresh, 0.05).unwrap().1, "10% overhead must fail");
+        // Missing either side (e.g. a filtered run): no verdict.
+        assert!(export_overhead(&results(&[("a", 1.0)]), 0.05).is_none());
     }
 
     #[test]

@@ -207,6 +207,12 @@ mod tests {
     }
 
     #[test]
+    fn default_state_is_healthy_and_serving() {
+        assert_eq!(ShardState::default(), ShardState::Healthy);
+        assert!(ShardHealth::new().is_serving());
+    }
+
+    #[test]
     fn consecutive_failures_quarantine_at_the_bound() {
         let mut h = ShardHealth::new();
         let p = policy();

@@ -9,70 +9,87 @@
 //! RNG traffic and regular traffic — and D-RaNGe (arXiv:1808.04286) frames
 //! the same multi-client throughput question.
 //!
-//! ## Architecture
+//! ## Architecture: control plane / data plane
+//!
+//! The crate is split along the classic control/data seam. The **data
+//! plane** moves bytes: queue → worker batch loop → pacing → tap →
+//! completion delivery. The **control plane** decides *which* shard serves
+//! and *whether* a request is still worth serving: placement, shard health
+//! and quarantine, degraded admission, requalification, expiry, failover.
+//! The two meet only through one state lock, so every control decision is a
+//! pure function of observable state.
 //!
 //! ```text
-//!  clients ──▶ submit()/try_submit() ──▶ ┌────────────────────────────┐
-//!   (N apps)     │ backpressure:         │ per-shard ShardScheduler   │
-//!                │ park/reject when      │  · High ▷ Normal bands     │
-//!                │ in-flight bytes       │  · round-robin per client  │
-//!                │ exceed the budget     │  · fairness window (aging) │
-//!                ▼                       └─────────────┬──────────────┘
-//!            Ticket (mpsc)                             │ pop_batch(): coalesce
-//!                ▲                                     ▼
-//!                │               ┌──────────────────────────────────────┐
-//!                └── Completion ─┤ worker thread per shard (channel):   │
-//!                                │  QuacTrng::fill_bytes over the batch │
-//!                                │  → pace against IdleBudget           │
-//!                                │  → deliver → release budget          │
-//!                                └──────────────────────────────────────┘
+//!                         CONTROL PLANE
+//!   ┌────────────────────────────────────────────────────────────┐
+//!   │ placement  — PlacementPolicy (least-loaded + rotation)     │
+//!   │ control    — AdmissionPolicy (DegradedPolicy),             │
+//!   │              RequalifyPolicy, validator loop, quarantine   │
+//!   │              failover, deadline-expiry sweep               │
+//!   │ health     — ShardHealth EWMA/streak state machine         │
+//!   └──────────────▲─────────────────────────────▲───────────────┘
+//!                  │ one Mutex<State> + condvars │
+//!   ┌──────────────▼─────────────────────────────▼───────────────┐
+//!   │ service    — config, admission, lifecycle glue             │
+//!   │ queue      — per-shard ShardScheduler (bands, round-robin, │
+//!   │              fairness window)                              │
+//!   │ worker     — batch loop: fill_bytes → pace (IdleBudget)    │
+//!   │              → tap → release budget → deliver              │
+//!   │ ticket     — client-side receipt (Served/Expired/Canceled) │
+//!   └────────────────────────────────────────────────────────────┘
+//!          DATA PLANE           stats/export — snapshots, deltas,
+//!                                              Prometheus text
 //! ```
 //!
-//! * **Sharding** — one [`QuacTrng`](quac_trng::pipeline::QuacTrng) per
-//!   DRAM channel (built with `QuacTrng::shards`), each owned by a worker
-//!   thread; requests are assigned to shards round-robin at submission.
-//! * **Batching** — a worker drains its queue up to
-//!   [`RngServiceConfig::max_batch_bytes`] per wakeup and generates the whole
-//!   batch with one buffer-reusing `fill_bytes` call, so small reads coalesce
-//!   into whole QUAC iterations instead of paying per-request overhead.
-//! * **Backpressure** — a service-wide in-flight byte budget
-//!   ([`RngServiceConfig::max_inflight_bytes`]): [`RngService::try_submit`]
-//!   rejects with [`SubmitError::Saturated`], [`RngService::submit`] parks the
-//!   caller until space frees.
-//! * **Scheduling** — per shard, two priority bands with round-robin between
-//!   clients inside a band and a bounded anti-starvation window
-//!   ([`RngServiceConfig::fairness_window`]): at most that many consecutive
-//!   high-priority dispatches while normal work waits (property-tested in
-//!   [`queue`]).
-//! * **Pacing** — an optional [`IdleBudget`](qt_memctrl::IdleBudget) from
-//!   `qt_memctrl` throttles each worker's *delivery* rate to the random-byte
-//!   rate the channel's idle cycles can sustain under co-running traffic
-//!   (Figure 12's injection model).
-//! * **Placement** — requests go to the least-loaded healthy shard
-//!   ([`queue::least_loaded_shard`]), with rotation tie-breaking so an idle
-//!   service degrades to round-robin; quarantined shards are skipped while
-//!   any healthy shard exists.
-//! * **Continuous validation** — with [`ValidationConfig::enabled`]
-//!   (default off), a validator thread taps a copy of every served batch,
-//!   grades fixed-size windows with the word-parallel NIST SP 800-22
-//!   battery, and folds verdicts into per-shard health (pass-rate EWMA +
-//!   consecutive-failure streak). A shard crossing a bound is
-//!   **quarantined**: removed from placement, its queued requests **failed
-//!   over** to healthy shards, recharacterised via
-//!   `QuacTrng::recharacterize`, and readmitted only after a probation
-//!   streak passes the battery. See [`validate`] for the loop and
-//!   [`health`] for the state machine.
-//! * **Degraded operation** — requests may carry a completion deadline
-//!   ([`RngService::submit_with_deadline`]): a request still queued when it
-//!   passes is completed with a typed [`Expired`] outcome by the expiry
-//!   sweep within one [`RngServiceConfig::expiry_sweep_interval`], so
-//!   clients never park on work the service cannot do in time. While
-//!   *every* shard is quarantined, admission follows the configured
-//!   [`DegradedPolicy`] — fail-fast rejection with
-//!   [`SubmitError::Degraded`], or parking bounded by the policy (and by
-//!   the request's own deadline). [`Ticket::wait_deadline`] bounds the wait
-//!   itself. The expired / failed-over / degraded-rejection counts and a
-//!   deadline-slack histogram are part of every [`ServiceStats`] snapshot.
+//! Module map and seams:
+//!
+//! * [`service`] — [`RngServiceConfig`], admission (backpressure, deadline
+//!   checks), thread lifecycle. [`RngService::start_with_policies`] is the
+//!   injection point for a custom [`ServicePolicies`] set.
+//! * [`placement`] — [`PlacementPolicy`] + the default
+//!   [`least_loaded_shard`] rule: least-loaded serving shard, rotation
+//!   tie-break (so an idle service degrades to round-robin), quarantined
+//!   shards skipped while any healthy shard exists.
+//! * [`control`] — [`AdmissionPolicy`] (what a blocking submission does
+//!   while *every* shard is fenced, stock impl [`DegradedPolicy`]),
+//!   [`RequalifyPolicy`] (recharacterise-on-quarantine pacing), and the
+//!   orchestration loops: validation verdict folding, quarantine failover,
+//!   requalification, and the deadline-expiry sweep (which waits on its own
+//!   condvar, so deadline-free load never wakes it).
+//! * [`health`] — the per-shard window → EWMA/streak → quarantine →
+//!   probation → readmission state machine.
+//! * [`queue`] / `worker` — the data plane: priority bands with
+//!   round-robin per client and a bounded anti-starvation window
+//!   ([`RngServiceConfig::fairness_window`]); batch coalescing up to
+//!   [`RngServiceConfig::max_batch_bytes`]; delivery pacing against an
+//!   [`IdleBudget`](qt_memctrl::IdleBudget) (Figure 12's injection model);
+//!   backpressure against [`RngServiceConfig::max_inflight_bytes`].
+//! * [`ticket`] — the client-side receipt: [`Ticket::wait`],
+//!   [`Ticket::try_wait`], [`Ticket::wait_deadline`]; typed terminal
+//!   outcomes [`Expired`] and [`Canceled`].
+//! * [`validate`] — the continuous-validation tap and windowing in front of
+//!   the word-parallel NIST SP 800-22 battery.
+//! * [`stats`] / [`export`] — [`ServiceStats`] snapshots, log₂
+//!   [`Histogram`]s, rate windows via [`ServiceStats::delta_since`], and
+//!   Prometheus text exposition via [`export::prometheus_text`].
+//!
+//! ## Deadlines and degraded operation
+//!
+//! Requests may carry a completion deadline
+//! ([`RngService::submit_with_deadline`]): a request still queued when it
+//! passes is completed with a typed [`Expired`] outcome within one
+//! [`RngServiceConfig::expiry_sweep_interval`]; a deadline already in the
+//! past resolves at admission without being charged; and a submission
+//! parked on the in-flight budget gives up with the same typed outcome at
+//! its deadline — no submit path blocks past `max(deadline, policy bound)`.
+//! While *every* shard is quarantined, admission follows the configured
+//! [`DegradedPolicy`] — fail-fast rejection with [`SubmitError::Degraded`],
+//! or parking bounded by the policy (and by the request's own deadline).
+//! [`Ticket::wait_deadline`] bounds the wait itself. With
+//! [`ValidationConfig::enabled`], a validator thread grades served windows
+//! and quarantines shards whose health trips a bound; their queued requests
+//! fail over to healthy shards, and readmission requires a probation streak
+//! (see [`health`]).
 //!
 //! ## Determinism contract
 //!
@@ -88,7 +105,11 @@
 //! but never the bytes each shard hands out; under a fixed submission order
 //! (single submitter, one request outstanding) even the per-request bytes
 //! are reproducible. The integration suite (`tests/rng_service.rs` at the
-//! workspace root) pins both properties.
+//! workspace root) pins both properties — and thereby the whole
+//! control-plane/data-plane split: any placement or scheduling change that
+//! breaks replay shows up there as a stream mismatch. A custom
+//! [`PlacementPolicy`] keeps the contract iff it is a pure function of its
+//! [`PlacementView`](placement::PlacementView).
 //!
 //! ## Quickstart
 //!
@@ -111,24 +132,33 @@
 //! let ticket = service.submit(ClientId(0), Priority::Normal, 64).unwrap();
 //! let completion = ticket.wait().unwrap();
 //! assert_eq!(completion.bytes.len(), 64);
+//! println!("{}", qt_rng_service::export::prometheus_text(&service.stats()));
 //! service.shutdown();
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
+pub mod export;
 pub mod health;
+pub mod placement;
 pub mod queue;
 pub mod request;
 pub mod service;
 pub mod stats;
+pub mod ticket;
 pub mod validate;
+pub(crate) mod state;
+pub(crate) mod worker;
 
+pub use control::{AdmissionPolicy, DegradedPolicy, RequalifyPolicy, ServicePolicies};
 pub use health::{HealthPolicy, ShardHealth, ShardState};
-pub use queue::{least_loaded_shard, ShardScheduler};
+pub use placement::{least_loaded_shard, PlacementPolicy};
+pub use queue::ShardScheduler;
 pub use request::{ClientId, Completion, Priority, RngRequest, SubmitError};
-pub use service::{
-    Canceled, DegradedPolicy, Expired, RngService, RngServiceConfig, Ticket, WaitError,
-};
+pub use service::RngService;
+pub use state::RngServiceConfig;
 pub use stats::{Histogram, ServiceStats, ValidationStats};
+pub use ticket::{Canceled, Expired, Ticket, WaitError};
 pub use validate::ValidationConfig;

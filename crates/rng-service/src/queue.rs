@@ -181,6 +181,13 @@ impl ShardScheduler {
         self.queued_bytes
     }
 
+    /// Queued requests carrying a deadline. The expiry sweep parks
+    /// indefinitely while this is 0 on every shard, so deadline-free load
+    /// never wakes it.
+    pub fn queued_deadlines(&self) -> usize {
+        self.queued_deadlines
+    }
+
     /// Removes every queued request whose deadline is at or before `now` and
     /// appends them to `out`, returning how many were removed. Queue order,
     /// round-robin rotation, and the fairness streak of the surviving
@@ -227,50 +234,6 @@ impl ShardScheduler {
         }
         out.len() - before
     }
-}
-
-/// Least-loaded, quarantine-aware shard placement — the pure decision rule
-/// behind [`RngService::submit`](crate::RngService::submit)'s shard
-/// assignment, split out so placement properties can be tested without
-/// threads.
-///
-/// Scans the `count` shards starting from `start` (the rotation point the
-/// service advances past each pick) and returns the first non-quarantined
-/// shard with the strictly smallest load. Consequences of that rule:
-///
-/// * **Quarantine-aware** — while at least one shard is healthy, a
-///   quarantined shard is never selected. If *every* shard is quarantined,
-///   placement falls back to all shards — the service layer normally never
-///   asks in that state (admission is governed by
-///   [`DegradedPolicy`](crate::DegradedPolicy) instead), so the fallback
-///   only keeps the pure rule total.
-/// * **Round-robin at equal load** — ties go to the first candidate in
-///   rotation order from `start`, so an otherwise idle service degrades to
-///   exactly the round-robin assignment the serial-equivalence tests replay.
-///
-/// # Panics
-///
-/// Panics if `count` is zero.
-pub fn least_loaded_shard(
-    count: usize,
-    start: usize,
-    load: impl Fn(usize) -> usize,
-    quarantined: impl Fn(usize) -> bool,
-) -> usize {
-    assert!(count > 0, "placement needs at least one shard");
-    let any_healthy = (0..count).any(|i| !quarantined(i));
-    let mut best: Option<usize> = None;
-    for k in 0..count {
-        let i = (start + k) % count;
-        if any_healthy && quarantined(i) {
-            continue;
-        }
-        match best {
-            Some(b) if load(i) >= load(b) => {}
-            _ => best = Some(i),
-        }
-    }
-    best.expect("some shard is always eligible")
 }
 
 #[cfg(test)]
@@ -491,75 +454,6 @@ mod tests {
             prop_assert_eq!(seen.len(), lens.len());
             prop_assert_eq!(popped_bytes, total);
             prop_assert!(s.is_empty());
-        }
-    }
-
-    #[test]
-    fn placement_is_round_robin_at_equal_load() {
-        // All loads zero: rotation from `start` degrades to round-robin,
-        // the behaviour the serial-equivalence integration tests replay.
-        let mut start = 0;
-        let mut picks = Vec::new();
-        for _ in 0..6 {
-            let s = least_loaded_shard(3, start, |_| 0, |_| false);
-            picks.push(s);
-            start = (s + 1) % 3;
-        }
-        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
-    }
-
-    #[test]
-    fn placement_prefers_the_least_loaded_shard() {
-        let loads = [500usize, 20, 300];
-        assert_eq!(least_loaded_shard(3, 0, |i| loads[i], |_| false), 1);
-        // Strictly smallest wins regardless of rotation start.
-        for start in 0..3 {
-            assert_eq!(least_loaded_shard(3, start, |i| loads[i], |_| false), 1);
-        }
-    }
-
-    #[test]
-    fn placement_never_selects_a_quarantined_shard_while_any_is_healthy() {
-        let loads = [0usize, 10, 20];
-        // Shard 0 is idle but quarantined: the busier healthy shard wins.
-        assert_eq!(least_loaded_shard(3, 0, |i| loads[i], |i| i == 0), 1);
-        for start in 0..3 {
-            let pick = least_loaded_shard(3, start, |i| loads[i], |i| i != 2);
-            assert_eq!(pick, 2, "only healthy shard must be picked (start {start})");
-        }
-    }
-
-    #[test]
-    fn placement_falls_back_when_every_shard_is_quarantined() {
-        let loads = [7usize, 3, 9];
-        assert_eq!(least_loaded_shard(3, 0, |i| loads[i], |_| true), 1);
-    }
-
-    proptest! {
-        /// Placement safety under arbitrary load/quarantine vectors: never a
-        /// quarantined shard while a healthy one exists, always a (healthy)
-        /// load minimum.
-        #[test]
-        fn prop_placement_is_safe_and_minimal(
-            loads in proptest::collection::vec(0usize..1000, 1..9),
-            mask in proptest::collection::vec(any::<bool>(), 1..9),
-            start in 0usize..9,
-        ) {
-            let n = loads.len().min(mask.len());
-            let loads = &loads[..n];
-            let mask = &mask[..n];
-            let pick = least_loaded_shard(n, start % n, |i| loads[i], |i| mask[i]);
-            prop_assert!(pick < n);
-            let any_healthy = mask.iter().any(|q| !q);
-            if any_healthy {
-                prop_assert!(!mask[pick], "picked a quarantined shard");
-                let min_healthy =
-                    (0..n).filter(|&i| !mask[i]).map(|i| loads[i]).min().unwrap();
-                prop_assert_eq!(loads[pick], min_healthy);
-            } else {
-                let min_all = loads.iter().copied().min().unwrap();
-                prop_assert_eq!(loads[pick], min_all);
-            }
         }
     }
 

@@ -44,7 +44,7 @@ pub struct RngRequest {
     pub submitted_at: std::time::Instant,
     /// Optional completion deadline. A request still *queued* (not yet
     /// popped into a generation batch) when its deadline passes is completed
-    /// with a typed [`Expired`] outcome by the expiry sweep instead of
+    /// with a typed [`Expired`](crate::Expired) outcome by the expiry sweep instead of
     /// leaving its client parked; a request whose generation has already
     /// started is committed and delivered (possibly late — the slack
     /// histogram records 0 for it).

@@ -1,345 +1,25 @@
-//! The concurrent RNG service: per-shard worker threads behind a shared,
-//! bounded request queue, with an optional continuous-validation loop
-//! grading what the shards serve.
+//! Lifecycle glue of the service: admission and thread start/stop. The
+//! configuration and shared state live in `crate::state`; the control
+//! plane (placement, health, degraded admission, requalification,
+//! expiry/failover) in [`crate::control`] and [`crate::placement`]; the
+//! data plane (batch loop, pacing, tap, delivery) in `crate::worker` and
+//! [`crate::queue`]; the client-side receipt in [`crate::ticket`].
 
+use crate::control::{expiry_loop, validator_loop, ServicePolicies};
 use crate::health::ShardHealth;
-use crate::queue::{least_loaded_shard, ShardScheduler};
-use crate::request::{ClientId, Completion, Priority, RngRequest, SubmitError};
+use crate::queue::ShardScheduler;
+use crate::request::{ClientId, Priority, RngRequest, SubmitError};
+use crate::state::{Lifecycle, RngServiceConfig, Shared, State};
 use crate::stats::ServiceStats;
-use crate::validate::{tap_quota_allows, StreamValidator, TapChunk, ValidationConfig};
-use qt_dram_core::BitVec;
-use qt_memctrl::IdleBudget;
+use crate::ticket::{Expired, Ticket};
+use crate::validate::TapChunk;
+use crate::worker::worker_loop;
 use quac_trng::pipeline::QuacTrng;
 use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
-
-/// What admission does while *every* shard is quarantined (the service is
-/// degraded: nothing can be placed, and parking submitters indefinitely
-/// would look like a deadlock).
-///
-/// Requests accepted *before* the last shard tripped stay queued either way:
-/// they are served at the next readmission, expired by their deadlines, or
-/// drained at shutdown — the policy only governs new admissions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum DegradedPolicy {
-    /// Reject immediately with [`SubmitError::Degraded`] — the brownout is
-    /// visible to clients the moment it starts, and no caller ever parks on
-    /// a service that may never recover.
-    #[default]
-    FailFast,
-    /// Park blocking submissions up to `max_wait` for a readmission, then
-    /// reject with [`SubmitError::Degraded`]. A parked submission whose own
-    /// request deadline is earlier gives up at that deadline instead.
-    /// Non-blocking `try_submit` never parks and rejects immediately under
-    /// either policy.
-    Park {
-        /// Longest a blocking submission waits for a shard to be readmitted.
-        max_wait: Duration,
-    },
-}
-
-/// Tuning knobs of the service.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RngServiceConfig {
-    /// Backpressure budget: the maximum number of requested-but-undelivered
-    /// bytes (queued plus being generated). `try_submit` rejects and
-    /// `submit` parks while admitting a request would exceed it.
-    pub max_inflight_bytes: usize,
-    /// Coalescing target: a worker keeps dequeuing requests until the batch
-    /// reaches this many bytes (small reads ride along in whole QUAC
-    /// iterations instead of paying one wakeup each).
-    pub max_batch_bytes: usize,
-    /// Hard cap on requests coalesced into one batch.
-    pub max_batch_requests: usize,
-    /// Anti-starvation window of the per-shard scheduler: at most this many
-    /// consecutive high-priority dispatches while normal work waits.
-    pub fairness_window: u32,
-    /// Per-shard delivery-rate budget (idle DRAM cycles of the channel).
-    /// [`IdleBudget::unlimited`] disables pacing.
-    pub pacing: IdleBudget,
-    /// Continuous in-service validation (off by default). See
-    /// [`crate::validate`] for the loop and [`crate::health`] for the
-    /// quarantine state machine.
-    pub validation: ValidationConfig,
-    /// Admission behaviour while every shard is quarantined.
-    pub degraded: DegradedPolicy,
-    /// Period of the expiry sweep that completes overdue queued requests
-    /// with [`Expired`] — the upper bound on how long past its deadline a
-    /// still-queued request lingers.
-    pub expiry_sweep_interval: Duration,
-}
-
-impl Default for RngServiceConfig {
-    fn default() -> Self {
-        RngServiceConfig {
-            max_inflight_bytes: 1 << 20,
-            max_batch_bytes: 16 << 10,
-            max_batch_requests: 64,
-            fairness_window: 4,
-            pacing: IdleBudget::unlimited(),
-            validation: ValidationConfig::default(),
-            degraded: DegradedPolicy::default(),
-            expiry_sweep_interval: Duration::from_millis(5),
-        }
-    }
-}
-
-/// The receipt for one submitted request; redeem it with [`Ticket::wait`],
-/// poll it with [`Ticket::try_wait`], or wait with a bound via
-/// [`Ticket::wait_deadline`].
-///
-/// A ticket resolves to exactly one terminal outcome — served, [`Expired`],
-/// or [`Canceled`] — and caches it: once any wait variant has observed the
-/// outcome, every later call reports the *same* outcome (a served ticket
-/// polled twice returns the same completion again rather than misreporting
-/// `Canceled` after the channel drains).
-#[derive(Debug)]
-pub struct Ticket {
-    seq: u64,
-    shard: usize,
-    rx: mpsc::Receiver<Outcome>,
-    /// The cached terminal outcome. Interior mutability keeps the polling
-    /// API (`&self`) while making the pending→terminal transition atomic
-    /// from the caller's point of view: the state observed here never
-    /// changes once set.
-    resolved: std::cell::RefCell<Option<Result<Completion, WaitError>>>,
-}
-
-/// The request was discarded before completion (service aborted).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Canceled;
-
-impl std::fmt::Display for Canceled {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "request canceled: the RNG service stopped before serving it")
-    }
-}
-
-impl std::error::Error for Canceled {}
-
-/// The request's deadline passed while it was still queued: the expiry sweep
-/// completed it without generating any bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Expired {
-    /// Submission sequence number of the expired request.
-    pub seq: u64,
-    /// The deadline the request was submitted with.
-    pub deadline: Instant,
-    /// When the sweep expired it (at most one
-    /// [`expiry_sweep_interval`](RngServiceConfig::expiry_sweep_interval)
-    /// past the deadline while the service runs).
-    pub expired_at: Instant,
-}
-
-impl std::fmt::Display for Expired {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "request {} expired {} µs past its deadline while still queued",
-            self.seq,
-            self.expired_at.saturating_duration_since(self.deadline).as_micros()
-        )
-    }
-}
-
-impl std::error::Error for Expired {}
-
-/// Terminal failure of a ticket: why the request will never deliver bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WaitError {
-    /// The deadline passed while the request was still queued.
-    Expired(Expired),
-    /// The service was aborted before serving it.
-    Canceled(Canceled),
-}
-
-impl std::fmt::Display for WaitError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            WaitError::Expired(e) => e.fmt(f),
-            WaitError::Canceled(c) => c.fmt(f),
-        }
-    }
-}
-
-impl std::error::Error for WaitError {}
-
-/// What travels over a ticket's completion channel. `Canceled` has no
-/// variant: it is the channel disconnecting with nothing buffered (the
-/// service dropped the sender without serving or expiring the request).
-#[derive(Debug)]
-enum Outcome {
-    /// The request was served.
-    Served(Completion),
-    /// The request's deadline passed while it was queued.
-    Expired(Expired),
-}
-
-impl Ticket {
-    /// Submission sequence number of the request.
-    pub fn seq(&self) -> u64 {
-        self.seq
-    }
-
-    /// The shard (channel) the request was assigned to at admission.
-    /// Quarantine failover may re-place a queued request, so the shard that
-    /// actually generates the bytes is [`Completion::shard`], which is
-    /// authoritative for provenance.
-    pub fn shard(&self) -> usize {
-        self.shard
-    }
-
-    fn resolve(&self, outcome: Outcome) -> Result<Completion, WaitError> {
-        let resolution = match outcome {
-            Outcome::Served(c) => Ok(c),
-            Outcome::Expired(e) => Err(WaitError::Expired(e)),
-        };
-        *self.resolved.borrow_mut() = Some(resolution.clone());
-        resolution
-    }
-
-    fn resolve_canceled(&self) -> WaitError {
-        let err = WaitError::Canceled(Canceled);
-        *self.resolved.borrow_mut() = Some(Err(err));
-        err
-    }
-
-    fn cached(&self) -> Option<Result<Completion, WaitError>> {
-        self.resolved.borrow().clone()
-    }
-
-    /// Blocks until the request resolves and returns its bytes.
-    ///
-    /// # Errors
-    ///
-    /// [`WaitError::Expired`] if the request's deadline passed while it was
-    /// still queued; [`WaitError::Canceled`] if the service was aborted
-    /// before serving it.
-    pub fn wait(self) -> Result<Completion, WaitError> {
-        if let Some(resolution) = self.cached() {
-            return resolution;
-        }
-        match self.rx.recv() {
-            Ok(outcome) => self.resolve(outcome),
-            Err(_) => Err(self.resolve_canceled()),
-        }
-    }
-
-    /// Non-blocking poll: `Ok(Some)` once the request has been served,
-    /// `Ok(None)` while it is still pending. Idempotent after resolution:
-    /// a served ticket keeps returning its completion, an expired or
-    /// canceled one keeps returning the same error.
-    ///
-    /// # Errors
-    ///
-    /// [`WaitError::Expired`] once the deadline has expired the request;
-    /// [`WaitError::Canceled`] once the service aborted it (polling loops
-    /// must not keep spinning on a dead request).
-    pub fn try_wait(&self) -> Result<Option<Completion>, WaitError> {
-        if self.cached().is_none() {
-            match self.rx.try_recv() {
-                Ok(outcome) => drop(self.resolve(outcome)),
-                Err(mpsc::TryRecvError::Empty) => return Ok(None),
-                Err(mpsc::TryRecvError::Disconnected) => drop(self.resolve_canceled()),
-            }
-        }
-        self.cached().expect("ticket just resolved").map(Some)
-    }
-
-    /// Blocks until the request resolves or `deadline` passes, whichever is
-    /// first: `Ok(Some)` with the bytes, or `Ok(None)` if the request is
-    /// still pending at the deadline (the request itself stays queued — this
-    /// bounds the *wait*, not the request; submit with a deadline to bound
-    /// the request).
-    ///
-    /// # Errors
-    ///
-    /// The same terminal errors as [`Ticket::wait`].
-    pub fn wait_deadline(&self, deadline: Instant) -> Result<Option<Completion>, WaitError> {
-        if let Some(resolution) = self.cached() {
-            return resolution.map(Some);
-        }
-        let now = Instant::now();
-        if now >= deadline {
-            return match self.rx.try_recv() {
-                Ok(outcome) => self.resolve(outcome).map(Some),
-                Err(mpsc::TryRecvError::Empty) => Ok(None),
-                Err(mpsc::TryRecvError::Disconnected) => Err(self.resolve_canceled()),
-            };
-        }
-        match self.rx.recv_timeout(deadline - now) {
-            Ok(outcome) => self.resolve(outcome).map(Some),
-            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
-            Err(mpsc::RecvTimeoutError::Disconnected) => Err(self.resolve_canceled()),
-        }
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Lifecycle {
-    Running,
-    /// Serve everything already queued, then stop.
-    Draining,
-    /// Discard queued work and stop as soon as possible.
-    Aborting,
-}
-
-#[derive(Debug)]
-struct State {
-    shards: Vec<ShardScheduler>,
-    /// Outcome channel of each queued request, keyed by sequence number.
-    /// Dropping a sender cancels its ticket.
-    senders: HashMap<u64, mpsc::Sender<Outcome>>,
-    in_flight_bytes: usize,
-    /// Admitted-but-undelivered bytes per shard — the load metric
-    /// least-loaded placement minimises (unlike the scheduler's queued
-    /// bytes, it still counts a batch being generated).
-    shard_load: Vec<usize>,
-    /// Per-shard validation health; placement skips shards that are not
-    /// [`ShardState::Healthy`].
-    health: Vec<ShardHealth>,
-    /// Per-shard stream epoch, bumped at readmission. Tap chunks carry the
-    /// epoch of the batch they were served in, so bytes served while the
-    /// shard was fenced (stale stream content, possibly still faulty) can
-    /// never fold into the fresh post-readmission health record even if
-    /// they linger in the tap queue across the whole requalification.
-    shard_epoch: Vec<u64>,
-    /// Rotation point for placement tie-breaking (advanced past each pick,
-    /// so equal loads degrade to round-robin).
-    next_shard: usize,
-    next_seq: u64,
-    lifecycle: Lifecycle,
-    stats: ServiceStats,
-}
-
-impl State {
-    /// A consistent stats snapshot including per-shard health.
-    fn snapshot(&self) -> ServiceStats {
-        let mut stats = self.stats.clone();
-        stats.shard_health = self.health.clone();
-        stats
-    }
-}
-
-#[derive(Debug)]
-struct Shared {
-    cfg: RngServiceConfig,
-    /// Approximate occupancy of the tap queue (incremented by workers on a
-    /// successful send, decremented by the validator on receive). Lets the
-    /// lossy tap skip building a batch copy it would immediately drop.
-    tap_fill: std::sync::atomic::AtomicUsize,
-    state: Mutex<State>,
-    /// Signalled when work arrives or the lifecycle changes (workers wait
-    /// here, both for requests and during pacing sleeps), and when a shard
-    /// is quarantined (its idle worker must wake to requalify it).
-    work: Condvar,
-    /// Signalled when in-flight bytes are released (parked submitters wait
-    /// here).
-    space: Condvar,
-}
+use std::time::Instant;
 
 /// A sharded, batching, backpressured random-number service: one worker
 /// thread per [`QuacTrng`] shard (channel), a priority/round-robin scheduler
@@ -360,13 +40,32 @@ pub struct RngService {
 
 impl RngService {
     /// Starts the service over the given per-channel generator shards
-    /// (usually built with [`QuacTrng::shards`]).
+    /// (usually built with [`QuacTrng::shards`]) with the stock policies
+    /// ([`ServicePolicies::for_config`]).
     ///
     /// # Panics
     ///
     /// Panics if `shards` is empty, or if validation is enabled with a
     /// window that is not a whole number of bytes.
     pub fn start(shards: Vec<QuacTrng>, cfg: RngServiceConfig) -> Self {
+        let policies = ServicePolicies::for_config(&cfg);
+        Self::start_with_policies(shards, cfg, policies)
+    }
+
+    /// Like [`RngService::start`], with an explicit control-plane policy set
+    /// — the seam where custom placement, degraded-admission, or
+    /// requalification rules plug in without touching the service's state
+    /// machine. A placement policy that is a pure function of its view
+    /// preserves the replay-determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// As [`RngService::start`].
+    pub fn start_with_policies(
+        shards: Vec<QuacTrng>,
+        cfg: RngServiceConfig,
+        policies: ServicePolicies,
+    ) -> Self {
         assert!(!shards.is_empty(), "the RNG service needs at least one shard");
         if cfg.validation.enabled {
             // Fail here, in the caller's thread — a malformed window would
@@ -381,6 +80,7 @@ impl RngService {
         let shard_count = shards.len();
         let shared = Arc::new(Shared {
             cfg,
+            policies,
             tap_fill: std::sync::atomic::AtomicUsize::new(0),
             state: Mutex::new(State {
                 shards: (0..shard_count).map(|_| ShardScheduler::new(cfg.fairness_window)).collect(),
@@ -399,9 +99,10 @@ impl RngService {
             }),
             work: Condvar::new(),
             space: Condvar::new(),
+            deadlines: Condvar::new(),
         });
         let (tap_tx, validator) = if cfg.validation.enabled {
-            let (tx, rx) = mpsc::sync_channel(cfg.validation.tap_queue_batches.max(1));
+            let (tx, rx) = mpsc::sync_channel::<TapChunk>(cfg.validation.tap_queue_batches.max(1));
             let shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name("rng-validator".into())
@@ -455,7 +156,7 @@ impl RngService {
     /// [`SubmitError::Empty`] and [`SubmitError::TooLarge`] for requests that
     /// can never be served; [`SubmitError::ShuttingDown`] once shutdown has
     /// begun (including while parked); [`SubmitError::Degraded`] while every
-    /// shard is quarantined, per the configured [`DegradedPolicy`].
+    /// shard is quarantined, per the configured [`DegradedPolicy`](crate::DegradedPolicy).
     pub fn submit(
         &self,
         client: ClientId,
@@ -468,15 +169,22 @@ impl RngService {
     /// Like [`RngService::submit`], with a completion deadline: if the
     /// request is still queued (generation not started) when `deadline`
     /// passes, the expiry sweep completes its ticket with
-    /// [`WaitError::Expired`] within one
+    /// [`WaitError::Expired`](crate::WaitError::Expired) within one
     /// [`expiry_sweep_interval`](RngServiceConfig::expiry_sweep_interval)
-    /// instead of leaving the client parked.
+    /// instead of leaving the client parked. A deadline already in the past
+    /// returns an immediately-[`Expired`] ticket without admitting or
+    /// charging the request, and a submission parked on the in-flight
+    /// budget gives up with the same typed outcome when its deadline passes
+    /// — no submit path blocks past `max(deadline, policy bound)`.
     ///
     /// # Errors
     ///
     /// Everything [`RngService::submit`] returns. Under
-    /// [`DegradedPolicy::Park`], degraded parking additionally gives up at
-    /// `deadline` if that is earlier than the policy's bound.
+    /// [`DegradedPolicy::Park`](crate::DegradedPolicy::Park), degraded
+    /// parking additionally gives up at
+    /// `deadline` if that is earlier than the policy's bound (returning
+    /// [`SubmitError::Degraded`], since the request was never admitted for
+    /// a shard to expire).
     pub fn submit_with_deadline(
         &self,
         client: ClientId,
@@ -505,17 +213,17 @@ impl RngService {
             }
             if !st.health.iter().any(ShardHealth::is_serving) {
                 let quarantined = st.health.len();
-                let bound = match self.shared.cfg.degraded {
-                    DegradedPolicy::FailFast => {
+                let now = Instant::now();
+                let bound = match self.shared.policies.admission.degraded_park_bound(now) {
+                    None => {
                         st.stats.degraded_rejections += 1;
                         return Err(SubmitError::Degraded { quarantined });
                     }
-                    DegradedPolicy::Park { max_wait } => {
-                        let bound = *park_deadline.get_or_insert_with(|| Instant::now() + max_wait);
+                    Some(policy_bound) => {
+                        let bound = *park_deadline.get_or_insert(policy_bound);
                         deadline.map_or(bound, |d| bound.min(d))
                     }
                 };
-                let now = Instant::now();
                 if now >= bound {
                     st.stats.degraded_rejections += 1;
                     return Err(SubmitError::Degraded { quarantined });
@@ -528,10 +236,33 @@ impl RngService {
                 st = guard;
                 continue;
             }
+            // A deadline already behind us — at first admission, or after a
+            // round parked on the in-flight budget below — resolves with the
+            // typed outcome immediately: the request is never placed or
+            // charged, and no submit path blocks past its own deadline.
+            if let Some(d) = deadline {
+                let now = Instant::now();
+                if now >= d {
+                    return Ok(self.admit_expired(&mut st, d, now));
+                }
+            }
             if st.in_flight_bytes + len <= self.shared.cfg.max_inflight_bytes {
                 break;
             }
-            st = self.shared.space.wait(st).expect("service state poisoned");
+            st = match deadline {
+                None => self.shared.space.wait(st).expect("service state poisoned"),
+                // Bounded budget park: wake at the deadline and fall through
+                // to the expiry check above.
+                Some(d) => {
+                    let now = Instant::now();
+                    let (guard, _) = self
+                        .shared
+                        .space
+                        .wait_timeout(st, d.saturating_duration_since(now))
+                        .expect("service state poisoned");
+                    guard
+                }
+            };
         }
         Ok(self.admit(&mut st, client, priority, len, deadline))
     }
@@ -555,7 +286,9 @@ impl RngService {
     }
 
     /// Like [`RngService::try_submit`], with a completion deadline (see
-    /// [`RngService::submit_with_deadline`]).
+    /// [`RngService::submit_with_deadline`]). A deadline already in the past
+    /// returns an immediately-[`Expired`] ticket without admitting the
+    /// request.
     ///
     /// # Errors
     ///
@@ -586,6 +319,12 @@ impl RngService {
             st.stats.degraded_rejections += 1;
             return Err(SubmitError::Degraded { quarantined: st.health.len() });
         }
+        if let Some(d) = deadline {
+            let now = Instant::now();
+            if now >= d {
+                return Ok(self.admit_expired(&mut st, d, now));
+            }
+        }
         if st.in_flight_bytes + len > self.shared.cfg.max_inflight_bytes {
             return Err(SubmitError::Saturated {
                 requested: len,
@@ -597,6 +336,10 @@ impl RngService {
     }
 
     /// A snapshot of the running counters, including per-shard health.
+    /// Diff two snapshots with
+    /// [`ServiceStats::delta_since`](crate::ServiceStats::delta_since) for a
+    /// rate window, or render one with
+    /// [`export::prometheus_text`](crate::export::prometheus_text).
     pub fn stats(&self) -> ServiceStats {
         self.lock().snapshot()
     }
@@ -617,7 +360,7 @@ impl RngService {
     }
 
     /// Stops as soon as possible, discarding queued work; the discarded
-    /// requests' tickets report [`Canceled`].
+    /// requests' tickets report [`Canceled`](crate::Canceled).
     pub fn abort(self) -> ServiceStats {
         self.stop(Lifecycle::Aborting)
     }
@@ -632,13 +375,14 @@ impl RngService {
             }
             self.shared.work.notify_all();
             self.shared.space.notify_all();
+            self.shared.deadlines.notify_all();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
         // The workers' tap senders are gone; the validator drains the
         // channel and exits on disconnect. The sweeper saw the lifecycle
-        // change on the work condvar and exited.
+        // change on the deadlines condvar and exited.
         if let Some(validator) = self.validator.take() {
             let _ = validator.join();
         }
@@ -662,10 +406,11 @@ impl RngService {
     }
 
     /// Admits a validated, budget-fitting request: assigns its sequence
-    /// number and shard — the least-loaded healthy shard, with rotation
-    /// tie-breaking so an idle service degrades to the round-robin
-    /// assignment the serial-equivalence tests replay — charges the budget,
-    /// records the queue-depth sample, and wakes a worker.
+    /// number and shard (via the placement policy — least-loaded healthy
+    /// shard with rotation tie-break by default, so an idle service degrades
+    /// to the round-robin assignment the serial-equivalence tests replay),
+    /// charges the budget, records the queue-depth sample, and wakes a
+    /// worker.
     fn admit(
         &self,
         st: &mut MutexGuard<'_, State>,
@@ -676,16 +421,7 @@ impl RngService {
     ) -> Ticket {
         let seq = st.next_seq;
         st.next_seq += 1;
-        let shard = {
-            let st = &**st;
-            least_loaded_shard(
-                st.shards.len(),
-                st.next_shard,
-                |i| st.shard_load[i],
-                |i| !st.health[i].is_serving(),
-            )
-        };
-        st.next_shard = (shard + 1) % st.shards.len();
+        let shard = st.place(&*self.shared.policies.placement);
         st.in_flight_bytes += len;
         st.shard_load[shard] += len;
         st.stats.peak_in_flight_bytes = st.stats.peak_in_flight_bytes.max(st.in_flight_bytes);
@@ -702,7 +438,27 @@ impl RngService {
             deadline,
         });
         self.shared.work.notify_all();
-        Ticket { seq, shard, rx, resolved: std::cell::RefCell::new(None) }
+        if deadline.is_some() {
+            // Only deadline-carrying admissions wake the expiry sweep.
+            self.shared.deadlines.notify_all();
+        }
+        Ticket::pending(seq, shard, rx)
+    }
+
+    /// Completes a submission whose deadline already passed — at admission,
+    /// or while parked on the in-flight budget — with the typed [`Expired`]
+    /// outcome: a sequence number is consumed and the expiry counted, but
+    /// the request is never placed, charged, or queued.
+    fn admit_expired(
+        &self,
+        st: &mut MutexGuard<'_, State>,
+        deadline: Instant,
+        now: Instant,
+    ) -> Ticket {
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.stats.expired_requests += 1;
+        Ticket::expired(seq, Expired { seq, deadline, expired_at: now })
     }
 
     fn lock(&self) -> MutexGuard<'_, State> {
@@ -721,6 +477,7 @@ impl Drop for RngService {
             st.senders.clear();
             self.shared.work.notify_all();
             self.shared.space.notify_all();
+            self.shared.deadlines.notify_all();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -731,530 +488,5 @@ impl Drop for RngService {
         if let Some(sweeper) = self.sweeper.take() {
             let _ = sweeper.join();
         }
-    }
-}
-
-/// One shard's worker: dequeue a coalesced batch, generate all its bytes
-/// with a single buffer-reusing [`QuacTrng::fill_bytes`] call, pace delivery
-/// against the idle-cycle budget, deliver per-request completions, tap a
-/// copy for the validator, release the budget. When the shard is
-/// quarantined and its queue has drained, the worker switches to
-/// requalification: recharacterise, generate probation windows, grade them,
-/// and readmit on a passing streak.
-fn worker_loop(
-    shared: &Shared,
-    shard_idx: usize,
-    mut trng: QuacTrng,
-    tap: Option<mpsc::SyncSender<TapChunk>>,
-) {
-    // Token-bucket pacing deadline: each batch owes `time_for_bytes` of
-    // wall-clock on top of the previous deadline (or of "now" after an idle
-    // gap — idle time is not banked into a later burst). Accumulating per
-    // batch keeps every single wait within `time_for_bytes`' saturation
-    // bound, no matter how much has been delivered in total.
-    let mut pace_deadline = Instant::now();
-    let mut batch: Vec<RngRequest> = Vec::new();
-    let mut senders: Vec<Option<mpsc::Sender<Outcome>>> = Vec::new();
-    let mut buf: Vec<u8> = Vec::new();
-    let mut expired_scratch: Vec<RngRequest> = Vec::new();
-    // Delivered-byte offset within the current stream epoch: readmission
-    // restarts the shard's stream (recharacterisation rebuilds the
-    // sampler), so offsets restart with it — completions stay gapless per
-    // `(shard, epoch)`.
-    let mut stream_offset: u64 = 0;
-    let mut current_epoch: u64 = 0;
-    // Coverage accounting of the lossy tap (bytes served vs bytes tapped by
-    // this worker), enforcing `ValidationConfig::target_coverage`.
-    let mut tap_served: u64 = 0;
-    let mut tap_taken: u64 = 0;
-    loop {
-        // Phase 1 (locked): wait for work, dequeue a batch and its tickets —
-        // or detect that this shard is fenced off with an empty queue and
-        // must requalify instead.
-        batch.clear();
-        senders.clear();
-        let mut requalify = false;
-        let mut batch_epoch = 0u64;
-        let batch_bytes = {
-            let mut st = shared.state.lock().expect("service state poisoned");
-            loop {
-                match st.lifecycle {
-                    Lifecycle::Aborting => return,
-                    Lifecycle::Draining if st.shards[shard_idx].is_empty() => return,
-                    // A drain serves everything accepted, even through a
-                    // fenced shard — the documented last resort when no
-                    // healthy shard could take its queue over.
-                    Lifecycle::Draining => break,
-                    // While running, a fenced shard never serves: its queued
-                    // work was failed over to healthy shards at the
-                    // quarantine trip (or waits for readmission, expiry, or
-                    // a drain when none was healthy). Requalify instead.
-                    Lifecycle::Running if !st.health[shard_idx].is_serving() => {
-                        requalify = true;
-                        break;
-                    }
-                    Lifecycle::Running if !st.shards[shard_idx].is_empty() => break,
-                    Lifecycle::Running => {
-                        st = shared.work.wait(st).expect("service state poisoned");
-                    }
-                }
-            }
-            if requalify {
-                0
-            } else {
-                // Complete overdue requests before composing the batch, so a
-                // request whose deadline already passed is never generated —
-                // the sweep thread bounds the idle case, this bounds the
-                // busy one.
-                let released =
-                    sweep_shard_expired(&mut st, shard_idx, Instant::now(), &mut expired_scratch);
-                if released > 0 {
-                    shared.space.notify_all();
-                }
-                if st.shards[shard_idx].is_empty() {
-                    continue; // everything queued here had expired
-                }
-                batch_epoch = st.shard_epoch[shard_idx];
-                let bytes = st.shards[shard_idx].pop_batch(
-                    shared.cfg.max_batch_bytes,
-                    shared.cfg.max_batch_requests,
-                    &mut batch,
-                );
-                senders.extend(batch.iter().map(|r| st.senders.remove(&r.seq)));
-                bytes
-            }
-        };
-        if requalify {
-            if !requalify_shard(shared, shard_idx, &mut trng, &mut buf) {
-                return;
-            }
-            continue;
-        }
-        if batch_epoch != current_epoch {
-            current_epoch = batch_epoch;
-            stream_offset = 0;
-        }
-
-        // Phase 2 (unlocked): one generation pass covers the whole batch.
-        buf.resize(batch_bytes, 0);
-        trng.fill_bytes(&mut buf);
-
-        // Phase 3: pace delivery against the channel's idle-cycle budget.
-        // The batch's bytes stay charged against the in-flight budget while
-        // the worker is parked, which is what makes backpressure reflect the
-        // *delivered* rate, not the simulation's generation speed.
-        if !shared.cfg.pacing.is_unlimited() {
-            pace_deadline = pace_deadline.max(Instant::now())
-                + shared.cfg.pacing.time_for_bytes(batch_bytes);
-            let mut st = shared.state.lock().expect("service state poisoned");
-            loop {
-                match st.lifecycle {
-                    Lifecycle::Aborting => return,
-                    // A drain lifts pacing: queued work is delivered
-                    // promptly instead of making `shutdown()` wait out the
-                    // budget (which saturates at an hour per batch).
-                    Lifecycle::Draining => break,
-                    Lifecycle::Running => {}
-                }
-                let now = Instant::now();
-                if now >= pace_deadline {
-                    break;
-                }
-                let (guard, _) = shared
-                    .work
-                    .wait_timeout(st, pace_deadline - now)
-                    .expect("service state poisoned");
-                st = guard;
-            }
-        }
-
-        // Phase 4: tap a copy of the served bytes for the validator,
-        // release the budget, then deliver completions. The budget and
-        // per-shard load are released *before* any completion becomes
-        // visible: a sequential client that saw its reply and immediately
-        // submits again must observe the load already settled, or placement
-        // (and with it the per-request replay determinism the tests pin)
-        // would race the release.
-        let mut tapped = 0u64;
-        let mut dropped = 0u64;
-        if let Some(tap) = &tap {
-            use std::sync::atomic::Ordering;
-            if shared.cfg.validation.lossless_tap {
-                // Parks this worker until the validator catches up: full,
-                // deterministic coverage for tests (and backpressure stays
-                // charged meanwhile, coupling admission to validation).
-                let chunk = TapChunk {
-                    shard: shard_idx,
-                    epoch: batch_epoch,
-                    bytes: buf[..batch_bytes].to_vec(),
-                };
-                if tap.send(chunk).is_ok() {
-                    tapped = batch_bytes as u64;
-                }
-            } else if !tap_quota_allows(
-                tap_taken,
-                tap_served,
-                batch_bytes as u64,
-                shared.cfg.validation.target_coverage,
-            ) || shared.tap_fill.load(Ordering::Relaxed)
-                >= shared.cfg.validation.tap_queue_batches.max(1)
-            {
-                // Over the coverage budget, or the queue is (approximately)
-                // full — the expected steady state when generation outpaces
-                // grading. Skip without paying the batch copy a try_send
-                // would immediately discard.
-                dropped = batch_bytes as u64;
-            } else {
-                let chunk = TapChunk {
-                    shard: shard_idx,
-                    epoch: batch_epoch,
-                    bytes: buf[..batch_bytes].to_vec(),
-                };
-                match tap.try_send(chunk) {
-                    Ok(()) => {
-                        shared.tap_fill.fetch_add(1, Ordering::Relaxed);
-                        tapped = batch_bytes as u64;
-                    }
-                    Err(_) => dropped = batch_bytes as u64,
-                }
-            }
-            tap_served += batch_bytes as u64;
-            tap_taken += tapped;
-        }
-        {
-            let now = Instant::now();
-            let mut st = shared.state.lock().expect("service state poisoned");
-            st.in_flight_bytes -= batch_bytes;
-            st.shard_load[shard_idx] -= batch_bytes;
-            st.stats.completed_requests += batch.len() as u64;
-            st.stats.completed_bytes += batch_bytes as u64;
-            st.stats.per_shard_bytes[shard_idx] += batch_bytes as u64;
-            st.stats.validation.bytes_tapped += tapped;
-            st.stats.validation.bytes_dropped += dropped;
-            for req in &batch {
-                st.stats
-                    .latency_us
-                    .record(now.duration_since(req.submitted_at).as_micros() as u64);
-                if let Some(deadline) = req.deadline {
-                    // Slack left at delivery; a late delivery (deadline
-                    // passed mid-generation, too late to expire) records 0.
-                    st.stats
-                        .deadline_slack_us
-                        .record(deadline.saturating_duration_since(now).as_micros() as u64);
-                }
-            }
-            shared.space.notify_all();
-        }
-        let mut offset_in_batch = 0usize;
-        for (req, sender) in batch.iter().zip(&senders) {
-            let bytes = buf[offset_in_batch..offset_in_batch + req.len].to_vec();
-            if let Some(sender) = sender {
-                // A dropped receiver just means the client lost interest.
-                let _ = sender.send(Outcome::Served(Completion {
-                    client: req.client,
-                    seq: req.seq,
-                    shard: shard_idx,
-                    epoch: batch_epoch,
-                    stream_offset: stream_offset + offset_in_batch as u64,
-                    bytes,
-                }));
-            }
-            offset_in_batch += req.len;
-        }
-        stream_offset += batch_bytes as u64;
-    }
-}
-
-/// What the requalification loop should do next, checked between its
-/// expensive unlocked steps.
-enum RequalifyGate {
-    /// Keep requalifying.
-    Continue,
-    /// The service is draining and requests are still queued on this shard
-    /// (stranded from a total-quarantine interval no readmission resolved):
-    /// go back and serve them — shutdown's serve-everything-accepted
-    /// contract outranks the fence, as the documented last resort.
-    ServeQueue,
-    /// The service is stopping.
-    Stop,
-}
-
-fn requalify_gate(shared: &Shared, shard_idx: usize) -> RequalifyGate {
-    let st = shared.state.lock().expect("service state poisoned");
-    match st.lifecycle {
-        Lifecycle::Aborting => RequalifyGate::Stop,
-        Lifecycle::Draining if !st.shards[shard_idx].is_empty() => RequalifyGate::ServeQueue,
-        Lifecycle::Draining => RequalifyGate::Stop,
-        // While running, a fenced shard never serves — queued work here (it
-        // exists only while no shard is healthy) waits for a readmission
-        // failover, its deadline, or a drain.
-        Lifecycle::Running => RequalifyGate::Continue,
-    }
-}
-
-/// Requalifies a quarantined shard: recharacterise, generate probation
-/// windows that are graded but never served, and readmit after
-/// [`HealthPolicy::probation_windows`](crate::health::HealthPolicy) pass in
-/// a row; a failing window loops back to recharacterisation (after a brief
-/// backoff, so a permanently faulty shard cycles instead of pegging a
-/// core). Readmission re-places any requests stranded on still-fenced peers
-/// (see [`failover_fenced_queues`]). Returns `false` only when the service
-/// stopped mid-requalification (the worker exits); `true` hands control
-/// back to the serving loop — during a drain, also to serve requests
-/// stranded on this shard as the last resort.
-fn requalify_shard(
-    shared: &Shared,
-    shard_idx: usize,
-    trng: &mut QuacTrng,
-    scratch: &mut Vec<u8>,
-) -> bool {
-    let vcfg = &shared.cfg.validation;
-    let window_bytes = vcfg.window_bits / 8;
-    loop {
-        match requalify_gate(shared, shard_idx) {
-            RequalifyGate::Stop => return false,
-            RequalifyGate::ServeQueue => return true,
-            RequalifyGate::Continue => {}
-        }
-        // Recharacterise only from the Quarantined state (fresh quarantine,
-        // or a failed probation window dropped back to it). A shard still
-        // in Probation — requalification yielded to queued work between
-        // windows — resumes its run instead of repeating the expensive
-        // sweep, so steady fallback traffic cannot defer readmission
-        // indefinitely.
-        let needs_recharacterization = {
-            let st = shared.state.lock().expect("service state poisoned");
-            st.health[shard_idx].state != crate::health::ShardState::Probation
-        };
-        if needs_recharacterization {
-            // The sweep runs unlocked, so healthy shards keep serving.
-            trng.recharacterize(&vcfg.recharacterization);
-            let mut st = shared.state.lock().expect("service state poisoned");
-            st.health[shard_idx].begin_probation();
-            st.stats.validation.recharacterizations += 1;
-        }
-        loop {
-            match requalify_gate(shared, shard_idx) {
-                RequalifyGate::Stop => return false,
-                RequalifyGate::ServeQueue => return true,
-                RequalifyGate::Continue => {}
-            }
-            scratch.resize(window_bytes, 0);
-            trng.fill_bytes(scratch);
-            let bits = BitVec::from_bytes(scratch, vcfg.window_bits);
-            let pass = qt_nist_sts::run_all_tests(&bits).iter().all(|r| r.passes(vcfg.alpha));
-            let mut st = shared.state.lock().expect("service state poisoned");
-            st.stats.validation.probation_windows += 1;
-            if st.health[shard_idx].record_probation_window(pass, &vcfg.policy) {
-                st.stats.validation.readmissions += 1;
-                // A new stream epoch: any tap chunk from before this point
-                // (fenced-era bytes still queued at the validator) is stale
-                // and must not grade the fresh record.
-                st.shard_epoch[shard_idx] += 1;
-                // With a healthy shard back, re-place any work stranded on
-                // still-fenced peers during a total-quarantine interval.
-                failover_fenced_queues(&mut st);
-                // Back in placement: wake submitters and peers.
-                shared.work.notify_all();
-                shared.space.notify_all();
-                return true;
-            }
-            if !pass {
-                break; // recharacterise again, after the backoff below
-            }
-        }
-        // Backoff between requalification attempts: a shard whose fault
-        // persists would otherwise alternate characterisation sweeps and
-        // battery runs at full duty for the life of the service. Waiting on
-        // the work condvar keeps shutdown prompt.
-        let st = shared.state.lock().expect("service state poisoned");
-        if st.lifecycle == Lifecycle::Running {
-            let _ = shared
-                .work
-                .wait_timeout(st, Duration::from_millis(50))
-                .expect("service state poisoned");
-        }
-    }
-}
-
-/// The validator thread: drains tapped chunks, windows them per shard,
-/// grades full windows with the word-parallel battery, and folds verdicts
-/// into shard health — quarantining a shard the moment a bound trips.
-fn validator_loop(shared: &Shared, rx: &mpsc::Receiver<TapChunk>, shard_count: usize) {
-    let vcfg = &shared.cfg.validation;
-    let mut validator = StreamValidator::new(shard_count, vcfg.window_bits);
-    while let Ok(chunk) = rx.recv() {
-        if !vcfg.lossless_tap {
-            // Mirror of the worker-side increment: the occupancy estimate
-            // lets lossy workers skip copies the full queue would drop.
-            shared.tap_fill.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
-        }
-        // Skip grading while aborting (but keep draining so lossless
-        // workers never block on a dead validator), for fenced-off shards
-        // (their tapped bytes predate the quarantine and are stale), and
-        // for chunks from a previous stream epoch (fenced-era bytes that
-        // sat in this queue across a readmission).
-        let skip = {
-            let st = shared.state.lock().expect("service state poisoned");
-            st.lifecycle == Lifecycle::Aborting
-                || !st.health[chunk.shard].is_serving()
-                || st.shard_epoch[chunk.shard] != chunk.epoch
-        };
-        if skip {
-            validator.reset_shard(chunk.shard);
-            continue;
-        }
-        let mut fenced = false;
-        validator.ingest(&chunk, |report| {
-            let mut st = shared.state.lock().expect("service state poisoned");
-            if !st.health[chunk.shard].is_serving() {
-                return; // quarantined by an earlier window of this push
-            }
-            let pass = report.passes(vcfg.alpha);
-            let quarantine = st.health[chunk.shard].record_window(pass, &vcfg.policy);
-            st.stats.validation.windows_validated += 1;
-            if !pass {
-                st.stats.validation.windows_failed += 1;
-            }
-            if quarantine {
-                fenced = true;
-                st.stats.validation.quarantines += 1;
-                // Re-place the fenced shard's queued (not-yet-generated)
-                // requests onto healthy shards: accepted work is not served
-                // through a suspect generator. No-op when no shard is
-                // healthy — the requests then wait for readmission, their
-                // deadlines, or a drain.
-                failover_shard_queue(&mut st, chunk.shard);
-                // Wake the fenced shard's worker (to requalify), the
-                // failover targets (new work), and any parked submitter
-                // (which must observe the degraded state).
-                shared.work.notify_all();
-                shared.space.notify_all();
-            }
-        });
-        if fenced {
-            // Whatever partial window followed the quarantine decision is
-            // stale stream content.
-            validator.reset_shard(chunk.shard);
-        }
-    }
-}
-
-/// Completes every queued request of `shard` whose deadline is at or before
-/// `now` with a typed [`Expired`] outcome, releasing its budget and load.
-/// Returns the bytes released (the caller notifies `space` when non-zero).
-fn sweep_shard_expired(
-    st: &mut State,
-    shard: usize,
-    now: Instant,
-    scratch: &mut Vec<RngRequest>,
-) -> usize {
-    scratch.clear();
-    st.shards[shard].remove_expired(now, scratch);
-    let mut released = 0;
-    for req in scratch.drain(..) {
-        st.in_flight_bytes -= req.len;
-        st.shard_load[shard] -= req.len;
-        released += req.len;
-        st.stats.expired_requests += 1;
-        if let Some(tx) = st.senders.remove(&req.seq) {
-            let _ = tx.send(Outcome::Expired(Expired {
-                seq: req.seq,
-                deadline: req.deadline.expect("expired requests carry a deadline"),
-                expired_at: now,
-            }));
-        }
-    }
-    released
-}
-
-/// The expiry sweep thread: every
-/// [`expiry_sweep_interval`](RngServiceConfig::expiry_sweep_interval) (or
-/// sooner, on any work notification) it completes overdue queued requests on
-/// every shard — including fenced and idle shards, whose workers never reach
-/// the pop-time sweep. Exits when the service leaves `Running` (a drain
-/// serves the remaining queue; an abort cancels it).
-fn expiry_loop(shared: &Shared) {
-    let mut scratch: Vec<RngRequest> = Vec::new();
-    let mut st = shared.state.lock().expect("service state poisoned");
-    loop {
-        if st.lifecycle != Lifecycle::Running {
-            return;
-        }
-        let now = Instant::now();
-        let mut released = 0;
-        for shard in 0..st.shards.len() {
-            released += sweep_shard_expired(&mut st, shard, now, &mut scratch);
-        }
-        if released > 0 {
-            shared.space.notify_all();
-        }
-        let (guard, _) = shared
-            .work
-            .wait_timeout(st, shared.cfg.expiry_sweep_interval)
-            .expect("service state poisoned");
-        st = guard;
-    }
-}
-
-/// Re-places the queued (not-yet-generated) requests of shard `from` onto
-/// healthy shards via the least-loaded placement rule, preserving their
-/// dispatch order. The in-flight budget stays charged (the requests are
-/// still admitted); only the per-shard load moves. No-op while no shard is
-/// healthy. Returns how many requests moved.
-fn failover_shard_queue(st: &mut State, from: usize) -> u64 {
-    if st.shards[from].is_empty() || !st.health.iter().any(ShardHealth::is_serving) {
-        return 0;
-    }
-    let mut moved: Vec<RngRequest> = Vec::new();
-    st.shards[from].drain_ordered(&mut moved);
-    let count = moved.len() as u64;
-    for req in moved {
-        let target = {
-            let st = &*st;
-            least_loaded_shard(
-                st.shards.len(),
-                st.next_shard,
-                |i| st.shard_load[i],
-                |i| !st.health[i].is_serving(),
-            )
-        };
-        st.next_shard = (target + 1) % st.shards.len();
-        st.shard_load[from] -= req.len;
-        st.shard_load[target] += req.len;
-        st.shards[target].push(req);
-    }
-    st.stats.failed_over_requests += count;
-    count
-}
-
-/// Failover sweep at readmission: re-places every still-fenced shard's queue
-/// (work stranded during a total-quarantine interval, when the trip-time
-/// failover had no healthy target) onto the shards now serving.
-fn failover_fenced_queues(st: &mut State) -> u64 {
-    let mut total = 0;
-    for shard in 0..st.shards.len() {
-        if !st.health[shard].is_serving() {
-            total += failover_shard_queue(st, shard);
-        }
-    }
-    total
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::health::ShardState;
-
-    #[test]
-    fn shard_state_default_is_healthy() {
-        assert_eq!(ShardState::default(), ShardState::Healthy);
-        assert!(ShardHealth::new().is_serving());
-    }
-
-    #[test]
-    fn config_default_disables_validation() {
-        let cfg = RngServiceConfig::default();
-        assert!(!cfg.validation.enabled);
     }
 }

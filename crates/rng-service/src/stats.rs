@@ -20,12 +20,13 @@ const BUCKETS: usize = 32;
 pub struct Histogram {
     buckets: [u64; BUCKETS],
     count: u64,
+    sum: u64,
     max: u64,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { buckets: [0; BUCKETS], count: 0, max: 0 }
+        Histogram { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
     }
 }
 
@@ -43,12 +44,19 @@ impl Histogram {
     pub fn record(&mut self, value: u64) {
         self.buckets[Self::bucket_of(value)] += 1;
         self.count += 1;
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
 
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all samples recorded (saturating — exact until ~18 exabytes
+    /// of accumulated value).
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// Largest sample recorded (0 if empty).
@@ -87,6 +95,24 @@ impl Histogram {
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }
+
+    /// The samples recorded since `earlier` (an older snapshot of the same
+    /// histogram): per-bucket counts, count, and sum subtract; `max` is the
+    /// lifetime maximum of `self` — a histogram does not remember when its
+    /// max was recorded, so the window's true max is unrecoverable and this
+    /// reports the honest upper bound instead.
+    pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
+        let mut buckets = [0u64; BUCKETS];
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            *slot = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        Histogram {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
 }
 
 /// Counters of the continuous-validation loop.
@@ -111,6 +137,24 @@ pub struct ValidationStats {
     pub readmissions: u64,
 }
 
+impl ValidationStats {
+    /// The counter increments since `earlier` (an older snapshot).
+    pub fn delta_since(&self, earlier: &ValidationStats) -> ValidationStats {
+        ValidationStats {
+            bytes_tapped: self.bytes_tapped.saturating_sub(earlier.bytes_tapped),
+            bytes_dropped: self.bytes_dropped.saturating_sub(earlier.bytes_dropped),
+            windows_validated: self.windows_validated.saturating_sub(earlier.windows_validated),
+            windows_failed: self.windows_failed.saturating_sub(earlier.windows_failed),
+            quarantines: self.quarantines.saturating_sub(earlier.quarantines),
+            recharacterizations: self
+                .recharacterizations
+                .saturating_sub(earlier.recharacterizations),
+            probation_windows: self.probation_windows.saturating_sub(earlier.probation_windows),
+            readmissions: self.readmissions.saturating_sub(earlier.readmissions),
+        }
+    }
+}
+
 /// Counters the service maintains while running and reports at shutdown.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ServiceStats {
@@ -123,9 +167,14 @@ pub struct ServiceStats {
     pub peak_in_flight_bytes: usize,
     /// Bytes delivered by each shard.
     pub per_shard_bytes: Vec<u64>,
-    /// Requests completed with a typed `Expired` outcome by the deadline
-    /// sweep (their bytes were never generated).
+    /// Requests completed with a typed `Expired` outcome — by the deadline
+    /// sweep, or at admission for a deadline already in the past (their
+    /// bytes were never generated).
     pub expired_requests: u64,
+    /// Scans the expiry-sweep thread actually ran. The sweeper sleeps
+    /// indefinitely while no queued request carries a deadline, so this
+    /// stays 0 under deadline-free load.
+    pub expiry_sweeps: u64,
     /// Queued requests re-placed from a quarantined shard onto a healthy one
     /// by the failover path (at quarantine trip or at the next readmission).
     pub failed_over_requests: u64,
@@ -149,6 +198,42 @@ pub struct ServiceStats {
     /// Per-shard health records (empty until snapshot; filled by
     /// [`RngService::stats`](crate::RngService::stats) and at shutdown).
     pub shard_health: Vec<ShardHealth>,
+}
+
+impl ServiceStats {
+    /// The activity between `earlier` (an older snapshot of the same
+    /// service) and `self` — a stable rate window for operators and tests:
+    /// counters and histograms subtract; `peak_in_flight_bytes` and
+    /// histogram maxima stay at the lifetime value of `self` (peaks are not
+    /// invertible); `shard_health` is the *current* record (a state, not a
+    /// counter). Shards added between snapshots (never happens today) keep
+    /// their full count.
+    pub fn delta_since(&self, earlier: &ServiceStats) -> ServiceStats {
+        ServiceStats {
+            completed_requests: self.completed_requests.saturating_sub(earlier.completed_requests),
+            completed_bytes: self.completed_bytes.saturating_sub(earlier.completed_bytes),
+            peak_in_flight_bytes: self.peak_in_flight_bytes,
+            per_shard_bytes: self
+                .per_shard_bytes
+                .iter()
+                .enumerate()
+                .map(|(i, b)| b.saturating_sub(earlier.per_shard_bytes.get(i).copied().unwrap_or(0)))
+                .collect(),
+            expired_requests: self.expired_requests.saturating_sub(earlier.expired_requests),
+            expiry_sweeps: self.expiry_sweeps.saturating_sub(earlier.expiry_sweeps),
+            failed_over_requests: self
+                .failed_over_requests
+                .saturating_sub(earlier.failed_over_requests),
+            degraded_rejections: self
+                .degraded_rejections
+                .saturating_sub(earlier.degraded_rejections),
+            queue_depth: self.queue_depth.delta_since(&earlier.queue_depth),
+            latency_us: self.latency_us.delta_since(&earlier.latency_us),
+            deadline_slack_us: self.deadline_slack_us.delta_since(&earlier.deadline_slack_us),
+            validation: self.validation.delta_since(&earlier.validation),
+            shard_health: self.shard_health.clone(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -203,5 +288,51 @@ mod tests {
         }
         assert_eq!(h.buckets()[Histogram::bucket_of(7)], 10);
         assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 70);
+    }
+
+    #[test]
+    fn histogram_delta_subtracts_buckets_count_and_sum() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(100);
+        let earlier = h.clone();
+        h.record(3);
+        h.record(5000);
+        let delta = h.delta_since(&earlier);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum(), 5003);
+        assert_eq!(delta.buckets()[Histogram::bucket_of(3)], 1);
+        assert_eq!(delta.buckets()[Histogram::bucket_of(100)], 0);
+        assert_eq!(delta.buckets()[Histogram::bucket_of(5000)], 1);
+        assert_eq!(delta.max(), 5000, "max is the lifetime upper bound");
+        // A snapshot diffed against itself is empty.
+        let zero = h.delta_since(&h);
+        assert_eq!(zero.count(), 0);
+        assert_eq!(zero.sum(), 0);
+        assert!(zero.buckets().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn service_stats_delta_subtracts_counters_and_keeps_health() {
+        let mut earlier = ServiceStats { per_shard_bytes: vec![10, 20], ..Default::default() };
+        earlier.completed_requests = 5;
+        earlier.completed_bytes = 30;
+        earlier.expiry_sweeps = 2;
+        earlier.validation.windows_validated = 4;
+        let mut later = earlier.clone();
+        later.completed_requests = 9;
+        later.completed_bytes = 75;
+        later.expiry_sweeps = 7;
+        later.per_shard_bytes = vec![25, 50];
+        later.validation.windows_validated = 6;
+        later.shard_health = vec![ShardHealth::new(); 2];
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.completed_requests, 4);
+        assert_eq!(delta.completed_bytes, 45);
+        assert_eq!(delta.expiry_sweeps, 5);
+        assert_eq!(delta.per_shard_bytes, vec![15, 30]);
+        assert_eq!(delta.validation.windows_validated, 2);
+        assert_eq!(delta.shard_health.len(), 2, "health is current state, not a diff");
     }
 }

@@ -1,0 +1,255 @@
+//! The client-side receipt of a submission: [`Ticket`] and its terminal
+//! outcomes ([`Completion`], [`Expired`],
+//! [`Canceled`]).
+//!
+//! This is the delivery end of the data plane: workers (and the control
+//! plane's expiry sweep) push exactly one outcome down a ticket's
+//! channel, and the ticket caches the first outcome it observes so every
+//! later wait variant reports the same resolution.
+
+use crate::request::Completion;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// The receipt for one submitted request; redeem it with [`Ticket::wait`],
+/// poll it with [`Ticket::try_wait`], or wait with a bound via
+/// [`Ticket::wait_deadline`].
+///
+/// A ticket resolves to exactly one terminal outcome — served, [`Expired`],
+/// or [`Canceled`] — and caches it: once any wait variant has observed the
+/// outcome, every later call reports the *same* outcome (a served ticket
+/// polled twice returns the same completion again rather than misreporting
+/// `Canceled` after the channel drains).
+#[derive(Debug)]
+pub struct Ticket {
+    seq: u64,
+    shard: Option<usize>,
+    rx: mpsc::Receiver<Outcome>,
+    /// The cached terminal outcome. Interior mutability keeps the polling
+    /// API (`&self`) while making the pending→terminal transition atomic
+    /// from the caller's point of view: the state observed here never
+    /// changes once set.
+    resolved: std::cell::RefCell<Option<Result<Completion, WaitError>>>,
+}
+
+/// The request was discarded before completion (service aborted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Canceled;
+
+impl std::fmt::Display for Canceled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request canceled: the RNG service stopped before serving it")
+    }
+}
+
+impl std::error::Error for Canceled {}
+
+/// The request's deadline passed before any byte was generated for it: the
+/// expiry sweep (or admission itself, for a deadline already in the past)
+/// completed it with this typed outcome instead of leaving the client
+/// parked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expired {
+    /// Submission sequence number of the expired request.
+    pub seq: u64,
+    /// The deadline the request was submitted with.
+    pub deadline: Instant,
+    /// When it was expired: at admission for a deadline already in the
+    /// past, at the parked submitter's own deadline for a submission that
+    /// waited out the in-flight budget, or by the sweep (at most one
+    /// [`expiry_sweep_interval`](crate::RngServiceConfig::expiry_sweep_interval)
+    /// past the deadline while the service runs) for a queued request.
+    pub expired_at: Instant,
+}
+
+impl std::fmt::Display for Expired {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "request {} expired {} µs past its deadline while still queued",
+            self.seq,
+            self.expired_at.saturating_duration_since(self.deadline).as_micros()
+        )
+    }
+}
+
+impl std::error::Error for Expired {}
+
+/// Terminal failure of a ticket: why the request will never deliver bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitError {
+    /// The deadline passed while the request was still queued.
+    Expired(Expired),
+    /// The service was aborted before serving it.
+    Canceled(Canceled),
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitError::Expired(e) => e.fmt(f),
+            WaitError::Canceled(c) => c.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
+/// What travels over a ticket's completion channel. `Canceled` has no
+/// variant: it is the channel disconnecting with nothing buffered (the
+/// service dropped the sender without serving or expiring the request).
+#[derive(Debug)]
+pub(crate) enum Outcome {
+    /// The request was served.
+    Served(Completion),
+    /// The request's deadline passed while it was queued.
+    Expired(Expired),
+}
+
+impl Ticket {
+    /// A pending ticket for a request placed on `shard`; the service keeps
+    /// `tx` and resolves the ticket by sending one [`Outcome`] (or by
+    /// dropping the sender, which cancels it).
+    pub(crate) fn pending(seq: u64, shard: usize, rx: mpsc::Receiver<Outcome>) -> Self {
+        Ticket { seq, shard: Some(shard), rx, resolved: std::cell::RefCell::new(None) }
+    }
+
+    /// A ticket that expired at admission: its deadline had already passed
+    /// (or passed while the submitter was parked on the in-flight budget),
+    /// so it was never placed on a shard and never charged to the budget.
+    pub(crate) fn expired(seq: u64, expired: Expired) -> Self {
+        let (tx, rx) = mpsc::channel();
+        tx.send(Outcome::Expired(expired)).expect("receiver held locally");
+        Ticket { seq, shard: None, rx, resolved: std::cell::RefCell::new(None) }
+    }
+
+    /// Submission sequence number of the request.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The shard (channel) the request was assigned to at admission, or
+    /// `None` for a request that expired at admission and was never placed.
+    /// Quarantine failover may re-place a queued request, so the shard that
+    /// actually generates the bytes is
+    /// [`Completion::shard`](crate::request::Completion::shard), which is
+    /// authoritative for provenance.
+    pub fn shard(&self) -> Option<usize> {
+        self.shard
+    }
+
+    fn resolve(&self, outcome: Outcome) -> Result<Completion, WaitError> {
+        let resolution = match outcome {
+            Outcome::Served(c) => Ok(c),
+            Outcome::Expired(e) => Err(WaitError::Expired(e)),
+        };
+        *self.resolved.borrow_mut() = Some(resolution.clone());
+        resolution
+    }
+
+    fn resolve_canceled(&self) -> WaitError {
+        let err = WaitError::Canceled(Canceled);
+        *self.resolved.borrow_mut() = Some(Err(err));
+        err
+    }
+
+    fn cached(&self) -> Option<Result<Completion, WaitError>> {
+        self.resolved.borrow().clone()
+    }
+
+    /// Blocks until the request resolves and returns its bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::Expired`] if the request's deadline passed while it was
+    /// still queued; [`WaitError::Canceled`] if the service was aborted
+    /// before serving it.
+    pub fn wait(self) -> Result<Completion, WaitError> {
+        if let Some(resolution) = self.cached() {
+            return resolution;
+        }
+        match self.rx.recv() {
+            Ok(outcome) => self.resolve(outcome),
+            Err(_) => Err(self.resolve_canceled()),
+        }
+    }
+
+    /// Non-blocking poll: `Ok(Some)` once the request has been served,
+    /// `Ok(None)` while it is still pending. Idempotent after resolution:
+    /// a served ticket keeps returning its completion, an expired or
+    /// canceled one keeps returning the same error.
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::Expired`] once the deadline has expired the request;
+    /// [`WaitError::Canceled`] once the service aborted it (polling loops
+    /// must not keep spinning on a dead request).
+    pub fn try_wait(&self) -> Result<Option<Completion>, WaitError> {
+        if self.cached().is_none() {
+            match self.rx.try_recv() {
+                Ok(outcome) => drop(self.resolve(outcome)),
+                Err(mpsc::TryRecvError::Empty) => return Ok(None),
+                Err(mpsc::TryRecvError::Disconnected) => drop(self.resolve_canceled()),
+            }
+        }
+        self.cached().expect("ticket just resolved").map(Some)
+    }
+
+    /// Blocks until the request resolves or `deadline` passes, whichever is
+    /// first: `Ok(Some)` with the bytes, or `Ok(None)` if the request is
+    /// still pending at the deadline (the request itself stays queued — this
+    /// bounds the *wait*, not the request; submit with a deadline to bound
+    /// the request).
+    ///
+    /// # Errors
+    ///
+    /// The same terminal errors as [`Ticket::wait`].
+    pub fn wait_deadline(&self, deadline: Instant) -> Result<Option<Completion>, WaitError> {
+        if let Some(resolution) = self.cached() {
+            return resolution.map(Some);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return match self.rx.try_recv() {
+                Ok(outcome) => self.resolve(outcome).map(Some),
+                Err(mpsc::TryRecvError::Empty) => Ok(None),
+                Err(mpsc::TryRecvError::Disconnected) => Err(self.resolve_canceled()),
+            };
+        }
+        match self.rx.recv_timeout(deadline - now) {
+            Ok(outcome) => self.resolve(outcome).map(Some),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(self.resolve_canceled()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn an_admission_expired_ticket_is_resolved_and_sticky() {
+        let now = Instant::now();
+        let expired = Expired { seq: 7, deadline: now, expired_at: now };
+        let t = Ticket::expired(7, expired);
+        assert_eq!(t.seq(), 7);
+        assert_eq!(t.shard(), None, "never placed on a shard");
+        assert_eq!(t.try_wait(), Err(WaitError::Expired(expired)));
+        // Terminal state is cached: a second poll repeats it.
+        assert_eq!(t.try_wait(), Err(WaitError::Expired(expired)));
+        assert_eq!(t.wait_deadline(now), Err(WaitError::Expired(expired)));
+        assert_eq!(t.wait(), Err(WaitError::Expired(expired)));
+    }
+
+    #[test]
+    fn a_dropped_sender_cancels_the_ticket() {
+        let (tx, rx) = mpsc::channel();
+        let t = Ticket::pending(1, 0, rx);
+        assert_eq!(t.shard(), Some(0));
+        assert_eq!(t.try_wait(), Ok(None), "pending while the sender lives");
+        drop(tx);
+        assert_eq!(t.try_wait(), Err(WaitError::Canceled(Canceled)));
+        assert_eq!(t.wait(), Err(WaitError::Canceled(Canceled)), "cancellation is sticky");
+    }
+}

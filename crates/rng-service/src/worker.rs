@@ -1,0 +1,244 @@
+//! Data plane: the per-shard worker — dequeue a coalesced batch, generate,
+//! pace, tap, deliver. Nothing here decides placement, health, or admission;
+//! those are control-plane concerns ([`crate::control`],
+//! [`crate::placement`]) the worker only observes through the shared state.
+
+use crate::control::{requalify_shard, sweep_shard_expired};
+use crate::request::{Completion, RngRequest};
+use crate::state::{Lifecycle, Shared};
+use crate::ticket::Outcome;
+use crate::validate::{tap_quota_allows, TapChunk};
+use quac_trng::pipeline::QuacTrng;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// One shard's worker: dequeue a coalesced batch, generate all its bytes
+/// with a single buffer-reusing [`QuacTrng::fill_bytes`] call, pace delivery
+/// against the idle-cycle budget, deliver per-request completions, tap a
+/// copy for the validator, release the budget. When the shard is
+/// quarantined and its queue has drained, the worker switches to
+/// requalification: recharacterise, generate probation windows, grade them,
+/// and readmit on a passing streak (see [`crate::control`]).
+pub(crate) fn worker_loop(
+    shared: &Shared,
+    shard_idx: usize,
+    mut trng: QuacTrng,
+    tap: Option<mpsc::SyncSender<TapChunk>>,
+) {
+    // Token-bucket pacing deadline: each batch owes `time_for_bytes` of
+    // wall-clock on top of the previous deadline (or of "now" after an idle
+    // gap — idle time is not banked into a later burst). Accumulating per
+    // batch keeps every single wait within `time_for_bytes`' saturation
+    // bound, no matter how much has been delivered in total.
+    let mut pace_deadline = Instant::now();
+    let mut batch: Vec<RngRequest> = Vec::new();
+    let mut senders: Vec<Option<mpsc::Sender<Outcome>>> = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut expired_scratch: Vec<RngRequest> = Vec::new();
+    // Delivered-byte offset within the current stream epoch: readmission
+    // restarts the shard's stream (recharacterisation rebuilds the
+    // sampler), so offsets restart with it — completions stay gapless per
+    // `(shard, epoch)`.
+    let mut stream_offset: u64 = 0;
+    let mut current_epoch: u64 = 0;
+    // Coverage accounting of the lossy tap (bytes served vs bytes tapped by
+    // this worker), enforcing `ValidationConfig::target_coverage`.
+    let mut tap_served: u64 = 0;
+    let mut tap_taken: u64 = 0;
+    loop {
+        // Phase 1 (locked): wait for work, dequeue a batch and its tickets —
+        // or detect that this shard is fenced off with an empty queue and
+        // must requalify instead.
+        batch.clear();
+        senders.clear();
+        let mut requalify = false;
+        let mut batch_epoch = 0u64;
+        let batch_bytes = {
+            let mut st = shared.state.lock().expect("service state poisoned");
+            loop {
+                match st.lifecycle {
+                    Lifecycle::Aborting => return,
+                    Lifecycle::Draining if st.shards[shard_idx].is_empty() => return,
+                    // A drain serves everything accepted, even through a
+                    // fenced shard — the documented last resort when no
+                    // healthy shard could take its queue over.
+                    Lifecycle::Draining => break,
+                    // While running, a fenced shard never serves: its queued
+                    // work was failed over to healthy shards at the
+                    // quarantine trip (or waits for readmission, expiry, or
+                    // a drain when none was healthy). Requalify instead.
+                    Lifecycle::Running if !st.health[shard_idx].is_serving() => {
+                        requalify = true;
+                        break;
+                    }
+                    Lifecycle::Running if !st.shards[shard_idx].is_empty() => break,
+                    Lifecycle::Running => {
+                        st = shared.work.wait(st).expect("service state poisoned");
+                    }
+                }
+            }
+            if requalify {
+                0
+            } else {
+                // Complete overdue requests before composing the batch, so a
+                // request whose deadline already passed is never generated —
+                // the sweep thread bounds the idle case, this bounds the
+                // busy one.
+                let released =
+                    sweep_shard_expired(&mut st, shard_idx, Instant::now(), &mut expired_scratch);
+                if released > 0 {
+                    shared.space.notify_all();
+                }
+                if st.shards[shard_idx].is_empty() {
+                    continue; // everything queued here had expired
+                }
+                batch_epoch = st.shard_epoch[shard_idx];
+                let bytes = st.shards[shard_idx].pop_batch(
+                    shared.cfg.max_batch_bytes,
+                    shared.cfg.max_batch_requests,
+                    &mut batch,
+                );
+                senders.extend(batch.iter().map(|r| st.senders.remove(&r.seq)));
+                bytes
+            }
+        };
+        if requalify {
+            if !requalify_shard(shared, shard_idx, &mut trng, &mut buf) {
+                return;
+            }
+            continue;
+        }
+        if batch_epoch != current_epoch {
+            current_epoch = batch_epoch;
+            stream_offset = 0;
+        }
+
+        // Phase 2 (unlocked): one generation pass covers the whole batch.
+        buf.resize(batch_bytes, 0);
+        trng.fill_bytes(&mut buf);
+
+        // Phase 3: pace delivery against the channel's idle-cycle budget.
+        // The batch's bytes stay charged against the in-flight budget while
+        // the worker is parked, which is what makes backpressure reflect the
+        // *delivered* rate, not the simulation's generation speed.
+        if !shared.cfg.pacing.is_unlimited() {
+            pace_deadline = pace_deadline.max(Instant::now())
+                + shared.cfg.pacing.time_for_bytes(batch_bytes);
+            let mut st = shared.state.lock().expect("service state poisoned");
+            loop {
+                match st.lifecycle {
+                    Lifecycle::Aborting => return,
+                    // A drain lifts pacing: queued work is delivered
+                    // promptly instead of making `shutdown()` wait out the
+                    // budget (which saturates at an hour per batch).
+                    Lifecycle::Draining => break,
+                    Lifecycle::Running => {}
+                }
+                let now = Instant::now();
+                if now >= pace_deadline {
+                    break;
+                }
+                let (guard, _) = shared
+                    .work
+                    .wait_timeout(st, pace_deadline - now)
+                    .expect("service state poisoned");
+                st = guard;
+            }
+        }
+
+        // Phase 4: tap a copy of the served bytes for the validator,
+        // release the budget, then deliver completions. The budget and
+        // per-shard load are released *before* any completion becomes
+        // visible: a sequential client that saw its reply and immediately
+        // submits again must observe the load already settled, or placement
+        // (and with it the per-request replay determinism the tests pin)
+        // would race the release.
+        let mut tapped = 0u64;
+        let mut dropped = 0u64;
+        if let Some(tap) = &tap {
+            use std::sync::atomic::Ordering;
+            if shared.cfg.validation.lossless_tap {
+                // Parks this worker until the validator catches up: full,
+                // deterministic coverage for tests (and backpressure stays
+                // charged meanwhile, coupling admission to validation).
+                let chunk = TapChunk {
+                    shard: shard_idx,
+                    epoch: batch_epoch,
+                    bytes: buf[..batch_bytes].to_vec(),
+                };
+                if tap.send(chunk).is_ok() {
+                    tapped = batch_bytes as u64;
+                }
+            } else if !tap_quota_allows(
+                tap_taken,
+                tap_served,
+                batch_bytes as u64,
+                shared.cfg.validation.target_coverage,
+            ) || shared.tap_fill.load(Ordering::Relaxed)
+                >= shared.cfg.validation.tap_queue_batches.max(1)
+            {
+                // Over the coverage budget, or the queue is (approximately)
+                // full — the expected steady state when generation outpaces
+                // grading. Skip without paying the batch copy a try_send
+                // would immediately discard.
+                dropped = batch_bytes as u64;
+            } else {
+                let chunk = TapChunk {
+                    shard: shard_idx,
+                    epoch: batch_epoch,
+                    bytes: buf[..batch_bytes].to_vec(),
+                };
+                match tap.try_send(chunk) {
+                    Ok(()) => {
+                        shared.tap_fill.fetch_add(1, Ordering::Relaxed);
+                        tapped = batch_bytes as u64;
+                    }
+                    Err(_) => dropped = batch_bytes as u64,
+                }
+            }
+            tap_served += batch_bytes as u64;
+            tap_taken += tapped;
+        }
+        {
+            let now = Instant::now();
+            let mut st = shared.state.lock().expect("service state poisoned");
+            st.in_flight_bytes -= batch_bytes;
+            st.shard_load[shard_idx] -= batch_bytes;
+            st.stats.completed_requests += batch.len() as u64;
+            st.stats.completed_bytes += batch_bytes as u64;
+            st.stats.per_shard_bytes[shard_idx] += batch_bytes as u64;
+            st.stats.validation.bytes_tapped += tapped;
+            st.stats.validation.bytes_dropped += dropped;
+            for req in &batch {
+                st.stats
+                    .latency_us
+                    .record(now.duration_since(req.submitted_at).as_micros() as u64);
+                if let Some(deadline) = req.deadline {
+                    // Slack left at delivery; a late delivery (deadline
+                    // passed mid-generation, too late to expire) records 0.
+                    st.stats
+                        .deadline_slack_us
+                        .record(deadline.saturating_duration_since(now).as_micros() as u64);
+                }
+            }
+            shared.space.notify_all();
+        }
+        let mut offset_in_batch = 0usize;
+        for (req, sender) in batch.iter().zip(&senders) {
+            let bytes = buf[offset_in_batch..offset_in_batch + req.len].to_vec();
+            if let Some(sender) = sender {
+                // A dropped receiver just means the client lost interest.
+                let _ = sender.send(Outcome::Served(Completion {
+                    client: req.client,
+                    seq: req.seq,
+                    shard: shard_idx,
+                    epoch: batch_epoch,
+                    stream_offset: stream_offset + offset_in_batch as u64,
+                    bytes,
+                }));
+            }
+            offset_in_batch += req.len;
+        }
+        stream_offset += batch_bytes as u64;
+    }
+}

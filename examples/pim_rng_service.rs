@@ -190,6 +190,14 @@ fn main() {
     }
     report_continuous_validation(&stats);
     validate_served_stream(&delivered_chunks);
+    // `QUAC_METRICS=1` dumps the burst run's final snapshot in Prometheus
+    // text exposition — what a scrape of the service would return
+    // (`just metrics-demo`).
+    if std::env::var_os("QUAC_METRICS").is_some_and(|v| v != "0") {
+        println!("\n--- metrics export (Prometheus text) ---");
+        print!("{}", quac_trng_repro::rng_service::export::prometheus_text(&stats));
+        println!("--- end metrics export ---");
+    }
 
     // Idle-cycle budgets under SPEC2006 traffic (Figure 12's model), then the
     // same budgets applied to the service — scaled into simulation time so

@@ -33,6 +33,11 @@ chaos-tests:
     QUAC_THREADS=1 cargo test -q --test chaos_campaigns
     QUAC_THREADS=4 cargo test -q --test chaos_campaigns
 
+# The system demo with the Prometheus metrics exposition of the burst run
+# appended — what scraping the service would return.
+metrics-demo:
+    QUAC_METRICS=1 cargo run --release --example pim_rng_service
+
 # Run the criterion micro-benchmarks in measuring mode.
 bench:
     cargo bench

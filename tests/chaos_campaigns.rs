@@ -130,7 +130,12 @@ fn probe_until(
             return stats;
         }
         assert!(Instant::now() < give_up, "campaign never reached {what}: {stats:?}");
-        let deadline = Instant::now() + Duration::from_millis(500);
+        // A short probe deadline bounds each iteration: a probe stranded by
+        // a fence resolves within ~one sweep of this, so the loop re-polls
+        // the stats long before a concurrent requalification can finish —
+        // campaigns that must observe the degraded interval after this
+        // returns would otherwise race the self-heal.
+        let deadline = Instant::now() + Duration::from_millis(50);
         match service.submit_with_deadline(ClientId(0), Priority::Normal, 2048, deadline) {
             Ok(ticket) => match ticket.wait() {
                 Ok(c) => out.push(c),
@@ -228,7 +233,13 @@ fn campaign_burst_fault_fails_over_queued_work_bit_identically() {
     let (model, mut shards) = tiny_shards(SHARDS);
     shards[FAULTY].inject_fault(FaultInjector::burst(64, 48));
     let cfg = RngServiceConfig {
-        validation: chaos_validation(),
+        // A tap queue of one batch makes the lossless tap a real gate: each
+        // worker serves at most one batch past what the validator has
+        // graded, so the fence deterministically lands while the faulty
+        // shard still holds queued work. (The default queue of 64 batches
+        // exceeds the whole flood — whether the fence caught anything was a
+        // CPU-contention race.)
+        validation: ValidationConfig { tap_queue_batches: 1, ..chaos_validation() },
         // One request per batch: the faulty shard's queue stays deep while
         // its first windows are graded, so the fence catches queued work.
         max_batch_requests: 1,
@@ -292,11 +303,13 @@ fn campaign_burst_fault_fails_over_queued_work_bit_identically() {
 fn campaign_stuck_at_fail_fast_rejects_then_self_heals() {
     let (_, mut shards) = tiny_shards(1);
     shards[0].inject_fault(FaultInjector::stuck_at(0, true).transient());
-    // Enough probation windows (≈1 MB of probation generation + grading)
-    // that the degraded interval is reliably observable before the
-    // self-heal completes — 20 windows healed faster than one stats poll.
+    // Enough probation windows (≈0.5 MB of probation generation + grading)
+    // that the degraded interval lasts far longer than one probe_until
+    // iteration (bounded by the 50 ms probe deadline) — smaller streaks
+    // healed inside the final probe's expiry wait, before the rejection
+    // loop below ever polled.
     let mut validation = chaos_validation();
-    validation.policy.probation_windows = 50;
+    validation.policy.probation_windows = 250;
     let cfg = RngServiceConfig { validation, ..RngServiceConfig::default() };
     let service = RngService::start(shards, cfg);
 
