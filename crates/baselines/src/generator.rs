@@ -1,0 +1,474 @@
+//! Sampling **generators** for the baseline mechanisms — not just the
+//! analytic throughput models of Table 2, but seeded byte-stream sources
+//! that plug into the RNG service as [`EntropyBackend`] tiers next to the
+//! QUAC pipeline.
+//!
+//! Both generators follow the same shape as `QuacTrng`:
+//!
+//! * a per-bitline one-probability vector derived from the characterised
+//!   analog model ([`FailureModel`] activation-latency failures for
+//!   [`DRangeTrng`], [`RetentionModel`] pause failures for
+//!   [`RetentionTrng`]),
+//! * the word-parallel [`PackedSampler`] hot path over a seeded
+//!   [`NoiseRng`], pinned bit-identical to the scalar
+//!   [`sample_reference`] walk,
+//! * SHA-256 2:1 conditioning of each harvested row image (64-byte raw
+//!   blocks → 32-byte digests, batched through `qt_crypto::batch`),
+//! * the `QuacTrng` fault seam: an injected [`FaultInjector`] corrupts
+//!   delivered bytes as a pure function of the absolute stream offset, so
+//!   chaos campaigns drive every tier with the same machinery.
+//!
+//! Each generator carries a frozen `fill_bytes_reference` twin (scalar
+//! sampling + scalar hashing) and the stream contract is: same
+//! construction, same bytes, regardless of how reads slice the stream.
+
+use crate::drange::DRange;
+use crate::talukder::Talukder;
+use qt_crypto::batch::digest_many_into;
+use qt_crypto::sha256::{Sha256, Sha256Digest};
+use qt_dram_analog::sampler::{sample_reference, PackedSampler};
+use qt_dram_analog::{FailureModel, NoiseRng, RetentionModel};
+use qt_dram_core::{BitVec, DramGeometry, RowAddr, TransferRate};
+use quac_trng::backend::{BackendClass, BackendKind, EntropyBackend};
+use quac_trng::characterize::CharacterizationConfig;
+use quac_trng::fault::FaultInjector;
+use std::collections::VecDeque;
+
+/// tRCD fraction the D-RaNGe generator reads at — matches the operating
+/// point `DRange::enhanced_from_characterisation` scans entropy at.
+const TRCD_FRACTION: f64 = 0.3;
+
+/// Worst-case operating temperature the retention generator harvests at
+/// (retention times halve every ~10 °C, so the hot corner fails fastest).
+const RETENTION_TEMP_C: f64 = 85.0;
+
+/// Row-candidate scan: stride and cap, mirroring the characterised-baseline
+/// scan in `DRange::enhanced_from_characterisation`.
+const CANDIDATE_ROW_STRIDE: usize = 512;
+const MAX_CANDIDATE_ROWS: usize = 16;
+
+/// Rows harvested per retention pause — one "burst" of the slow tier.
+const RETENTION_BURST_ROWS: usize = 4;
+
+/// The rows `0, 512, 1024, …` a generator considers when picking its
+/// harvest rows (always at least row 0).
+fn candidate_rows(geom: &DramGeometry) -> impl Iterator<Item = usize> {
+    (0..geom.rows_per_bank().max(1)).step_by(CANDIDATE_ROW_STRIDE).take(MAX_CANDIDATE_ROWS)
+}
+
+/// Shared engine of both generators: probability-vector sampling through
+/// [`PackedSampler`], SHA-256 2:1 conditioning, a byte buffer, and the
+/// delivery-boundary fault seam.
+#[derive(Debug)]
+struct SampledStream {
+    /// The per-bit one-probabilities — kept for the scalar reference twin.
+    probs: Vec<f64>,
+    sampler: PackedSampler,
+    rng: NoiseRng,
+    raw: BitVec,
+    raw_bytes: Vec<u8>,
+    digests: Vec<Sha256Digest>,
+    buffer: VecDeque<u8>,
+    fault: Option<FaultInjector>,
+    delivered: u64,
+}
+
+impl SampledStream {
+    fn new(probs: Vec<f64>, seed: u64) -> Self {
+        let sampler = PackedSampler::new(&probs);
+        assert!(
+            sampler.metastable_bits() > 0,
+            "harvest rows carry no metastable bits; the stream would be constant"
+        );
+        let raw = BitVec::zeros(probs.len());
+        SampledStream {
+            probs,
+            sampler,
+            rng: NoiseRng::new(seed),
+            raw,
+            raw_bytes: Vec::new(),
+            digests: Vec::new(),
+            buffer: VecDeque::new(),
+            fault: None,
+            delivered: 0,
+        }
+    }
+
+    /// One harvest on the word-parallel hot path: sample every bit of the
+    /// row image, pack to bytes, condition 64-byte blocks to 32-byte
+    /// digests with the batched SHA-256.
+    fn harvest(&mut self) {
+        self.sampler.sample_into(&mut self.raw, &mut self.rng);
+        self.raw.extract_bytes_into(0, self.raw.len(), &mut self.raw_bytes);
+        let blocks: Vec<&[u8]> = self.raw_bytes.chunks(64).collect();
+        self.digests.clear();
+        digest_many_into(&blocks, &mut self.digests);
+        for digest in &self.digests {
+            self.buffer.extend(digest);
+        }
+    }
+
+    /// The frozen scalar twin of [`SampledStream::harvest`]: per-bit
+    /// threshold walk + one-message SHA-256. Bit-identical to the hot path
+    /// for the same RNG state (the sampler proptests pin the sampling leg,
+    /// the crypto batch tests pin the hashing leg).
+    fn harvest_reference(&mut self) {
+        let raw = sample_reference(&self.probs, &mut self.rng);
+        let bytes = raw.to_bytes();
+        for chunk in bytes.chunks(64) {
+            self.buffer.extend(&Sha256::digest(chunk));
+        }
+    }
+
+    fn fill(&mut self, out: &mut [u8], reference: bool) {
+        let mut filled = 0;
+        while filled < out.len() {
+            if self.buffer.is_empty() {
+                if reference {
+                    self.harvest_reference();
+                } else {
+                    self.harvest();
+                }
+            }
+            let take = self.buffer.len().min(out.len() - filled);
+            for (slot, byte) in out[filled..filled + take].iter_mut().zip(self.buffer.drain(..take))
+            {
+                *slot = byte;
+            }
+            filled += take;
+        }
+        if let Some(fault) = &self.fault {
+            fault.corrupt(self.delivered, out);
+        }
+        self.delivered += out.len() as u64;
+    }
+
+    /// The requalification restart: drop buffered output from the old
+    /// configuration and clear transient faults, like
+    /// `QuacTrng::recharacterize`. The noise stream continues (the new
+    /// epoch is a fresh, still-deterministic stream).
+    fn restart(&mut self) {
+        self.buffer.clear();
+        if self.fault.is_some_and(|f| f.cleared_on_recharacterize) {
+            self.fault = None;
+        }
+    }
+}
+
+/// Counts the bits of a probability row that quantize to a metastable
+/// threshold — the row-selection score of both generators.
+fn metastable_count(probs: &[f64]) -> usize {
+    PackedSampler::new(probs).metastable_bits()
+}
+
+/// A D-RaNGe-style generator (Kim et al., HPCA 2019): reads a chosen row
+/// with a sharply reduced tRCD and harvests the activation-latency failure
+/// pattern, one row image per harvest, SHA-256 conditioned 2:1.
+///
+/// Low latency (one reduced-tRCD read per number), lower throughput than
+/// QUAC — the latency-sensitive tier of the entropy mesh.
+#[derive(Debug)]
+pub struct DRangeTrng {
+    stream: SampledStream,
+    class: BackendClass,
+}
+
+impl DRangeTrng {
+    /// Builds the generator on a characterised failure model: scans the
+    /// candidate rows for the one with the most metastable bitlines at
+    /// [`TRCD_FRACTION`], and advertises the throughput/latency class of
+    /// the characterised Enhanced D-RaNGe analytic model.
+    pub fn new(failures: &FailureModel, geom: &DramGeometry, seed: u64) -> Self {
+        let row_probs = |row: usize| -> Vec<f64> {
+            (0..geom.row_bits)
+                .map(|bl| failures.trcd_read_one_probability(RowAddr::new(row), bl, TRCD_FRACTION))
+                .collect()
+        };
+        let best = candidate_rows(geom)
+            .max_by_key(|&row| metastable_count(&row_probs(row)))
+            .expect("at least one candidate row");
+        let rate = TransferRate::ddr4_2400();
+        let analytic = DRange::enhanced_from_characterisation(failures, geom);
+        DRangeTrng {
+            stream: SampledStream::new(row_probs(best), seed),
+            class: BackendClass {
+                kind: BackendKind::DRange,
+                throughput_gbps: analytic.throughput_gbps_per_channel(rate),
+                latency_256bit_ns: analytic.latency_256bit_ns(rate),
+            },
+        }
+    }
+
+    /// Fills `out` with the next bytes of the deterministic stream (the
+    /// word-parallel hot path), applying any injected fault.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        self.stream.fill(out, false);
+    }
+
+    /// The frozen scalar twin of [`DRangeTrng::fill_bytes`] — same stream,
+    /// bit for bit, for the same construction.
+    pub fn fill_bytes_reference(&mut self, out: &mut [u8]) {
+        self.stream.fill(out, true);
+    }
+
+    /// Convenience wrapper: the next `count` stream bytes.
+    pub fn generate_bytes(&mut self, count: usize) -> Vec<u8> {
+        let mut out = vec![0u8; count];
+        self.fill_bytes(&mut out);
+        out
+    }
+}
+
+impl EntropyBackend for DRangeTrng {
+    fn fill_bytes(&mut self, out: &mut [u8]) {
+        DRangeTrng::fill_bytes(self, out);
+    }
+
+    fn recharacterize(&mut self, _cfg: &CharacterizationConfig) {
+        self.stream.restart();
+    }
+
+    fn class(&self) -> BackendClass {
+        self.class
+    }
+
+    fn inject_fault(&mut self, fault: FaultInjector) {
+        self.stream.fault = Some(fault);
+    }
+
+    fn clear_fault(&mut self) {
+        self.stream.fault = None;
+    }
+
+    fn delivered_bytes(&self) -> u64 {
+        self.stream.delivered
+    }
+}
+
+/// A retention-based generator in the style of Talukder+ (ICCE 2019):
+/// pauses refresh on a set of harvest rows, reads back the retention
+/// failure pattern, and conditions it with SHA-256. Each harvest models one
+/// multi-row pause burst — very slow and bursty, the last-resort tier of
+/// the entropy mesh.
+#[derive(Debug)]
+pub struct RetentionTrng {
+    stream: SampledStream,
+    class: BackendClass,
+    /// The simulated refresh pause per burst, in seconds (chosen at the
+    /// median cell retention time so the failure pattern is maximally
+    /// undetermined).
+    pause_s: f64,
+}
+
+impl RetentionTrng {
+    /// Builds the generator on a retention model: picks the pause at the
+    /// median retention time of the candidate rows' cells (centering the
+    /// per-cell failure probabilities around 1/2), then harvests the
+    /// [`RETENTION_BURST_ROWS`] rows with the most metastable cells.
+    pub fn new(retention: &RetentionModel, geom: &DramGeometry, seed: u64) -> Self {
+        let mut times: Vec<f64> = candidate_rows(geom)
+            .flat_map(|row| {
+                (0..geom.row_bits).step_by(64).map(move |bl| (row, bl)).collect::<Vec<_>>()
+            })
+            .map(|(row, bl)| retention.retention_time_s(RowAddr::new(row), bl, RETENTION_TEMP_C))
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("retention times are finite"));
+        let pause_s = times[times.len() / 2];
+        let row_probs = |row: usize| -> Vec<f64> {
+            (0..geom.row_bits)
+                .map(|bl| {
+                    retention.failure_probability(
+                        RowAddr::new(row),
+                        bl,
+                        pause_s,
+                        RETENTION_TEMP_C,
+                    )
+                })
+                .collect()
+        };
+        let mut rows: Vec<usize> = candidate_rows(geom).collect();
+        rows.sort_by_key(|&row| std::cmp::Reverse(metastable_count(&row_probs(row))));
+        rows.truncate(RETENTION_BURST_ROWS.max(1));
+        // Deterministic harvest order: ascending row within the winner set.
+        rows.sort_unstable();
+        let probs: Vec<f64> = rows.iter().flat_map(|&row| row_probs(row)).collect();
+        let rate = TransferRate::ddr4_2400();
+        let analytic = Talukder::enhanced_default();
+        RetentionTrng {
+            stream: SampledStream::new(probs, seed),
+            class: BackendClass {
+                kind: BackendKind::Retention,
+                throughput_gbps: analytic.throughput_gbps_per_channel(rate),
+                latency_256bit_ns: analytic.latency_256bit_ns(rate),
+            },
+            pause_s,
+        }
+    }
+
+    /// The simulated refresh pause per harvest burst, in seconds.
+    pub fn pause_s(&self) -> f64 {
+        self.pause_s
+    }
+
+    /// Fills `out` with the next bytes of the deterministic stream (the
+    /// word-parallel hot path), applying any injected fault.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        self.stream.fill(out, false);
+    }
+
+    /// The frozen scalar twin of [`RetentionTrng::fill_bytes`] — same
+    /// stream, bit for bit, for the same construction.
+    pub fn fill_bytes_reference(&mut self, out: &mut [u8]) {
+        self.stream.fill(out, true);
+    }
+
+    /// Convenience wrapper: the next `count` stream bytes.
+    pub fn generate_bytes(&mut self, count: usize) -> Vec<u8> {
+        let mut out = vec![0u8; count];
+        self.fill_bytes(&mut out);
+        out
+    }
+}
+
+impl EntropyBackend for RetentionTrng {
+    fn fill_bytes(&mut self, out: &mut [u8]) {
+        RetentionTrng::fill_bytes(self, out);
+    }
+
+    fn recharacterize(&mut self, _cfg: &CharacterizationConfig) {
+        self.stream.restart();
+    }
+
+    fn class(&self) -> BackendClass {
+        self.class
+    }
+
+    fn inject_fault(&mut self, fault: FaultInjector) {
+        self.stream.fault = Some(fault);
+    }
+
+    fn clear_fault(&mut self) {
+        self.stream.fault = None;
+    }
+
+    fn delivered_bytes(&self) -> u64 {
+        self.stream.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qt_dram_analog::ModuleVariation;
+
+    fn tiny_failures() -> (FailureModel, DramGeometry) {
+        let geom = DramGeometry::tiny_test();
+        (FailureModel::new(ModuleVariation::generate(&geom, 5)), geom)
+    }
+
+    fn tiny_retention() -> (RetentionModel, DramGeometry) {
+        let geom = DramGeometry::tiny_test();
+        (RetentionModel::new(ModuleVariation::generate(&geom, 5)), geom)
+    }
+
+    #[test]
+    fn drange_stream_is_deterministic_and_slicing_invariant() {
+        let (failures, geom) = tiny_failures();
+        let mut a = DRangeTrng::new(&failures, &geom, 77);
+        let mut b = DRangeTrng::new(&failures, &geom, 77);
+        let one = a.generate_bytes(1024);
+        let mut many = vec![0u8; 1024];
+        for chunk in many.chunks_mut(100) {
+            b.fill_bytes(chunk);
+        }
+        assert_eq!(one, many);
+        assert_eq!(EntropyBackend::delivered_bytes(&a), 1024);
+        let mut c = DRangeTrng::new(&failures, &geom, 78);
+        assert_ne!(one, c.generate_bytes(1024), "seeds decorrelate streams");
+    }
+
+    #[test]
+    fn retention_stream_is_deterministic_and_bursty() {
+        let (retention, geom) = tiny_retention();
+        let mut a = RetentionTrng::new(&retention, &geom, 9);
+        let mut b = RetentionTrng::new(&retention, &geom, 9);
+        assert!(a.pause_s() > 0.0);
+        assert_eq!(a.generate_bytes(4096), b.generate_bytes(4096));
+        // One burst conditions half the multi-row image: 32 bytes per
+        // 64-byte block of RETENTION_BURST_ROWS rows — 1024 bytes on the
+        // tiny geometry, so 4096 delivered bytes drain exactly 4 bursts.
+        let burst = RETENTION_BURST_ROWS * geom.row_bits / 16;
+        assert_eq!(4096 % burst, 0);
+        assert_eq!(a.stream.buffer.len(), 0);
+    }
+
+    #[test]
+    fn classes_rank_the_tiers_like_table_2() {
+        let (failures, geom) = tiny_failures();
+        let (retention, _) = tiny_retention();
+        let d = DRangeTrng::new(&failures, &geom, 1);
+        let r = RetentionTrng::new(&retention, &geom, 1);
+        assert_eq!(d.class().kind, BackendKind::DRange);
+        assert_eq!(r.class().kind, BackendKind::Retention);
+        assert!(d.class().throughput_gbps > r.class().throughput_gbps);
+        assert!(d.class().latency_256bit_ns < r.class().latency_256bit_ns);
+    }
+
+    #[test]
+    fn fault_seam_is_slicing_invariant_and_transient_faults_clear() {
+        let (failures, geom) = tiny_failures();
+        let mut a = DRangeTrng::new(&failures, &geom, 3);
+        let mut b = DRangeTrng::new(&failures, &geom, 3);
+        EntropyBackend::inject_fault(&mut a, FaultInjector::stuck_at(0, true));
+        EntropyBackend::inject_fault(&mut b, FaultInjector::stuck_at(0, true));
+        let one = a.generate_bytes(512);
+        let mut many = vec![0u8; 512];
+        for chunk in many.chunks_mut(37) {
+            b.fill_bytes(chunk);
+        }
+        assert_eq!(one, many);
+        assert!(one.iter().all(|byte| byte & 1 == 1));
+        EntropyBackend::inject_fault(&mut a, FaultInjector::stuck_at(0, true).transient());
+        EntropyBackend::recharacterize(&mut a, &CharacterizationConfig::fast());
+        assert!(a.generate_bytes(512).iter().any(|byte| byte & 1 == 0));
+    }
+
+    proptest! {
+        /// The tentpole pin: the word-parallel hot path and the frozen
+        /// scalar reference twin emit bit-identical streams for the same
+        /// seed, under arbitrary read slicing.
+        #[test]
+        fn prop_drange_hot_path_matches_scalar_reference(
+            seed in any::<u64>(),
+            cuts in proptest::collection::vec(1usize..512, 1..6),
+        ) {
+            let (failures, geom) = tiny_failures();
+            let mut fast = DRangeTrng::new(&failures, &geom, seed);
+            let mut reference = DRangeTrng::new(&failures, &geom, seed);
+            let total: usize = cuts.iter().sum();
+            let mut sliced = vec![0u8; total];
+            let mut at = 0;
+            for cut in &cuts {
+                fast.fill_bytes(&mut sliced[at..at + cut]);
+                at += cut;
+            }
+            let mut whole = vec![0u8; total];
+            reference.fill_bytes_reference(&mut whole);
+            prop_assert_eq!(sliced, whole);
+        }
+
+        /// Same pin for the retention tier.
+        #[test]
+        fn prop_retention_hot_path_matches_scalar_reference(seed in any::<u64>()) {
+            let (retention, geom) = tiny_retention();
+            let mut fast = RetentionTrng::new(&retention, &geom, seed);
+            let mut reference = RetentionTrng::new(&retention, &geom, seed);
+            let mut a = vec![0u8; 3000];
+            let mut b = vec![0u8; 3000];
+            fast.fill_bytes(&mut a);
+            reference.fill_bytes_reference(&mut b);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

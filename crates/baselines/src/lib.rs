@@ -13,15 +13,23 @@
 //!   row entropy on the simulated chips.
 //! * **Low-throughput TRNGs** — D-PUF, Keller+, Pyo+, and DRNG, reproduced as
 //!   the analytic models of Section 10.1 / Table 2.
+//!
+//! Beyond the analytic models, [`generator`] turns the D-RaNGe and
+//! retention mechanisms into seeded byte-stream generators
+//! ([`DRangeTrng`], [`RetentionTrng`]) implementing
+//! `quac_trng::EntropyBackend`, so the RNG service can run them as
+//! heterogeneous failover tiers next to the QUAC pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod drange;
+pub mod generator;
 pub mod low_throughput;
 pub mod talukder;
 
 pub use drange::DRange;
+pub use generator::{DRangeTrng, RetentionTrng};
 pub use low_throughput::{LowThroughputTrng, LOW_THROUGHPUT_TRNGS};
 pub use talukder::Talukder;
 

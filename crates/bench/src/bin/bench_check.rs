@@ -114,6 +114,20 @@ fn drift_overhead(fresh: &[(String, f64)], overhead: f64) -> Option<(f64, bool)>
     Some((ratio, ratio > 1.0 + overhead))
 }
 
+/// The entropy-mesh overhead gate: the mesh-failover-on/off pair of the RNG
+/// service bench, measured in the *same* fresh run, must stay within
+/// `overhead` of each other — the mesh acceptance bound ("tiered placement
+/// and cross-tier failover machinery cost < 15% at steady state"). Returns
+/// `Some((on_over_off_ratio, regressed?))` when both entries are present,
+/// `None` otherwise. Pure so the rule is unit-testable.
+fn mesh_overhead(fresh: &[(String, f64)], overhead: f64) -> Option<(f64, bool)> {
+    let ns = |name: &str| fresh.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    let on = ns("rng_service_mesh_failover_on")?;
+    let off = ns("rng_service_mesh_failover_off")?;
+    let ratio = on / off;
+    Some((ratio, ratio > 1.0 + overhead))
+}
+
 /// The metrics-export overhead gate: the export-on/off pair of the RNG
 /// service bench, measured in the *same* fresh run, must stay within
 /// `overhead` of each other — the acceptance bound of the stats export ("a
@@ -237,6 +251,21 @@ fn main() -> ExitCode {
         println!(
             "under-drift / drift-off:                 {ratio:>18.3}{flag} (budget {:.0}%)",
             drift_budget * 100.0
+        );
+        failed |= over;
+    }
+    // Paired bound, fresh-run only: routing the same workload through the
+    // entropy mesh (tiered placement, cross-tier failover armed) must stay
+    // within its overhead budget.
+    let mesh_budget = std::env::var("BENCH_MESH_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.15);
+    if let Some((ratio, over)) = mesh_overhead(&fresh, mesh_budget) {
+        let flag = if over { "  <-- OVER BUDGET" } else { "" };
+        println!(
+            "mesh-failover-on / failover-off:         {ratio:>18.3}{flag} (budget {:.0}%)",
+            mesh_budget * 100.0
         );
         failed |= over;
     }
@@ -379,6 +408,24 @@ mod tests {
         assert!(export_overhead(&fresh, 0.05).unwrap().1, "10% overhead must fail");
         // Missing either side (e.g. a filtered run): no verdict.
         assert!(export_overhead(&results(&[("a", 1.0)]), 0.05).is_none());
+    }
+
+    #[test]
+    fn mesh_overhead_gate_pairs_the_on_off_benches() {
+        let fresh = results(&[
+            ("rng_service_mesh_failover_off", 1000.0),
+            ("rng_service_mesh_failover_on", 1080.0),
+        ]);
+        let (ratio, over) = mesh_overhead(&fresh, 0.15).unwrap();
+        assert!((ratio - 1.08).abs() < 1e-12);
+        assert!(!over, "8% overhead is within the 15% budget");
+        let fresh = results(&[
+            ("rng_service_mesh_failover_off", 1000.0),
+            ("rng_service_mesh_failover_on", 1250.0),
+        ]);
+        assert!(mesh_overhead(&fresh, 0.15).unwrap().1, "25% overhead must fail");
+        // Missing either side (e.g. a filtered run): no verdict.
+        assert!(mesh_overhead(&results(&[("a", 1.0)]), 0.15).is_none());
     }
 
     #[test]

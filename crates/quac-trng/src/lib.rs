@@ -20,6 +20,9 @@
 //! * [`throughput`] — the analytic throughput/latency models behind
 //!   Figures 11 and 13 and Table 2.
 //! * [`integration`] — the system-integration cost accounting of Section 9.
+//! * [`backend`] — the [`EntropyBackend`] trait that puts this pipeline and
+//!   the alternative DRAM TRNG mechanisms (`qt_baselines`) behind one
+//!   seeded, deterministic, fault-injectable interface for the RNG service.
 //!
 //! ## Quickstart
 //!
@@ -36,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod characterize;
 pub mod fault;
@@ -43,6 +47,7 @@ pub mod integration;
 pub mod pipeline;
 pub mod throughput;
 
+pub use backend::{BackendClass, BackendKind, EntropyBackend};
 pub use cache::CharacterizationCache;
 pub use characterize::{CharacterizationConfig, ModuleCharacterization, PatternStats};
 pub use fault::{FaultInjector, FaultMode};

@@ -11,14 +11,15 @@
 //! state lock, which is what keeps every control decision a pure function of
 //! observable state and the replay-determinism contract intact.
 
+use crate::correlation::CorrelationMonitor;
 use crate::health::{ShardHealth, ShardState};
-use crate::placement::{LeastLoaded, PlacementPolicy};
+use crate::placement::{LeastLoaded, PlacementPolicy, TieredPlacement};
 use crate::request::RngRequest;
 use crate::state::{Lifecycle, RngServiceConfig, Shared, State};
 use crate::ticket::{Expired, Outcome};
 use crate::validate::{StreamValidator, TapChunk};
 use qt_dram_core::BitVec;
-use quac_trng::pipeline::QuacTrng;
+use quac_trng::EntropyBackend;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -121,6 +122,18 @@ impl ServicePolicies {
             requalify: Box::new(RecharacterizeOnQuarantine),
         }
     }
+
+    /// The stock policies of a heterogeneous mesh
+    /// ([`RngService::start_mesh`](crate::RngService::start_mesh)):
+    /// [`TieredPlacement`] routing by backend kind and priority, the
+    /// config's [`DegradedPolicy`], and [`RecharacterizeOnQuarantine`].
+    pub fn for_mesh(cfg: &RngServiceConfig) -> Self {
+        ServicePolicies {
+            placement: Box::new(TieredPlacement),
+            admission: Box::new(cfg.degraded),
+            requalify: Box::new(RecharacterizeOnQuarantine),
+        }
+    }
 }
 
 /// What the requalification loop should do next, checked between its
@@ -163,7 +176,7 @@ fn requalify_gate(shared: &Shared, shard_idx: usize) -> RequalifyGate {
 pub(crate) fn requalify_shard(
     shared: &Shared,
     shard_idx: usize,
-    trng: &mut QuacTrng,
+    trng: &mut dyn EntropyBackend,
     scratch: &mut Vec<u8>,
 ) -> bool {
     let vcfg = &shared.cfg.validation;
@@ -233,6 +246,10 @@ pub(crate) fn requalify_shard(
 pub(crate) fn validator_loop(shared: &Shared, rx: &mpsc::Receiver<TapChunk>, shard_count: usize) {
     let vcfg = &shared.cfg.validation;
     let mut validator = StreamValidator::new(shard_count, vcfg.window_bits);
+    let mut monitor = vcfg
+        .correlation
+        .enabled
+        .then(|| CorrelationMonitor::new(shard_count, vcfg.correlation));
     while let Ok(chunk) = rx.recv() {
         if !vcfg.lossless_tap {
             // Mirror of the worker-side increment: the occupancy estimate
@@ -252,7 +269,49 @@ pub(crate) fn validator_loop(shared: &Shared, rx: &mpsc::Receiver<TapChunk>, sha
         };
         if skip {
             validator.reset_shard(chunk.shard);
+            if let Some(monitor) = monitor.as_mut() {
+                monitor.reset_shard(chunk.shard);
+            }
             continue;
+        }
+        // Cross-correlation first: a common-mode conviction fences both
+        // members of the pair, and the chunk's own battery grading is then
+        // skipped (its shard just stopped serving).
+        if let Some(monitor) = monitor.as_mut() {
+            let outcome = monitor.ingest(chunk.shard, &chunk.bytes);
+            if outcome.compared > 0 || !outcome.tripped.is_empty() {
+                let mut st = shared.state.lock().expect("service state poisoned");
+                st.stats.validation.correlation_windows += outcome.compared;
+                for &(a, b) in &outcome.tripped {
+                    st.stats.validation.correlation_trips += 1;
+                    // Neither stream can be presumed sound: fence both and
+                    // re-place their queued work, exactly like a windowed
+                    // quarantine trip.
+                    for shard in [a, b] {
+                        if st.health[shard].is_serving() {
+                            st.health[shard].force_quarantine();
+                            st.stats.validation.quarantines += 1;
+                            failover_shard_queue(&mut st, &*shared.policies.placement, shard);
+                        }
+                    }
+                    shared.work.notify_all();
+                    shared.space.notify_all();
+                }
+                drop(st);
+                for (a, b) in outcome.tripped {
+                    for shard in [a, b] {
+                        validator.reset_shard(shard);
+                        monitor.reset_shard(shard);
+                    }
+                }
+            }
+        }
+        {
+            // The correlation pass may have fenced this chunk's own shard.
+            let st = shared.state.lock().expect("service state poisoned");
+            if !st.health[chunk.shard].is_serving() {
+                continue;
+            }
         }
         let mut fenced = false;
         validator.ingest(&chunk, |report| {
@@ -388,7 +447,10 @@ pub(crate) fn failover_shard_queue(
     st.shards[from].drain_ordered(&mut moved);
     let count = moved.len() as u64;
     for req in moved {
-        let target = st.place(placement);
+        // Re-placement consults the policy with the request's own priority,
+        // so tier-aware failover sends latency-sensitive work to the fast
+        // tier and bulk work to the throughput tier, deterministically.
+        let target = st.place(placement, req.priority);
         st.shard_load[from] -= req.len;
         st.shard_load[target] += req.len;
         st.shards[target].push(req);

@@ -6,7 +6,12 @@
 //!
 //! Layout choices, pinned by the golden-format test:
 //!
-//! * Counters end in `_total`; per-shard series carry a `shard="N"` label.
+//! * Counters end in `_total`; per-shard series carry a `shard="N"` label
+//!   plus a `backend="quac|drange|retention"` label naming the shard's
+//!   [`BackendKind`](quac_trng::BackendKind) (from the snapshot's
+//!   `backend_kinds`; a snapshot
+//!   without kinds — e.g. a bare `ServiceStats::default()` — labels every
+//!   shard `quac`, the homogeneous pre-mesh reading).
 //! * The log₂ [`Histogram`]s export as cumulative
 //!   `_bucket{le="..."}` series: bucket 0 (zeros) has edge `0`, bucket `i`
 //!   covers `[2^(i−1), 2^i)` so its inclusive integer edge is `2^i − 1`,
@@ -20,6 +25,13 @@
 
 use crate::stats::{Histogram, ServiceStats};
 use std::fmt::Write as _;
+
+/// The `backend="..."` label value for one shard: its recorded
+/// [`BackendKind`](quac_trng::BackendKind), defaulting to `quac` for
+/// snapshots that predate the mesh (or were built by hand without kinds).
+fn backend_label(stats: &ServiceStats, shard: usize) -> &'static str {
+    stats.backend_kinds.get(shard).map_or("quac", |kind| kind.label())
+}
 
 /// Renders `stats` as Prometheus text exposition (version 0.0.4). The
 /// output is a deterministic function of the snapshot: same stats, same
@@ -66,7 +78,11 @@ pub fn prometheus_text(stats: &ServiceStats) -> String {
     );
     help_type(&mut out, "qt_rng_shard_delivered_bytes_total", "Bytes delivered by each shard.", "counter");
     for (shard, bytes) in stats.per_shard_bytes.iter().enumerate() {
-        let _ = writeln!(out, "qt_rng_shard_delivered_bytes_total{{shard=\"{shard}\"}} {bytes}");
+        let backend = backend_label(stats, shard);
+        let _ = writeln!(
+            out,
+            "qt_rng_shard_delivered_bytes_total{{shard=\"{shard}\",backend=\"{backend}\"}} {bytes}"
+        );
     }
     counter(
         &mut out,
@@ -116,6 +132,18 @@ pub fn prometheus_text(stats: &ServiceStats) -> String {
         "Readmissions after a passed probation.",
         stats.validation.readmissions,
     );
+    counter(
+        &mut out,
+        "qt_rng_validation_correlation_windows_total",
+        "Same-index window pairs compared by the cross-correlation monitor.",
+        stats.validation.correlation_windows,
+    );
+    counter(
+        &mut out,
+        "qt_rng_validation_correlation_trips_total",
+        "Shard pairs force-quarantined for inter-backend correlation.",
+        stats.validation.correlation_trips,
+    );
     if !stats.shard_health.is_empty() {
         help_type(
             &mut out,
@@ -126,7 +154,8 @@ pub fn prometheus_text(stats: &ServiceStats) -> String {
         for (shard, h) in stats.shard_health.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "qt_rng_shard_serving{{shard=\"{shard}\"}} {}",
+                "qt_rng_shard_serving{{shard=\"{shard}\",backend=\"{}\"}} {}",
+                backend_label(stats, shard),
                 u8::from(h.is_serving())
             );
         }
@@ -137,7 +166,12 @@ pub fn prometheus_text(stats: &ServiceStats) -> String {
             "gauge",
         );
         for (shard, h) in stats.shard_health.iter().enumerate() {
-            let _ = writeln!(out, "qt_rng_shard_pass_ewma{{shard=\"{shard}\"}} {}", h.pass_ewma);
+            let _ = writeln!(
+                out,
+                "qt_rng_shard_pass_ewma{{shard=\"{shard}\",backend=\"{}\"}} {}",
+                backend_label(stats, shard),
+                h.pass_ewma
+            );
         }
         help_type(
             &mut out,
@@ -146,8 +180,12 @@ pub fn prometheus_text(stats: &ServiceStats) -> String {
             "counter",
         );
         for (shard, h) in stats.shard_health.iter().enumerate() {
-            let _ =
-                writeln!(out, "qt_rng_shard_quarantines_total{{shard=\"{shard}\"}} {}", h.quarantines);
+            let _ = writeln!(
+                out,
+                "qt_rng_shard_quarantines_total{{shard=\"{shard}\",backend=\"{}\"}} {}",
+                backend_label(stats, shard),
+                h.quarantines
+            );
         }
         help_type(
             &mut out,
@@ -158,7 +196,8 @@ pub fn prometheus_text(stats: &ServiceStats) -> String {
         for (shard, h) in stats.shard_health.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "qt_rng_shard_readmissions_total{{shard=\"{shard}\"}} {}",
+                "qt_rng_shard_readmissions_total{{shard=\"{shard}\",backend=\"{}\"}} {}",
+                backend_label(stats, shard),
                 h.readmissions
             );
         }
@@ -284,17 +323,28 @@ mod tests {
     #[test]
     fn shard_health_exports_with_labels() {
         use crate::health::{ShardHealth, ShardState};
+        use quac_trng::BackendKind;
         let mut stats = ServiceStats { per_shard_bytes: vec![64, 128], ..Default::default() };
         let mut fenced = ShardHealth::new();
         fenced.state = ShardState::Quarantined;
         fenced.quarantines = 3;
         stats.shard_health = vec![ShardHealth::new(), fenced];
+        stats.backend_kinds = vec![BackendKind::Quac, BackendKind::DRange];
         let text = prometheus_text(&stats);
-        assert!(text.contains("qt_rng_shard_delivered_bytes_total{shard=\"0\"} 64\n"));
-        assert!(text.contains("qt_rng_shard_delivered_bytes_total{shard=\"1\"} 128\n"));
-        assert!(text.contains("qt_rng_shard_serving{shard=\"0\"} 1\n"));
-        assert!(text.contains("qt_rng_shard_serving{shard=\"1\"} 0\n"));
-        assert!(text.contains("qt_rng_shard_quarantines_total{shard=\"1\"} 3\n"));
-        assert!(text.contains("qt_rng_shard_pass_ewma{shard=\"0\"} 1\n"));
+        assert!(text.contains("qt_rng_shard_delivered_bytes_total{shard=\"0\",backend=\"quac\"} 64\n"));
+        assert!(text.contains("qt_rng_shard_delivered_bytes_total{shard=\"1\",backend=\"drange\"} 128\n"));
+        assert!(text.contains("qt_rng_shard_serving{shard=\"0\",backend=\"quac\"} 1\n"));
+        assert!(text.contains("qt_rng_shard_serving{shard=\"1\",backend=\"drange\"} 0\n"));
+        assert!(text.contains("qt_rng_shard_quarantines_total{shard=\"1\",backend=\"drange\"} 3\n"));
+        assert!(text.contains("qt_rng_shard_pass_ewma{shard=\"0\",backend=\"quac\"} 1\n"));
+        assert!(text.contains("qt_rng_validation_correlation_windows_total 0\n"));
+        assert!(text.contains("qt_rng_validation_correlation_trips_total 0\n"));
+    }
+
+    #[test]
+    fn a_snapshot_without_kinds_labels_every_shard_quac() {
+        let stats = ServiceStats { per_shard_bytes: vec![7], ..Default::default() };
+        let text = prometheus_text(&stats);
+        assert!(text.contains("qt_rng_shard_delivered_bytes_total{shard=\"0\",backend=\"quac\"} 7\n"));
     }
 }

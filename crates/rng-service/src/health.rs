@@ -159,6 +159,17 @@ impl ShardHealth {
         quarantine
     }
 
+    /// Quarantines a healthy shard directly, outside the windowed
+    /// EWMA/streak rule — the path the cross-correlation monitor takes when
+    /// an *inter-shard* statistic (not this shard's own windows) convicts
+    /// it of a common-mode fault. No-op unless currently serving.
+    pub fn force_quarantine(&mut self) {
+        if self.state == ShardState::Healthy {
+            self.state = ShardState::Quarantined;
+            self.quarantines += 1;
+        }
+    }
+
     /// Marks the start of a probation run (after a recharacterisation).
     pub fn begin_probation(&mut self) {
         self.state = ShardState::Probation;

@@ -45,11 +45,24 @@
 //!
 //! * [`service`] — [`RngServiceConfig`], admission (backpressure, deadline
 //!   checks), thread lifecycle. [`RngService::start_with_policies`] is the
-//!   injection point for a custom [`ServicePolicies`] set.
+//!   injection point for a custom [`ServicePolicies`] set;
+//!   [`RngService::start_mesh`] runs a heterogeneous **entropy mesh** of
+//!   boxed [`EntropyBackend`](quac_trng::EntropyBackend)s (QUAC, D-RaNGe,
+//!   retention) with tiered placement and cross-tier failover.
 //! * [`placement`] — [`PlacementPolicy`] + the default
 //!   [`least_loaded_shard`] rule: least-loaded serving shard, rotation
 //!   tie-break (so an idle service degrades to round-robin), quarantined
-//!   shards skipped while any healthy shard exists.
+//!   shards skipped while any healthy shard exists. [`TieredPlacement`]
+//!   routes by priority across backend kinds and falls through tiers as
+//!   quarantine empties them.
+//! * [`mixer`] — cross-source conditioning: XOR-fold + batched SHA-256 over
+//!   two independent backends' streams ([`RngService::submit_mixed`],
+//!   [`MixedTicket`]), pinned bit-for-bit to the scalar
+//!   [`mix_reference`](mixer::mix_reference) twin.
+//! * [`correlation`] — the cross-correlation health check: windowed
+//!   inter-shard bit-agreement statistic; a correlated pair is
+//!   force-quarantined whole (catches common-mode faults per-stream
+//!   batteries cannot see).
 //! * [`control`] — [`AdmissionPolicy`] (what a blocking submission does
 //!   while *every* shard is fenced, stock impl [`DegradedPolicy`]),
 //!   [`RequalifyPolicy`] (recharacterise-on-quarantine pacing), and the
@@ -140,8 +153,10 @@
 #![warn(missing_docs)]
 
 pub mod control;
+pub mod correlation;
 pub mod export;
 pub mod health;
+pub mod mixer;
 pub mod placement;
 pub mod queue;
 pub mod request;
@@ -153,8 +168,10 @@ pub(crate) mod state;
 pub(crate) mod worker;
 
 pub use control::{AdmissionPolicy, DegradedPolicy, RequalifyPolicy, ServicePolicies};
+pub use correlation::{bit_agreement, CorrelationConfig, CorrelationMonitor};
 pub use health::{HealthPolicy, ShardHealth, ShardState};
-pub use placement::{least_loaded_shard, PlacementPolicy};
+pub use mixer::{MixedCompletion, MixedTicket};
+pub use placement::{least_loaded_shard, PlacementPolicy, TieredPlacement};
 pub use queue::ShardScheduler;
 pub use request::{ClientId, Completion, Priority, RngRequest, SubmitError};
 pub use service::RngService;

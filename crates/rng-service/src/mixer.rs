@@ -1,0 +1,186 @@
+//! Cross-source mixer: combine two *independent* backend streams so the
+//! output stays unpredictable unless **both** sources fail together.
+//!
+//! The construction is the classic two-stage conditioner:
+//!
+//! 1. **XOR-fold** — bitwise XOR of the two equal-length source streams.
+//!    XOR of an adversarially known stream with an unpredictable one is
+//!    still unpredictable, so the fold inherits the entropy of whichever
+//!    source is sound.
+//! 2. **SHA-256 2:1 conditioning** — each 64-byte folded block hashes to a
+//!    32-byte digest (the paper's post-processing ratio, batched through
+//!    the word-parallel `qt_crypto::batch` lanes), concentrating the
+//!    folded entropy and breaking any residual structure.
+//!
+//! [`mix`] is the hot path; [`mix_reference`] is the frozen scalar twin
+//! (per-block `Sha256::digest`), proptest-pinned bit-identical — the same
+//! fast/reference discipline every generator in the workspace follows.
+//! [`RngService::submit_mixed`](crate::RngService::submit_mixed) drives the
+//! mixer end-to-end: it places one request on each of two serving shards
+//! with *distinct* backend kinds and mixes their completions.
+
+use crate::request::Completion;
+use crate::ticket::{Ticket, WaitError};
+use qt_crypto::batch::digest_many_into;
+use qt_crypto::sha256::Sha256;
+
+/// Bytes each source must contribute so [`mix`] can emit at least
+/// `out_len` conditioned bytes: `2 · out_len`, rounded up to the 64-byte
+/// conditioning block.
+pub fn source_len(out_len: usize) -> usize {
+    (2 * out_len).div_ceil(64).max(1) * 64
+}
+
+/// Bitwise XOR of two equal-length streams.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn xor_fold(a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert_eq!(a.len(), b.len(), "xor-fold needs equal-length sources");
+    a.iter().zip(b).map(|(x, y)| x ^ y).collect()
+}
+
+/// XOR-fold then SHA-256 2:1 conditioning (the batched hot path). Emits
+/// `a.len() / 2` bytes.
+///
+/// # Panics
+///
+/// Panics if the sources differ in length or the length is not a positive
+/// multiple of the 64-byte conditioning block.
+pub fn mix(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let folded = xor_fold(a, b);
+    assert!(
+        !folded.is_empty() && folded.len() % 64 == 0,
+        "mixer input must be a positive multiple of 64 bytes, got {}",
+        folded.len()
+    );
+    let blocks: Vec<&[u8]> = folded.chunks(64).collect();
+    let mut digests = Vec::new();
+    digest_many_into(&blocks, &mut digests);
+    let mut out = Vec::with_capacity(folded.len() / 2);
+    for digest in &digests {
+        out.extend_from_slice(digest);
+    }
+    out
+}
+
+/// The frozen scalar twin of [`mix`]: per-block fold + one-message
+/// [`Sha256::digest`]. Bit-identical to the hot path (the crypto batch
+/// tests pin `digest_many` ≡ scalar digesting).
+pub fn mix_reference(a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert_eq!(a.len(), b.len(), "xor-fold needs equal-length sources");
+    assert!(!a.is_empty() && a.len() % 64 == 0, "mixer input must be 64-byte blocks");
+    let mut out = Vec::with_capacity(a.len() / 2);
+    for (block_a, block_b) in a.chunks(64).zip(b.chunks(64)) {
+        let folded: Vec<u8> = block_a.iter().zip(block_b).map(|(x, y)| x ^ y).collect();
+        out.extend_from_slice(&Sha256::digest(&folded));
+    }
+    out
+}
+
+/// The receipt for a mixed submission: one [`Ticket`] per independent
+/// source. Redeem with [`MixedTicket::wait`], which joins both completions
+/// and returns the conditioned mix.
+#[derive(Debug)]
+pub struct MixedTicket {
+    first: Ticket,
+    second: Ticket,
+    len: usize,
+}
+
+/// A served mixed request: the conditioned bytes plus both source
+/// completions, so provenance (and the reference twin) stays checkable —
+/// `mix_reference(&first.bytes, &second.bytes)` truncated to the requested
+/// length reproduces `bytes` bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixedCompletion {
+    /// Completion of the first source (earlier backend kind in the fixed
+    /// QUAC → D-RaNGe → retention order).
+    pub first: Completion,
+    /// Completion of the second source.
+    pub second: Completion,
+    /// The mixed, conditioned bytes — exactly the requested length.
+    pub bytes: Vec<u8>,
+}
+
+impl MixedTicket {
+    pub(crate) fn new(first: Ticket, second: Ticket, len: usize) -> Self {
+        MixedTicket { first, second, len }
+    }
+
+    /// The shards the two halves were placed on at admission (failover may
+    /// re-place them; the completions are authoritative).
+    pub fn sources(&self) -> (Option<usize>, Option<usize>) {
+        (self.first.shard(), self.second.shard())
+    }
+
+    /// Blocks until both halves resolve, then mixes and truncates to the
+    /// requested length.
+    ///
+    /// # Errors
+    ///
+    /// The first terminal error of either half (see [`Ticket::wait`]).
+    pub fn wait(self) -> Result<MixedCompletion, WaitError> {
+        let first = self.first.wait()?;
+        let second = self.second.wait()?;
+        let mut bytes = mix(&first.bytes, &second.bytes);
+        bytes.truncate(self.len);
+        Ok(MixedCompletion { first, second, bytes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn source_len_covers_the_request_and_rounds_to_blocks() {
+        for out_len in [0usize, 1, 31, 32, 33, 64, 100, 4096] {
+            let src = source_len(out_len);
+            assert_eq!(src % 64, 0);
+            assert!(src >= 64);
+            assert!(src / 2 >= out_len, "source {src} too small for {out_len}");
+            assert!(src < 2 * out_len + 128, "source {src} wastes bytes for {out_len}");
+        }
+    }
+
+    #[test]
+    fn xor_fold_is_an_involution() {
+        let a = vec![0xA5u8; 64];
+        let b: Vec<u8> = (0..64u8).collect();
+        let folded = xor_fold(&a, &b);
+        assert_eq!(xor_fold(&folded, &b), a);
+    }
+
+    #[test]
+    fn mix_halves_the_length_and_depends_on_both_sources() {
+        let a = vec![0x11u8; 128];
+        let b = vec![0x22u8; 128];
+        let mixed = mix(&a, &b);
+        assert_eq!(mixed.len(), 64);
+        assert_ne!(mix(&a, &a), mixed, "changing one source must change the mix");
+        // Order independence: XOR commutes, so the conditioned mix does too.
+        assert_eq!(mix(&b, &a), mixed);
+    }
+
+    proptest! {
+        /// Satellite pin: the batched hot path and the scalar reference
+        /// twin agree bit for bit on arbitrary block-aligned sources.
+        #[test]
+        fn prop_mix_matches_the_scalar_reference(
+            seed_a in any::<u64>(),
+            seed_b in any::<u64>(),
+            blocks in 1usize..9,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let gen = |seed: u64| -> Vec<u8> {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                (0..blocks * 64).map(|_| (rng.gen::<u64>() & 0xFF) as u8).collect()
+            };
+            let (a, b) = (gen(seed_a), gen(seed_b));
+            prop_assert_eq!(mix(&a, &b), mix_reference(&a, &b));
+        }
+    }
+}

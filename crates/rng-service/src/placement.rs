@@ -11,6 +11,8 @@
 //! inherits the same replay guarantee if it is deterministic in the view.
 
 use crate::health::ShardHealth;
+use crate::request::Priority;
+use quac_trng::BackendKind;
 
 /// A read-only snapshot of what placement may consult, taken under the
 /// service state lock at one admission (or failover re-placement).
@@ -22,6 +24,13 @@ pub struct PlacementView<'a> {
     /// Per-shard validation health; the default rule never places on a
     /// shard that is not serving while any serving shard exists.
     pub health: &'a [ShardHealth],
+    /// The entropy-backend kind behind each shard — what
+    /// [`TieredPlacement`] routes across (all `Quac` for a homogeneous
+    /// [`RngService::start`](crate::RngService::start) instance).
+    pub kinds: &'a [BackendKind],
+    /// Priority of the request being placed, for policies that route
+    /// latency-sensitive work differently from bulk work.
+    pub priority: Priority,
     /// Rotation point for tie-breaking, advanced past each pick by the
     /// service so equal loads degrade to round-robin.
     pub rotation: usize,
@@ -47,6 +56,63 @@ pub struct LeastLoaded;
 
 impl PlacementPolicy for LeastLoaded {
     fn place(&self, view: &PlacementView<'_>) -> usize {
+        least_loaded_shard(
+            view.loads.len(),
+            view.rotation,
+            |i| view.loads[i],
+            |i| !view.health[i].is_serving(),
+        )
+    }
+}
+
+/// Tier-aware placement over a heterogeneous entropy mesh: route each
+/// request to its preferred backend tier, falling through to slower tiers
+/// when the preferred one has no serving shard.
+///
+/// The tier preference is a pure function of the request priority:
+///
+/// * [`Priority::High`] (latency-sensitive) → D-RaNGe, then QUAC, then
+///   retention — D-RaNGe produces one number in a single reduced-tRCD
+///   read, the lowest-latency mechanism in the mesh.
+/// * [`Priority::Normal`] (bulk) → QUAC, then D-RaNGe, then retention —
+///   QUAC has ~10× the per-channel throughput.
+///
+/// Retention is always the last resort (slow, bursty). Within the chosen
+/// tier the rule is exactly [`least_loaded_shard`] with non-tier shards
+/// masked out, so the policy inherits its round-robin tie-break and the
+/// replay-determinism contract. When *no* shard in any tier is serving
+/// (the degraded state) it falls back to plain least-loaded over all
+/// shards, keeping the rule total like the default policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TieredPlacement;
+
+impl TieredPlacement {
+    /// The backend-tier preference order for a request priority.
+    pub fn tier_order(priority: Priority) -> [BackendKind; 3] {
+        match priority {
+            Priority::High => [BackendKind::DRange, BackendKind::Quac, BackendKind::Retention],
+            Priority::Normal => [BackendKind::Quac, BackendKind::DRange, BackendKind::Retention],
+        }
+    }
+}
+
+impl PlacementPolicy for TieredPlacement {
+    fn place(&self, view: &PlacementView<'_>) -> usize {
+        let serving_kind = |i: usize, kind: BackendKind| {
+            view.health[i].is_serving() && view.kinds.get(i).copied() == Some(kind)
+        };
+        for kind in Self::tier_order(view.priority) {
+            if (0..view.loads.len()).any(|i| serving_kind(i, kind)) {
+                return least_loaded_shard(
+                    view.loads.len(),
+                    view.rotation,
+                    |i| view.loads[i],
+                    |i| !serving_kind(i, kind),
+                );
+            }
+        }
+        // Every shard of every tier is fenced (or kinds are unknown):
+        // degrade to the default rule so the pick stays total.
         least_loaded_shard(
             view.loads.len(),
             view.rotation,
@@ -152,12 +218,66 @@ mod tests {
         let loads = [40usize, 10, 10];
         let mut health = vec![ShardHealth::new(); 3];
         health[1].state = ShardState::Quarantined;
-        let view = PlacementView { loads: &loads, health: &health, rotation: 0 };
+        let view = PlacementView {
+            loads: &loads,
+            health: &health,
+            kinds: &[BackendKind::Quac; 3],
+            priority: Priority::Normal,
+            rotation: 0,
+        };
         // Shard 1 has minimal load but is fenced: the policy must pick 2.
         assert_eq!(LeastLoaded.place(&view), 2);
         let expected =
             least_loaded_shard(3, 0, |i| loads[i], |i| !health[i].is_serving());
         assert_eq!(LeastLoaded.place(&view), expected);
+    }
+
+    #[test]
+    fn tiered_placement_routes_by_priority_and_falls_through_tiers() {
+        use crate::health::ShardState;
+        fn place(health: &[ShardHealth], priority: Priority) -> usize {
+            let kinds = [BackendKind::Quac, BackendKind::DRange, BackendKind::Retention];
+            TieredPlacement.place(&PlacementView {
+                loads: &[0, 100, 0],
+                health,
+                kinds: &kinds,
+                priority,
+                rotation: 0,
+            })
+        }
+        let mut health = vec![ShardHealth::new(); 3];
+        // Bulk work goes to the (idle) QUAC shard; latency-sensitive work
+        // goes to the D-RaNGe shard even though it is busier.
+        assert_eq!(place(&health, Priority::Normal), 0);
+        assert_eq!(place(&health, Priority::High), 1);
+        // QUAC fenced: bulk falls through to D-RaNGe, never to retention
+        // while D-RaNGe serves.
+        health[0].state = ShardState::Quarantined;
+        assert_eq!(place(&health, Priority::Normal), 1);
+        // D-RaNGe also fenced: both priorities land on the retention tier.
+        health[1].state = ShardState::Quarantined;
+        assert_eq!(place(&health, Priority::Normal), 2);
+        assert_eq!(place(&health, Priority::High), 2);
+        // Everything fenced: total fallback, least-loaded over all shards.
+        health[2].state = ShardState::Quarantined;
+        assert_eq!(place(&health, Priority::Normal), 0);
+    }
+
+    #[test]
+    fn tiered_placement_is_least_loaded_within_a_tier() {
+        let kinds = [BackendKind::Quac, BackendKind::Quac, BackendKind::DRange];
+        let loads = [50usize, 10, 0];
+        let health = vec![ShardHealth::new(); 3];
+        let view = PlacementView {
+            loads: &loads,
+            health: &health,
+            kinds: &kinds,
+            priority: Priority::Normal,
+            rotation: 0,
+        };
+        // The idle D-RaNGe shard is outside the preferred tier: the less
+        // loaded of the two QUAC shards wins.
+        assert_eq!(TieredPlacement.place(&view), 1);
     }
 
     proptest! {

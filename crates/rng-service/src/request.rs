@@ -110,6 +110,15 @@ pub enum SubmitError {
         /// Number of shards, all of which are currently out of placement.
         quarantined: usize,
     },
+    /// A mixed submission
+    /// ([`submit_mixed`](crate::RngService::submit_mixed)) needs two serving
+    /// shards with *distinct* backend kinds, and fewer kinds are currently
+    /// serving — a mesh degraded to a single tier still serves plain
+    /// submissions but cannot vouch for multi-source independence.
+    NoIndependentSources {
+        /// Distinct backend kinds with at least one serving shard.
+        serving_kinds: usize,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -127,6 +136,10 @@ impl fmt::Display for SubmitError {
             SubmitError::Degraded { quarantined } => {
                 write!(f, "service degraded: all {quarantined} shards are quarantined")
             }
+            SubmitError::NoIndependentSources { serving_kinds } => write!(
+                f,
+                "mixed submission needs two distinct serving backend kinds, only {serving_kinds} serving"
+            ),
         }
     }
 }

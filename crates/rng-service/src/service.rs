@@ -7,6 +7,7 @@
 
 use crate::control::{expiry_loop, validator_loop, ServicePolicies};
 use crate::health::ShardHealth;
+use crate::mixer::{self, MixedTicket};
 use crate::queue::ShardScheduler;
 use crate::request::{ClientId, Priority, RngRequest, SubmitError};
 use crate::state::{Lifecycle, RngServiceConfig, Shared, State};
@@ -15,6 +16,7 @@ use crate::ticket::{Expired, Ticket};
 use crate::validate::TapChunk;
 use crate::worker::worker_loop;
 use quac_trng::pipeline::QuacTrng;
+use quac_trng::{BackendKind, EntropyBackend};
 use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -66,7 +68,52 @@ impl RngService {
         cfg: RngServiceConfig,
         policies: ServicePolicies,
     ) -> Self {
-        assert!(!shards.is_empty(), "the RNG service needs at least one shard");
+        let backends = shards
+            .into_iter()
+            .map(|shard| Box::new(shard) as Box<dyn EntropyBackend>)
+            .collect();
+        Self::start_backends(backends, cfg, policies)
+    }
+
+    /// Starts the service over a heterogeneous set of entropy backends — the
+    /// **entropy mesh** — with the mesh policies
+    /// ([`ServicePolicies::for_mesh`]): tiered placement routes
+    /// latency-sensitive ([`Priority::High`]) requests to D-RaNGe shards and
+    /// bulk ([`Priority::Normal`]) to QUAC shards, with retention the last
+    /// resort, and quarantine failover re-places a fenced shard's queue
+    /// across the remaining tiers by the same rule. Each shard's
+    /// [`BackendKind`] is taken from its
+    /// [`class`](quac_trng::EntropyBackend::class), and the per-backend
+    /// metric labels in [`export`](crate::export) follow it.
+    ///
+    /// # Panics
+    ///
+    /// As [`RngService::start`].
+    pub fn start_mesh(backends: Vec<Box<dyn EntropyBackend>>, cfg: RngServiceConfig) -> Self {
+        let policies = ServicePolicies::for_mesh(&cfg);
+        Self::start_backends(backends, cfg, policies)
+    }
+
+    /// Like [`RngService::start_mesh`], with an explicit control-plane
+    /// policy set.
+    ///
+    /// # Panics
+    ///
+    /// As [`RngService::start`].
+    pub fn start_mesh_with_policies(
+        backends: Vec<Box<dyn EntropyBackend>>,
+        cfg: RngServiceConfig,
+        policies: ServicePolicies,
+    ) -> Self {
+        Self::start_backends(backends, cfg, policies)
+    }
+
+    fn start_backends(
+        backends: Vec<Box<dyn EntropyBackend>>,
+        cfg: RngServiceConfig,
+        policies: ServicePolicies,
+    ) -> Self {
+        assert!(!backends.is_empty(), "the RNG service needs at least one shard");
         if cfg.validation.enabled {
             // Fail here, in the caller's thread — a malformed window would
             // otherwise panic the validator/worker threads at first use,
@@ -77,7 +124,9 @@ impl RngService {
                 cfg.validation.window_bits
             );
         }
-        let shard_count = shards.len();
+        let shard_count = backends.len();
+        let backend_kinds: Vec<BackendKind> =
+            backends.iter().map(|backend| backend.class().kind).collect();
         let shared = Arc::new(Shared {
             cfg,
             policies,
@@ -88,6 +137,7 @@ impl RngService {
                 in_flight_bytes: 0,
                 shard_load: vec![0; shard_count],
                 health: vec![ShardHealth::new(); shard_count],
+                backend_kinds,
                 shard_epoch: vec![0; shard_count],
                 next_shard: 0,
                 next_seq: 0,
@@ -112,7 +162,7 @@ impl RngService {
         } else {
             (None, None)
         };
-        let workers = shards
+        let workers = backends
             .into_iter()
             .enumerate()
             .map(|(idx, trng)| {
@@ -335,6 +385,60 @@ impl RngService {
         Ok(self.admit(&mut st, client, priority, len, deadline))
     }
 
+    /// Submits a request that demands **multi-source independence**: one
+    /// half is placed on each of two serving shards with *distinct* backend
+    /// kinds (chosen deterministically — see
+    /// [`MixedTicket`](crate::mixer::MixedTicket)), and redeeming the ticket
+    /// XOR-folds the two streams and SHA-256-conditions the fold
+    /// ([`mixer::mix`]), so the output stays unpredictable unless both
+    /// sources fail together. Each source contributes
+    /// [`mixer::source_len`]`(len)` bytes; the caller receives exactly `len`.
+    /// Parks on the in-flight budget like [`RngService::submit`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::NoIndependentSources`] when fewer than two backend
+    /// kinds have a serving shard (a mesh degraded to one tier serves plain
+    /// submissions but cannot vouch for independence — this fails fast
+    /// rather than parking); otherwise everything [`RngService::submit`]
+    /// returns, with the budget checks applied to the *combined* source
+    /// bytes.
+    pub fn submit_mixed(
+        &self,
+        client: ClientId,
+        priority: Priority,
+        len: usize,
+    ) -> Result<MixedTicket, SubmitError> {
+        self.validate(len)?;
+        let per_source = mixer::source_len(len);
+        let total = 2 * per_source;
+        if total > self.shared.cfg.max_inflight_bytes {
+            return Err(SubmitError::TooLarge {
+                requested: total,
+                budget: self.shared.cfg.max_inflight_bytes,
+            });
+        }
+        let mut st = self.lock();
+        loop {
+            if st.lifecycle != Lifecycle::Running {
+                return Err(SubmitError::ShuttingDown);
+            }
+            let Some((first, second)) =
+                pick_independent_sources(&st.backend_kinds, &st.health, &st.shard_load)
+            else {
+                let serving_kinds = serving_kind_count(&st.backend_kinds, &st.health);
+                st.stats.degraded_rejections += 1;
+                return Err(SubmitError::NoIndependentSources { serving_kinds });
+            };
+            if st.in_flight_bytes + total <= self.shared.cfg.max_inflight_bytes {
+                let a = self.admit_to(&mut st, client, priority, per_source, None, first);
+                let b = self.admit_to(&mut st, client, priority, per_source, None, second);
+                return Ok(MixedTicket::new(a, b, len));
+            }
+            st = self.shared.space.wait(st).expect("service state poisoned");
+        }
+    }
+
     /// A snapshot of the running counters, including per-shard health.
     /// Diff two snapshots with
     /// [`ServiceStats::delta_since`](crate::ServiceStats::delta_since) for a
@@ -419,9 +523,24 @@ impl RngService {
         len: usize,
         deadline: Option<Instant>,
     ) -> Ticket {
+        let shard = st.place(&*self.shared.policies.placement, priority);
+        self.admit_to(st, client, priority, len, deadline, shard)
+    }
+
+    /// [`admit`](Self::admit) with the shard already chosen — the seam
+    /// [`submit_mixed`](Self::submit_mixed) uses to pin each half of a mixed
+    /// request to its pre-selected independent source.
+    fn admit_to(
+        &self,
+        st: &mut MutexGuard<'_, State>,
+        client: ClientId,
+        priority: Priority,
+        len: usize,
+        deadline: Option<Instant>,
+        shard: usize,
+    ) -> Ticket {
         let seq = st.next_seq;
         st.next_seq += 1;
-        let shard = st.place(&*self.shared.policies.placement);
         st.in_flight_bytes += len;
         st.shard_load[shard] += len;
         st.stats.peak_in_flight_bytes = st.stats.peak_in_flight_bytes.max(st.in_flight_bytes);
@@ -466,6 +585,36 @@ impl RngService {
     }
 }
 
+/// Deterministically selects two serving shards with distinct backend kinds
+/// for a mixed submission: kinds are scanned in the fixed order QUAC →
+/// D-RaNGe → retention, each contributing its least-loaded serving shard
+/// (lowest index breaking ties), and the first two kinds with one win. Pure
+/// function of the snapshot, so mixed placement replays deterministically.
+fn pick_independent_sources(
+    kinds: &[BackendKind],
+    health: &[ShardHealth],
+    loads: &[usize],
+) -> Option<(usize, usize)> {
+    let mut picks = [BackendKind::Quac, BackendKind::DRange, BackendKind::Retention]
+        .into_iter()
+        .filter_map(|kind| {
+            (0..kinds.len())
+                .filter(|&i| kinds[i] == kind && health[i].is_serving())
+                .min_by_key(|&i| (loads[i], i))
+        });
+    let first = picks.next()?;
+    let second = picks.next()?;
+    Some((first, second))
+}
+
+/// Number of distinct backend kinds with at least one serving shard.
+fn serving_kind_count(kinds: &[BackendKind], health: &[ShardHealth]) -> usize {
+    [BackendKind::Quac, BackendKind::DRange, BackendKind::Retention]
+        .into_iter()
+        .filter(|kind| kinds.iter().zip(health).any(|(k, h)| k == kind && h.is_serving()))
+        .count()
+}
+
 impl Drop for RngService {
     fn drop(&mut self) {
         if self.workers.is_empty() {
@@ -488,5 +637,46 @@ impl Drop for RngService {
         if let Some(sweeper) = self.sweeper.take() {
             let _ = sweeper.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh_health(serving: &[bool]) -> Vec<ShardHealth> {
+        serving
+            .iter()
+            .map(|&up| {
+                let mut h = ShardHealth::new();
+                if !up {
+                    h.force_quarantine();
+                }
+                h
+            })
+            .collect()
+    }
+
+    #[test]
+    fn independent_sources_require_two_distinct_serving_kinds() {
+        let kinds = [BackendKind::Quac, BackendKind::Quac, BackendKind::DRange];
+        let all_up = mesh_health(&[true, true, true]);
+        // Least-loaded QUAC shard first (kind order), then the D-RaNGe one.
+        assert_eq!(
+            pick_independent_sources(&kinds, &all_up, &[50, 10, 0]),
+            Some((1, 2))
+        );
+        assert_eq!(serving_kind_count(&kinds, &all_up), 2);
+        // With the D-RaNGe shard fenced only one kind serves: no pair.
+        let drange_down = mesh_health(&[true, true, false]);
+        assert_eq!(pick_independent_sources(&kinds, &drange_down, &[50, 10, 0]), None);
+        assert_eq!(serving_kind_count(&kinds, &drange_down), 1);
+        // A quarantined shard never sources a mixed request even when its
+        // kind would otherwise be picked.
+        let quac0_down = mesh_health(&[false, true, true]);
+        assert_eq!(
+            pick_independent_sources(&kinds, &quac0_down, &[0, 10, 0]),
+            Some((1, 2))
+        );
     }
 }

@@ -97,6 +97,11 @@ pub(crate) struct State {
     /// never fold into the fresh post-readmission health record even if
     /// they linger in the tap queue across the whole requalification.
     pub(crate) shard_epoch: Vec<u64>,
+    /// The entropy-backend kind behind each shard (all `Quac` for a
+    /// homogeneous [`RngService::start`](crate::RngService::start) instance)
+    /// — what tier-aware placement routes across and what the Prometheus
+    /// export labels shard series with.
+    pub(crate) backend_kinds: Vec<quac_trng::BackendKind>,
     /// Rotation point for placement tie-breaking (advanced past each pick,
     /// so equal loads degrade to round-robin).
     pub(crate) next_shard: usize,
@@ -106,10 +111,12 @@ pub(crate) struct State {
 }
 
 impl State {
-    /// A consistent stats snapshot including per-shard health.
+    /// A consistent stats snapshot including per-shard health and backend
+    /// kinds.
     pub(crate) fn snapshot(&self) -> ServiceStats {
         let mut stats = self.stats.clone();
         stats.shard_health = self.health.clone();
+        stats.backend_kinds = self.backend_kinds.clone();
         stats
     }
 
@@ -125,10 +132,16 @@ impl State {
     /// # Panics
     ///
     /// Panics if the policy returns an out-of-range shard index.
-    pub(crate) fn place(&mut self, placement: &dyn PlacementPolicy) -> usize {
+    pub(crate) fn place(
+        &mut self,
+        placement: &dyn PlacementPolicy,
+        priority: crate::request::Priority,
+    ) -> usize {
         let shard = placement.place(&crate::placement::PlacementView {
             loads: &self.shard_load,
             health: &self.health,
+            kinds: &self.backend_kinds,
+            priority,
             rotation: self.next_shard,
         });
         assert!(

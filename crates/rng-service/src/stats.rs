@@ -9,6 +9,7 @@
 //! service.
 
 use crate::health::ShardHealth;
+use quac_trng::BackendKind;
 
 /// Number of log₂ buckets; values at or above 2³⁰ land in the last bucket.
 const BUCKETS: usize = 32;
@@ -135,6 +136,11 @@ pub struct ValidationStats {
     pub probation_windows: u64,
     /// Readmissions after a passed probation.
     pub readmissions: u64,
+    /// Shard pairs whose windows the cross-correlation monitor compared.
+    pub correlation_windows: u64,
+    /// Common-mode trips: correlated shard pairs force-quarantined by the
+    /// cross-correlation monitor (each trip fences two shards).
+    pub correlation_trips: u64,
 }
 
 impl ValidationStats {
@@ -151,6 +157,8 @@ impl ValidationStats {
                 .saturating_sub(earlier.recharacterizations),
             probation_windows: self.probation_windows.saturating_sub(earlier.probation_windows),
             readmissions: self.readmissions.saturating_sub(earlier.readmissions),
+            correlation_windows: self.correlation_windows.saturating_sub(earlier.correlation_windows),
+            correlation_trips: self.correlation_trips.saturating_sub(earlier.correlation_trips),
         }
     }
 }
@@ -198,6 +206,12 @@ pub struct ServiceStats {
     /// Per-shard health records (empty until snapshot; filled by
     /// [`RngService::stats`](crate::RngService::stats) and at shutdown).
     pub shard_health: Vec<ShardHealth>,
+    /// The entropy-backend kind behind each shard (empty until snapshot,
+    /// like [`shard_health`](Self::shard_health)). Shards of a
+    /// [`RngService::start`](crate::RngService::start) instance are all
+    /// [`BackendKind::Quac`]; a mesh records each backend's own kind, and
+    /// the Prometheus export labels shard series with it.
+    pub backend_kinds: Vec<BackendKind>,
 }
 
 impl ServiceStats {
@@ -232,6 +246,7 @@ impl ServiceStats {
             deadline_slack_us: self.deadline_slack_us.delta_since(&earlier.deadline_slack_us),
             validation: self.validation.delta_since(&earlier.validation),
             shard_health: self.shard_health.clone(),
+            backend_kinds: self.backend_kinds.clone(),
         }
     }
 }

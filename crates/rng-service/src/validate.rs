@@ -94,6 +94,12 @@ pub struct ValidationConfig {
     pub target_coverage: f64,
     /// Characterisation configuration a quarantined shard requalifies with.
     pub recharacterization: CharacterizationConfig,
+    /// Cross-correlation monitoring across shards (off by default). When
+    /// enabled, the validator compares same-index windows of different
+    /// shards and force-quarantines both members of a pair whose streams
+    /// are measurably coupled — the common-mode fault individual-stream
+    /// validation cannot see. See [`crate::correlation`].
+    pub correlation: crate::correlation::CorrelationConfig,
 }
 
 impl Default for ValidationConfig {
@@ -107,6 +113,7 @@ impl Default for ValidationConfig {
             tap_queue_batches: 64,
             target_coverage: 1.0,
             recharacterization: CharacterizationConfig::fast(),
+            correlation: crate::correlation::CorrelationConfig::default(),
         }
     }
 }

@@ -8,21 +8,25 @@ use crate::request::{Completion, RngRequest};
 use crate::state::{Lifecycle, Shared};
 use crate::ticket::Outcome;
 use crate::validate::{tap_quota_allows, TapChunk};
-use quac_trng::pipeline::QuacTrng;
+use quac_trng::EntropyBackend;
 use std::sync::mpsc;
 use std::time::Instant;
 
 /// One shard's worker: dequeue a coalesced batch, generate all its bytes
-/// with a single buffer-reusing [`QuacTrng::fill_bytes`] call, pace delivery
-/// against the idle-cycle budget, deliver per-request completions, tap a
-/// copy for the validator, release the budget. When the shard is
+/// with a single buffer-reusing [`EntropyBackend::fill_bytes`] call, pace
+/// delivery against the idle-cycle budget, deliver per-request completions,
+/// tap a copy for the validator, release the budget. When the shard is
 /// quarantined and its queue has drained, the worker switches to
 /// requalification: recharacterise, generate probation windows, grade them,
 /// and readmit on a passing streak (see [`crate::control`]).
+///
+/// The worker is backend-agnostic: any [`EntropyBackend`] — the QUAC
+/// pipeline, a D-RaNGe generator, a retention harvester — serves through the
+/// same batch/pace/tap/deliver loop.
 pub(crate) fn worker_loop(
     shared: &Shared,
     shard_idx: usize,
-    mut trng: QuacTrng,
+    mut trng: Box<dyn EntropyBackend>,
     tap: Option<mpsc::SyncSender<TapChunk>>,
 ) {
     // Token-bucket pacing deadline: each batch owes `time_for_bytes` of
@@ -103,7 +107,7 @@ pub(crate) fn worker_loop(
             }
         };
         if requalify {
-            if !requalify_shard(shared, shard_idx, &mut trng, &mut buf) {
+            if !requalify_shard(shared, shard_idx, trng.as_mut(), &mut buf) {
                 return;
             }
             continue;

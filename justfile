@@ -33,6 +33,13 @@ chaos-tests:
     QUAC_THREADS=1 cargo test -q --test chaos_campaigns
     QUAC_THREADS=4 cargo test -q --test chaos_campaigns
 
+# The entropy-mesh suites: heterogeneous backends, tiered placement,
+# cross-source mixing, the correlation check, and the QUAC-tier-loss chaos
+# campaign — under the same QUAC_THREADS matrix as CI.
+mesh-tests:
+    QUAC_THREADS=1 cargo test -q --test mesh --test chaos_campaigns
+    QUAC_THREADS=4 cargo test -q --test mesh --test chaos_campaigns
+
 # The system demo with the Prometheus metrics exposition of the burst run
 # appended — what scraping the service would return.
 metrics-demo:

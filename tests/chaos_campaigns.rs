@@ -17,8 +17,10 @@
 //! the campaigns replay deterministically up to thread interleaving — and
 //! the assertions only use interleaving-independent facts.
 
+use quac_trng_repro::baselines::{DRangeTrng, RetentionTrng};
 use quac_trng_repro::dram_analog::{
-    ModuleVariation, OperatingConditions, QuacAnalogModel, TemperatureRamp, TemperatureTrend,
+    FailureModel, ModuleVariation, OperatingConditions, QuacAnalogModel, RetentionModel,
+    TemperatureRamp, TemperatureTrend,
 };
 use quac_trng_repro::dram_core::{DataPattern, DramGeometry};
 use quac_trng_repro::rng_service::{
@@ -28,6 +30,7 @@ use quac_trng_repro::rng_service::{
 use quac_trng_repro::trng::characterize::{characterize_module, CharacterizationConfig};
 use quac_trng_repro::trng::fault::{DriftInjector, FaultInjector};
 use quac_trng_repro::trng::pipeline::{shard_seed, QuacTrng};
+use quac_trng_repro::trng::EntropyBackend;
 use std::time::{Duration, Instant};
 
 const BASE_SEED: u64 = 0xC4A0_5EED;
@@ -447,4 +450,106 @@ fn campaign_parked_submission_honours_its_own_deadline() {
     let stats = service.abort();
     assert!(stats.degraded_rejections >= 1);
     assert_eq!(stats.validation.readmissions, 0);
+}
+
+/// Campaign 6 — whole-tier loss in the entropy mesh.
+///
+/// Four shards: two QUAC (both carrying one-shot drift excursions), one
+/// D-RaNGe, one retention. The drift fences the *entire* QUAC tier; the
+/// mesh must keep serving every submitted request from the non-QUAC
+/// backends — zero `Degraded` rejections, zero parked submissions, no lost
+/// ticket — at reduced throughput. Once probation marches the QUAC streams
+/// past the pulse, both shards readmit and Normal-priority placement shifts
+/// back to the QUAC tier. The D-RaNGe shard's epoch-0 stream must stay
+/// bit-identical to its serial reference through the whole episode.
+#[test]
+fn campaign_quac_tier_loss_mesh_serves_from_other_backends() {
+    const QUAC_SHARDS: usize = 2;
+    let (_, mut quac) = tiny_shards(QUAC_SHARDS);
+    for (i, shard) in quac.iter_mut().enumerate() {
+        let drift = DriftInjector::excursion(
+            TemperatureRamp::nominal_to(85.0),
+            TemperatureTrend::Decreasing,
+            60_000,
+            0.004,
+        );
+        shard.inject_fault(FaultInjector::drift(drift, 0xD21F + i as u64));
+    }
+    let geom = DramGeometry::tiny_test();
+    const DRANGE_SEED: u64 = 0xD7A6;
+    let failures = FailureModel::new(ModuleVariation::generate(&geom, 8));
+    let retention = RetentionModel::new(ModuleVariation::generate(&geom, 8));
+    let mut backends: Vec<Box<dyn EntropyBackend>> =
+        quac.into_iter().map(|s| Box::new(s) as Box<dyn EntropyBackend>).collect();
+    backends.push(Box::new(DRangeTrng::new(&failures, &geom, DRANGE_SEED)));
+    backends.push(Box::new(RetentionTrng::new(&retention, &geom, 0x7A1D)));
+    const DRANGE: usize = QUAC_SHARDS;
+    let cfg = RngServiceConfig { validation: chaos_validation(), ..RngServiceConfig::default() };
+    let service = RngService::start_mesh(backends, cfg);
+
+    // Phase 1: Normal-priority traffic routes to the QUAC tier and marches
+    // both drifting shards into quarantine. Every probe is submitted
+    // without a deadline and *must* be served — a probe queued on a QUAC
+    // shard when its fence lands fails over to the D-RaNGe tier instead of
+    // parking or being rejected.
+    let mut completions = Vec::new();
+    let give_up = Instant::now() + Duration::from_secs(120);
+    loop {
+        let stats = service.stats();
+        if (0..QUAC_SHARDS).all(|s| stats.shard_health[s].state != ShardState::Healthy) {
+            break;
+        }
+        assert!(Instant::now() < give_up, "QUAC tier never fully fenced: {stats:?}");
+        let t = service.submit(ClientId(0), Priority::Normal, 2048).unwrap();
+        completions.push(t.wait().expect("the mesh serves every submission"));
+    }
+
+    // Phase 2: the whole QUAC tier is down. A mixed-priority wave must be
+    // served entirely by the non-QUAC backends, with no degraded admission.
+    let wave: Vec<_> = (0..16)
+        .map(|i| {
+            let priority = if i % 2 == 0 { Priority::High } else { Priority::Normal };
+            service.submit(ClientId(1 + i % 3), priority, 1024).unwrap()
+        })
+        .collect();
+    for t in wave {
+        let c = t.wait().expect("served during whole-tier loss");
+        assert!(c.shard >= DRANGE, "a fenced QUAC shard served during tier loss");
+        completions.push(c);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.degraded_rejections, 0, "the mesh never degrades while a tier serves");
+
+    // Phase 3: probation marches both QUAC streams past the pulse; the tier
+    // readmits and Normal-priority placement shifts back to QUAC (now in a
+    // bumped epoch).
+    wait_for(&service, Duration::from_secs(120), "QUAC tier readmission", |s| {
+        s.validation.readmissions >= QUAC_SHARDS as u64
+    });
+    let give_up = Instant::now() + Duration::from_secs(60);
+    loop {
+        let t = service.submit(ClientId(0), Priority::Normal, 2048).unwrap();
+        let c = t.wait().expect("served after readmission");
+        let (shard, epoch) = (c.shard, c.epoch);
+        completions.push(c);
+        if shard < QUAC_SHARDS {
+            assert!(epoch >= 1, "post-readmission QUAC completions carry a bumped epoch");
+            break;
+        }
+        assert!(Instant::now() < give_up, "placement never shifted back to the QUAC tier");
+    }
+
+    let stats = service.shutdown();
+    assert_eq!(stats.degraded_rejections, 0);
+    assert!(stats.validation.quarantines >= QUAC_SHARDS as u64);
+    assert!(stats.validation.readmissions >= QUAC_SHARDS as u64);
+    // The D-RaNGe shard carried the service through the tier loss, and its
+    // epoch-0 stream stayed bit-identical to the serial reference.
+    let drange_stream = reassemble_shard(&completions, DRANGE);
+    assert!(!drange_stream.is_empty(), "the D-RaNGe tier never served");
+    assert_eq!(
+        drange_stream,
+        DRangeTrng::new(&failures, &geom, DRANGE_SEED).generate_bytes(drange_stream.len()),
+        "tier failover perturbed the D-RaNGe stream"
+    );
 }

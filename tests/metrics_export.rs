@@ -14,6 +14,7 @@ use quac_trng_repro::rng_service::{
 };
 use quac_trng_repro::trng::characterize::{characterize_module, CharacterizationConfig};
 use quac_trng_repro::trng::pipeline::QuacTrng;
+use quac_trng_repro::trng::BackendKind;
 
 /// A snapshot with every counter family populated, built by hand so the
 /// expected exposition is a constant.
@@ -36,6 +37,8 @@ fn golden_stats() -> ServiceStats {
             recharacterizations: 1,
             probation_windows: 2,
             readmissions: 1,
+            correlation_windows: 9,
+            correlation_trips: 1,
         },
         ..Default::default()
     };
@@ -50,6 +53,7 @@ fn golden_stats() -> ServiceStats {
     fenced.quarantines = 1;
     fenced.pass_ewma = 0.5;
     stats.shard_health = vec![ShardHealth::new(), fenced];
+    stats.backend_kinds = vec![BackendKind::Quac, BackendKind::DRange];
     stats
 }
 
@@ -76,8 +80,8 @@ qt_rng_degraded_rejections_total 5
 qt_rng_peak_in_flight_bytes 4096
 # HELP qt_rng_shard_delivered_bytes_total Bytes delivered by each shard.
 # TYPE qt_rng_shard_delivered_bytes_total counter
-qt_rng_shard_delivered_bytes_total{shard="0"} 512
-qt_rng_shard_delivered_bytes_total{shard="1"} 256
+qt_rng_shard_delivered_bytes_total{shard="0",backend="quac"} 512
+qt_rng_shard_delivered_bytes_total{shard="1",backend="drange"} 256
 # HELP qt_rng_validation_bytes_tapped_total Served bytes copied into the validator tap.
 # TYPE qt_rng_validation_bytes_tapped_total counter
 qt_rng_validation_bytes_tapped_total 700
@@ -102,22 +106,28 @@ qt_rng_validation_probation_windows_total 2
 # HELP qt_rng_validation_readmissions_total Readmissions after a passed probation.
 # TYPE qt_rng_validation_readmissions_total counter
 qt_rng_validation_readmissions_total 1
+# HELP qt_rng_validation_correlation_windows_total Same-index window pairs compared by the cross-correlation monitor.
+# TYPE qt_rng_validation_correlation_windows_total counter
+qt_rng_validation_correlation_windows_total 9
+# HELP qt_rng_validation_correlation_trips_total Shard pairs force-quarantined for inter-backend correlation.
+# TYPE qt_rng_validation_correlation_trips_total counter
+qt_rng_validation_correlation_trips_total 1
 # HELP qt_rng_shard_serving 1 while the shard is in placement (healthy), 0 while fenced.
 # TYPE qt_rng_shard_serving gauge
-qt_rng_shard_serving{shard="0"} 1
-qt_rng_shard_serving{shard="1"} 0
+qt_rng_shard_serving{shard="0",backend="quac"} 1
+qt_rng_shard_serving{shard="1",backend="drange"} 0
 # HELP qt_rng_shard_pass_ewma Pass-rate EWMA of the shard's validated windows.
 # TYPE qt_rng_shard_pass_ewma gauge
-qt_rng_shard_pass_ewma{shard="0"} 1
-qt_rng_shard_pass_ewma{shard="1"} 0.5
+qt_rng_shard_pass_ewma{shard="0",backend="quac"} 1
+qt_rng_shard_pass_ewma{shard="1",backend="drange"} 0.5
 # HELP qt_rng_shard_quarantines_total Times the shard was quarantined.
 # TYPE qt_rng_shard_quarantines_total counter
-qt_rng_shard_quarantines_total{shard="0"} 0
-qt_rng_shard_quarantines_total{shard="1"} 1
+qt_rng_shard_quarantines_total{shard="0",backend="quac"} 0
+qt_rng_shard_quarantines_total{shard="1",backend="drange"} 1
 # HELP qt_rng_shard_readmissions_total Times the shard was readmitted after probation.
 # TYPE qt_rng_shard_readmissions_total counter
-qt_rng_shard_readmissions_total{shard="0"} 0
-qt_rng_shard_readmissions_total{shard="1"} 0
+qt_rng_shard_readmissions_total{shard="0",backend="quac"} 0
+qt_rng_shard_readmissions_total{shard="1",backend="drange"} 0
 # HELP qt_rng_queue_depth Queue depth (requests waiting on the chosen shard) sampled at each admission.
 # TYPE qt_rng_queue_depth histogram
 qt_rng_queue_depth_bucket{le="0"} 1
@@ -198,14 +208,19 @@ fn live_service_snapshot_renders_consistently() {
     assert_eq!(value("qt_rng_expiry_sweeps_total"), 0.0, "deadline-free load never sweeps");
     assert_eq!(value("qt_rng_latency_us_count") as u64, stats.latency_us.count());
     assert_eq!(value("qt_rng_latency_us_sum") as u64, stats.latency_us.sum());
-    // Per-shard delivered bytes cover both shards and sum to the total.
+    // Per-shard delivered bytes cover both shards and sum to the total; a
+    // homogeneous QUAC service labels every shard backend="quac".
     let shard_total: u64 = (0..2)
-        .map(|s| value(&format!("qt_rng_shard_delivered_bytes_total{{shard=\"{s}\"}}")) as u64)
+        .map(|s| {
+            value(&format!(
+                "qt_rng_shard_delivered_bytes_total{{shard=\"{s}\",backend=\"quac\"}}"
+            )) as u64
+        })
         .sum();
     assert_eq!(shard_total, stats.completed_bytes);
     // A live snapshot carries health records, so the per-shard gauges are on.
-    assert_eq!(value("qt_rng_shard_serving{shard=\"0\"}"), 1.0);
-    assert_eq!(value("qt_rng_shard_serving{shard=\"1\"}"), 1.0);
+    assert_eq!(value("qt_rng_shard_serving{shard=\"0\",backend=\"quac\"}"), 1.0);
+    assert_eq!(value("qt_rng_shard_serving{shard=\"1\",backend=\"quac\"}"), 1.0);
     // The +Inf bucket of every histogram equals its _count line.
     for name in ["qt_rng_queue_depth", "qt_rng_latency_us", "qt_rng_deadline_slack_us"] {
         assert_eq!(
