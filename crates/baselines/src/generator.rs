@@ -53,7 +53,9 @@ const RETENTION_BURST_ROWS: usize = 4;
 /// The rows `0, 512, 1024, …` a generator considers when picking its
 /// harvest rows (always at least row 0).
 fn candidate_rows(geom: &DramGeometry) -> impl Iterator<Item = usize> {
-    (0..geom.rows_per_bank().max(1)).step_by(CANDIDATE_ROW_STRIDE).take(MAX_CANDIDATE_ROWS)
+    (0..geom.rows_per_bank().max(1))
+        .step_by(CANDIDATE_ROW_STRIDE)
+        .take(MAX_CANDIDATE_ROWS)
 }
 
 /// Shared engine of both generators: probability-vector sampling through
@@ -71,6 +73,11 @@ struct SampledStream {
     buffer: VecDeque<u8>,
     fault: Option<FaultInjector>,
     delivered: u64,
+    /// Raw fresh entropy bits sampled so far: the row image's metastable
+    /// bits, once per harvest. Monotone across restarts (the physics
+    /// consumed never rewinds) — the RNG service's entropy ledger takes
+    /// deltas of this counter.
+    fresh_bits: u64,
 }
 
 impl SampledStream {
@@ -91,6 +98,7 @@ impl SampledStream {
             buffer: VecDeque::new(),
             fault: None,
             delivered: 0,
+            fresh_bits: 0,
         }
     }
 
@@ -98,8 +106,10 @@ impl SampledStream {
     /// row image, pack to bytes, condition 64-byte blocks to 32-byte
     /// digests with the batched SHA-256.
     fn harvest(&mut self) {
+        self.fresh_bits += self.sampler.metastable_bits() as u64;
         self.sampler.sample_into(&mut self.raw, &mut self.rng);
-        self.raw.extract_bytes_into(0, self.raw.len(), &mut self.raw_bytes);
+        self.raw
+            .extract_bytes_into(0, self.raw.len(), &mut self.raw_bytes);
         let blocks: Vec<&[u8]> = self.raw_bytes.chunks(64).collect();
         self.digests.clear();
         digest_many_into(&blocks, &mut self.digests);
@@ -113,6 +123,7 @@ impl SampledStream {
     /// for the same RNG state (the sampler proptests pin the sampling leg,
     /// the crypto batch tests pin the hashing leg).
     fn harvest_reference(&mut self) {
+        self.fresh_bits += self.sampler.metastable_bits() as u64;
         let raw = sample_reference(&self.probs, &mut self.rng);
         let bytes = raw.to_bytes();
         for chunk in bytes.chunks(64) {
@@ -131,7 +142,9 @@ impl SampledStream {
                 }
             }
             let take = self.buffer.len().min(out.len() - filled);
-            for (slot, byte) in out[filled..filled + take].iter_mut().zip(self.buffer.drain(..take))
+            for (slot, byte) in out[filled..filled + take]
+                .iter_mut()
+                .zip(self.buffer.drain(..take))
             {
                 *slot = byte;
             }
@@ -176,7 +189,7 @@ pub struct DRangeTrng {
 impl DRangeTrng {
     /// Builds the generator on a characterised failure model: scans the
     /// candidate rows for the one with the most metastable bitlines at
-    /// [`TRCD_FRACTION`], and advertises the throughput/latency class of
+    /// `TRCD_FRACTION`, and advertises the throughput/latency class of
     /// the characterised Enhanced D-RaNGe analytic model.
     pub fn new(failures: &FailureModel, geom: &DramGeometry, seed: u64) -> Self {
         let row_probs = |row: usize| -> Vec<f64> {
@@ -243,6 +256,14 @@ impl EntropyBackend for DRangeTrng {
     fn delivered_bytes(&self) -> u64 {
         self.stream.delivered
     }
+
+    fn fresh_bits_drawn(&self) -> u64 {
+        self.stream.fresh_bits
+    }
+
+    fn buffered_bytes(&self) -> usize {
+        self.stream.buffer.len()
+    }
 }
 
 /// A retention-based generator in the style of Talukder+ (ICCE 2019):
@@ -264,11 +285,14 @@ impl RetentionTrng {
     /// Builds the generator on a retention model: picks the pause at the
     /// median retention time of the candidate rows' cells (centering the
     /// per-cell failure probabilities around 1/2), then harvests the
-    /// [`RETENTION_BURST_ROWS`] rows with the most metastable cells.
+    /// `RETENTION_BURST_ROWS` rows with the most metastable cells.
     pub fn new(retention: &RetentionModel, geom: &DramGeometry, seed: u64) -> Self {
         let mut times: Vec<f64> = candidate_rows(geom)
             .flat_map(|row| {
-                (0..geom.row_bits).step_by(64).map(move |bl| (row, bl)).collect::<Vec<_>>()
+                (0..geom.row_bits)
+                    .step_by(64)
+                    .map(move |bl| (row, bl))
+                    .collect::<Vec<_>>()
             })
             .map(|(row, bl)| retention.retention_time_s(RowAddr::new(row), bl, RETENTION_TEMP_C))
             .collect();
@@ -277,12 +301,7 @@ impl RetentionTrng {
         let row_probs = |row: usize| -> Vec<f64> {
             (0..geom.row_bits)
                 .map(|bl| {
-                    retention.failure_probability(
-                        RowAddr::new(row),
-                        bl,
-                        pause_s,
-                        RETENTION_TEMP_C,
-                    )
+                    retention.failure_probability(RowAddr::new(row), bl, pause_s, RETENTION_TEMP_C)
                 })
                 .collect()
         };
@@ -354,6 +373,14 @@ impl EntropyBackend for RetentionTrng {
     fn delivered_bytes(&self) -> u64 {
         self.stream.delivered
     }
+
+    fn fresh_bits_drawn(&self) -> u64 {
+        self.stream.fresh_bits
+    }
+
+    fn buffered_bytes(&self) -> usize {
+        self.stream.buffer.len()
+    }
 }
 
 #[cfg(test)]
@@ -369,7 +396,10 @@ mod tests {
 
     fn tiny_retention() -> (RetentionModel, DramGeometry) {
         let geom = DramGeometry::tiny_test();
-        (RetentionModel::new(ModuleVariation::generate(&geom, 5)), geom)
+        (
+            RetentionModel::new(ModuleVariation::generate(&geom, 5)),
+            geom,
+        )
     }
 
     #[test]

@@ -35,7 +35,9 @@ fn tiny_cfg() -> CharacterizationConfig {
 fn bench_sha256(c: &mut Criterion) {
     let data = vec![0xA5u8; 4096];
     c.throughput_bits(4096 * 8)
-        .bench_function("sha256_4KiB", |b| b.iter(|| Sha256::digest(std::hint::black_box(&data))));
+        .bench_function("sha256_4KiB", |b| {
+            b.iter(|| Sha256::digest(std::hint::black_box(&data)))
+        });
     // The generation hot path's conditioning shape: one lane-width batch of
     // short compact-row messages through the SoA multi-lane compressor,
     // vs the same messages through the scalar hasher. The per-message size
@@ -46,18 +48,22 @@ fn bench_sha256(c: &mut Criterion) {
     let refs: Vec<&[u8]> = messages.iter().map(|m| m.as_slice()).collect();
     let mut digests = Vec::new();
     let batch_bits = (BATCH_LANES * 90 * 8) as u64;
-    c.throughput_bits(batch_bits).bench_function("sha256_batch16_90B", |b| {
-        b.iter(|| {
-            digests.clear();
-            digest_many_into(std::hint::black_box(&refs), &mut digests);
-            digests.len()
-        })
-    });
-    c.throughput_bits(batch_bits).bench_function("sha256_scalar16_90B", |b| {
-        b.iter(|| {
-            refs.iter().map(|m| Sha256::digest(std::hint::black_box(m))[0] as usize).sum::<usize>()
-        })
-    });
+    c.throughput_bits(batch_bits)
+        .bench_function("sha256_batch16_90B", |b| {
+            b.iter(|| {
+                digests.clear();
+                digest_many_into(std::hint::black_box(&refs), &mut digests);
+                digests.len()
+            })
+        });
+    c.throughput_bits(batch_bits)
+        .bench_function("sha256_scalar16_90B", |b| {
+            b.iter(|| {
+                refs.iter()
+                    .map(|m| Sha256::digest(std::hint::black_box(m))[0] as usize)
+                    .sum::<usize>()
+            })
+        });
 }
 
 fn bench_vnc(c: &mut Criterion) {
@@ -65,12 +71,14 @@ fn bench_vnc(c: &mut Criterion) {
     let bits = BitVec::from_bits((0..65_536).map(|_| rng.gen::<f64>() < 0.8));
     // The word-wise production path vs. the pair-at-a-time reference it is
     // property-tested against.
-    c.throughput_bits(65_536).bench_function("von_neumann_64Kb", |b| {
-        b.iter(|| VonNeumannCorrector::correct(std::hint::black_box(&bits)))
-    });
-    c.throughput_bits(65_536).bench_function("von_neumann_64Kb_pairwise_reference", |b| {
-        b.iter(|| VonNeumannCorrector::correct_pairwise(std::hint::black_box(&bits)))
-    });
+    c.throughput_bits(65_536)
+        .bench_function("von_neumann_64Kb", |b| {
+            b.iter(|| VonNeumannCorrector::correct(std::hint::black_box(&bits)))
+        });
+    c.throughput_bits(65_536)
+        .bench_function("von_neumann_64Kb_pairwise_reference", |b| {
+            b.iter(|| VonNeumannCorrector::correct_pairwise(std::hint::black_box(&bits)))
+        });
 }
 
 fn bench_packed_sampling(c: &mut Criterion) {
@@ -86,29 +94,32 @@ fn bench_packed_sampling(c: &mut Criterion) {
     let sampler = PackedSampler::new(&probs);
     let mut rng = StdRng::seed_from_u64(7);
     let mut out = BitVec::zeros(probs.len());
-    c.throughput_bits(probs.len() as u64).bench_function("packed_sampling_64k_row", |b| {
-        b.iter(|| sampler.sample_into(std::hint::black_box(&mut out), &mut rng))
-    });
+    c.throughput_bits(probs.len() as u64)
+        .bench_function("packed_sampling_64k_row", |b| {
+            b.iter(|| sampler.sample_into(std::hint::black_box(&mut out), &mut rng))
+        });
     // The production bit-sliced path on the same row: bulk-drawn plane words
     // and a compact (metastable-only) result, no per-bit RNG draws.
     let bitsliced = BitSlicedSampler::new(&probs);
     let mut noise = NoiseRng::new(7);
     let mut compact = BitVec::zeros(bitsliced.metastable_bits());
-    c.throughput_bits(probs.len() as u64).bench_function("bitsliced_sampling_64k_row", |b| {
-        b.iter(|| bitsliced.sample_compact_into(std::hint::black_box(&mut compact), &mut noise))
-    });
+    c.throughput_bits(probs.len() as u64)
+        .bench_function("bitsliced_sampling_64k_row", |b| {
+            b.iter(|| bitsliced.sample_compact_into(std::hint::black_box(&mut compact), &mut noise))
+        });
 }
 
 fn bench_bitvec_extract(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     let bits = BitVec::from_bits((0..65_536).map(|_| rng.gen::<bool>()));
     let mut buf = Vec::new();
-    c.throughput_bits(32_768).bench_function("bitvec_extract_bytes_32Kb", |b| {
-        b.iter(|| {
-            bits.extract_bytes_into(512, 512 + 32_768, std::hint::black_box(&mut buf));
-            buf.len()
-        })
-    });
+    c.throughput_bits(32_768)
+        .bench_function("bitvec_extract_bytes_32Kb", |b| {
+            b.iter(|| {
+                bits.extract_bytes_into(512, 512 + 32_768, std::hint::black_box(&mut buf));
+                buf.len()
+            })
+        });
 }
 
 fn bench_quac_iteration(c: &mut Criterion) {
@@ -130,22 +141,24 @@ fn bench_generate_bytes(c: &mut Criterion) {
     let mut trng = QuacTrng::from_model(model.clone(), tiny_cfg(), 13);
     let mut buf = vec![0u8; 65_536];
     trng.fill_bytes(&mut buf);
-    c.throughput_bits(65_536 * 8).bench_function("generate_bytes_64KiB", |b| {
-        b.iter(|| trng.fill_bytes(std::hint::black_box(&mut buf)))
-    });
+    c.throughput_bits(65_536 * 8)
+        .bench_function("generate_bytes_64KiB", |b| {
+            b.iter(|| trng.fill_bytes(std::hint::black_box(&mut buf)))
+        });
     // Cold-start companion: a pristine generator (characterised, but empty
     // buffer and untouched scratch) delivering its first 64 KiB. The delta
     // against steady state is the first-fill overhead a service pays per
     // shard spin-up; cloning the prototype is a few µs and included.
     let pristine = QuacTrng::from_model(model, tiny_cfg(), 13);
-    c.throughput_bits(65_536 * 8).bench_function("generate_bytes_64KiB_cold_start", |b| {
-        b.iter(|| {
-            let mut fresh = pristine.clone();
-            let mut out = vec![0u8; 65_536];
-            fresh.fill_bytes(&mut out);
-            out
-        })
-    });
+    c.throughput_bits(65_536 * 8)
+        .bench_function("generate_bytes_64KiB_cold_start", |b| {
+            b.iter(|| {
+                let mut fresh = pristine.clone();
+                let mut out = vec![0u8; 65_536];
+                fresh.fill_bytes(&mut out);
+                out
+            })
+        });
 }
 
 fn bench_segment_entropy(c: &mut Criterion) {
@@ -199,20 +212,21 @@ fn bench_rng_service(c: &mut Criterion) {
         RngServiceConfig::default(),
     );
     let total_bits = (CLIENTS as u64) * (BYTES_PER_CLIENT as u64) * 8;
-    c.throughput_bits(total_bits).bench_function("rng_service_4clients_2shards_64KiB", |b| {
-        b.iter(|| {
-            let tickets: Vec<_> = (0..CLIENTS)
-                .map(|client| {
-                    service
-                        .submit(ClientId(client), Priority::Normal, BYTES_PER_CLIENT)
-                        .expect("bench submission")
-                })
-                .collect();
-            for t in tickets {
-                std::hint::black_box(t.wait().expect("bench completion"));
-            }
-        })
-    });
+    c.throughput_bits(total_bits)
+        .bench_function("rng_service_4clients_2shards_64KiB", |b| {
+            b.iter(|| {
+                let tickets: Vec<_> = (0..CLIENTS)
+                    .map(|client| {
+                        service
+                            .submit(ClientId(client), Priority::Normal, BYTES_PER_CLIENT)
+                            .expect("bench submission")
+                    })
+                    .collect();
+                for t in tickets {
+                    std::hint::black_box(t.wait().expect("bench completion"));
+                }
+            })
+        });
     service.shutdown();
 }
 
@@ -243,12 +257,18 @@ fn bench_rng_service_validation(c: &mut Criterion) {
         ..ValidationConfig::enabled()
     };
     for (name, validation) in [
-        ("rng_service_continuous_validation_off", ValidationConfig::default()),
+        (
+            "rng_service_continuous_validation_off",
+            ValidationConfig::default(),
+        ),
         ("rng_service_continuous_validation_on", sampled_on),
     ] {
         let service = RngService::start(
             QuacTrng::shards(&model, &ch, 17, SHARDS),
-            RngServiceConfig { validation, ..RngServiceConfig::default() },
+            RngServiceConfig {
+                validation,
+                ..RngServiceConfig::default()
+            },
         );
         // Warm the validation loop into its lossy steady state (tap queue
         // saturated, validator grinding its backlog) before measuring, so
@@ -338,7 +358,10 @@ fn bench_rng_service_drift(c: &mut Criterion) {
     );
     for (name, fault) in [
         ("rng_service_drift_off", None),
-        ("rng_service_under_drift", Some(FaultInjector::drift(drift, 0x00D7))),
+        (
+            "rng_service_under_drift",
+            Some(FaultInjector::drift(drift, 0x00D7)),
+        ),
     ] {
         let mut shards = QuacTrng::shards(&model, &ch, 17, SHARDS);
         if let Some(fault) = fault {
@@ -346,7 +369,10 @@ fn bench_rng_service_drift(c: &mut Criterion) {
         }
         let service = RngService::start(
             shards,
-            RngServiceConfig { validation: never_trip, ..RngServiceConfig::default() },
+            RngServiceConfig {
+                validation: never_trip,
+                ..RngServiceConfig::default()
+            },
         );
         // Warm past the threshold ramp-in and into the validator's lossy
         // steady state before measuring.
@@ -403,13 +429,17 @@ fn bench_rng_service_mesh(c: &mut Criterion) {
         &tiny_cfg(),
     );
     let total_bits = (CLIENTS as u64) * (BYTES_PER_CLIENT as u64) * 8;
-    for (name, mesh) in
-        [("rng_service_mesh_failover_off", false), ("rng_service_mesh_failover_on", true)]
-    {
+    for (name, mesh) in [
+        ("rng_service_mesh_failover_off", false),
+        ("rng_service_mesh_failover_on", true),
+    ] {
         let shards = QuacTrng::shards(&model, &ch, 17, SHARDS);
         let service = if mesh {
             RngService::start_mesh(
-                shards.into_iter().map(|s| Box::new(s) as Box<dyn EntropyBackend>).collect(),
+                shards
+                    .into_iter()
+                    .map(|s| Box::new(s) as Box<dyn EntropyBackend>)
+                    .collect(),
                 RngServiceConfig::default(),
             )
         } else {
@@ -434,8 +464,11 @@ fn bench_rng_service_mesh(c: &mut Criterion) {
                     .map(|client| {
                         // Half the clients latency-sensitive: the mesh side
                         // walks the High tier order on every admission.
-                        let priority =
-                            if client % 2 == 0 { Priority::High } else { Priority::Normal };
+                        let priority = if client % 2 == 0 {
+                            Priority::High
+                        } else {
+                            Priority::Normal
+                        };
                         service
                             .submit(ClientId(client), priority, BYTES_PER_CLIENT)
                             .expect("bench submission")
@@ -461,50 +494,58 @@ fn bench_nist_suite(c: &mut Criterion) {
     // in BENCH_RESULTS.json so the validation rate is comparable against the
     // generation rate (paper: 3.44 Gb/s per channel).
     c.throughput_bits(50_000)
-        .bench_function("nist_sts_50kb", |b| b.iter(|| run_all_tests(std::hint::black_box(&bits))));
+        .bench_function("nist_sts_50kb", |b| {
+            b.iter(|| run_all_tests(std::hint::black_box(&bits)))
+        });
     // The three historical worst offenders, benched separately so a future
     // regression in one of them is attributable from the JSON alone.
-    c.throughput_bits(50_000).bench_function("nist_serial_approx_entropy_50kb", |b| {
-        b.iter(|| {
-            (
-                serial(std::hint::black_box(&bits), 16),
-                approximate_entropy(std::hint::black_box(&bits), 10),
-            )
-        })
-    });
-    c.throughput_bits(50_000).bench_function("nist_template_matching_50kb", |b| {
-        b.iter(|| {
-            (
-                non_overlapping_template_matching(std::hint::black_box(&bits), 9),
-                overlapping_template_matching(std::hint::black_box(&bits), 9),
-            )
-        })
-    });
-    c.throughput_bits(50_000).bench_function("nist_linear_complexity_50kb", |b| {
-        b.iter(|| linear_complexity(std::hint::black_box(&bits), 500))
-    });
+    c.throughput_bits(50_000)
+        .bench_function("nist_serial_approx_entropy_50kb", |b| {
+            b.iter(|| {
+                (
+                    serial(std::hint::black_box(&bits), 16),
+                    approximate_entropy(std::hint::black_box(&bits), 10),
+                )
+            })
+        });
+    c.throughput_bits(50_000)
+        .bench_function("nist_template_matching_50kb", |b| {
+            b.iter(|| {
+                (
+                    non_overlapping_template_matching(std::hint::black_box(&bits), 9),
+                    overlapping_template_matching(std::hint::black_box(&bits), 9),
+                )
+            })
+        });
+    c.throughput_bits(50_000)
+        .bench_function("nist_linear_complexity_50kb", |b| {
+            b.iter(|| linear_complexity(std::hint::black_box(&bits), 500))
+        });
     // The excursion tests only apply to long walks (J ≥ 500 cycles needs
     // ~600 kb of random stream); benched at 1 Mb — the paper's sequence
     // length — where the counting rewrite's allocation-free pass matters.
     let mut rng = StdRng::seed_from_u64(6);
     let long = BitVec::from_bits((0..1_000_000).map(|_| rng.gen::<bool>()));
-    c.throughput_bits(1_000_000).bench_function("nist_excursions_1Mb", |b| {
-        b.iter(|| {
-            (
-                qt_nist_sts::tests15::random_excursion(std::hint::black_box(&long)),
-                qt_nist_sts::tests15::random_excursion_variant(std::hint::black_box(&long)),
-            )
-        })
-    });
+    c.throughput_bits(1_000_000)
+        .bench_function("nist_excursions_1Mb", |b| {
+            b.iter(|| {
+                (
+                    qt_nist_sts::tests15::random_excursion(std::hint::black_box(&long)),
+                    qt_nist_sts::tests15::random_excursion_variant(std::hint::black_box(&long)),
+                )
+            })
+        });
     // The spectral test: real-input FFT production path vs the frozen
     // complex-FFT reference, on the paper's 1 Mb sequence length. The pair
     // makes the real-FFT speedup attributable from the JSON alone.
-    c.throughput_bits(1_000_000).bench_function("nist_dft_1Mb", |b| {
-        b.iter(|| qt_nist_sts::tests15::dft(std::hint::black_box(&long)))
-    });
-    c.throughput_bits(1_000_000).bench_function("nist_dft_1Mb_complex_reference", |b| {
-        b.iter(|| qt_nist_sts::tests15::dft_reference(std::hint::black_box(&long)))
-    });
+    c.throughput_bits(1_000_000)
+        .bench_function("nist_dft_1Mb", |b| {
+            b.iter(|| qt_nist_sts::tests15::dft(std::hint::black_box(&long)))
+        });
+    c.throughput_bits(1_000_000)
+        .bench_function("nist_dft_1Mb_complex_reference", |b| {
+            b.iter(|| qt_nist_sts::tests15::dft_reference(std::hint::black_box(&long)))
+        });
 }
 
 fn bench_rng_service_export(c: &mut Criterion) {
@@ -526,9 +567,10 @@ fn bench_rng_service_export(c: &mut Criterion) {
         &tiny_cfg(),
     );
     let total_bits = (CLIENTS as u64) * (BYTES_PER_CLIENT as u64) * 8;
-    for (name, export) in
-        [("rng_service_export_off", false), ("rng_service_export_on", true)]
-    {
+    for (name, export) in [
+        ("rng_service_export_off", false),
+        ("rng_service_export_on", true),
+    ] {
         let service = RngService::start(
             QuacTrng::shards(&model, &ch, 17, SHARDS),
             RngServiceConfig::default(),
@@ -546,9 +588,59 @@ fn bench_rng_service_export(c: &mut Criterion) {
                     std::hint::black_box(t.wait().expect("bench completion"));
                 }
                 if export {
-                    std::hint::black_box(qt_rng_service::export::prometheus_text(
-                        &service.stats(),
-                    ));
+                    std::hint::black_box(qt_rng_service::export::prometheus_text(&service.stats()));
+                }
+            })
+        });
+        service.shutdown();
+    }
+}
+
+fn bench_rng_service_facade(c: &mut Criterion) {
+    // The async-front-door acceptance pair: the same 4-client × 16 KiB
+    // round trip, once through the blocking `Ticket::wait` and once through
+    // `block_on(AsyncTicket)` — every redemption pays the waker
+    // registration, the delivery-side wake, and one thread park/unpark.
+    // Gated in `bench_check`: the facade must stay within 10% of the
+    // blocking path, since a poll is one lock and a wake is one unpark.
+    use qt_rng_service::facade::{block_on, AsyncTicket};
+    use qt_rng_service::{ClientId, Priority, RngService, RngServiceConfig};
+    const CLIENTS: u32 = 4;
+    const SHARDS: usize = 2;
+    const BYTES_PER_CLIENT: usize = 16 << 10;
+    let geom = DramGeometry::tiny_test();
+    let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 3));
+    let ch = quac_trng::characterize::characterize_module(
+        &model,
+        DataPattern::best_average(),
+        &tiny_cfg(),
+    );
+    let total_bits = (CLIENTS as u64) * (BYTES_PER_CLIENT as u64) * 8;
+    for (name, facade) in [
+        ("rng_service_async_blocking", false),
+        ("rng_service_async_facade", true),
+    ] {
+        let service = RngService::start(
+            QuacTrng::shards(&model, &ch, 17, SHARDS),
+            RngServiceConfig::default(),
+        );
+        c.throughput_bits(total_bits).bench_function(name, |b| {
+            b.iter(|| {
+                let tickets: Vec<_> = (0..CLIENTS)
+                    .map(|client| {
+                        service
+                            .submit(ClientId(client), Priority::Normal, BYTES_PER_CLIENT)
+                            .expect("bench submission")
+                    })
+                    .collect();
+                for t in tickets {
+                    if facade {
+                        std::hint::black_box(
+                            block_on(AsyncTicket::from(t)).expect("bench completion"),
+                        );
+                    } else {
+                        std::hint::black_box(t.wait().expect("bench completion"));
+                    }
                 }
             })
         });
@@ -558,7 +650,8 @@ fn bench_rng_service_export(c: &mut Criterion) {
 
 fn bench_memory_system(c: &mut Criterion) {
     let cfg = MemorySystemConfig::paper_system();
-    let trace = TraceGenerator::new(SPEC2006_WORKLOADS[2].clone(), cfg.geom, 4).generate_for_cycles(100_000);
+    let trace = TraceGenerator::new(SPEC2006_WORKLOADS[2].clone(), cfg.geom, 4)
+        .generate_for_cycles(100_000);
     c.bench_function("memory_system_mcf_100k_cycles", |b| {
         b.iter(|| MemorySystem::new(cfg).run_trace(std::hint::black_box(&trace), 100_000))
     });
@@ -570,7 +663,8 @@ criterion_group! {
     targets = bench_sha256, bench_vnc, bench_packed_sampling, bench_bitvec_extract,
               bench_quac_iteration, bench_generate_bytes, bench_rng_service,
               bench_rng_service_validation, bench_rng_service_drift,
-              bench_rng_service_mesh, bench_rng_service_export, bench_segment_entropy,
+              bench_rng_service_mesh, bench_rng_service_export,
+              bench_rng_service_facade, bench_segment_entropy,
               bench_characterisation, bench_nist_suite, bench_memory_system
 }
 criterion_main!(benches);

@@ -34,8 +34,12 @@ use std::process::ExitCode;
 fn parse_results(text: &str, include_carried: bool) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     for line in text.lines() {
-        let Some(name) = json_string(line, "name") else { continue };
-        let Some(ns) = json_number(line, "ns_per_iter") else { continue };
+        let Some(name) = json_string(line, "name") else {
+            continue;
+        };
+        let Some(ns) = json_number(line, "ns_per_iter") else {
+            continue;
+        };
         if ns > 0.0 && (include_carried || !line.contains("\"carried\":true")) {
             out.push((name, ns));
         }
@@ -142,6 +146,20 @@ fn export_overhead(fresh: &[(String, f64)], overhead: f64) -> Option<(f64, bool)
     Some((ratio, ratio > 1.0 + overhead))
 }
 
+/// The async-facade overhead gate: the facade/blocking pair of the RNG
+/// service bench, measured in the *same* fresh run, must stay within
+/// `overhead` of each other — the front-door acceptance bound ("redeeming a
+/// ticket through `block_on(AsyncTicket)` costs < 10% over `Ticket::wait`").
+/// Returns `Some((facade_over_blocking_ratio, regressed?))` when both
+/// entries are present, `None` otherwise. Pure so the rule is unit-testable.
+fn facade_overhead(fresh: &[(String, f64)], overhead: f64) -> Option<(f64, bool)> {
+    let ns = |name: &str| fresh.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    let facade = ns("rng_service_async_facade")?;
+    let blocking = ns("rng_service_async_blocking")?;
+    let ratio = facade / blocking;
+    Some((ratio, ratio > 1.0 + overhead))
+}
+
 /// Per-benchmark verdicts: `(name, fresh/baseline ratio normalised by the
 /// suite median, regressed?)`, plus the median itself (printed so a
 /// suite-wide shift is visible to humans even when no entry fails). An
@@ -170,7 +188,11 @@ fn verdicts(
         .into_iter()
         .map(|(name, ratio)| {
             let normalised = ratio / median;
-            (name, normalised, normalised > 1.0 + threshold || ratio > abs_bound)
+            (
+                name,
+                normalised,
+                normalised > 1.0 + threshold || ratio > abs_bound,
+            )
         })
         .collect();
     (rows, median)
@@ -283,11 +305,27 @@ fn main() -> ExitCode {
         );
         failed |= over;
     }
+    // Paired bound, fresh-run only: redeeming every ticket through the
+    // async front door (waker registration + delivery-side wake + one
+    // park/unpark) must stay within its overhead budget.
+    let facade_budget = std::env::var("BENCH_FACADE_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.10);
+    if let Some((ratio, over)) = facade_overhead(&fresh, facade_budget) {
+        let flag = if over { "  <-- OVER BUDGET" } else { "" };
+        println!(
+            "async-facade / blocking-wait:            {ratio:>18.3}{flag} (budget {:.0}%)",
+            facade_budget * 100.0
+        );
+        failed |= over;
+    }
     // Absolute generation-throughput floor, fresh-run only: sustained Gb/s
     // must not fall below 75% of the committed baseline (or the explicit
     // BENCH_GBPS_FLOOR).
-    let floor_override =
-        std::env::var("BENCH_GBPS_FLOOR").ok().and_then(|v| v.parse::<f64>().ok());
+    let floor_override = std::env::var("BENCH_GBPS_FLOOR")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
     if let Some((fresh_gbps, floor, under)) = gbps_floor_verdict(
         gbps_of(&fresh_text, GBPS_GATED_BENCH),
         gbps_of(&baseline_text, GBPS_GATED_BENCH),
@@ -308,7 +346,10 @@ fn main() -> ExitCode {
         );
         ExitCode::FAILURE
     } else {
-        println!("bench_check: all hot paths within {:.0}% of the committed baseline", threshold * 100.0);
+        println!(
+            "bench_check: all hot paths within {:.0}% of the committed baseline",
+            threshold * 100.0
+        );
         ExitCode::SUCCESS
     }
 }
@@ -333,7 +374,10 @@ mod tests {
         // Fresh side: the carried entry was not measured this run and must
         // not count (a deleted benchmark would otherwise reappear with
         // ratio exactly 1.0 and dodge the MISSING check).
-        assert_eq!(parse_results(text, false), results(&[("a", 100.0), ("b", 250.5)]));
+        assert_eq!(
+            parse_results(text, false),
+            results(&[("a", 100.0), ("b", 250.5)])
+        );
         // Baseline side: a carried entry is still a real historical
         // measurement — dropping it would un-gate that hot path after a
         // filtered `just nist-bench` refresh is committed.
@@ -362,7 +406,10 @@ mod tests {
         let base = results(&[("a", 100.0), ("b", 200.0), ("c", 300.0)]);
         let fresh = results(&[("a", 500.0), ("b", 1000.0), ("c", 1500.0)]);
         let (rows, _) = verdicts(&fresh, &base, 0.25, DEFAULT_ABS_RATIO_BOUND);
-        assert!(rows.iter().all(|(_, _, r)| *r), "5x across the board must fail");
+        assert!(
+            rows.iter().all(|(_, _, r)| *r),
+            "5x across the board must fail"
+        );
     }
 
     #[test]
@@ -371,7 +418,10 @@ mod tests {
         let fresh = results(&[("a", 100.0), ("b", 200.0), ("c", 600.0)]);
         let (rows, _) = verdicts(&fresh, &base, 0.25, DEFAULT_ABS_RATIO_BOUND);
         assert!(!rows.iter().find(|(n, _, _)| n == "a").unwrap().2);
-        assert!(rows.iter().find(|(n, _, _)| n == "c").unwrap().2, "2x on c must flag");
+        assert!(
+            rows.iter().find(|(n, _, _)| n == "c").unwrap().2,
+            "2x on c must flag"
+        );
     }
 
     #[test]
@@ -387,7 +437,10 @@ mod tests {
             ("rng_service_continuous_validation_off", 1000.0),
             ("rng_service_continuous_validation_on", 1200.0),
         ]);
-        assert!(validation_overhead(&fresh, 0.10).unwrap().1, "20% overhead must fail");
+        assert!(
+            validation_overhead(&fresh, 0.10).unwrap().1,
+            "20% overhead must fail"
+        );
         // Missing either side: no verdict (e.g. a filtered `-- nist` run).
         assert!(validation_overhead(&results(&[("a", 1.0)]), 0.10).is_none());
     }
@@ -405,9 +458,33 @@ mod tests {
             ("rng_service_export_off", 1000.0),
             ("rng_service_export_on", 1100.0),
         ]);
-        assert!(export_overhead(&fresh, 0.05).unwrap().1, "10% overhead must fail");
+        assert!(
+            export_overhead(&fresh, 0.05).unwrap().1,
+            "10% overhead must fail"
+        );
         // Missing either side (e.g. a filtered run): no verdict.
         assert!(export_overhead(&results(&[("a", 1.0)]), 0.05).is_none());
+    }
+
+    #[test]
+    fn facade_overhead_gate_pairs_the_async_blocking_benches() {
+        let fresh = results(&[
+            ("rng_service_async_blocking", 1000.0),
+            ("rng_service_async_facade", 1060.0),
+        ]);
+        let (ratio, over) = facade_overhead(&fresh, 0.10).unwrap();
+        assert!((ratio - 1.06).abs() < 1e-12);
+        assert!(!over, "6% overhead is within the 10% budget");
+        let fresh = results(&[
+            ("rng_service_async_blocking", 1000.0),
+            ("rng_service_async_facade", 1150.0),
+        ]);
+        assert!(
+            facade_overhead(&fresh, 0.10).unwrap().1,
+            "15% overhead must fail"
+        );
+        // Missing either side (e.g. a filtered run): no verdict.
+        assert!(facade_overhead(&results(&[("a", 1.0)]), 0.10).is_none());
     }
 
     #[test]
@@ -423,7 +500,10 @@ mod tests {
             ("rng_service_mesh_failover_off", 1000.0),
             ("rng_service_mesh_failover_on", 1250.0),
         ]);
-        assert!(mesh_overhead(&fresh, 0.15).unwrap().1, "25% overhead must fail");
+        assert!(
+            mesh_overhead(&fresh, 0.15).unwrap().1,
+            "25% overhead must fail"
+        );
         // Missing either side (e.g. a filtered run): no verdict.
         assert!(mesh_overhead(&results(&[("a", 1.0)]), 0.15).is_none());
     }
@@ -441,7 +521,10 @@ mod tests {
             ("rng_service_drift_off", 1000.0),
             ("rng_service_under_drift", 1300.0),
         ]);
-        assert!(drift_overhead(&fresh, 0.15).unwrap().1, "30% overhead must fail");
+        assert!(
+            drift_overhead(&fresh, 0.15).unwrap().1,
+            "30% overhead must fail"
+        );
         // Missing either side (e.g. a filtered run): no verdict.
         assert!(drift_overhead(&results(&[("a", 1.0)]), 0.15).is_none());
     }
@@ -449,21 +532,27 @@ mod tests {
     #[test]
     fn gbps_floor_tracks_the_committed_baseline() {
         // Fresh at 0.8 Gb/s against a 1.0 Gb/s baseline: floor is 0.75, ok.
-        let (fresh, floor, under) =
-            gbps_floor_verdict(Some(0.8), Some(1.0), 0.75, None).unwrap();
+        let (fresh, floor, under) = gbps_floor_verdict(Some(0.8), Some(1.0), 0.75, None).unwrap();
         assert!((fresh - 0.8).abs() < 1e-12 && (floor - 0.75).abs() < 1e-12);
         assert!(!under);
         // Fresh at 0.5 Gb/s: under the floor, must fail.
-        assert!(gbps_floor_verdict(Some(0.5), Some(1.0), 0.75, None).unwrap().2);
+        assert!(
+            gbps_floor_verdict(Some(0.5), Some(1.0), 0.75, None)
+                .unwrap()
+                .2
+        );
         // An explicit override wins over the baseline-derived floor.
-        let (_, floor, under) =
-            gbps_floor_verdict(Some(0.7), Some(1.0), 0.75, Some(0.6)).unwrap();
+        let (_, floor, under) = gbps_floor_verdict(Some(0.7), Some(1.0), 0.75, Some(0.6)).unwrap();
         assert!((floor - 0.6).abs() < 1e-12 && !under);
         // No fresh measurement (filtered run) or no baseline gbps: no verdict.
         assert!(gbps_floor_verdict(None, Some(1.0), 0.75, None).is_none());
         assert!(gbps_floor_verdict(Some(0.8), None, 0.75, None).is_none());
         // ... unless the override supplies the floor without a baseline.
-        assert!(gbps_floor_verdict(Some(0.8), None, 0.75, Some(0.9)).unwrap().2);
+        assert!(
+            gbps_floor_verdict(Some(0.8), None, 0.75, Some(0.9))
+                .unwrap()
+                .2
+        );
     }
 
     #[test]
@@ -477,7 +566,11 @@ mod tests {
         assert!((gbps_of(text, GBPS_GATED_BENCH).unwrap() - 0.8066).abs() < 1e-12);
         assert!(gbps_of(text, "missing").is_none());
         // An entry without a gbps field yields no measurement.
-        assert!(gbps_of("{\"name\":\"generate_bytes_64KiB\",\"ns_per_iter\":1.0}", GBPS_GATED_BENCH).is_none());
+        assert!(gbps_of(
+            "{\"name\":\"generate_bytes_64KiB\",\"ns_per_iter\":1.0}",
+            GBPS_GATED_BENCH
+        )
+        .is_none());
     }
 
     #[test]

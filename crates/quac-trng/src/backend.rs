@@ -92,6 +92,20 @@ pub trait EntropyBackend: Send + std::fmt::Debug {
     /// Output bytes delivered so far through
     /// [`fill_bytes`](EntropyBackend::fill_bytes).
     fn delivered_bytes(&self) -> u64;
+
+    /// Raw fresh entropy bits drawn from the physical mechanism so far —
+    /// metastable cells sampled, before any conditioning — monotone over
+    /// the backend's whole life (recharacterisation restarts the output
+    /// stream but never rewinds this counter). The RNG service's per-shard
+    /// entropy ledger is built on the deltas of this counter.
+    fn fresh_bits_drawn(&self) -> u64;
+
+    /// Conditioned output bytes already generated (and accounted under
+    /// [`fresh_bits_drawn`](EntropyBackend::fresh_bits_drawn)) but not yet
+    /// delivered — the internal buffer a partial read leaves behind. Lets
+    /// the ledger attribute a draw across everything it conditions instead
+    /// of over-crediting the read that triggered it.
+    fn buffered_bytes(&self) -> usize;
 }
 
 impl EntropyBackend for QuacTrng {
@@ -125,6 +139,14 @@ impl EntropyBackend for QuacTrng {
     fn delivered_bytes(&self) -> u64 {
         QuacTrng::delivered_bytes(self)
     }
+
+    fn fresh_bits_drawn(&self) -> u64 {
+        QuacTrng::fresh_bits_drawn(self)
+    }
+
+    fn buffered_bytes(&self) -> usize {
+        QuacTrng::buffered_bytes(self)
+    }
 }
 
 #[cfg(test)]
@@ -133,8 +155,12 @@ mod tests {
 
     #[test]
     fn kind_labels_are_stable_and_distinct() {
-        let labels =
-            [BackendKind::Quac, BackendKind::DRange, BackendKind::Retention].map(BackendKind::label);
+        let labels = [
+            BackendKind::Quac,
+            BackendKind::DRange,
+            BackendKind::Retention,
+        ]
+        .map(BackendKind::label);
         assert_eq!(labels, ["quac", "drange", "retention"]);
     }
 

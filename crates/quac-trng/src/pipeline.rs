@@ -43,10 +43,7 @@ fn append_packed_bits(src: &BitVec, start: usize, end: usize, out: &mut Vec<u8>)
 /// a constant to every SHA input, so dropping them preserves the digest
 /// stream's entropy while shrinking the hashed bytes by ~5× on typical
 /// modules.
-fn lane_ranges(
-    sampler: &BitSlicedSampler,
-    block_ranges: &[(usize, usize)],
-) -> Vec<(usize, usize)> {
+fn lane_ranges(sampler: &BitSlicedSampler, block_ranges: &[(usize, usize)]) -> Vec<(usize, usize)> {
     block_ranges
         .iter()
         .map(|&(start_block, end_block)| {
@@ -100,6 +97,11 @@ pub struct QuacTrng {
     /// Reused digest output buffer for batched filling.
     batch_digests: Vec<Sha256Digest>,
     iterations: u64,
+    /// Raw fresh entropy bits sampled from the mechanism so far: one bit per
+    /// metastable bitline per QUAC iteration (plus one per raw VNC sample).
+    /// Monotone over the generator's life — recharacterisation restarts the
+    /// output stream but never rewinds the physics already consumed.
+    fresh_bits_drawn: u64,
     /// Test/fault-injection seam: corrupts delivered output bytes as a pure
     /// function of `(seed, stream offset)`. `None` in production.
     fault: Option<FaultInjector>,
@@ -161,6 +163,7 @@ impl QuacTrng {
             batch_spans: Vec::new(),
             batch_digests: Vec::new(),
             iterations: 0,
+            fresh_bits_drawn: 0,
             fault: None,
             delivered_bytes: 0,
         }
@@ -213,7 +216,11 @@ impl QuacTrng {
     /// the full row.
     fn advance_compact(&mut self) {
         self.iterations += 1;
-        self.sampler.sample_compact_into(&mut self.compact, &mut self.noise);
+        // Every metastable bitline resolves once per QUAC operation: that
+        // compact row *is* the fresh entropy this iteration harvests.
+        self.fresh_bits_drawn += self.compact.len() as u64;
+        self.sampler
+            .sample_compact_into(&mut self.compact, &mut self.noise);
     }
 
     /// Performs one QUAC iteration and returns the raw sense-amplifier
@@ -221,7 +228,8 @@ impl QuacTrng {
     /// onto the full row.
     pub fn raw_iteration(&mut self) -> BitVec {
         self.advance_compact();
-        self.sampler.expand_compact_into(&self.compact, &mut self.raw);
+        self.sampler
+            .expand_compact_into(&self.compact, &mut self.raw);
         self.raw.clone()
     }
 
@@ -236,12 +244,14 @@ impl QuacTrng {
         out.clear();
         if self.range_lanes.is_empty() {
             // Degenerate (low-entropy) module: hash the whole compact row.
-            self.compact.extract_bytes_into(0, self.compact.len(), &mut self.block_bytes);
+            self.compact
+                .extract_bytes_into(0, self.compact.len(), &mut self.block_bytes);
             out.push(Sha256::digest(&self.block_bytes));
             return;
         }
         for &(start_lane, end_lane) in &self.range_lanes {
-            self.compact.extract_bytes_into(start_lane, end_lane, &mut self.block_bytes);
+            self.compact
+                .extract_bytes_into(start_lane, end_lane, &mut self.block_bytes);
             out.push(Sha256::digest(&self.block_bytes));
         }
     }
@@ -418,6 +428,7 @@ impl QuacTrng {
         let rng = &mut self.noise;
         let raw = BitVec::from_bits((0..iterations).map(|_| threshold.sample(rng)));
         self.iterations += iterations as u64;
+        self.fresh_bits_drawn += iterations as u64;
         VonNeumannCorrector::correct(&raw)
     }
 
@@ -435,14 +446,19 @@ impl QuacTrng {
         let blocks = self.model.geometry().cache_blocks_per_row();
         let best = self.characterization.best_segment;
         let cache_blocks: Vec<f64> = (0..blocks)
-            .map(|cb| self.model.cache_block_entropy(best, cb, self.characterization.pattern, conditions))
+            .map(|cb| {
+                self.model
+                    .cache_block_entropy(best, cb, self.characterization.pattern, conditions)
+            })
             .collect();
         self.characterization.best_segment_cache_blocks = cache_blocks;
         self.characterization.best_segment_entropy =
             self.characterization.best_segment_cache_blocks.iter().sum();
         self.characterization.conditions = cfg.conditions;
         self.block_ranges = self.characterization.entropy_block_ranges();
-        self.probabilities = self.model.bitline_probabilities(best, self.characterization.pattern, conditions);
+        self.probabilities =
+            self.model
+                .bitline_probabilities(best, self.characterization.pattern, conditions);
         self.sampler = BitSlicedSampler::new(&self.probabilities);
         self.range_lanes = lane_ranges(&self.sampler, &self.block_ranges);
         self.compact = BitVec::zeros(self.sampler.metastable_bits());
@@ -472,6 +488,16 @@ impl QuacTrng {
     /// corrupts against.
     pub fn delivered_bytes(&self) -> u64 {
         self.delivered_bytes
+    }
+
+    /// Raw fresh entropy bits sampled from the mechanism over this
+    /// generator's whole life — one bit per metastable bitline per QUAC
+    /// iteration, plus one per raw VNC sample — regardless of whether the
+    /// iteration's output was served, buffered, or (after a
+    /// recharacterisation) discarded. Monotone: the RNG service's entropy
+    /// ledger takes deltas of this counter.
+    pub fn fresh_bits_drawn(&self) -> u64 {
+        self.fresh_bits_drawn
     }
 
     /// Re-runs the full characterisation on the stored analog model and
@@ -509,8 +535,7 @@ impl QuacTrng {
 /// finalizer over `(base_seed, shard)`, so shard streams are decorrelated
 /// even for adjacent base seeds yet fully determined by them.
 pub fn shard_seed(base_seed: u64, shard: usize) -> u64 {
-    let mut z = base_seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1));
+    let mut z = base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -525,7 +550,15 @@ mod tests {
     fn tiny_trng() -> QuacTrng {
         let geom = DramGeometry::tiny_test();
         let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
-        QuacTrng::from_model(model, CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() }, 77)
+        QuacTrng::from_model(
+            model,
+            CharacterizationConfig {
+                segment_stride: 1,
+                bitline_stride: 1,
+                conditions: OperatingConditions::nominal(),
+            },
+            77,
+        )
     }
 
     #[test]
@@ -554,7 +587,11 @@ mod tests {
     fn same_seed_reproduces_the_stream() {
         let geom = DramGeometry::tiny_test();
         let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
-        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let cfg = CharacterizationConfig {
+            segment_stride: 1,
+            bitline_stride: 1,
+            conditions: OperatingConditions::nominal(),
+        };
         let mut a = QuacTrng::from_model(model.clone(), cfg, 5);
         let mut b = QuacTrng::from_model(model, cfg, 5);
         assert_eq!(a.generate_bytes(64), b.generate_bytes(64));
@@ -566,7 +603,11 @@ mod tests {
         // matter how reads are sliced (and without O(n²) tail shifting).
         let geom = DramGeometry::tiny_test();
         let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
-        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let cfg = CharacterizationConfig {
+            segment_stride: 1,
+            bitline_stride: 1,
+            conditions: OperatingConditions::nominal(),
+        };
         let mut chunked = QuacTrng::from_model(model.clone(), cfg, 13);
         let mut bulk = QuacTrng::from_model(model, cfg, 13);
         let mut stream = Vec::new();
@@ -582,17 +623,19 @@ mod tests {
         // the scalar reference path defines for the same seed.
         let geom = DramGeometry::tiny_test();
         let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 21));
-        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let cfg = CharacterizationConfig {
+            segment_stride: 1,
+            bitline_stride: 1,
+            conditions: OperatingConditions::nominal(),
+        };
         let mut t = QuacTrng::from_model(model.clone(), cfg, 99);
         let ch = t.characterization().clone();
         let probs = model.bitline_probabilities(ch.best_segment, ch.pattern, ch.conditions);
         let mut reference_rng = NoiseRng::new(99);
         for _ in 0..5 {
             let raw = t.raw_iteration();
-            let reference = QuacAnalogModel::sample_from_probabilities_bitsliced(
-                &probs,
-                &mut reference_rng,
-            );
+            let reference =
+                QuacAnalogModel::sample_from_probabilities_bitsliced(&probs, &mut reference_rng);
             assert_eq!(raw, reference);
         }
     }
@@ -605,7 +648,11 @@ mod tests {
         // partial-digest carries).
         let geom = DramGeometry::tiny_test();
         let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
-        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let cfg = CharacterizationConfig {
+            segment_stride: 1,
+            bitline_stride: 1,
+            conditions: OperatingConditions::nominal(),
+        };
         let mut fast = QuacTrng::from_model(model.clone(), cfg, 77);
         let mut reference = QuacTrng::from_model(model, cfg, 77);
         for size in [1usize, 31, 32, 33, 512, 4096, 5, 1000, 64] {
@@ -623,7 +670,11 @@ mod tests {
         use crate::fault::FaultInjector;
         let geom = DramGeometry::tiny_test();
         let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
-        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let cfg = CharacterizationConfig {
+            segment_stride: 1,
+            bitline_stride: 1,
+            conditions: OperatingConditions::nominal(),
+        };
         let mut fast = QuacTrng::from_model(model.clone(), cfg, 3);
         let mut reference = QuacTrng::from_model(model, cfg, 3);
         let fault = FaultInjector::burst(50, 17);
@@ -646,25 +697,38 @@ mod tests {
         use crate::fault::FaultInjector;
         let geom = DramGeometry::tiny_test();
         let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
-        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let cfg = CharacterizationConfig {
+            segment_stride: 1,
+            bitline_stride: 1,
+            conditions: OperatingConditions::nominal(),
+        };
         let mut trng = QuacTrng::from_model(model, cfg, 9);
         trng.inject_fault(FaultInjector::stuck_at(0, true).transient());
         assert!(trng.fault().is_some());
         trng.recharacterize(&cfg);
-        assert!(trng.fault().is_none(), "first recharacterisation clears a transient fault");
+        assert!(
+            trng.fault().is_none(),
+            "first recharacterisation clears a transient fault"
+        );
         trng.recharacterize(&cfg);
         assert!(trng.fault().is_none(), "second pass stays clear");
         // A persistent fault survives any number of recharacterisations.
         trng.inject_fault(FaultInjector::stuck_at(1, false));
         trng.recharacterize(&cfg);
         trng.recharacterize(&cfg);
-        assert_eq!(trng.fault().map(|f| f.cleared_on_recharacterize), Some(false));
+        assert_eq!(
+            trng.fault().map(|f| f.cleared_on_recharacterize),
+            Some(false)
+        );
         // And the healthy stream really is clean: recharacterisation after
         // clearing leaves no residual corruption.
         trng.clear_fault();
         let mut buf = vec![0u8; 512];
         trng.fill_bytes(&mut buf);
-        assert!(buf.iter().any(|&b| b & 0b10 != 0), "bit 1 is no longer stuck low");
+        assert!(
+            buf.iter().any(|&b| b & 0b10 != 0),
+            "bit 1 is no longer stuck low"
+        );
     }
 
     #[test]
@@ -688,7 +752,11 @@ mod tests {
         // walk the same underlying stream as one bulk read.
         let geom = DramGeometry::tiny_test();
         let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
-        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let cfg = CharacterizationConfig {
+            segment_stride: 1,
+            bitline_stride: 1,
+            conditions: OperatingConditions::nominal(),
+        };
         let mut mixed = QuacTrng::from_model(model.clone(), cfg, 42);
         let mut bulk = QuacTrng::from_model(model, cfg, 42);
         let mut stream = Vec::new();
@@ -718,15 +786,18 @@ mod tests {
         fn assert_send<T: Send>(_: &T) {}
         let geom = DramGeometry::tiny_test();
         let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
-        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let cfg = CharacterizationConfig {
+            segment_stride: 1,
+            bitline_stride: 1,
+            conditions: OperatingConditions::nominal(),
+        };
         let ch = characterize_module(&model, DataPattern::best_average(), &cfg);
         let mut shards = QuacTrng::shards(&model, &ch, 7, 3);
         assert_send(&shards[0]);
         assert_eq!(shards.len(), 3);
         // Distinct shards emit distinct streams; the same (base_seed, index)
         // always reproduces the same stream.
-        let streams: Vec<Vec<u8>> =
-            shards.iter_mut().map(|s| s.generate_bytes(64)).collect();
+        let streams: Vec<Vec<u8>> = shards.iter_mut().map(|s| s.generate_bytes(64)).collect();
         assert_ne!(streams[0], streams[1]);
         assert_ne!(streams[1], streams[2]);
         let mut again = QuacTrng::shards(&model, &ch, 7, 3);
@@ -745,7 +816,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for base in 0..64u64 {
             for shard in 0..16usize {
-                assert!(seen.insert(shard_seed(base, shard)), "collision at ({base}, {shard})");
+                assert!(
+                    seen.insert(shard_seed(base, shard)),
+                    "collision at ({base}, {shard})"
+                );
             }
         }
     }
@@ -762,7 +836,11 @@ mod tests {
     fn paper_module_produces_multiple_numbers_per_iteration() {
         let mut t = QuacTrng::for_module(&PAPER_MODULES[0], 3);
         // The best segment of M1 holds several SHA input blocks.
-        assert!(t.numbers_per_iteration() >= 4, "blocks {}", t.numbers_per_iteration());
+        assert!(
+            t.numbers_per_iteration() >= 4,
+            "blocks {}",
+            t.numbers_per_iteration()
+        );
         let numbers = t.iteration();
         assert_eq!(numbers.len(), t.numbers_per_iteration());
     }
@@ -772,7 +850,11 @@ mod tests {
         use crate::fault::FaultInjector;
         let geom = DramGeometry::tiny_test();
         let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
-        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let cfg = CharacterizationConfig {
+            segment_stride: 1,
+            bitline_stride: 1,
+            conditions: OperatingConditions::nominal(),
+        };
         let mut clean = QuacTrng::from_model(model.clone(), cfg, 5);
         let mut faulty = QuacTrng::from_model(model, cfg, 5);
         faulty.inject_fault(FaultInjector::bias(0.85, 99));
@@ -794,7 +876,11 @@ mod tests {
         use crate::fault::FaultInjector;
         let geom = DramGeometry::tiny_test();
         let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 8));
-        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let cfg = CharacterizationConfig {
+            segment_stride: 1,
+            bitline_stride: 1,
+            conditions: OperatingConditions::nominal(),
+        };
         let mut chunked = QuacTrng::from_model(model.clone(), cfg, 31);
         let mut bulk = QuacTrng::from_model(model, cfg, 31);
         let fault = FaultInjector::burst(100, 30);
@@ -814,13 +900,20 @@ mod tests {
         t.inject_fault(FaultInjector::bias(0.9, 1).transient());
         let _ = t.generate_bytes(512);
         assert!(t.fault().is_some());
-        let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, conditions: OperatingConditions::nominal() };
+        let cfg = CharacterizationConfig {
+            segment_stride: 1,
+            bitline_stride: 1,
+            conditions: OperatingConditions::nominal(),
+        };
         let before = t.characterization().clone();
         let fresh = t.recharacterize(&cfg).clone();
         // Same model, same config: the fresh characterisation agrees with
         // the original (recharacterisation is a pure function of the model).
         assert_eq!(fresh.best_segment, before.best_segment);
-        assert!(t.fault().is_none(), "transient fault cleared by recharacterisation");
+        assert!(
+            t.fault().is_none(),
+            "transient fault cleared by recharacterisation"
+        );
         assert_eq!(t.buffered_bytes(), 0, "stale buffered output discarded");
         assert_eq!(t.generate_bytes(64).len(), 64);
         // A persistent fault survives recharacterisation.
@@ -835,7 +928,10 @@ mod tests {
         let before = t.characterization().best_segment_entropy;
         t.set_conditions(OperatingConditions::at_temperature(85.0));
         let after = t.characterization().best_segment_entropy;
-        assert!((before - after).abs() > 1e-9, "temperature change should shift entropy");
+        assert!(
+            (before - after).abs() > 1e-9,
+            "temperature change should shift entropy"
+        );
         // The generator still works.
         assert_eq!(t.generate_bytes(16).len(), 16);
     }

@@ -1,0 +1,316 @@
+//! The typed entropy **contract**: Spinel-shaped response frames whose
+//! constructors *enforce* the MUST-consume-fresh-entropy clause instead of
+//! documenting it.
+//!
+//! OpenThread's Spinel TRNG properties define the contract shape this
+//! module mirrors: `PROP_TRNG_32` returns a strong 32-bit integer,
+//! `PROP_TRNG_128` sixteen bytes for direct cryptographic use, and
+//! `PROP_TRNG_RAW_32` a raw diagnostic view — and each query "MUST consume
+//! data representing at least N bits of fresh entropy extracted from the
+//! primary entropy source" (≥ 32, ≥ 128, and ≥ 32 bits respectively).
+//! Here the clause is checked, not trusted: a frame constructor takes a
+//! [`Completion`] and refuses to build the response unless the
+//! completion's attributed [`fresh_bits`](Completion::fresh_bits) covers
+//! the requirement. The attribution itself is conservative ground truth —
+//! the per-shard [`EntropyLedger`](crate::EntropyLedger) never lets the
+//! sum of attributed bits exceed the fresh bits the shard's backend
+//! actually drew (a property the integration suite pins under proptest) —
+//! so a frame that constructs is a frame whose entropy budget is real.
+//!
+//! Every frame carries payload + checksum + per-source telemetry in one
+//! struct: the first four bytes of the payload's SHA-256 as an integrity
+//! checksum, and a [`SourceTelemetry`] naming the shard, backend kind,
+//! stream epoch/offset, and the fresh-bits budget the frame consumed — the
+//! accounted-provenance idiom (DR-STRaNGe's RNG requests as first-class,
+//! attributable traffic) rather than an opaque byte pipe.
+
+use crate::request::Completion;
+use qt_crypto::sha256::Sha256;
+use quac_trng::BackendKind;
+
+/// Fresh-entropy floor of [`Trng32`] (Spinel `PROP_TRNG_32`).
+pub const TRNG32_MIN_FRESH_BITS: u64 = 32;
+/// Fresh-entropy floor of [`Trng128`] (Spinel `PROP_TRNG_128`).
+pub const TRNG128_MIN_FRESH_BITS: u64 = 128;
+/// Fresh-entropy floor of [`TrngRaw32`] (Spinel `PROP_TRNG_RAW_32`).
+pub const TRNG_RAW32_MIN_FRESH_BITS: u64 = 32;
+
+/// Why a completion could not be promoted into a typed contract frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContractError {
+    /// The completion's attributed fresh-entropy budget does not cover the
+    /// frame's MUST-consume floor. Request more bytes (the ledger
+    /// attributes fresh bits pro-rata by length) or use a cheaper frame.
+    InsufficientFreshBits {
+        /// Fresh bits the completion is backed by.
+        claimed: u64,
+        /// The frame's floor.
+        required: u64,
+    },
+    /// The completion carries fewer payload bytes than the frame needs.
+    ShortPayload {
+        /// Bytes delivered.
+        len: usize,
+        /// Bytes the frame consumes.
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for ContractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContractError::InsufficientFreshBits { claimed, required } => write!(
+                f,
+                "completion is backed by {claimed} fresh entropy bits, the frame requires {required}"
+            ),
+            ContractError::ShortPayload { len, required } => {
+                write!(f, "completion delivers {len} B, the frame consumes {required} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContractError {}
+
+/// Provenance of one contract frame: which source produced the bytes and
+/// what entropy budget backs them — the telemetry leg of the
+/// payload+checksum+telemetry frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceTelemetry {
+    /// The shard (channel) that generated the payload.
+    pub shard: usize,
+    /// The entropy-backend kind behind that shard.
+    pub backend: BackendKind,
+    /// The shard's stream epoch the payload came from.
+    pub epoch: u64,
+    /// Byte offset of the payload within the `(shard, epoch)` stream.
+    pub stream_offset: u64,
+    /// Raw fresh entropy bits attributed to the payload by the shard's
+    /// [`EntropyLedger`](crate::EntropyLedger) — the budget the frame's
+    /// MUST-consume floor was checked against.
+    pub fresh_bits: u64,
+}
+
+impl SourceTelemetry {
+    fn of(completion: &Completion) -> Self {
+        SourceTelemetry {
+            shard: completion.shard,
+            backend: completion.backend,
+            epoch: completion.epoch,
+            stream_offset: completion.stream_offset,
+            fresh_bits: completion.fresh_bits,
+        }
+    }
+}
+
+/// First four bytes of the payload's SHA-256 — the frame checksum.
+fn checksum(payload: &[u8]) -> [u8; 4] {
+    let digest = Sha256::digest(payload);
+    [digest[0], digest[1], digest[2], digest[3]]
+}
+
+/// Shared constructor guts: enforce the payload and fresh-bits floors,
+/// then split off telemetry and checksum.
+fn frame<const N: usize>(
+    completion: &Completion,
+    min_fresh_bits: u64,
+) -> Result<([u8; N], [u8; 4], SourceTelemetry), ContractError> {
+    if completion.bytes.len() < N {
+        return Err(ContractError::ShortPayload {
+            len: completion.bytes.len(),
+            required: N,
+        });
+    }
+    if completion.fresh_bits < min_fresh_bits {
+        return Err(ContractError::InsufficientFreshBits {
+            claimed: completion.fresh_bits,
+            required: min_fresh_bits,
+        });
+    }
+    let mut payload = [0u8; N];
+    payload.copy_from_slice(&completion.bytes[..N]);
+    Ok((payload, checksum(&payload), SourceTelemetry::of(completion)))
+}
+
+/// Spinel `PROP_TRNG_32`: a strong random 32-bit integer, suitable as a
+/// PRNG seed or for cryptographic use. Constructing it enforces the
+/// MUST-consume-≥[`TRNG32_MIN_FRESH_BITS`] clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trng32 {
+    /// The random 32-bit value (little-endian over the payload bytes).
+    pub value: u32,
+    /// First four SHA-256 bytes of the payload.
+    pub checksum: [u8; 4],
+    /// Source provenance and the entropy budget consumed.
+    pub telemetry: SourceTelemetry,
+}
+
+impl Trng32 {
+    /// Builds the frame from a served completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ContractError::ShortPayload`] under 4 delivered bytes;
+    /// [`ContractError::InsufficientFreshBits`] when the completion's
+    /// attributed budget is under [`TRNG32_MIN_FRESH_BITS`].
+    pub fn from_completion(completion: &Completion) -> Result<Self, ContractError> {
+        let (payload, checksum, telemetry) = frame::<4>(completion, TRNG32_MIN_FRESH_BITS)?;
+        Ok(Trng32 {
+            value: u32::from_le_bytes(payload),
+            checksum,
+            telemetry,
+        })
+    }
+}
+
+/// Spinel `PROP_TRNG_128`: sixteen bytes of strong random data suitable
+/// for direct cryptographic use (e.g. an AES key) without further
+/// processing. Constructing it enforces the
+/// MUST-consume-≥[`TRNG128_MIN_FRESH_BITS`] clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trng128 {
+    /// The 16 random bytes.
+    pub value: [u8; 16],
+    /// First four SHA-256 bytes of the payload.
+    pub checksum: [u8; 4],
+    /// Source provenance and the entropy budget consumed.
+    pub telemetry: SourceTelemetry,
+}
+
+impl Trng128 {
+    /// Builds the frame from a served completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ContractError::ShortPayload`] under 16 delivered bytes;
+    /// [`ContractError::InsufficientFreshBits`] when the completion's
+    /// attributed budget is under [`TRNG128_MIN_FRESH_BITS`].
+    pub fn from_completion(completion: &Completion) -> Result<Self, ContractError> {
+        let (value, checksum, telemetry) = frame::<16>(completion, TRNG128_MIN_FRESH_BITS)?;
+        Ok(Trng128 {
+            value,
+            checksum,
+            telemetry,
+        })
+    }
+}
+
+/// Spinel `PROP_TRNG_RAW_32`: the diagnostic view of the entropy source —
+/// 32 payload bytes *plus* the provenance needed to debug the source's
+/// behaviour (which shard, which backend, where in the stream, how many
+/// fresh bits). Constructing it enforces the
+/// MUST-consume-≥[`TRNG_RAW32_MIN_FRESH_BITS`] clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrngRaw32 {
+    /// The 32 payload bytes.
+    pub value: [u8; 32],
+    /// First four SHA-256 bytes of the payload.
+    pub checksum: [u8; 4],
+    /// Source provenance and the entropy budget consumed.
+    pub telemetry: SourceTelemetry,
+}
+
+impl TrngRaw32 {
+    /// Builds the frame from a served completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ContractError::ShortPayload`] under 32 delivered bytes;
+    /// [`ContractError::InsufficientFreshBits`] when the completion's
+    /// attributed budget is under [`TRNG_RAW32_MIN_FRESH_BITS`].
+    pub fn from_completion(completion: &Completion) -> Result<Self, ContractError> {
+        let (value, checksum, telemetry) = frame::<32>(completion, TRNG_RAW32_MIN_FRESH_BITS)?;
+        Ok(TrngRaw32 {
+            value,
+            checksum,
+            telemetry,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ClientId;
+
+    fn completion(len: usize, fresh_bits: u64) -> Completion {
+        Completion {
+            client: ClientId(0),
+            seq: 1,
+            shard: 2,
+            epoch: 3,
+            stream_offset: 40,
+            fresh_bits,
+            backend: BackendKind::DRange,
+            bytes: (0..len as u8).collect(),
+        }
+    }
+
+    #[test]
+    fn frames_carry_payload_checksum_and_telemetry() {
+        let c = completion(32, 4096);
+        let t32 = Trng32::from_completion(&c).unwrap();
+        assert_eq!(t32.value, u32::from_le_bytes([0, 1, 2, 3]));
+        assert_eq!(t32.checksum, checksum(&c.bytes[..4]));
+        assert_eq!(t32.telemetry.shard, 2);
+        assert_eq!(t32.telemetry.backend, BackendKind::DRange);
+        assert_eq!(t32.telemetry.epoch, 3);
+        assert_eq!(t32.telemetry.stream_offset, 40);
+        assert_eq!(t32.telemetry.fresh_bits, 4096);
+        let t128 = Trng128::from_completion(&c).unwrap();
+        assert_eq!(&t128.value[..], &c.bytes[..16]);
+        assert_eq!(t128.checksum, checksum(&c.bytes[..16]));
+        let raw = TrngRaw32::from_completion(&c).unwrap();
+        assert_eq!(&raw.value[..], &c.bytes[..32]);
+        assert_ne!(
+            raw.checksum, t128.checksum,
+            "checksums cover their own payloads"
+        );
+    }
+
+    #[test]
+    fn the_fresh_bits_floor_is_enforced_per_frame() {
+        // 127 fresh bits: enough for the 32-bit frames, not for Trng128.
+        let c = completion(32, 127);
+        assert!(Trng32::from_completion(&c).is_ok());
+        assert!(TrngRaw32::from_completion(&c).is_ok());
+        assert_eq!(
+            Trng128::from_completion(&c),
+            Err(ContractError::InsufficientFreshBits {
+                claimed: 127,
+                required: 128
+            })
+        );
+        let starved = completion(32, TRNG32_MIN_FRESH_BITS - 1);
+        assert_eq!(
+            Trng32::from_completion(&starved),
+            Err(ContractError::InsufficientFreshBits {
+                claimed: 31,
+                required: 32
+            })
+        );
+    }
+
+    #[test]
+    fn short_payloads_are_typed_errors() {
+        let c = completion(15, 1 << 20);
+        assert!(
+            Trng32::from_completion(&c).is_ok(),
+            "4 B payload fits in 15"
+        );
+        assert_eq!(
+            Trng128::from_completion(&c),
+            Err(ContractError::ShortPayload {
+                len: 15,
+                required: 16
+            })
+        );
+        assert_eq!(
+            TrngRaw32::from_completion(&c),
+            Err(ContractError::ShortPayload {
+                len: 15,
+                required: 32
+            })
+        );
+    }
+}

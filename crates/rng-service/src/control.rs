@@ -14,13 +14,14 @@
 use crate::correlation::CorrelationMonitor;
 use crate::health::{ShardHealth, ShardState};
 use crate::placement::{LeastLoaded, PlacementPolicy, TieredPlacement};
-use crate::request::RngRequest;
+use crate::request::{ClientId, RngRequest};
 use crate::state::{Lifecycle, RngServiceConfig, Shared, State};
-use crate::ticket::{Expired, Outcome};
+use crate::ticket::{Expired, ExpiryStage, Outcome};
 use crate::validate::{StreamValidator, TapChunk};
 use qt_dram_core::BitVec;
 use quac_trng::EntropyBackend;
-use std::sync::mpsc;
+use std::collections::HashMap;
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 /// What admission does while *every* shard is quarantined (the service is
@@ -98,6 +99,107 @@ impl RequalifyPolicy for RecharacterizeOnQuarantine {
     }
 }
 
+/// The per-tenant QoS seam of the control plane: whether one client may
+/// submit `len` more bytes *right now*. Layered in front of the priority
+/// bands and the fairness window — those schedule admitted work fairly; the
+/// QoS policy decides what gets admitted at all, so one greedy tenant cannot
+/// monopolise the in-flight budget before scheduling even starts.
+///
+/// A rejection is a typed policy outcome
+/// ([`SubmitError::RateLimited`](crate::SubmitError::RateLimited)), not
+/// backpressure: blocking submission does not park on it.
+pub trait QosPolicy: std::fmt::Debug + Send + Sync {
+    /// Charges `len` bytes against `client`'s allowance at `now`. `Ok(())`
+    /// admits (the charge is consumed); `Err(retry_after)` rejects with the
+    /// policy's estimate of when the same request could be covered
+    /// ([`Duration::ZERO`] when it never can be).
+    fn try_charge(&self, client: ClientId, len: usize, now: Instant) -> Result<(), Duration>;
+}
+
+/// The default QoS policy: every submission is admitted (rate limiting
+/// opt-in via [`TokenBucketQos`] in a custom [`ServicePolicies`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoQos;
+
+impl QosPolicy for NoQos {
+    fn try_charge(&self, _client: ClientId, _len: usize, _now: Instant) -> Result<(), Duration> {
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Per-tenant token-bucket rate limiting: each client owns a bucket holding
+/// up to `burst_bytes` tokens that refills at `rate_bytes_per_sec`; a
+/// submission consumes its length in tokens or is rejected with the refill
+/// time it would need. Buckets start full, so a quiet client keeps its
+/// burst.
+///
+/// `burst_bytes` must cover the largest request a client legitimately
+/// makes: a request larger than the burst can never be covered and is
+/// rejected with a zero `retry_after` (mirroring how
+/// [`SubmitError::TooLarge`](crate::SubmitError::TooLarge) refuses what the
+/// in-flight budget could never admit).
+#[derive(Debug)]
+pub struct TokenBucketQos {
+    rate_bytes_per_sec: f64,
+    burst_bytes: f64,
+    buckets: Mutex<HashMap<ClientId, Bucket>>,
+}
+
+impl TokenBucketQos {
+    /// A bucket set refilling at `rate_bytes_per_sec` with capacity
+    /// `burst_bytes` per client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_bytes_per_sec` is not finite and positive, or
+    /// `burst_bytes` is zero.
+    pub fn new(rate_bytes_per_sec: f64, burst_bytes: usize) -> Self {
+        assert!(
+            rate_bytes_per_sec.is_finite() && rate_bytes_per_sec > 0.0,
+            "refill rate must be finite and positive, got {rate_bytes_per_sec}"
+        );
+        assert!(burst_bytes > 0, "burst must be non-zero");
+        TokenBucketQos {
+            rate_bytes_per_sec,
+            burst_bytes: burst_bytes as f64,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl QosPolicy for TokenBucketQos {
+    fn try_charge(&self, client: ClientId, len: usize, now: Instant) -> Result<(), Duration> {
+        let need = len as f64;
+        if need > self.burst_bytes {
+            // Could never be covered: reject immediately rather than have
+            // the client back off forever in refill-sized steps.
+            return Err(Duration::ZERO);
+        }
+        let mut buckets = self.buckets.lock().expect("QoS buckets poisoned");
+        let bucket = buckets.entry(client).or_insert(Bucket {
+            tokens: self.burst_bytes,
+            last: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.last).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.rate_bytes_per_sec).min(self.burst_bytes);
+        bucket.last = now;
+        if bucket.tokens >= need {
+            bucket.tokens -= need;
+            Ok(())
+        } else {
+            Err(Duration::from_secs_f64(
+                (need - bucket.tokens) / self.rate_bytes_per_sec,
+            ))
+        }
+    }
+}
+
 /// The control-plane policy set one service instance runs with, injected at
 /// [`RngService::start_with_policies`](crate::RngService::start_with_policies).
 /// [`RngService::start`](crate::RngService::start) uses
@@ -110,28 +212,34 @@ pub struct ServicePolicies {
     pub admission: Box<dyn AdmissionPolicy>,
     /// Requalification pacing of quarantined shards.
     pub requalify: Box<dyn RequalifyPolicy>,
+    /// Per-tenant admission rate limiting ([`NoQos`] by default).
+    pub qos: Box<dyn QosPolicy>,
 }
 
 impl ServicePolicies {
     /// The stock policies: least-loaded placement, the config's
-    /// [`DegradedPolicy`], and [`RecharacterizeOnQuarantine`].
+    /// [`DegradedPolicy`], [`RecharacterizeOnQuarantine`], and no rate
+    /// limiting.
     pub fn for_config(cfg: &RngServiceConfig) -> Self {
         ServicePolicies {
             placement: Box::new(LeastLoaded),
             admission: Box::new(cfg.degraded),
             requalify: Box::new(RecharacterizeOnQuarantine),
+            qos: Box::new(NoQos),
         }
     }
 
     /// The stock policies of a heterogeneous mesh
     /// ([`RngService::start_mesh`](crate::RngService::start_mesh)):
     /// [`TieredPlacement`] routing by backend kind and priority, the
-    /// config's [`DegradedPolicy`], and [`RecharacterizeOnQuarantine`].
+    /// config's [`DegradedPolicy`], [`RecharacterizeOnQuarantine`], and no
+    /// rate limiting.
     pub fn for_mesh(cfg: &RngServiceConfig) -> Self {
         ServicePolicies {
             placement: Box::new(TieredPlacement),
             admission: Box::new(cfg.degraded),
             requalify: Box::new(RecharacterizeOnQuarantine),
+            qos: Box::new(NoQos),
         }
     }
 }
@@ -189,7 +297,10 @@ pub(crate) fn requalify_shard(
         }
         let needs_recharacterization = {
             let st = shared.state.lock().expect("service state poisoned");
-            shared.policies.requalify.needs_recharacterization(st.health[shard_idx].state)
+            shared
+                .policies
+                .requalify
+                .needs_recharacterization(st.health[shard_idx].state)
         };
         if needs_recharacterization {
             // The sweep runs unlocked, so healthy shards keep serving.
@@ -207,7 +318,9 @@ pub(crate) fn requalify_shard(
             scratch.resize(window_bytes, 0);
             trng.fill_bytes(scratch);
             let bits = BitVec::from_bytes(scratch, vcfg.window_bits);
-            let pass = qt_nist_sts::run_all_tests(&bits).iter().all(|r| r.passes(vcfg.alpha));
+            let pass = qt_nist_sts::run_all_tests(&bits)
+                .iter()
+                .all(|r| r.passes(vcfg.alpha));
             let mut st = shared.state.lock().expect("service state poisoned");
             st.stats.validation.probation_windows += 1;
             if st.health[shard_idx].record_probation_window(pass, &vcfg.policy) {
@@ -254,7 +367,9 @@ pub(crate) fn validator_loop(shared: &Shared, rx: &mpsc::Receiver<TapChunk>, sha
         if !vcfg.lossless_tap {
             // Mirror of the worker-side increment: the occupancy estimate
             // lets lossy workers skip copies the full queue would drop.
-            shared.tap_fill.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+            shared
+                .tap_fill
+                .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
         }
         // Skip grading while aborting (but keep draining so lossless
         // workers never block on a dead validator), for fenced-off shards
@@ -367,10 +482,11 @@ pub(crate) fn sweep_shard_expired(
         released += req.len;
         st.stats.expired_requests += 1;
         if let Some(tx) = st.senders.remove(&req.seq) {
-            let _ = tx.send(Outcome::Expired(Expired {
+            tx.send(Outcome::Expired(Expired {
                 seq: req.seq,
                 deadline: req.deadline.expect("expired requests carry a deadline"),
                 expired_at: now,
+                stage: ExpiryStage::Sweep,
             }));
         }
     }
@@ -414,8 +530,10 @@ pub(crate) fn expiry_loop(shared: &Shared) {
             if now >= due {
                 break;
             }
-            let (guard, _) =
-                shared.deadlines.wait_timeout(st, due - now).expect("service state poisoned");
+            let (guard, _) = shared
+                .deadlines
+                .wait_timeout(st, due - now)
+                .expect("service state poisoned");
             st = guard;
         }
         st.stats.expiry_sweeps += 1;
@@ -480,7 +598,9 @@ mod tests {
     #[test]
     fn stock_policies_match_the_config() {
         let cfg = RngServiceConfig {
-            degraded: DegradedPolicy::Park { max_wait: Duration::from_millis(10) },
+            degraded: DegradedPolicy::Park {
+                max_wait: Duration::from_millis(10),
+            },
             ..RngServiceConfig::default()
         };
         let policies = ServicePolicies::for_config(&cfg);
@@ -496,5 +616,46 @@ mod tests {
         let p = RecharacterizeOnQuarantine;
         assert!(p.needs_recharacterization(crate::health::ShardState::Quarantined));
         assert!(!p.needs_recharacterization(crate::health::ShardState::Probation));
+    }
+
+    #[test]
+    fn token_bucket_charges_refills_and_isolates_clients() {
+        let qos = TokenBucketQos::new(1000.0, 100);
+        let t0 = Instant::now();
+        // A full bucket covers the burst exactly once.
+        assert_eq!(qos.try_charge(ClientId(1), 100, t0), Ok(()));
+        let retry = qos.try_charge(ClientId(1), 50, t0).unwrap_err();
+        assert_eq!(retry, Duration::from_millis(50), "50 B short at 1000 B/s");
+        // Another tenant's bucket is untouched by client 1's spend.
+        assert_eq!(qos.try_charge(ClientId(2), 100, t0), Ok(()));
+        // Refill is continuous: 60 ms later, 60 tokens are back.
+        let t1 = t0 + Duration::from_millis(60);
+        assert_eq!(qos.try_charge(ClientId(1), 50, t1), Ok(()));
+        assert!(
+            qos.try_charge(ClientId(1), 50, t1).is_err(),
+            "only 10 tokens left"
+        );
+        // Refill caps at the burst: a long sleep does not bank extra.
+        let t2 = t1 + Duration::from_secs(3600);
+        assert_eq!(qos.try_charge(ClientId(1), 100, t2), Ok(()));
+        assert!(qos.try_charge(ClientId(1), 1, t2).is_err());
+    }
+
+    #[test]
+    fn token_bucket_rejects_over_burst_requests_outright() {
+        let qos = TokenBucketQos::new(1e9, 64);
+        assert_eq!(
+            qos.try_charge(ClientId(0), 65, Instant::now()),
+            Err(Duration::ZERO),
+            "a request over the burst can never be covered"
+        );
+    }
+
+    #[test]
+    fn no_qos_admits_everything() {
+        assert_eq!(
+            NoQos.try_charge(ClientId(9), usize::MAX, Instant::now()),
+            Ok(())
+        );
     }
 }

@@ -30,7 +30,10 @@ use std::fmt::Write as _;
 /// [`BackendKind`](quac_trng::BackendKind), defaulting to `quac` for
 /// snapshots that predate the mesh (or were built by hand without kinds).
 fn backend_label(stats: &ServiceStats, shard: usize) -> &'static str {
-    stats.backend_kinds.get(shard).map_or("quac", |kind| kind.label())
+    stats
+        .backend_kinds
+        .get(shard)
+        .map_or("quac", |kind| kind.label())
 }
 
 /// Renders `stats` as Prometheus text exposition (version 0.0.4). The
@@ -45,7 +48,12 @@ pub fn prometheus_text(stats: &ServiceStats) -> String {
         "Requests completed (delivered to their tickets).",
         stats.completed_requests,
     );
-    counter(&mut out, "qt_rng_completed_bytes_total", "Random bytes delivered.", stats.completed_bytes);
+    counter(
+        &mut out,
+        "qt_rng_completed_bytes_total",
+        "Random bytes delivered.",
+        stats.completed_bytes,
+    );
     counter(
         &mut out,
         "qt_rng_expired_requests_total",
@@ -70,18 +78,77 @@ pub fn prometheus_text(stats: &ServiceStats) -> String {
         "Submissions rejected because every shard was quarantined.",
         stats.degraded_rejections,
     );
+    counter(
+        &mut out,
+        "qt_rng_rate_limited_rejections_total",
+        "Submissions rejected by the per-tenant QoS policy (token bucket empty).",
+        stats.rate_limited_rejections,
+    );
+    counter(
+        &mut out,
+        "qt_rng_mixed_halves_abandoned_total",
+        "Mixed-submission halves that delivered bytes while their sibling failed (generated, then discarded).",
+        stats.mixed_halves_abandoned,
+    );
     gauge(
         &mut out,
         "qt_rng_peak_in_flight_bytes",
         "High-water mark of in-flight bytes.",
         stats.peak_in_flight_bytes as u64,
     );
-    help_type(&mut out, "qt_rng_shard_delivered_bytes_total", "Bytes delivered by each shard.", "counter");
+    help_type(
+        &mut out,
+        "qt_rng_shard_delivered_bytes_total",
+        "Bytes delivered by each shard.",
+        "counter",
+    );
     for (shard, bytes) in stats.per_shard_bytes.iter().enumerate() {
         let backend = backend_label(stats, shard);
         let _ = writeln!(
             out,
             "qt_rng_shard_delivered_bytes_total{{shard=\"{shard}\",backend=\"{backend}\"}} {bytes}"
+        );
+    }
+    help_type(
+        &mut out,
+        "qt_rng_shard_fresh_bits_drawn_total",
+        "Raw fresh entropy bits the shard's backend drew from its physical source.",
+        "counter",
+    );
+    for (shard, ledger) in stats.per_shard_ledger.iter().enumerate() {
+        let backend = backend_label(stats, shard);
+        let _ = writeln!(
+            out,
+            "qt_rng_shard_fresh_bits_drawn_total{{shard=\"{shard}\",backend=\"{backend}\"}} {}",
+            ledger.fresh_bits_drawn
+        );
+    }
+    help_type(
+        &mut out,
+        "qt_rng_shard_fresh_bits_claimed_total",
+        "Fresh bits attributed to completions served by the shard (never exceeds the drawn total).",
+        "counter",
+    );
+    for (shard, ledger) in stats.per_shard_ledger.iter().enumerate() {
+        let backend = backend_label(stats, shard);
+        let _ = writeln!(
+            out,
+            "qt_rng_shard_fresh_bits_claimed_total{{shard=\"{shard}\",backend=\"{backend}\"}} {}",
+            ledger.fresh_bits_claimed
+        );
+    }
+    help_type(
+        &mut out,
+        "qt_rng_shard_conditioned_bytes_served_total",
+        "Conditioned bytes the shard's worker generated into completions.",
+        "counter",
+    );
+    for (shard, ledger) in stats.per_shard_ledger.iter().enumerate() {
+        let backend = backend_label(stats, shard);
+        let _ = writeln!(
+            out,
+            "qt_rng_shard_conditioned_bytes_served_total{{shard=\"{shard}\",backend=\"{backend}\"}} {}",
+            ledger.conditioned_bytes_served
         );
     }
     counter(
@@ -255,7 +322,11 @@ fn histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
         if i == 0 {
             let _ = writeln!(out, "{name}_bucket{{le=\"0\"}} {cumulative}");
         } else {
-            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", (1u64 << i) - 1);
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                (1u64 << i) - 1
+            );
         }
     }
     let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
@@ -283,7 +354,10 @@ mod tests {
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.rsplitn(2, ' ');
             let value = parts.next().unwrap();
-            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value in {line:?}"
+            );
             assert!(parts.next().is_some(), "no metric name in {line:?}");
         }
     }
@@ -324,15 +398,21 @@ mod tests {
     fn shard_health_exports_with_labels() {
         use crate::health::{ShardHealth, ShardState};
         use quac_trng::BackendKind;
-        let mut stats = ServiceStats { per_shard_bytes: vec![64, 128], ..Default::default() };
+        let mut stats = ServiceStats {
+            per_shard_bytes: vec![64, 128],
+            ..Default::default()
+        };
         let mut fenced = ShardHealth::new();
         fenced.state = ShardState::Quarantined;
         fenced.quarantines = 3;
         stats.shard_health = vec![ShardHealth::new(), fenced];
         stats.backend_kinds = vec![BackendKind::Quac, BackendKind::DRange];
         let text = prometheus_text(&stats);
-        assert!(text.contains("qt_rng_shard_delivered_bytes_total{shard=\"0\",backend=\"quac\"} 64\n"));
-        assert!(text.contains("qt_rng_shard_delivered_bytes_total{shard=\"1\",backend=\"drange\"} 128\n"));
+        assert!(
+            text.contains("qt_rng_shard_delivered_bytes_total{shard=\"0\",backend=\"quac\"} 64\n")
+        );
+        assert!(text
+            .contains("qt_rng_shard_delivered_bytes_total{shard=\"1\",backend=\"drange\"} 128\n"));
         assert!(text.contains("qt_rng_shard_serving{shard=\"0\",backend=\"quac\"} 1\n"));
         assert!(text.contains("qt_rng_shard_serving{shard=\"1\",backend=\"drange\"} 0\n"));
         assert!(text.contains("qt_rng_shard_quarantines_total{shard=\"1\",backend=\"drange\"} 3\n"));
@@ -343,8 +423,13 @@ mod tests {
 
     #[test]
     fn a_snapshot_without_kinds_labels_every_shard_quac() {
-        let stats = ServiceStats { per_shard_bytes: vec![7], ..Default::default() };
+        let stats = ServiceStats {
+            per_shard_bytes: vec![7],
+            ..Default::default()
+        };
         let text = prometheus_text(&stats);
-        assert!(text.contains("qt_rng_shard_delivered_bytes_total{shard=\"0\",backend=\"quac\"} 7\n"));
+        assert!(
+            text.contains("qt_rng_shard_delivered_bytes_total{shard=\"0\",backend=\"quac\"} 7\n")
+        );
     }
 }

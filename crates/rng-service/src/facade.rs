@@ -1,0 +1,274 @@
+//! The async front door: `await` a ticket instead of blocking on it.
+//!
+//! [`AsyncTicket`] and [`AsyncMixedTicket`] implement
+//! [`std::future::Future`] directly over the ticket's shared resolution
+//! cell: polling an unresolved ticket registers the task's [`Waker`] in the
+//! cell, and the **delivery side wakes it** — the worker when it serves the
+//! request, the expiry sweep when the deadline kills it, the abort path
+//! when the service discards it. There is **no polling thread, no timer,
+//! and no async runtime dependency** anywhere in this module: resolution
+//! and wake-up happen at the same boundary that signals blocking waiters,
+//! so a parked executor sees exactly one wake per outcome and zero
+//! spurious ones.
+//!
+//! Any executor that drives a plain [`Future`] works — tokio, async-std,
+//! or the minimal [`block_on`] shipped here for examples and tests (a
+//! thread-park executor in ~20 lines, the no-runtime design made
+//! concrete).
+//!
+//! ```
+//! use qt_rng_service::{ClientId, Priority, RngService, RngServiceConfig};
+//! use qt_rng_service::facade::{block_on, AsyncTicket};
+//! use quac_trng::characterize::{characterize_module, CharacterizationConfig};
+//! use quac_trng::pipeline::QuacTrng;
+//! use qt_dram_analog::{ModuleVariation, QuacAnalogModel};
+//! use qt_dram_core::{DataPattern, DramGeometry};
+//!
+//! let geom = DramGeometry::tiny_test();
+//! let model = QuacAnalogModel::new(geom, ModuleVariation::generate(&geom, 1));
+//! let cfg = CharacterizationConfig { segment_stride: 1, bitline_stride: 1, ..Default::default() };
+//! let ch = characterize_module(&model, DataPattern::best_average(), &cfg);
+//! let service = RngService::start(QuacTrng::shards(&model, &ch, 42, 1), RngServiceConfig::default());
+//! let ticket = service.submit(ClientId(0), Priority::Normal, 64).unwrap();
+//! let completion = block_on(AsyncTicket::from(ticket)).unwrap();
+//! assert_eq!(completion.bytes.len(), 64);
+//! service.shutdown();
+//! ```
+
+use crate::mixer::{MixedCompletion, MixedTicket};
+use crate::request::Completion;
+use crate::ticket::{Ticket, WaitError};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+/// A [`Ticket`] as a [`Future`]: resolves to the same
+/// `Result<Completion, WaitError>` that [`Ticket::wait`] returns, woken by
+/// the delivery side with no polling thread (see the [module
+/// docs](self)).
+///
+/// The future is **idempotent after resolution**, like every ticket wait
+/// variant: polling a resolved future again returns the same terminal
+/// outcome. Dropping the future before resolution is safe and leaks
+/// nothing — the delivery side holds its own handle on the shared cell,
+/// resolves into it, and lets go; the cell is freed when the last handle
+/// drops.
+#[derive(Debug)]
+pub struct AsyncTicket {
+    ticket: Ticket,
+}
+
+impl AsyncTicket {
+    /// The underlying ticket — the blocking wait variants remain available
+    /// (from another thread, or after [`AsyncTicket::into_inner`]).
+    pub fn ticket(&self) -> &Ticket {
+        &self.ticket
+    }
+
+    /// Unwraps back to the plain [`Ticket`].
+    pub fn into_inner(self) -> Ticket {
+        self.ticket
+    }
+}
+
+impl From<Ticket> for AsyncTicket {
+    fn from(ticket: Ticket) -> Self {
+        AsyncTicket { ticket }
+    }
+}
+
+impl Future for AsyncTicket {
+    type Output = Result<Completion, WaitError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.ticket.poll_wait(cx)
+    }
+}
+
+/// A [`MixedTicket`] as a [`Future`]: resolves once **both** halves are
+/// terminal, with [`MixedTicket::wait`]'s join-both semantics — the first
+/// half's error wins, and a sibling that delivered bytes while the other
+/// half failed is recorded in
+/// [`ServiceStats::mixed_halves_abandoned`](crate::ServiceStats::mixed_halves_abandoned).
+/// Each poll registers the waker on every still-pending half, so whichever
+/// resolves *last* wakes the task — never a wake per half.
+#[derive(Debug)]
+pub struct AsyncMixedTicket {
+    ticket: MixedTicket,
+}
+
+impl AsyncMixedTicket {
+    /// The underlying mixed ticket.
+    pub fn ticket(&self) -> &MixedTicket {
+        &self.ticket
+    }
+
+    /// Unwraps back to the plain [`MixedTicket`].
+    pub fn into_inner(self) -> MixedTicket {
+        self.ticket
+    }
+}
+
+impl From<MixedTicket> for AsyncMixedTicket {
+    fn from(ticket: MixedTicket) -> Self {
+        AsyncMixedTicket { ticket }
+    }
+}
+
+impl Future for AsyncMixedTicket {
+    type Output = Result<MixedCompletion, WaitError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let (first, second) = self.ticket.halves();
+        // Poll both halves every time: each pending half re-registers the
+        // waker, so the future is woken when the *last* half resolves no
+        // matter which order they land in. A resolved half's poll is a
+        // cheap sticky-cache read.
+        let a = first.poll_wait(cx);
+        let b = second.poll_wait(cx);
+        match (a, b) {
+            (Poll::Ready(first), Poll::Ready(second)) => {
+                Poll::Ready(self.ticket.finish(first, second))
+            }
+            _ => Poll::Pending,
+        }
+    }
+}
+
+/// The minimal thread-park waker behind [`block_on`]: `wake` unparks the
+/// executor thread.
+#[derive(Debug)]
+struct ThreadWaker(Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drives a future to completion on the current thread by parking between
+/// polls — the no-runtime executor for examples, tests, and synchronous
+/// callers of async APIs. Safe against spurious unparks (it just re-polls)
+/// and against wakes that land before the park (an `unpark` ahead of
+/// `park` makes the park return immediately; the token is not lost).
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future = std::pin::pin!(future);
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ticket::{ticket_channel, Canceled, Outcome};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn completion(seq: u64) -> Completion {
+        Completion {
+            client: crate::request::ClientId(0),
+            seq,
+            shard: 0,
+            epoch: 0,
+            stream_offset: 0,
+            fresh_bits: 64,
+            backend: quac_trng::BackendKind::Quac,
+            bytes: vec![7; 8],
+        }
+    }
+
+    /// A waker that counts its wakes — the zero-spurious-wakes probe.
+    #[derive(Debug, Default)]
+    struct CountingWaker(AtomicUsize);
+
+    impl Wake for CountingWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn a_future_polled_before_resolution_gets_exactly_one_wake() {
+        let (tx, ticket) = ticket_channel(1, 0);
+        let mut future = std::pin::pin!(AsyncTicket::from(ticket));
+        let counter = Arc::new(CountingWaker::default());
+        let waker = Waker::from(Arc::clone(&counter));
+        let mut cx = Context::from_waker(&waker);
+        assert!(future.as_mut().poll(&mut cx).is_pending());
+        assert_eq!(
+            counter.0.load(Ordering::SeqCst),
+            0,
+            "no wake before resolution"
+        );
+        tx.send(Outcome::Served(completion(1)));
+        assert_eq!(
+            counter.0.load(Ordering::SeqCst),
+            1,
+            "resolution wakes exactly once"
+        );
+        let Poll::Ready(Ok(c)) = future.as_mut().poll(&mut cx) else {
+            panic!("resolved future must be ready");
+        };
+        assert_eq!(c.seq, 1);
+        // Re-polling a resolved future is idempotent and wakes no more.
+        assert!(future.as_mut().poll(&mut cx).is_ready());
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn a_future_resolved_before_first_poll_is_immediately_ready() {
+        let (tx, ticket) = ticket_channel(2, 0);
+        tx.send(Outcome::Served(completion(2)));
+        assert!(block_on(AsyncTicket::from(ticket)).is_ok());
+    }
+
+    #[test]
+    fn dropping_the_sender_wakes_with_canceled() {
+        let (tx, ticket) = ticket_channel(3, 0);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            drop(tx);
+        });
+        let out = block_on(AsyncTicket::from(ticket));
+        handle.join().unwrap();
+        assert_eq!(out, Err(WaitError::Canceled(Canceled)));
+    }
+
+    #[test]
+    fn dropping_the_future_before_resolution_leaks_nothing() {
+        let (tx, ticket) = ticket_channel(4, 0);
+        let weak = ticket.cell_weak();
+        // Box::pin rather than pin!: the test must be able to truly drop
+        // the future (dropping a stack pin's `Pin<&mut _>` handle would
+        // leave the ticket alive until end of scope).
+        let mut future = Box::pin(AsyncTicket::from(ticket));
+        let counter = Arc::new(CountingWaker::default());
+        let waker = Waker::from(Arc::clone(&counter));
+        let mut cx = Context::from_waker(&waker);
+        assert!(future.as_mut().poll(&mut cx).is_pending());
+        // Ticket + sender hold the cell; the registered waker lives inside
+        // it, not the other way round.
+        assert_eq!(weak.strong_count(), 2);
+        drop(future);
+        assert_eq!(weak.strong_count(), 1, "only the delivery side remains");
+        // The delivery side resolving into a dead cell is harmless (it
+        // wakes the stale waker once, which is a no-op for the executor).
+        tx.send(Outcome::Served(completion(4)));
+        drop(tx);
+        assert_eq!(weak.strong_count(), 0, "cell freed once both sides let go");
+        // Only `counter` itself and the local `waker` hold the waker now:
+        // the clone registered in the cell was consumed by the wake.
+        assert_eq!(
+            Arc::strong_count(&counter),
+            2,
+            "registered waker clone released"
+        );
+    }
+}

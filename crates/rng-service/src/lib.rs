@@ -65,10 +65,13 @@
 //!   batteries cannot see).
 //! * [`control`] — [`AdmissionPolicy`] (what a blocking submission does
 //!   while *every* shard is fenced, stock impl [`DegradedPolicy`]),
-//!   [`RequalifyPolicy`] (recharacterise-on-quarantine pacing), and the
-//!   orchestration loops: validation verdict folding, quarantine failover,
-//!   requalification, and the deadline-expiry sweep (which waits on its own
-//!   condvar, so deadline-free load never wakes it).
+//!   [`RequalifyPolicy`] (recharacterise-on-quarantine pacing),
+//!   [`QosPolicy`] (per-tenant token-bucket admission, stock impls
+//!   [`NoQos`] / [`TokenBucketQos`], rejection via
+//!   [`SubmitError::RateLimited`]), and the orchestration loops: validation
+//!   verdict folding, quarantine failover, requalification, and the
+//!   deadline-expiry sweep (which waits on its own condvar, so
+//!   deadline-free load never wakes it).
 //! * [`health`] — the per-shard window → EWMA/streak → quarantine →
 //!   probation → readmission state machine.
 //! * [`queue`] / `worker` — the data plane: priority bands with
@@ -79,12 +82,26 @@
 //!   backpressure against [`RngServiceConfig::max_inflight_bytes`].
 //! * [`ticket`] — the client-side receipt: [`Ticket::wait`],
 //!   [`Ticket::try_wait`], [`Ticket::wait_deadline`]; typed terminal
-//!   outcomes [`Expired`] and [`Canceled`].
+//!   outcomes [`Expired`] (stamped with the [`ExpiryStage`] it died at) and
+//!   [`Canceled`]. Tickets are `Sync`: the resolution cell is shared with
+//!   the delivery side, so waits from several threads agree.
+//! * [`facade`] — the async front door: [`AsyncTicket`] /
+//!   [`AsyncMixedTicket`] implement [`Future`](std::future::Future) with the
+//!   waker registered at the completion-delivery boundary (worker, expiry
+//!   sweep, abort — no polling thread, no runtime dependency), plus the
+//!   minimal [`block_on`] executor.
+//! * [`contract`] — typed Spinel-shaped responses ([`Trng32`], [`Trng128`],
+//!   [`TrngRaw32`]): payload + checksum + [`SourceTelemetry`] in one frame,
+//!   each constructor enforcing its MUST-consume-≥N-fresh-bits clause
+//!   against the completion's ledger-attributed
+//!   [`fresh_bits`](Completion::fresh_bits).
 //! * [`validate`] — the continuous-validation tap and windowing in front of
 //!   the word-parallel NIST SP 800-22 battery.
 //! * [`stats`] / [`export`] — [`ServiceStats`] snapshots, log₂
-//!   [`Histogram`]s, rate windows via [`ServiceStats::delta_since`], and
-//!   Prometheus text exposition via [`export::prometheus_text`].
+//!   [`Histogram`]s, the per-shard [`EntropyLedger`] (raw fresh bits drawn
+//!   vs conditioned bytes served, per backend), rate windows via
+//!   [`ServiceStats::delta_since`], and Prometheus text exposition via
+//!   [`export::prometheus_text`].
 //!
 //! ## Deadlines and degraded operation
 //!
@@ -152,23 +169,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod contract;
 pub mod control;
 pub mod correlation;
 pub mod export;
+pub mod facade;
 pub mod health;
 pub mod mixer;
 pub mod placement;
 pub mod queue;
 pub mod request;
 pub mod service;
+pub(crate) mod state;
 pub mod stats;
 pub mod ticket;
 pub mod validate;
-pub(crate) mod state;
 pub(crate) mod worker;
 
-pub use control::{AdmissionPolicy, DegradedPolicy, RequalifyPolicy, ServicePolicies};
+pub use contract::{ContractError, SourceTelemetry, Trng128, Trng32, TrngRaw32};
+pub use control::{
+    AdmissionPolicy, DegradedPolicy, NoQos, QosPolicy, RequalifyPolicy, ServicePolicies,
+    TokenBucketQos,
+};
 pub use correlation::{bit_agreement, CorrelationConfig, CorrelationMonitor};
+pub use facade::{block_on, AsyncMixedTicket, AsyncTicket};
 pub use health::{HealthPolicy, ShardHealth, ShardState};
 pub use mixer::{MixedCompletion, MixedTicket};
 pub use placement::{least_loaded_shard, PlacementPolicy, TieredPlacement};
@@ -176,6 +200,6 @@ pub use queue::ShardScheduler;
 pub use request::{ClientId, Completion, Priority, RngRequest, SubmitError};
 pub use service::RngService;
 pub use state::RngServiceConfig;
-pub use stats::{Histogram, ServiceStats, ValidationStats};
-pub use ticket::{Canceled, Expired, Ticket, WaitError};
+pub use stats::{EntropyLedger, Histogram, ServiceStats, ValidationStats};
+pub use ticket::{Canceled, Expired, ExpiryStage, Ticket, WaitError};
 pub use validate::ValidationConfig;

@@ -73,6 +73,18 @@ pub struct Completion {
     /// serial `QuacTrng` emits (a shard that is never quarantined stays in
     /// epoch 0 forever).
     pub stream_offset: u64,
+    /// Raw fresh entropy bits this completion is backed by, attributed from
+    /// the serving shard's [`EntropyLedger`](crate::EntropyLedger):
+    /// the worker divides each batch's banked fresh-bit draw across the
+    /// requests it served, pro-rata by length, never attributing the same
+    /// bit twice. The per-shard ledger invariant — the sum of `fresh_bits`
+    /// over a shard's completions never exceeds the fresh bits its ledger
+    /// shows drawn — is what the typed [`contract`](crate::contract)
+    /// responses enforce their MUST-consume-≥N clause against.
+    pub fresh_bits: u64,
+    /// The entropy-backend kind that generated the bytes — `Quac` for a
+    /// homogeneous service, and the serving tier for a mesh.
+    pub backend: quac_trng::BackendKind,
     /// The random bytes.
     pub bytes: Vec<u8>,
 }
@@ -119,6 +131,19 @@ pub enum SubmitError {
         /// Distinct backend kinds with at least one serving shard.
         serving_kinds: usize,
     },
+    /// The configured [`QosPolicy`](crate::QosPolicy) rejected the
+    /// submission: the client's token bucket cannot cover the request right
+    /// now. A policy rejection, not backpressure — blocking submission does
+    /// *not* park on it (parking would let one greedy client occupy
+    /// submitter threads instead of being shed).
+    RateLimited {
+        /// The rate-limited client.
+        client: ClientId,
+        /// The policy's estimate of how long until the bucket could cover
+        /// the same request ([`Duration::ZERO`](std::time::Duration::ZERO)
+        /// if the request exceeds the burst and can never be covered).
+        retry_after: std::time::Duration,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -139,6 +164,11 @@ impl fmt::Display for SubmitError {
             SubmitError::NoIndependentSources { serving_kinds } => write!(
                 f,
                 "mixed submission needs two distinct serving backend kinds, only {serving_kinds} serving"
+            ),
+            SubmitError::RateLimited { client, retry_after } => write!(
+                f,
+                "{client} rate-limited by the QoS policy; retry in {} µs",
+                retry_after.as_micros()
             ),
         }
     }

@@ -11,8 +11,8 @@ use crate::mixer::{self, MixedTicket};
 use crate::queue::ShardScheduler;
 use crate::request::{ClientId, Priority, RngRequest, SubmitError};
 use crate::state::{Lifecycle, RngServiceConfig, Shared, State};
-use crate::stats::ServiceStats;
-use crate::ticket::{Expired, Ticket};
+use crate::stats::{EntropyLedger, ServiceStats};
+use crate::ticket::{ticket_channel, Expired, ExpiryStage, Ticket};
 use crate::validate::TapChunk;
 use crate::worker::worker_loop;
 use quac_trng::pipeline::QuacTrng;
@@ -113,7 +113,10 @@ impl RngService {
         cfg: RngServiceConfig,
         policies: ServicePolicies,
     ) -> Self {
-        assert!(!backends.is_empty(), "the RNG service needs at least one shard");
+        assert!(
+            !backends.is_empty(),
+            "the RNG service needs at least one shard"
+        );
         if cfg.validation.enabled {
             // Fail here, in the caller's thread — a malformed window would
             // otherwise panic the validator/worker threads at first use,
@@ -125,14 +128,18 @@ impl RngService {
             );
         }
         let shard_count = backends.len();
-        let backend_kinds: Vec<BackendKind> =
-            backends.iter().map(|backend| backend.class().kind).collect();
+        let backend_kinds: Vec<BackendKind> = backends
+            .iter()
+            .map(|backend| backend.class().kind)
+            .collect();
         let shared = Arc::new(Shared {
             cfg,
             policies,
             tap_fill: std::sync::atomic::AtomicUsize::new(0),
             state: Mutex::new(State {
-                shards: (0..shard_count).map(|_| ShardScheduler::new(cfg.fairness_window)).collect(),
+                shards: (0..shard_count)
+                    .map(|_| ShardScheduler::new(cfg.fairness_window))
+                    .collect(),
                 senders: HashMap::new(),
                 in_flight_bytes: 0,
                 shard_load: vec![0; shard_count],
@@ -144,6 +151,7 @@ impl RngService {
                 lifecycle: Lifecycle::Running,
                 stats: ServiceStats {
                     per_shard_bytes: vec![0; shard_count],
+                    per_shard_ledger: vec![EntropyLedger::default(); shard_count],
                     ..ServiceStats::default()
                 },
             }),
@@ -185,7 +193,12 @@ impl RngService {
         };
         // `tap_tx` drops here: the validator exits once every worker's
         // clone is gone (i.e. after the workers join).
-        RngService { shared, workers, validator, sweeper }
+        RngService {
+            shared,
+            workers,
+            validator,
+            sweeper,
+        }
     }
 
     /// Number of shards (channels) serving requests.
@@ -254,9 +267,13 @@ impl RngService {
     ) -> Result<Ticket, SubmitError> {
         self.validate(len)?;
         let mut st = self.lock();
+        self.charge_qos(&mut st, client, len)?;
         // Pinned at the first degraded observation of this call, so repeated
         // park/wake rounds share one bound instead of restarting it.
         let mut park_deadline: Option<Instant> = None;
+        // Whether this submission has parked on the in-flight budget — the
+        // expiry stage a deadline crossed mid-park is attributed to.
+        let mut parked = false;
         loop {
             if st.lifecycle != Lifecycle::Running {
                 return Err(SubmitError::ShuttingDown);
@@ -293,12 +310,18 @@ impl RngService {
             if let Some(d) = deadline {
                 let now = Instant::now();
                 if now >= d {
-                    return Ok(self.admit_expired(&mut st, d, now));
+                    let stage = if parked {
+                        ExpiryStage::Parked
+                    } else {
+                        ExpiryStage::Admission
+                    };
+                    return Ok(self.admit_expired(&mut st, d, now, stage));
                 }
             }
             if st.in_flight_bytes + len <= self.shared.cfg.max_inflight_bytes {
                 break;
             }
+            parked = true;
             st = match deadline {
                 None => self.shared.space.wait(st).expect("service state poisoned"),
                 // Bounded budget park: wake at the deadline and fall through
@@ -362,17 +385,20 @@ impl RngService {
     ) -> Result<Ticket, SubmitError> {
         self.validate(len)?;
         let mut st = self.lock();
+        self.charge_qos(&mut st, client, len)?;
         if st.lifecycle != Lifecycle::Running {
             return Err(SubmitError::ShuttingDown);
         }
         if !st.health.iter().any(ShardHealth::is_serving) {
             st.stats.degraded_rejections += 1;
-            return Err(SubmitError::Degraded { quarantined: st.health.len() });
+            return Err(SubmitError::Degraded {
+                quarantined: st.health.len(),
+            });
         }
         if let Some(d) = deadline {
             let now = Instant::now();
             if now >= d {
-                return Ok(self.admit_expired(&mut st, d, now));
+                return Ok(self.admit_expired(&mut st, d, now, ExpiryStage::Admission));
             }
         }
         if st.in_flight_bytes + len > self.shared.cfg.max_inflight_bytes {
@@ -388,7 +414,7 @@ impl RngService {
     /// Submits a request that demands **multi-source independence**: one
     /// half is placed on each of two serving shards with *distinct* backend
     /// kinds (chosen deterministically — see
-    /// [`MixedTicket`](crate::mixer::MixedTicket)), and redeeming the ticket
+    /// [`MixedTicket`]), and redeeming the ticket
     /// XOR-folds the two streams and SHA-256-conditions the fold
     /// ([`mixer::mix`]), so the output stays unpredictable unless both
     /// sources fail together. Each source contributes
@@ -419,6 +445,10 @@ impl RngService {
             });
         }
         let mut st = self.lock();
+        // QoS charges the client-visible length, not the amplified source
+        // bytes — the mixing amplification is the service's cost model, not
+        // the tenant's.
+        self.charge_qos(&mut st, client, len)?;
         loop {
             if st.lifecycle != Lifecycle::Running {
                 return Err(SubmitError::ShuttingDown);
@@ -433,7 +463,7 @@ impl RngService {
             if st.in_flight_bytes + total <= self.shared.cfg.max_inflight_bytes {
                 let a = self.admit_to(&mut st, client, priority, per_source, None, first);
                 let b = self.admit_to(&mut st, client, priority, per_source, None, second);
-                return Ok(MixedTicket::new(a, b, len));
+                return Ok(MixedTicket::new(a, b, len, Arc::clone(&self.shared)));
             }
             st = self.shared.space.wait(st).expect("service state poisoned");
         }
@@ -509,6 +539,32 @@ impl RngService {
         Ok(())
     }
 
+    /// Charges `len` bytes against the client's QoS allowance. A rejection
+    /// is typed and immediate for blocking and non-blocking paths alike —
+    /// rate limiting is policy, not backpressure, so nothing parks on it.
+    fn charge_qos(
+        &self,
+        st: &mut MutexGuard<'_, State>,
+        client: ClientId,
+        len: usize,
+    ) -> Result<(), SubmitError> {
+        match self
+            .shared
+            .policies
+            .qos
+            .try_charge(client, len, Instant::now())
+        {
+            Ok(()) => Ok(()),
+            Err(retry_after) => {
+                st.stats.rate_limited_rejections += 1;
+                Err(SubmitError::RateLimited {
+                    client,
+                    retry_after,
+                })
+            }
+        }
+    }
+
     /// Admits a validated, budget-fitting request: assigns its sequence
     /// number and shard (via the placement policy — least-loaded healthy
     /// shard with rotation tie-break by default, so an idle service degrades
@@ -546,7 +602,7 @@ impl RngService {
         st.stats.peak_in_flight_bytes = st.stats.peak_in_flight_bytes.max(st.in_flight_bytes);
         let depth = st.shards[shard].len() as u64;
         st.stats.queue_depth.record(depth);
-        let (tx, rx) = mpsc::channel();
+        let (tx, ticket) = ticket_channel(seq, shard);
         st.senders.insert(seq, tx);
         st.shards[shard].push(RngRequest {
             client,
@@ -561,7 +617,7 @@ impl RngService {
             // Only deadline-carrying admissions wake the expiry sweep.
             self.shared.deadlines.notify_all();
         }
-        Ticket::pending(seq, shard, rx)
+        ticket
     }
 
     /// Completes a submission whose deadline already passed — at admission,
@@ -573,11 +629,20 @@ impl RngService {
         st: &mut MutexGuard<'_, State>,
         deadline: Instant,
         now: Instant,
+        stage: ExpiryStage,
     ) -> Ticket {
         let seq = st.next_seq;
         st.next_seq += 1;
         st.stats.expired_requests += 1;
-        Ticket::expired(seq, Expired { seq, deadline, expired_at: now })
+        Ticket::expired(
+            seq,
+            Expired {
+                seq,
+                deadline,
+                expired_at: now,
+                stage,
+            },
+        )
     }
 
     fn lock(&self) -> MutexGuard<'_, State> {
@@ -595,13 +660,17 @@ fn pick_independent_sources(
     health: &[ShardHealth],
     loads: &[usize],
 ) -> Option<(usize, usize)> {
-    let mut picks = [BackendKind::Quac, BackendKind::DRange, BackendKind::Retention]
-        .into_iter()
-        .filter_map(|kind| {
-            (0..kinds.len())
-                .filter(|&i| kinds[i] == kind && health[i].is_serving())
-                .min_by_key(|&i| (loads[i], i))
-        });
+    let mut picks = [
+        BackendKind::Quac,
+        BackendKind::DRange,
+        BackendKind::Retention,
+    ]
+    .into_iter()
+    .filter_map(|kind| {
+        (0..kinds.len())
+            .filter(|&i| kinds[i] == kind && health[i].is_serving())
+            .min_by_key(|&i| (loads[i], i))
+    });
     let first = picks.next()?;
     let second = picks.next()?;
     Some((first, second))
@@ -609,10 +678,19 @@ fn pick_independent_sources(
 
 /// Number of distinct backend kinds with at least one serving shard.
 fn serving_kind_count(kinds: &[BackendKind], health: &[ShardHealth]) -> usize {
-    [BackendKind::Quac, BackendKind::DRange, BackendKind::Retention]
-        .into_iter()
-        .filter(|kind| kinds.iter().zip(health).any(|(k, h)| k == kind && h.is_serving()))
-        .count()
+    [
+        BackendKind::Quac,
+        BackendKind::DRange,
+        BackendKind::Retention,
+    ]
+    .into_iter()
+    .filter(|kind| {
+        kinds
+            .iter()
+            .zip(health)
+            .any(|(k, h)| k == kind && h.is_serving())
+    })
+    .count()
 }
 
 impl Drop for RngService {
@@ -669,7 +747,10 @@ mod tests {
         assert_eq!(serving_kind_count(&kinds, &all_up), 2);
         // With the D-RaNGe shard fenced only one kind serves: no pair.
         let drange_down = mesh_health(&[true, true, false]);
-        assert_eq!(pick_independent_sources(&kinds, &drange_down, &[50, 10, 0]), None);
+        assert_eq!(
+            pick_independent_sources(&kinds, &drange_down, &[50, 10, 0]),
+            None
+        );
         assert_eq!(serving_kind_count(&kinds, &drange_down), 1);
         // A quarantined shard never sources a mixed request even when its
         // kind would otherwise be picked.

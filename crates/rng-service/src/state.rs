@@ -14,11 +14,10 @@ use crate::health::ShardHealth;
 use crate::placement::PlacementPolicy;
 use crate::queue::ShardScheduler;
 use crate::stats::ServiceStats;
-use crate::ticket::Outcome;
+use crate::ticket::TicketSender;
 use crate::validate::ValidationConfig;
 use qt_memctrl::IdleBudget;
 use std::collections::HashMap;
-use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
@@ -80,9 +79,10 @@ pub(crate) enum Lifecycle {
 #[derive(Debug)]
 pub(crate) struct State {
     pub(crate) shards: Vec<ShardScheduler>,
-    /// Outcome channel of each queued request, keyed by sequence number.
-    /// Dropping a sender cancels its ticket.
-    pub(crate) senders: HashMap<u64, mpsc::Sender<Outcome>>,
+    /// Resolution-cell handle of each queued request, keyed by sequence
+    /// number. Dropping a sender cancels its ticket (and wakes its
+    /// waiters, blocking and async alike).
+    pub(crate) senders: HashMap<u64, TicketSender>,
     pub(crate) in_flight_bytes: usize,
     /// Admitted-but-undelivered bytes per shard — the load metric
     /// least-loaded placement minimises (unlike the scheduler's queued
@@ -123,7 +123,10 @@ impl State {
     /// Queued requests carrying a deadline, across all shards — the expiry
     /// sweep parks indefinitely while this is 0.
     pub(crate) fn queued_deadline_count(&self) -> usize {
-        self.shards.iter().map(ShardScheduler::queued_deadlines).sum()
+        self.shards
+            .iter()
+            .map(ShardScheduler::queued_deadlines)
+            .sum()
     }
 
     /// Asks `placement` for a shard under the current view and advances the

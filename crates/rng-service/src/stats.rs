@@ -27,7 +27,12 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
     }
 }
 
@@ -149,16 +154,64 @@ impl ValidationStats {
         ValidationStats {
             bytes_tapped: self.bytes_tapped.saturating_sub(earlier.bytes_tapped),
             bytes_dropped: self.bytes_dropped.saturating_sub(earlier.bytes_dropped),
-            windows_validated: self.windows_validated.saturating_sub(earlier.windows_validated),
+            windows_validated: self
+                .windows_validated
+                .saturating_sub(earlier.windows_validated),
             windows_failed: self.windows_failed.saturating_sub(earlier.windows_failed),
             quarantines: self.quarantines.saturating_sub(earlier.quarantines),
             recharacterizations: self
                 .recharacterizations
                 .saturating_sub(earlier.recharacterizations),
-            probation_windows: self.probation_windows.saturating_sub(earlier.probation_windows),
+            probation_windows: self
+                .probation_windows
+                .saturating_sub(earlier.probation_windows),
             readmissions: self.readmissions.saturating_sub(earlier.readmissions),
-            correlation_windows: self.correlation_windows.saturating_sub(earlier.correlation_windows),
-            correlation_trips: self.correlation_trips.saturating_sub(earlier.correlation_trips),
+            correlation_windows: self
+                .correlation_windows
+                .saturating_sub(earlier.correlation_windows),
+            correlation_trips: self
+                .correlation_trips
+                .saturating_sub(earlier.correlation_trips),
+        }
+    }
+}
+
+/// One shard's entropy accounting: raw fresh bits drawn from the physical
+/// mechanism vs conditioned bytes served out of them. The ledger is the
+/// ground truth the typed [`contract`](crate::contract) responses enforce
+/// their MUST-consume-≥N-fresh-bits clause against, with the pinned
+/// invariant `fresh_bits_claimed ≤ fresh_bits_drawn`: the delivery path
+/// attributes each batch's draw across its completions pro-rata and flushes
+/// drawn and claimed atomically, so no snapshot ever shows responses
+/// claiming bits the shard has not consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EntropyLedger {
+    /// Raw fresh entropy bits drawn from the mechanism — metastable cells
+    /// sampled across served batches *and* probation windows (drawn,
+    /// graded, never served).
+    pub fresh_bits_drawn: u64,
+    /// Fresh bits attributed to delivered completions (the sum of
+    /// [`Completion::fresh_bits`](crate::Completion::fresh_bits) over this
+    /// shard's deliveries). Never exceeds
+    /// [`fresh_bits_drawn`](Self::fresh_bits_drawn).
+    pub fresh_bits_claimed: u64,
+    /// Conditioned output bytes delivered by this shard.
+    pub conditioned_bytes_served: u64,
+}
+
+impl EntropyLedger {
+    /// The counter increments since `earlier` (an older snapshot).
+    pub fn delta_since(&self, earlier: &EntropyLedger) -> EntropyLedger {
+        EntropyLedger {
+            fresh_bits_drawn: self
+                .fresh_bits_drawn
+                .saturating_sub(earlier.fresh_bits_drawn),
+            fresh_bits_claimed: self
+                .fresh_bits_claimed
+                .saturating_sub(earlier.fresh_bits_claimed),
+            conditioned_bytes_served: self
+                .conditioned_bytes_served
+                .saturating_sub(earlier.conditioned_bytes_served),
         }
     }
 }
@@ -175,6 +228,9 @@ pub struct ServiceStats {
     pub peak_in_flight_bytes: usize,
     /// Bytes delivered by each shard.
     pub per_shard_bytes: Vec<u64>,
+    /// Per-shard entropy accounting: fresh bits drawn vs claimed vs
+    /// conditioned bytes served (see [`EntropyLedger`]).
+    pub per_shard_ledger: Vec<EntropyLedger>,
     /// Requests completed with a typed `Expired` outcome — by the deadline
     /// sweep, or at admission for a deadline already in the past (their
     /// bytes were never generated).
@@ -191,6 +247,16 @@ pub struct ServiceStats {
     /// shard was quarantined (fail-fast rejections, non-blocking submissions,
     /// and parking that timed out all count here).
     pub degraded_rejections: u64,
+    /// Submissions rejected with
+    /// [`SubmitError::RateLimited`](crate::SubmitError::RateLimited) by the
+    /// configured [`QosPolicy`](crate::QosPolicy) (always 0 under the
+    /// default [`NoQos`](crate::control::NoQos)).
+    pub rate_limited_rejections: u64,
+    /// Halves of a mixed submission whose bytes were generated and then
+    /// discarded because the *other* half failed (expired or canceled):
+    /// entropy drawn with nothing delivered. Bumped once per abandoned
+    /// half when a [`MixedTicket`](crate::MixedTicket) resolves.
+    pub mixed_halves_abandoned: u64,
     /// Queue depth (requests already waiting on the chosen shard) sampled at
     /// each admission.
     pub queue_depth: Histogram,
@@ -224,16 +290,30 @@ impl ServiceStats {
     /// their full count.
     pub fn delta_since(&self, earlier: &ServiceStats) -> ServiceStats {
         ServiceStats {
-            completed_requests: self.completed_requests.saturating_sub(earlier.completed_requests),
+            completed_requests: self
+                .completed_requests
+                .saturating_sub(earlier.completed_requests),
             completed_bytes: self.completed_bytes.saturating_sub(earlier.completed_bytes),
             peak_in_flight_bytes: self.peak_in_flight_bytes,
             per_shard_bytes: self
                 .per_shard_bytes
                 .iter()
                 .enumerate()
-                .map(|(i, b)| b.saturating_sub(earlier.per_shard_bytes.get(i).copied().unwrap_or(0)))
+                .map(|(i, b)| {
+                    b.saturating_sub(earlier.per_shard_bytes.get(i).copied().unwrap_or(0))
+                })
                 .collect(),
-            expired_requests: self.expired_requests.saturating_sub(earlier.expired_requests),
+            per_shard_ledger: self
+                .per_shard_ledger
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    l.delta_since(&earlier.per_shard_ledger.get(i).copied().unwrap_or_default())
+                })
+                .collect(),
+            expired_requests: self
+                .expired_requests
+                .saturating_sub(earlier.expired_requests),
             expiry_sweeps: self.expiry_sweeps.saturating_sub(earlier.expiry_sweeps),
             failed_over_requests: self
                 .failed_over_requests
@@ -241,9 +321,17 @@ impl ServiceStats {
             degraded_rejections: self
                 .degraded_rejections
                 .saturating_sub(earlier.degraded_rejections),
+            rate_limited_rejections: self
+                .rate_limited_rejections
+                .saturating_sub(earlier.rate_limited_rejections),
+            mixed_halves_abandoned: self
+                .mixed_halves_abandoned
+                .saturating_sub(earlier.mixed_halves_abandoned),
             queue_depth: self.queue_depth.delta_since(&earlier.queue_depth),
             latency_us: self.latency_us.delta_since(&earlier.latency_us),
-            deadline_slack_us: self.deadline_slack_us.delta_since(&earlier.deadline_slack_us),
+            deadline_slack_us: self
+                .deadline_slack_us
+                .delta_since(&earlier.deadline_slack_us),
             validation: self.validation.delta_since(&earlier.validation),
             shard_health: self.shard_health.clone(),
             backend_kinds: self.backend_kinds.clone(),
@@ -280,7 +368,11 @@ mod tests {
         // upper edge 3.
         assert_eq!(h.quantile_upper_bound(0.5), 3);
         assert!(h.quantile_upper_bound(1.0) >= 900);
-        assert_eq!(h.quantile_upper_bound(1.0), 900, "clamped to the observed max");
+        assert_eq!(
+            h.quantile_upper_bound(1.0),
+            900,
+            "clamped to the observed max"
+        );
         assert_eq!(Histogram::new().quantile_upper_bound(0.5), 0);
     }
 
@@ -330,17 +422,37 @@ mod tests {
 
     #[test]
     fn service_stats_delta_subtracts_counters_and_keeps_health() {
-        let mut earlier = ServiceStats { per_shard_bytes: vec![10, 20], ..Default::default() };
+        let mut earlier = ServiceStats {
+            per_shard_bytes: vec![10, 20],
+            ..Default::default()
+        };
         earlier.completed_requests = 5;
         earlier.completed_bytes = 30;
         earlier.expiry_sweeps = 2;
         earlier.validation.windows_validated = 4;
+        earlier.rate_limited_rejections = 1;
+        earlier.mixed_halves_abandoned = 1;
+        earlier.per_shard_ledger = vec![
+            EntropyLedger {
+                fresh_bits_drawn: 100,
+                fresh_bits_claimed: 40,
+                conditioned_bytes_served: 5,
+            },
+            EntropyLedger::default(),
+        ];
         let mut later = earlier.clone();
         later.completed_requests = 9;
         later.completed_bytes = 75;
         later.expiry_sweeps = 7;
         later.per_shard_bytes = vec![25, 50];
         later.validation.windows_validated = 6;
+        later.rate_limited_rejections = 4;
+        later.mixed_halves_abandoned = 3;
+        later.per_shard_ledger[0] = EntropyLedger {
+            fresh_bits_drawn: 260,
+            fresh_bits_claimed: 90,
+            conditioned_bytes_served: 11,
+        };
         later.shard_health = vec![ShardHealth::new(); 2];
         let delta = later.delta_since(&earlier);
         assert_eq!(delta.completed_requests, 4);
@@ -348,6 +460,21 @@ mod tests {
         assert_eq!(delta.expiry_sweeps, 5);
         assert_eq!(delta.per_shard_bytes, vec![15, 30]);
         assert_eq!(delta.validation.windows_validated, 2);
-        assert_eq!(delta.shard_health.len(), 2, "health is current state, not a diff");
+        assert_eq!(delta.rate_limited_rejections, 3);
+        assert_eq!(delta.mixed_halves_abandoned, 2);
+        assert_eq!(
+            delta.per_shard_ledger[0],
+            EntropyLedger {
+                fresh_bits_drawn: 160,
+                fresh_bits_claimed: 50,
+                conditioned_bytes_served: 6,
+            }
+        );
+        assert_eq!(delta.per_shard_ledger[1], EntropyLedger::default());
+        assert_eq!(
+            delta.shard_health.len(),
+            2,
+            "health is current state, not a diff"
+        );
     }
 }

@@ -3,33 +3,118 @@
 //! [`Canceled`]).
 //!
 //! This is the delivery end of the data plane: workers (and the control
-//! plane's expiry sweep) push exactly one outcome down a ticket's
-//! channel, and the ticket caches the first outcome it observes so every
-//! later wait variant reports the same resolution.
+//! plane's expiry sweep) push exactly one outcome into a ticket's shared
+//! resolution cell and wake every waiter — blocking waits parked on the
+//! cell's condvar *and* an async task's registered [`Waker`] (see
+//! [`crate::facade`]). The cell is `Sync`: once resolved, every wait
+//! variant on every thread reports the *same* terminal outcome forever.
 
 use crate::request::Completion;
-use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
 use std::time::Instant;
 
 /// The receipt for one submitted request; redeem it with [`Ticket::wait`],
 /// poll it with [`Ticket::try_wait`], or wait with a bound via
-/// [`Ticket::wait_deadline`].
+/// [`Ticket::wait_deadline`]. Convert it with
+/// [`AsyncTicket::from`](crate::facade::AsyncTicket) to `await` it instead.
 ///
 /// A ticket resolves to exactly one terminal outcome — served, [`Expired`],
-/// or [`Canceled`] — and caches it: once any wait variant has observed the
-/// outcome, every later call reports the *same* outcome (a served ticket
-/// polled twice returns the same completion again rather than misreporting
-/// `Canceled` after the channel drains).
+/// or [`Canceled`] — held in a shared cell the delivery side writes once:
+/// after any wait variant has observed the outcome, every later call (from
+/// any thread: `Ticket` is `Sync`) reports the *same* outcome (a served
+/// ticket polled twice returns the same completion again rather than
+/// misreporting `Canceled` after the service stops).
 #[derive(Debug)]
 pub struct Ticket {
     seq: u64,
     shard: Option<usize>,
-    rx: mpsc::Receiver<Outcome>,
-    /// The cached terminal outcome. Interior mutability keeps the polling
-    /// API (`&self`) while making the pending→terminal transition atomic
-    /// from the caller's point of view: the state observed here never
-    /// changes once set.
-    resolved: std::cell::RefCell<Option<Result<Completion, WaitError>>>,
+    cell: Arc<TicketCell>,
+}
+
+/// The shared resolution slot between a ticket (and its async facade) and
+/// the delivery side. The resolution is written exactly once; the condvar
+/// wakes blocking waiters and the stored [`Waker`] wakes an async task —
+/// both at the same delivery boundary, so no polling thread exists
+/// anywhere.
+#[derive(Debug, Default)]
+pub(crate) struct TicketCell {
+    state: Mutex<CellState>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct CellState {
+    /// The terminal outcome, written once by the delivery side (or by the
+    /// sender's drop, as `Canceled`). Never overwritten.
+    resolution: Option<Result<Completion, WaitError>>,
+    /// Waker of the async task that last polled an unresolved ticket;
+    /// taken and woken by the resolving side.
+    waker: Option<Waker>,
+}
+
+impl TicketCell {
+    /// Stores the terminal outcome (first write wins) and wakes every
+    /// waiter: blocking waits via the condvar, an async task via its
+    /// registered waker.
+    fn resolve(&self, resolution: Result<Completion, WaitError>) {
+        let waker = {
+            let mut st = self.state.lock().expect("ticket cell poisoned");
+            if st.resolution.is_some() {
+                return; // already terminal; late cancels must not clobber
+            }
+            st.resolution = Some(resolution);
+            st.waker.take()
+        };
+        self.ready.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// The delivery side's handle on a ticket's resolution cell. Sending an
+/// [`Outcome`] resolves the ticket; dropping the sender unresolved cancels
+/// it (the service discarded the request) — both wake all waiters.
+#[derive(Debug)]
+pub(crate) struct TicketSender {
+    cell: Arc<TicketCell>,
+}
+
+impl TicketSender {
+    /// Resolves the ticket with `outcome` and wakes its waiters.
+    pub(crate) fn send(&self, outcome: Outcome) {
+        self.cell.resolve(match outcome {
+            Outcome::Served(c) => Ok(c),
+            Outcome::Expired(e) => Err(WaitError::Expired(e)),
+        });
+    }
+}
+
+impl Drop for TicketSender {
+    fn drop(&mut self) {
+        // Dropping the sender of an unresolved ticket is a cancellation
+        // (abort discarded the request); `resolve` is a no-op when the
+        // ticket already carries its real outcome.
+        self.cell.resolve(Err(WaitError::Canceled(Canceled)));
+    }
+}
+
+/// Creates the shared resolution cell of one pending request: the
+/// [`TicketSender`] goes to the service's delivery side, the [`Ticket`] to
+/// the client.
+pub(crate) fn ticket_channel(seq: u64, shard: usize) -> (TicketSender, Ticket) {
+    let cell = Arc::new(TicketCell::default());
+    (
+        TicketSender {
+            cell: Arc::clone(&cell),
+        },
+        Ticket {
+            seq,
+            shard: Some(shard),
+            cell,
+        },
+    )
 }
 
 /// The request was discarded before completion (service aborted).
@@ -38,11 +123,30 @@ pub struct Canceled;
 
 impl std::fmt::Display for Canceled {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "request canceled: the RNG service stopped before serving it")
+        write!(
+            f,
+            "request canceled: the RNG service stopped before serving it"
+        )
     }
 }
 
 impl std::error::Error for Canceled {}
+
+/// Where in its lifecycle a request was expired — carried in [`Expired`]
+/// so operator logs attribute the failure to the right stage instead of
+/// blaming the queue for every miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpiryStage {
+    /// The deadline was already in the past when the request was submitted:
+    /// it was never placed, charged, or queued.
+    Admission,
+    /// The submitter parked on the in-flight budget and its own deadline
+    /// passed before space freed: the request was never admitted.
+    Parked,
+    /// The request was queued on a shard when its deadline passed; the
+    /// expiry sweep (or a worker's pop-time sweep) completed it.
+    Sweep,
+}
 
 /// The request's deadline passed before any byte was generated for it: the
 /// expiry sweep (or admission itself, for a deadline already in the past)
@@ -60,15 +164,25 @@ pub struct Expired {
     /// [`expiry_sweep_interval`](crate::RngServiceConfig::expiry_sweep_interval)
     /// past the deadline while the service runs) for a queued request.
     pub expired_at: Instant,
+    /// The lifecycle stage that expired the request — admission, a parked
+    /// submitter's own deadline, or the queue sweep.
+    pub stage: ExpiryStage,
 }
 
 impl std::fmt::Display for Expired {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stage = match self.stage {
+            ExpiryStage::Admission => "at admission, its deadline already past",
+            ExpiryStage::Parked => "while its submitter was parked on the in-flight budget",
+            ExpiryStage::Sweep => "while still queued",
+        };
         write!(
             f,
-            "request {} expired {} µs past its deadline while still queued",
+            "request {} expired {} µs past its deadline {stage}",
             self.seq,
-            self.expired_at.saturating_duration_since(self.deadline).as_micros()
+            self.expired_at
+                .saturating_duration_since(self.deadline)
+                .as_micros()
         )
     }
 }
@@ -95,9 +209,9 @@ impl std::fmt::Display for WaitError {
 
 impl std::error::Error for WaitError {}
 
-/// What travels over a ticket's completion channel. `Canceled` has no
-/// variant: it is the channel disconnecting with nothing buffered (the
-/// service dropped the sender without serving or expiring the request).
+/// What the delivery side pushes into a ticket's cell. `Canceled` has no
+/// variant: it is the sender dropping with nothing resolved (the service
+/// discarded the request without serving or expiring it).
 #[derive(Debug)]
 pub(crate) enum Outcome {
     /// The request was served.
@@ -107,20 +221,17 @@ pub(crate) enum Outcome {
 }
 
 impl Ticket {
-    /// A pending ticket for a request placed on `shard`; the service keeps
-    /// `tx` and resolves the ticket by sending one [`Outcome`] (or by
-    /// dropping the sender, which cancels it).
-    pub(crate) fn pending(seq: u64, shard: usize, rx: mpsc::Receiver<Outcome>) -> Self {
-        Ticket { seq, shard: Some(shard), rx, resolved: std::cell::RefCell::new(None) }
-    }
-
     /// A ticket that expired at admission: its deadline had already passed
     /// (or passed while the submitter was parked on the in-flight budget),
     /// so it was never placed on a shard and never charged to the budget.
     pub(crate) fn expired(seq: u64, expired: Expired) -> Self {
-        let (tx, rx) = mpsc::channel();
-        tx.send(Outcome::Expired(expired)).expect("receiver held locally");
-        Ticket { seq, shard: None, rx, resolved: std::cell::RefCell::new(None) }
+        let cell = Arc::new(TicketCell::default());
+        cell.resolve(Err(WaitError::Expired(expired)));
+        Ticket {
+            seq,
+            shard: None,
+            cell,
+        }
     }
 
     /// Submission sequence number of the request.
@@ -138,25 +249,6 @@ impl Ticket {
         self.shard
     }
 
-    fn resolve(&self, outcome: Outcome) -> Result<Completion, WaitError> {
-        let resolution = match outcome {
-            Outcome::Served(c) => Ok(c),
-            Outcome::Expired(e) => Err(WaitError::Expired(e)),
-        };
-        *self.resolved.borrow_mut() = Some(resolution.clone());
-        resolution
-    }
-
-    fn resolve_canceled(&self) -> WaitError {
-        let err = WaitError::Canceled(Canceled);
-        *self.resolved.borrow_mut() = Some(Err(err));
-        err
-    }
-
-    fn cached(&self) -> Option<Result<Completion, WaitError>> {
-        self.resolved.borrow().clone()
-    }
-
     /// Blocks until the request resolves and returns its bytes.
     ///
     /// # Errors
@@ -165,19 +257,26 @@ impl Ticket {
     /// still queued; [`WaitError::Canceled`] if the service was aborted
     /// before serving it.
     pub fn wait(self) -> Result<Completion, WaitError> {
-        if let Some(resolution) = self.cached() {
-            return resolution;
-        }
-        match self.rx.recv() {
-            Ok(outcome) => self.resolve(outcome),
-            Err(_) => Err(self.resolve_canceled()),
+        self.wait_ref()
+    }
+
+    /// [`Ticket::wait`] by reference, for compound receipts
+    /// ([`MixedTicket`](crate::mixer::MixedTicket)) that must join several
+    /// halves before consuming themselves.
+    pub(crate) fn wait_ref(&self) -> Result<Completion, WaitError> {
+        let mut st = self.cell.state.lock().expect("ticket cell poisoned");
+        loop {
+            if let Some(resolution) = &st.resolution {
+                return resolution.clone();
+            }
+            st = self.cell.ready.wait(st).expect("ticket cell poisoned");
         }
     }
 
     /// Non-blocking poll: `Ok(Some)` once the request has been served,
     /// `Ok(None)` while it is still pending. Idempotent after resolution:
     /// a served ticket keeps returning its completion, an expired or
-    /// canceled one keeps returning the same error.
+    /// canceled one keeps returning the same error — from any thread.
     ///
     /// # Errors
     ///
@@ -185,14 +284,11 @@ impl Ticket {
     /// [`WaitError::Canceled`] once the service aborted it (polling loops
     /// must not keep spinning on a dead request).
     pub fn try_wait(&self) -> Result<Option<Completion>, WaitError> {
-        if self.cached().is_none() {
-            match self.rx.try_recv() {
-                Ok(outcome) => drop(self.resolve(outcome)),
-                Err(mpsc::TryRecvError::Empty) => return Ok(None),
-                Err(mpsc::TryRecvError::Disconnected) => drop(self.resolve_canceled()),
-            }
+        let st = self.cell.state.lock().expect("ticket cell poisoned");
+        match &st.resolution {
+            Some(resolution) => resolution.clone().map(Some),
+            None => Ok(None),
         }
-        self.cached().expect("ticket just resolved").map(Some)
     }
 
     /// Blocks until the request resolves or `deadline` passes, whichever is
@@ -205,22 +301,45 @@ impl Ticket {
     ///
     /// The same terminal errors as [`Ticket::wait`].
     pub fn wait_deadline(&self, deadline: Instant) -> Result<Option<Completion>, WaitError> {
-        if let Some(resolution) = self.cached() {
-            return resolution.map(Some);
+        let mut st = self.cell.state.lock().expect("ticket cell poisoned");
+        loop {
+            if let Some(resolution) = &st.resolution {
+                return resolution.clone().map(Some);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (guard, _) = self
+                .cell
+                .ready
+                .wait_timeout(st, deadline - now)
+                .expect("ticket cell poisoned");
+            st = guard;
         }
-        let now = Instant::now();
-        if now >= deadline {
-            return match self.rx.try_recv() {
-                Ok(outcome) => self.resolve(outcome).map(Some),
-                Err(mpsc::TryRecvError::Empty) => Ok(None),
-                Err(mpsc::TryRecvError::Disconnected) => Err(self.resolve_canceled()),
-            };
+    }
+
+    /// The async-facade poll: returns the terminal outcome if resolved,
+    /// otherwise registers `cx`'s waker in the cell (replacing any earlier
+    /// one) so the delivery side wakes the task exactly when the outcome
+    /// lands — no polling thread anywhere.
+    pub(crate) fn poll_wait(&self, cx: &mut Context<'_>) -> Poll<Result<Completion, WaitError>> {
+        let mut st = self.cell.state.lock().expect("ticket cell poisoned");
+        match &st.resolution {
+            Some(resolution) => Poll::Ready(resolution.clone()),
+            None => {
+                st.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
         }
-        match self.rx.recv_timeout(deadline - now) {
-            Ok(outcome) => self.resolve(outcome).map(Some),
-            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
-            Err(mpsc::RecvTimeoutError::Disconnected) => Err(self.resolve_canceled()),
-        }
+    }
+
+    /// Weak handle on the resolution cell — lets tests observe that
+    /// dropping a future (and its ticket) leaks nothing once the delivery
+    /// side lets go.
+    #[cfg(test)]
+    pub(crate) fn cell_weak(&self) -> std::sync::Weak<TicketCell> {
+        Arc::downgrade(&self.cell)
     }
 }
 
@@ -231,7 +350,12 @@ mod tests {
     #[test]
     fn an_admission_expired_ticket_is_resolved_and_sticky() {
         let now = Instant::now();
-        let expired = Expired { seq: 7, deadline: now, expired_at: now };
+        let expired = Expired {
+            seq: 7,
+            deadline: now,
+            expired_at: now,
+            stage: ExpiryStage::Admission,
+        };
         let t = Ticket::expired(7, expired);
         assert_eq!(t.seq(), 7);
         assert_eq!(t.shard(), None, "never placed on a shard");
@@ -244,12 +368,91 @@ mod tests {
 
     #[test]
     fn a_dropped_sender_cancels_the_ticket() {
-        let (tx, rx) = mpsc::channel();
-        let t = Ticket::pending(1, 0, rx);
+        let (tx, t) = ticket_channel(1, 0);
         assert_eq!(t.shard(), Some(0));
         assert_eq!(t.try_wait(), Ok(None), "pending while the sender lives");
         drop(tx);
         assert_eq!(t.try_wait(), Err(WaitError::Canceled(Canceled)));
-        assert_eq!(t.wait(), Err(WaitError::Canceled(Canceled)), "cancellation is sticky");
+        assert_eq!(
+            t.wait(),
+            Err(WaitError::Canceled(Canceled)),
+            "cancellation is sticky"
+        );
+    }
+
+    #[test]
+    fn a_sent_outcome_beats_the_senders_drop() {
+        let (tx, t) = ticket_channel(2, 1);
+        let completion = Completion {
+            client: crate::request::ClientId(0),
+            seq: 2,
+            shard: 1,
+            epoch: 0,
+            stream_offset: 0,
+            fresh_bits: 0,
+            backend: quac_trng::BackendKind::Quac,
+            bytes: vec![0xAB; 4],
+        };
+        tx.send(Outcome::Served(completion.clone()));
+        drop(tx); // the drop-cancel must not clobber the real outcome
+        assert_eq!(t.try_wait(), Ok(Some(completion.clone())));
+        assert_eq!(t.wait(), Ok(completion));
+    }
+
+    #[test]
+    fn expiry_stages_render_distinctly() {
+        let now = Instant::now();
+        let render = |stage| {
+            Expired {
+                seq: 1,
+                deadline: now,
+                expired_at: now,
+                stage,
+            }
+            .to_string()
+        };
+        let admission = render(ExpiryStage::Admission);
+        let parked = render(ExpiryStage::Parked);
+        let sweep = render(ExpiryStage::Sweep);
+        assert!(admission.contains("at admission"), "{admission}");
+        assert!(
+            parked.contains("parked on the in-flight budget"),
+            "{parked}"
+        );
+        assert!(sweep.contains("while still queued"), "{sweep}");
+        assert_ne!(admission, parked);
+        assert_ne!(parked, sweep);
+    }
+
+    #[test]
+    fn tickets_are_shareable_across_threads() {
+        // The Sync bound itself (compile-time) plus a smoke run: two
+        // threads observe the same terminal outcome.
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Ticket>();
+        let (tx, t) = ticket_channel(3, 0);
+        let t = std::sync::Arc::new(t);
+        let spinner = {
+            let t = std::sync::Arc::clone(&t);
+            std::thread::spawn(move || loop {
+                match t.try_wait() {
+                    Ok(None) => std::thread::yield_now(),
+                    other => return other,
+                }
+            })
+        };
+        let now = Instant::now();
+        let expired = Expired {
+            seq: 3,
+            deadline: now,
+            expired_at: now,
+            stage: ExpiryStage::Sweep,
+        };
+        tx.send(Outcome::Expired(expired));
+        assert_eq!(spinner.join().unwrap(), Err(WaitError::Expired(expired)));
+        assert_eq!(
+            t.wait_deadline(Instant::now()),
+            Err(WaitError::Expired(expired))
+        );
     }
 }

@@ -6,7 +6,7 @@
 use crate::control::{requalify_shard, sweep_shard_expired};
 use crate::request::{Completion, RngRequest};
 use crate::state::{Lifecycle, Shared};
-use crate::ticket::Outcome;
+use crate::ticket::{Outcome, TicketSender};
 use crate::validate::{tap_quota_allows, TapChunk};
 use quac_trng::EntropyBackend;
 use std::sync::mpsc;
@@ -36,9 +36,23 @@ pub(crate) fn worker_loop(
     // bound, no matter how much has been delivered in total.
     let mut pace_deadline = Instant::now();
     let mut batch: Vec<RngRequest> = Vec::new();
-    let mut senders: Vec<Option<mpsc::Sender<Outcome>>> = Vec::new();
+    let mut senders: Vec<Option<TicketSender>> = Vec::new();
     let mut buf: Vec<u8> = Vec::new();
     let mut expired_scratch: Vec<RngRequest> = Vec::new();
+    // Entropy-ledger accounting. `fresh_seen` is the backend's cumulative
+    // fresh-bit counter at the last observation; the delta since then splits
+    // into `banked_fresh` (drawn for *serving* — attributable to
+    // completions) and the rest (probation windows: drawn, graded, never
+    // served). `pending_drawn` carries both toward the next locked stats
+    // flush. Attribution divides the bank pro-rata over the bytes it
+    // conditions (this batch + what the backend still buffers), so the sum
+    // of per-completion claims can never exceed the bank — the ledger
+    // property the contract layer enforces.
+    let backend_kind = trng.class().kind;
+    let mut fresh_seen: u64 = trng.fresh_bits_drawn();
+    let mut banked_fresh: u64 = 0;
+    let mut pending_drawn: u64 = 0;
+    let mut claims: Vec<u64> = Vec::new();
     // Delivered-byte offset within the current stream epoch: readmission
     // restarts the shard's stream (recharacterisation rebuilds the
     // sampler), so offsets restart with it — completions stay gapless per
@@ -107,7 +121,17 @@ pub(crate) fn worker_loop(
             }
         };
         if requalify {
-            if !requalify_shard(shared, shard_idx, trng.as_mut(), &mut buf) {
+            let keep_going = requalify_shard(shared, shard_idx, trng.as_mut(), &mut buf);
+            // Probation windows drew fresh bits that were graded, never
+            // served: they enter the ledger as drawn but are not bankable
+            // for completion claims. The pre-probation bank dies with the
+            // old stream too — recharacterisation rebuilt the sampler.
+            pending_drawn += trng.fresh_bits_drawn() - fresh_seen;
+            fresh_seen = trng.fresh_bits_drawn();
+            banked_fresh = 0;
+            if !keep_going {
+                let mut st = shared.state.lock().expect("service state poisoned");
+                st.stats.per_shard_ledger[shard_idx].fresh_bits_drawn += pending_drawn;
                 return;
             }
             continue;
@@ -120,14 +144,34 @@ pub(crate) fn worker_loop(
         // Phase 2 (unlocked): one generation pass covers the whole batch.
         buf.resize(batch_bytes, 0);
         trng.fill_bytes(&mut buf);
+        pending_drawn += trng.fresh_bits_drawn() - fresh_seen;
+        banked_fresh += trng.fresh_bits_drawn() - fresh_seen;
+        fresh_seen = trng.fresh_bits_drawn();
+        // Attribute the bank across this batch's requests pro-rata by
+        // length. The divisor counts every byte the bank still has to
+        // condition — this batch plus the backend's internal buffer (fresh
+        // bits drawn for a whole iteration but not yet served) — so claims
+        // are conservative and Σ claims ≤ bank by construction.
+        claims.clear();
+        let mut unattributed = batch_bytes as u64 + trng.buffered_bytes() as u64;
+        for req in &batch {
+            let claim = if unattributed == 0 {
+                0
+            } else {
+                ((banked_fresh as u128 * req.len as u128) / unattributed as u128) as u64
+            };
+            claims.push(claim);
+            banked_fresh -= claim;
+            unattributed -= req.len as u64;
+        }
 
         // Phase 3: pace delivery against the channel's idle-cycle budget.
         // The batch's bytes stay charged against the in-flight budget while
         // the worker is parked, which is what makes backpressure reflect the
         // *delivered* rate, not the simulation's generation speed.
         if !shared.cfg.pacing.is_unlimited() {
-            pace_deadline = pace_deadline.max(Instant::now())
-                + shared.cfg.pacing.time_for_bytes(batch_bytes);
+            pace_deadline =
+                pace_deadline.max(Instant::now()) + shared.cfg.pacing.time_for_bytes(batch_bytes);
             let mut st = shared.state.lock().expect("service state poisoned");
             loop {
                 match st.lifecycle {
@@ -213,6 +257,15 @@ pub(crate) fn worker_loop(
             st.stats.per_shard_bytes[shard_idx] += batch_bytes as u64;
             st.stats.validation.bytes_tapped += tapped;
             st.stats.validation.bytes_dropped += dropped;
+            // Ledger flush: drawn (incl. any probation draw since the last
+            // flush) and this batch's claims land atomically, *before* any
+            // completion carrying a claim becomes visible — so no snapshot
+            // can ever show completions claiming more than the ledger drew.
+            let ledger = &mut st.stats.per_shard_ledger[shard_idx];
+            ledger.fresh_bits_drawn += pending_drawn;
+            ledger.fresh_bits_claimed += claims.iter().sum::<u64>();
+            ledger.conditioned_bytes_served += batch_bytes as u64;
+            pending_drawn = 0;
             for req in &batch {
                 st.stats
                     .latency_us
@@ -228,16 +281,19 @@ pub(crate) fn worker_loop(
             shared.space.notify_all();
         }
         let mut offset_in_batch = 0usize;
-        for (req, sender) in batch.iter().zip(&senders) {
+        for ((req, sender), &fresh_bits) in batch.iter().zip(&senders).zip(&claims) {
             let bytes = buf[offset_in_batch..offset_in_batch + req.len].to_vec();
             if let Some(sender) = sender {
-                // A dropped receiver just means the client lost interest.
-                let _ = sender.send(Outcome::Served(Completion {
+                // Resolving wakes the ticket's waiters — blocking waits and
+                // any async task parked on its waker — at this boundary.
+                sender.send(Outcome::Served(Completion {
                     client: req.client,
                     seq: req.seq,
                     shard: shard_idx,
                     epoch: batch_epoch,
                     stream_offset: stream_offset + offset_in_batch as u64,
+                    fresh_bits,
+                    backend: backend_kind,
                     bytes,
                 }));
             }

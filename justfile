@@ -33,6 +33,13 @@ chaos-tests:
     QUAC_THREADS=1 cargo test -q --test chaos_campaigns
     QUAC_THREADS=4 cargo test -q --test chaos_campaigns
 
+# The async-front-door suite: futures woken by the delivery side, typed
+# contract frames, the per-shard entropy ledger properties, and per-tenant
+# QoS — under the same QUAC_THREADS matrix as CI.
+facade-tests:
+    QUAC_THREADS=1 cargo test -q --test facade
+    QUAC_THREADS=4 cargo test -q --test facade
+
 # The entropy-mesh suites: heterogeneous backends, tiered placement,
 # cross-source mixing, the correlation check, and the QUAC-tier-loss chaos
 # campaign — under the same QUAC_THREADS matrix as CI.

@@ -9,8 +9,8 @@ use quac_trng_repro::dram_analog::{ModuleVariation, OperatingConditions, QuacAna
 use quac_trng_repro::dram_core::{DataPattern, DramGeometry};
 use quac_trng_repro::rng_service::export::prometheus_text;
 use quac_trng_repro::rng_service::{
-    ClientId, Priority, RngService, RngServiceConfig, ServiceStats, ShardHealth, ShardState,
-    ValidationStats,
+    ClientId, EntropyLedger, Priority, RngService, RngServiceConfig, ServiceStats, ShardHealth,
+    ShardState, ValidationStats,
 };
 use quac_trng_repro::trng::characterize::{characterize_module, CharacterizationConfig};
 use quac_trng_repro::trng::pipeline::QuacTrng;
@@ -28,6 +28,20 @@ fn golden_stats() -> ServiceStats {
         expiry_sweeps: 2,
         failed_over_requests: 4,
         degraded_rejections: 5,
+        rate_limited_rejections: 6,
+        mixed_halves_abandoned: 2,
+        per_shard_ledger: vec![
+            EntropyLedger {
+                fresh_bits_drawn: 20000,
+                fresh_bits_claimed: 11520,
+                conditioned_bytes_served: 512,
+            },
+            EntropyLedger {
+                fresh_bits_drawn: 10000,
+                fresh_bits_claimed: 4096,
+                conditioned_bytes_served: 256,
+            },
+        ],
         validation: ValidationStats {
             bytes_tapped: 700,
             bytes_dropped: 68,
@@ -75,6 +89,12 @@ qt_rng_failed_over_requests_total 4
 # HELP qt_rng_degraded_rejections_total Submissions rejected because every shard was quarantined.
 # TYPE qt_rng_degraded_rejections_total counter
 qt_rng_degraded_rejections_total 5
+# HELP qt_rng_rate_limited_rejections_total Submissions rejected by the per-tenant QoS policy (token bucket empty).
+# TYPE qt_rng_rate_limited_rejections_total counter
+qt_rng_rate_limited_rejections_total 6
+# HELP qt_rng_mixed_halves_abandoned_total Mixed-submission halves that delivered bytes while their sibling failed (generated, then discarded).
+# TYPE qt_rng_mixed_halves_abandoned_total counter
+qt_rng_mixed_halves_abandoned_total 2
 # HELP qt_rng_peak_in_flight_bytes High-water mark of in-flight bytes.
 # TYPE qt_rng_peak_in_flight_bytes gauge
 qt_rng_peak_in_flight_bytes 4096
@@ -82,6 +102,18 @@ qt_rng_peak_in_flight_bytes 4096
 # TYPE qt_rng_shard_delivered_bytes_total counter
 qt_rng_shard_delivered_bytes_total{shard="0",backend="quac"} 512
 qt_rng_shard_delivered_bytes_total{shard="1",backend="drange"} 256
+# HELP qt_rng_shard_fresh_bits_drawn_total Raw fresh entropy bits the shard's backend drew from its physical source.
+# TYPE qt_rng_shard_fresh_bits_drawn_total counter
+qt_rng_shard_fresh_bits_drawn_total{shard="0",backend="quac"} 20000
+qt_rng_shard_fresh_bits_drawn_total{shard="1",backend="drange"} 10000
+# HELP qt_rng_shard_fresh_bits_claimed_total Fresh bits attributed to completions served by the shard (never exceeds the drawn total).
+# TYPE qt_rng_shard_fresh_bits_claimed_total counter
+qt_rng_shard_fresh_bits_claimed_total{shard="0",backend="quac"} 11520
+qt_rng_shard_fresh_bits_claimed_total{shard="1",backend="drange"} 4096
+# HELP qt_rng_shard_conditioned_bytes_served_total Conditioned bytes the shard's worker generated into completions.
+# TYPE qt_rng_shard_conditioned_bytes_served_total counter
+qt_rng_shard_conditioned_bytes_served_total{shard="0",backend="quac"} 512
+qt_rng_shard_conditioned_bytes_served_total{shard="1",backend="drange"} 256
 # HELP qt_rng_validation_bytes_tapped_total Served bytes copied into the validator tap.
 # TYPE qt_rng_validation_bytes_tapped_total counter
 qt_rng_validation_bytes_tapped_total 700
@@ -183,8 +215,10 @@ fn live_service_snapshot_renders_consistently() {
         conditions: OperatingConditions::nominal(),
     };
     let ch = characterize_module(&model, DataPattern::best_average(), &ccfg);
-    let service =
-        RngService::start(QuacTrng::shards(&model, &ch, 7, 2), RngServiceConfig::default());
+    let service = RngService::start(
+        QuacTrng::shards(&model, &ch, 7, 2),
+        RngServiceConfig::default(),
+    );
     for _ in 0..5 {
         let t = service.submit(ClientId(0), Priority::Normal, 512).unwrap();
         t.wait().expect("served");
@@ -203,11 +237,27 @@ fn live_service_snapshot_renders_consistently() {
             .parse()
             .expect("numeric value")
     };
-    assert_eq!(value("qt_rng_completed_requests_total") as u64, stats.completed_requests);
-    assert_eq!(value("qt_rng_completed_bytes_total") as u64, stats.completed_bytes);
-    assert_eq!(value("qt_rng_expiry_sweeps_total"), 0.0, "deadline-free load never sweeps");
-    assert_eq!(value("qt_rng_latency_us_count") as u64, stats.latency_us.count());
-    assert_eq!(value("qt_rng_latency_us_sum") as u64, stats.latency_us.sum());
+    assert_eq!(
+        value("qt_rng_completed_requests_total") as u64,
+        stats.completed_requests
+    );
+    assert_eq!(
+        value("qt_rng_completed_bytes_total") as u64,
+        stats.completed_bytes
+    );
+    assert_eq!(
+        value("qt_rng_expiry_sweeps_total"),
+        0.0,
+        "deadline-free load never sweeps"
+    );
+    assert_eq!(
+        value("qt_rng_latency_us_count") as u64,
+        stats.latency_us.count()
+    );
+    assert_eq!(
+        value("qt_rng_latency_us_sum") as u64,
+        stats.latency_us.sum()
+    );
     // Per-shard delivered bytes cover both shards and sum to the total; a
     // homogeneous QUAC service labels every shard backend="quac".
     let shard_total: u64 = (0..2)
@@ -218,11 +268,35 @@ fn live_service_snapshot_renders_consistently() {
         })
         .sum();
     assert_eq!(shard_total, stats.completed_bytes);
+    // The entropy ledger exports per shard, and a live snapshot never
+    // claims more fresh bits than it drew.
+    for s in 0..2 {
+        let drawn = value(&format!(
+            "qt_rng_shard_fresh_bits_drawn_total{{shard=\"{s}\",backend=\"quac\"}}"
+        ));
+        let claimed = value(&format!(
+            "qt_rng_shard_fresh_bits_claimed_total{{shard=\"{s}\",backend=\"quac\"}}"
+        ));
+        assert!(
+            claimed <= drawn,
+            "shard {s}: claimed {claimed} fresh bits of {drawn} drawn"
+        );
+    }
     // A live snapshot carries health records, so the per-shard gauges are on.
-    assert_eq!(value("qt_rng_shard_serving{shard=\"0\",backend=\"quac\"}"), 1.0);
-    assert_eq!(value("qt_rng_shard_serving{shard=\"1\",backend=\"quac\"}"), 1.0);
+    assert_eq!(
+        value("qt_rng_shard_serving{shard=\"0\",backend=\"quac\"}"),
+        1.0
+    );
+    assert_eq!(
+        value("qt_rng_shard_serving{shard=\"1\",backend=\"quac\"}"),
+        1.0
+    );
     // The +Inf bucket of every histogram equals its _count line.
-    for name in ["qt_rng_queue_depth", "qt_rng_latency_us", "qt_rng_deadline_slack_us"] {
+    for name in [
+        "qt_rng_queue_depth",
+        "qt_rng_latency_us",
+        "qt_rng_deadline_slack_us",
+    ] {
         assert_eq!(
             value(&format!("{name}_bucket{{le=\"+Inf\"}}")),
             value(&format!("{name}_count")),
